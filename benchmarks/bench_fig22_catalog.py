@@ -1,0 +1,45 @@
+"""Figure 2.2 -- the representation of the catalog on ESM.
+
+Dumps the MoodsType / MoodsAttribute / MoodsFunction system extents as
+actually stored (record counts per system file) and shows one decoded row
+of each, then proves the symbol table is rebuilt from storage alone.
+"""
+
+from repro.bench.reporting import emit, table
+from repro.catalog.catalog import Catalog
+from repro.model.serde import decode
+
+
+def test_fig22_catalog_on_esm(live_db, benchmark):
+    kernel = live_db.kernel
+    system_files = [
+        Catalog._TYPES, Catalog._ATTRS, Catalog._FUNCS,
+        Catalog._NAMES, Catalog._INDEXES,
+    ]
+    rows = []
+    samples = []
+    for name in system_files:
+        storage_file = kernel.storage.file_by_name(name)
+        rows.append([name, storage_file.record_count(),
+                     storage_file.nbpages()])
+        for _, payload in storage_file.scan():
+            samples.append(f"{name}: {decode(payload)!r}")
+            break
+
+    benchmark(kernel.catalog.reload)  # the Figure 2.2 claim: catalog = data
+    kernel.objects.rebuild_page_map()
+    assert kernel.catalog.has_class("Vehicle")
+    assert kernel.catalog.hierarchy.linearize("JapaneseAuto") == [
+        "JapaneseAuto", "Automobile", "Vehicle",
+    ]
+    function = kernel.catalog.function_by_signature("Vehicle::lbweight()")
+    assert "2.2075" in function.source
+
+    emit(
+        "fig22_catalog",
+        "system extents on ESM (Figure 2.2):\n"
+        + table(["system file", "records", "pages"], rows)
+        + "\n\nsample rows:\n  " + "\n  ".join(samples)
+        + "\n\nreload-from-storage check: hierarchy, attributes and "
+        "function\nsources all reconstructed from the extents alone.",
+    )

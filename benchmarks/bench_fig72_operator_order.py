@@ -1,0 +1,44 @@
+"""Figure 7.2 -- the order of algebraic operators in a WHERE clause:
+SELECT, then JOIN, then PROJECT, then UNION (bottom-up).
+
+Executes a two-AND-term query (one OR) with selections and joins, and
+verifies the traced operator events honour the figure's ordering.
+"""
+
+from repro.bench.reporting import emit
+
+QUERY = (
+    "SELECT v.id FROM Vehicle v "
+    "WHERE (v.drivetrain.engine.cylinders = 2 AND v.weight > 800) "
+    "OR v.weight < 850"
+)
+
+
+def test_fig72_operator_order(live_db, benchmark):
+    result = benchmark(lambda: live_db.query(QUERY))
+    operators = [event.operator for event in result.trace
+                 if event.operator in ("SELECT", "JOIN", "PROJECT", "UNION")]
+    assert "SELECT" in operators
+    assert "JOIN" in operators
+    assert "PROJECT" in operators
+    assert operators.count("UNION") == 1
+
+    first_join = operators.index("JOIN")
+    last_join = len(operators) - 1 - operators[::-1].index("JOIN")
+    # A SELECT feeds the first JOIN.
+    assert "SELECT" in operators[:first_join]
+    # PROJECT comes after the joins; UNION is the outermost.
+    assert operators.index("PROJECT") > first_join
+    assert operators.index("UNION") > last_join
+    assert operators.index("UNION") > operators.index("PROJECT")
+
+    lines = [
+        "query:", "  " + QUERY, "",
+        "paper's Figure 7.2 (bottom-up): SELECT -> JOIN -> PROJECT -> UNION",
+        "",
+        "traced operator events, in execution order:",
+    ]
+    for event in result.trace:
+        if event.operator in ("SELECT", "JOIN", "PROJECT", "UNION", "BIND"):
+            lines.append(f"  {event}")
+    emit("fig72_operator_order", "\n".join(lines))

@@ -1,0 +1,66 @@
+"""Figures 9.1-9.3 -- the MoodView windows, regenerated in text mode:
+the initial tool panel, the class-hierarchy DAG (with its crossing count),
+the class/method presentations and attribute grid, and the generic object
+presentations for a Car-like object and a set of objects."""
+
+from repro.bench.reporting import emit
+from repro.moodview import MoodView
+
+
+def test_fig91_schema_browser(live_db, benchmark):
+    view = MoodView(live_db.kernel)
+    drawing = benchmark(view.schema_browser.hierarchy_drawing)
+    assert "| Vehicle |" in drawing
+    assert "| JapaneseAuto |" in drawing
+    assert view.schema_browser.crossings() == 0  # minimised
+    emit(
+        "fig91_schema_browser",
+        "Figure 9.1(a) -- initial window:\n" + view.initial_window()
+        + "\n\nFigure 9.1(c) -- class hierarchy DAG "
+        f"(crossings: {view.schema_browser.crossings()}):\n" + drawing,
+    )
+
+
+def test_fig92_class_designer(live_db, benchmark):
+    view = MoodView(live_db.kernel)
+    card = benchmark(
+        lambda: view.schema_browser.class_presentation("JapaneseAuto")
+    )
+    assert "Type Name : JapaneseAuto" in card
+    method_card = view.method_tool.method_presentation("Vehicle", "lbweight")
+    assert "lbweight" in method_card
+    grid = view.schema_browser.attribute_table("Vehicle")
+    assert "FIELD NAME" in grid and "drivetrain" in grid
+    emit(
+        "fig92_class_designer",
+        "Figure 9.2(a) -- method presentation:\n" + method_card
+        + "\n\nFigure 9.2(b) -- class presentation:\n" + card
+        + "\n\nFigure 9.2(c) -- type designer grid:\n" + grid,
+    )
+
+
+def test_fig93_object_browser(live_db, benchmark):
+    view = MoodView(live_db.kernel)
+    vehicle = live_db.extent("Vehicle")[0]
+    presentation = benchmark(
+        lambda: view.object_browser.present(vehicle, depth=2)
+    )
+    assert "[VehicleDriveTrain]" in presentation
+    assert "[VehicleEngine]" in presentation
+    # 'Generic presentation for the Car objects': a cursor over a set.
+    result = view.query_manager.run(
+        "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
+    )
+    cursor = view.object_browser.browse(result)
+    pages = []
+    while cursor.has_next() and len(pages) < 2:
+        cursor.next()
+        pages.append(view.object_browser.present_cursor(cursor))
+    assert pages
+    emit(
+        "fig93_object_browser",
+        "Figure 9.3(a) -- generic presentation of one object:\n"
+        + presentation
+        + "\n\nFigure 9.3(b) -- cursor over the query's objects:\n\n"
+        + "\n\n".join(pages),
+    )

@@ -1,0 +1,136 @@
+"""S1 -- join-method crossover: ftc, btc, bjc, hhc as k_c sweeps.
+
+Evaluates the Section 6 formulas on the paper's exact statistics across
+k_c (selected Vehicle objects joining VehicleDriveTrain), prints the cost
+curves, and asserts the shape: forward traversal wins for few starting
+objects, scan-based strategies win as k_c approaches |C|, and the best
+strategy switches somewhere in between.  The same crossover is then
+*measured* by executing the physical joins on live data.
+"""
+
+from repro.bench.reporting import emit, table
+from repro.cost.fileops import indcost
+from repro.cost.joincost import (
+    backward_traversal_cost,
+    best_join_strategy,
+    forward_traversal_cost,
+    hash_partition_cost,
+)
+from repro.storage.btree import BTreeParams
+from repro.storage.disk import DiskParams
+
+DISK = DiskParams()
+JOIN_INDEX = BTreeParams(v=64, level=3, leaves=320, keysize=16, unique=False)
+SWEEP = [1, 10, 100, 1000, 5000, 10000, 20000]
+
+
+def test_shape_join_method_crossover(paper_stats, benchmark):
+    k_d = 10000.0
+
+    def curves():
+        rows = []
+        for k_c in SWEEP:
+            ftc = forward_traversal_cost(DISK, paper_stats, "Vehicle",
+                                         "drivetrain", k_c)
+            btc = backward_traversal_cost(DISK, paper_stats, "Vehicle",
+                                          "drivetrain", k_c, k_d)
+            bjc = indcost(DISK, JOIN_INDEX, k_c)
+            hhc = hash_partition_cost(DISK, paper_stats, "Vehicle",
+                                      "drivetrain", k_c)
+            best = best_join_strategy(DISK, paper_stats, "Vehicle",
+                                      "drivetrain", k_c, k_d,
+                                      join_index=JOIN_INDEX)
+            rows.append([k_c, round(ftc, 1), round(btc, 1), round(bjc, 1),
+                         round(hhc, 1), best.strategy])
+        return rows
+
+    rows = benchmark(curves)
+    by_kc = {row[0]: row for row in rows}
+    # Shape: at k_c = 1 a pointer strategy beats scanning the whole extent.
+    assert min(by_kc[1][1], by_kc[1][4]) < by_kc[1][2]
+    # Shape: at k_c = |C| forward traversal is the worst strategy.
+    full = by_kc[20000]
+    assert full[1] == max(full[1], full[2], full[3], full[4])
+    # Shape: the winner changes across the sweep (a crossover exists).
+    winners = [row[5] for row in rows]
+    assert len(set(winners)) >= 2
+    assert winners[0] != winners[-1]
+    # Monotonicity: every curve is non-decreasing in k_c.
+    for column in (1, 2, 3, 4):
+        values = [row[column] for row in rows]
+        assert all(a <= b + 1e-6 for a, b in zip(values, values[1:]))
+
+    emit(
+        "shape_join_methods",
+        "analytic Section 6 costs (paper statistics, ms), k_d = 10000:\n"
+        + table(["k_c", "ftc (forward)", "btc (backward)", "bjc (index)",
+                 "hhc (hash)", "winner"], rows)
+        + "\n\nshape: pointer chasing wins for small k_c; scans win near "
+        "|C|;\nthe optimizer's winner switches across the sweep.",
+    )
+
+
+def test_shape_join_methods_measured(live_db, benchmark):
+    """Measured counterpart: forward traversal's pointer chases (random
+    object fetches) grow with the number of starting objects, while
+    backward traversal does none -- it pays a flat extent scan instead."""
+    from repro.engine.executor import Executor
+    from repro.optimizer.plan import JoinNode
+    from repro.sql.parser import parse
+
+    def measure(method: str, weight_cap: int) -> tuple[int, int]:
+        sql = (f"SELECT v FROM Vehicle v WHERE v.weight < {weight_cap} "
+               "AND v.drivetrain.transmission = 'AUTOMATIC'")
+        plan = live_db.kernel.planner().plan_query(parse(sql))
+
+        def force(node):
+            if isinstance(node, JoinNode):
+                node.method = method
+            for child in node.children():
+                force(child)
+
+        force(plan.root)
+        objects = live_db.kernel.objects
+        chases = 0
+        original_deref = objects.deref
+
+        def counting_deref(oid):
+            nonlocal chases
+            chases += 1
+            return original_deref(oid)
+
+        objects.deref = counting_deref
+        # Route the evaluator's derefs through the counter too.
+        original_eval_objects = live_db.kernel.evaluator.objects
+        try:
+            executor = Executor(objects=objects,
+                                evaluator=live_db.kernel.evaluator,
+                                catalog=live_db.kernel.catalog,
+                                index_manager=live_db.kernel.indexes)
+            rows = executor.execute_plan(plan)
+        finally:
+            objects.deref = original_deref
+            live_db.kernel.evaluator.objects = original_eval_objects
+        return chases, len(rows)
+
+    benchmark(lambda: measure("FORWARD_TRAVERSAL", 900))
+    forward_small, rows_small = measure("FORWARD_TRAVERSAL", 900)
+    forward_large, rows_large = measure("FORWARD_TRAVERSAL", 5000)
+    backward_small, rows_small_b = measure("BACKWARD_TRAVERSAL", 900)
+    backward_large, rows_large_b = measure("BACKWARD_TRAVERSAL", 5000)
+    assert rows_small == rows_small_b and rows_large == rows_large_b
+    # Forward's pointer chases grow with the selected set.
+    assert forward_large > forward_small
+    # Backward chases no pointers at the join (its cost is the flat scan).
+    assert backward_large <= backward_small + 1
+    emit(
+        "shape_join_methods_measured",
+        table(
+            ["selection", "forward pointer chases", "backward pointer chases"],
+            [["weight < 900", forward_small, backward_small],
+             ["weight < 5000 (all)", forward_large, backward_large]],
+        )
+        + "\n\nmeasured shape: forward traversal's random object fetches "
+        "scale with k_c;\nbackward traversal replaces them with one "
+        "sequential extent scan.",
+    )

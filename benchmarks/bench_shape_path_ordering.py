@@ -1,0 +1,66 @@
+"""S2 -- quality of the F/(1-s) path ordering (Algorithm 8.1/Appendix).
+
+Over random path-expression workloads, compares the objective value f of
+the F/(1-s) order against the brute-force optimum, the worst order, and
+the average order.  The lemma says the rank order *is* the optimum; the
+spread against worst/average shows how much the ordering matters.
+"""
+
+import itertools
+import random
+
+from repro.bench.reporting import emit, table
+from repro.optimizer.paths import brute_force_order, objective, rank_order
+
+
+def random_workload(rng, size):
+    costs = [rng.uniform(10, 2000) for _ in range(size)]
+    sels = [rng.uniform(0.0, 0.95) for _ in range(size)]
+    return costs, sels
+
+
+def test_shape_path_ordering_quality(benchmark):
+    rng = random.Random(1994)
+    workloads = [random_workload(rng, rng.randint(2, 6)) for _ in range(200)]
+
+    def evaluate_all():
+        summary = []
+        for costs, sels in workloads:
+            ranked_value = objective(costs, sels, rank_order(costs, sels))
+            values = [
+                objective(costs, sels, order)
+                for order in itertools.permutations(range(len(costs)))
+            ]
+            summary.append(
+                (ranked_value, min(values), max(values),
+                 sum(values) / len(values))
+            )
+        return summary
+
+    summary = benchmark(evaluate_all)
+    optimal_hits = sum(
+        1 for ranked, best, _, _ in summary if ranked <= best * (1 + 1e-9)
+    )
+    # The Appendix lemma: the rank order is optimal on every workload.
+    assert optimal_hits == len(summary)
+    worst_ratio = sum(worst / ranked for ranked, _, worst, _ in summary) \
+        / len(summary)
+    average_ratio = sum(avg / ranked for ranked, _, _, avg in summary) \
+        / len(summary)
+    assert worst_ratio > 1.3   # ordering matters substantially
+    assert average_ratio > 1.1
+
+    rows = [
+        ["rank order vs optimum", f"optimal on {optimal_hits}/"
+                                  f"{len(summary)} workloads"],
+        ["worst order / rank order (mean)", f"{worst_ratio:.2f}x"],
+        ["average order / rank order (mean)", f"{average_ratio:.2f}x"],
+    ]
+    emit(
+        "shape_path_ordering",
+        f"{len(summary)} random workloads of 2-6 path expressions:\n"
+        + table(["metric", "value"], rows)
+        + "\n\nshape: Algorithm 8.1's F/(1-s) order matches the brute-force"
+        "\noptimum everywhere (the Appendix lemma), and a bad order costs"
+        f"\n{worst_ratio:.1f}x on average.",
+    )

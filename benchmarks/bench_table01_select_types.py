@@ -1,0 +1,60 @@
+"""Table 1 -- return types of the Select operator.
+
+Runs Select over every argument kind on live collections and prints the
+observed return-kind row, which must equal the paper's Table 1.
+"""
+
+from repro.algebra.collection_ops import select
+from repro.algebra.collections import (
+    DictStore,
+    Extent,
+    ListOfOids,
+    NamedObject,
+    SetOfOids,
+)
+from repro.bench.reporting import emit
+
+PAPER_TABLE_1 = {
+    "Extent": "Extent or Set",
+    "Set": "Set",
+    "List": "List",
+    "Named Obj.": "Named Obj.",
+}
+
+
+def build_collections():
+    store = DictStore()
+    objects = [store.add("Vehicle", {"id": i, "weight": 100 * i})
+               for i in range(12)]
+    predicate = (lambda o: o.state["weight"] >= 500)
+    return store, predicate, {
+        "Extent": Extent("Vehicle", objects),
+        "Set": SetOfOids({o.oid for o in objects}),
+        "List": ListOfOids([o.oid for o in objects]),
+        "Named Obj.": NamedObject("my_car", objects[7]),
+    }
+
+
+def observed_row() -> dict[str, str]:
+    store, predicate, collections = build_collections()
+    row = {}
+    for kind_name, collection in collections.items():
+        result = select(collection, predicate, store)
+        observed = result.kind.value
+        if kind_name == "Extent":
+            # Table 1 grants Extent two options: Extent or (as_oids) Set.
+            alt = select(collection, predicate, store, as_oids=True)
+            observed = f"{observed} or {alt.kind.value}"
+        row[kind_name] = observed
+    return row
+
+
+def test_table01_select_return_types(benchmark):
+    store, predicate, collections = build_collections()
+    benchmark(lambda: select(collections["Extent"], predicate, store))
+    row = observed_row()
+    lines = ["arg type    | " + " | ".join(PAPER_TABLE_1)]
+    lines.append("observed    | " + " | ".join(row[k] for k in PAPER_TABLE_1))
+    lines.append("paper       | " + " | ".join(PAPER_TABLE_1.values()))
+    emit("table01_select_types", "\n".join(lines))
+    assert row == PAPER_TABLE_1

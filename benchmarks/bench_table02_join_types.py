@@ -1,0 +1,70 @@
+"""Table 2 -- return types of the Join operator (4x4 argument matrix)."""
+
+from repro.algebra.collection_ops import JoinMethod, join
+from repro.algebra.collections import (
+    ArgKind,
+    DictStore,
+    Extent,
+    ListOfOids,
+    NamedObject,
+    SetOfOids,
+)
+from repro.bench.reporting import emit, table
+
+PAPER_TABLE_2 = {
+    ("Extent", "Extent"): "Extent", ("Extent", "Set"): "Extent",
+    ("Extent", "List"): "Extent", ("Extent", "Named Obj."): "Extent",
+    ("Set", "Extent"): "Extent", ("Set", "Set"): "Set",
+    ("Set", "List"): "Set", ("Set", "Named Obj."): "Set",
+    ("List", "Extent"): "Extent", ("List", "Set"): "Set",
+    ("List", "List"): "List", ("List", "Named Obj."): "List",
+    ("Named Obj.", "Extent"): "Extent", ("Named Obj.", "Set"): "Set",
+    ("Named Obj.", "List"): "List", ("Named Obj.", "Named Obj."): "Object",
+}
+KINDS = ["Extent", "Set", "List", "Named Obj."]
+
+
+def build():
+    store = DictStore()
+    engines = [store.add("Engine", {"cyl": 4 + 2 * i}) for i in range(4)]
+    cars = [store.add("Car", {"id": i, "engine": engines[i % 4].oid})
+            for i in range(8)]
+
+    def car_arg(kind):
+        return {
+            "Extent": Extent("Car", cars),
+            "Set": SetOfOids({c.oid for c in cars}),
+            "List": ListOfOids([c.oid for c in cars]),
+            "Named Obj.": NamedObject("the_car", cars[0]),
+        }[kind]
+
+    def engine_arg(kind):
+        return {
+            "Extent": Extent("Engine", engines),
+            "Set": SetOfOids({e.oid for e in engines}),
+            "List": ListOfOids([e.oid for e in engines]),
+            "Named Obj.": NamedObject("the_engine", engines[0]),
+        }[kind]
+
+    return store, car_arg, engine_arg
+
+
+def test_table02_join_return_types(benchmark):
+    store, car_arg, engine_arg = build()
+    benchmark(lambda: join(car_arg("Extent"), engine_arg("Extent"),
+                           JoinMethod.FORWARD_TRAVERSAL, "engine", store))
+    observed = {}
+    for kind1 in KINDS:
+        for kind2 in KINDS:
+            result = join(car_arg(kind1), engine_arg(kind2),
+                          JoinMethod.FORWARD_TRAVERSAL, "engine", store)
+            value = result.kind.value
+            if result.kind is ArgKind.NAMED:
+                value = "Object"  # the paper's Named x Named cell
+            observed[(kind1, kind2)] = value
+    rows = [
+        [kind1] + [observed[(kind1, kind2)] for kind2 in KINDS]
+        for kind1 in KINDS
+    ]
+    emit("table02_join_types", table(["arg1 \\ arg2"] + KINDS, rows))
+    assert observed == PAPER_TABLE_2

@@ -1,0 +1,45 @@
+"""Table 3 -- return types of DupElim: not applicable to sets, ordered
+distinct OIDs for lists, deep-equality deduplication for extents."""
+
+import pytest
+
+from repro.algebra.collection_ops import dup_elim
+from repro.algebra.collections import DictStore, Extent, ListOfOids, SetOfOids
+from repro.bench.reporting import emit, table
+from repro.core.errors import AlgebraError
+
+
+def build():
+    store = DictStore()
+    engine_a = store.add("Engine", {"cyl": 8})
+    engine_b = store.add("Engine", {"cyl": 8})     # deep-equal to engine_a
+    car1 = store.add("Car", {"engine": engine_a.oid})
+    car2 = store.add("Car", {"engine": engine_b.oid})  # deep-equal to car1
+    car3 = store.add("Car", {"engine": None})
+    return store, [car1, car2, car3]
+
+
+def test_table03_dupelim_return_types(benchmark):
+    store, cars = build()
+    extent = Extent("Car", cars)
+    benchmark(lambda: dup_elim(extent, store))
+
+    rows = []
+    # Set: not applicable.
+    with pytest.raises(AlgebraError):
+        dup_elim(SetOfOids({cars[0].oid}), store)
+    rows.append(["Set", "not applicable (raises)"])
+    # List: ordered distinct object identifiers.
+    lst = ListOfOids([cars[1].oid, cars[0].oid, cars[1].oid])
+    deduped = dup_elim(lst, store)
+    assert isinstance(deduped, ListOfOids)
+    assert deduped.oids == sorted({cars[0].oid, cars[1].oid})
+    rows.append(["List", f"list of {len(deduped)} ordered distinct OIDs"])
+    # Extent: deep equality check.
+    distinct = dup_elim(extent, store)
+    assert isinstance(distinct, Extent)
+    assert len(distinct) == 2  # car2 is a deep duplicate of car1
+    rows.append(["Extent",
+                 f"extent of {len(distinct)} deep-distinct objects "
+                 f"(from {len(extent)})"])
+    emit("table03_dupelim_types", table(["arg type", "DupElim(arg)"], rows))

@@ -1,0 +1,53 @@
+"""Table 4 -- return types of Union/Intersection/Difference: sets dominate;
+two lists stay a list (list union = concatenation)."""
+
+from repro.algebra.collection_ops import difference, intersection, union
+from repro.algebra.collections import ListOfOids, SetOfOids
+from repro.bench.reporting import emit, table
+from repro.storage.oid import OID
+
+PAPER_TABLE_4 = {
+    ("Set", "Set"): "Set",
+    ("Set", "List"): "Set",
+    ("List", "Set"): "Set",
+    ("List", "List"): "List",
+}
+
+
+def oids(*nums):
+    return [OID(1, n, 0) for n in nums]
+
+
+def arg(kind, nums):
+    if kind == "Set":
+        return SetOfOids(set(oids(*nums)))
+    return ListOfOids(oids(*nums))
+
+
+def test_table04_setop_return_types(benchmark):
+    a = arg("Set", (1, 2, 3))
+    b = arg("Set", (3, 4))
+    benchmark(lambda: union(a, b))
+
+    observed = {}
+    rows = []
+    for kind1 in ("Set", "List"):
+        for kind2 in ("Set", "List"):
+            u = union(arg(kind1, (1, 2, 3)), arg(kind2, (3, 4)))
+            i = intersection(arg(kind1, (1, 2, 3)), arg(kind2, (3, 4)))
+            d = difference(arg(kind1, (1, 2, 3)), arg(kind2, (3, 4)))
+            kinds = {type(u).__name__, type(i).__name__, type(d).__name__}
+            assert len(kinds) == 1  # all three operators agree on the kind
+            observed[(kind1, kind2)] = (
+                "Set" if isinstance(u, SetOfOids) else "List"
+            )
+            rows.append([kind1, kind2, observed[(kind1, kind2)],
+                         PAPER_TABLE_4[(kind1, kind2)]])
+    # List union is concatenation (duplicates kept).
+    concat = union(arg("List", (1, 2)), arg("List", (2, 3)))
+    assert concat.oids == oids(1, 2, 2, 3)
+    emit("table04_setop_types",
+         table(["arg1", "arg2", "observed", "paper"], rows)
+         + "\nlist UNION list = concatenation: "
+         + str([str(o) for o in concat.oids]))
+    assert observed == PAPER_TABLE_4

@@ -1,0 +1,47 @@
+"""Table 5 -- asSet and asList: every argument kind converts to the object
+identifiers of its elements."""
+
+from repro.algebra.collections import (
+    DictStore,
+    Extent,
+    ListOfOids,
+    NamedObject,
+    SetOfOids,
+)
+from repro.algebra.conversion_ops import as_list, as_set
+from repro.bench.reporting import emit, table
+
+
+def build():
+    store = DictStore()
+    objects = [store.add("C", {"v": i}) for i in range(6)]
+    return store, objects, {
+        "Extent": Extent("C", objects),
+        "Set": SetOfOids({o.oid for o in objects}),
+        "List": ListOfOids([o.oid for o in objects]),
+        "Named Object": NamedObject("n", objects[0]),
+    }
+
+
+def test_table05_asset_aslist(benchmark):
+    store, objects, collections = build()
+    benchmark(lambda: as_set(collections["Extent"]))
+    expected_all = {o.oid for o in objects}
+    rows = []
+    for kind, collection in collections.items():
+        as_set_result = as_set(collection)
+        as_list_result = as_list(collection)
+        assert isinstance(as_set_result, SetOfOids)
+        assert isinstance(as_list_result, ListOfOids)
+        if kind == "Named Object":
+            assert as_set_result.oids == {objects[0].oid}
+        else:
+            assert as_set_result.oids == expected_all
+            assert set(as_list_result.oids) == expected_all
+        rows.append([
+            kind,
+            f"Set of {len(as_set_result)} OIDs",
+            f"List of {len(as_list_result)} OIDs",
+        ])
+    emit("table05_convert_types",
+         table(["type of arg", "asSet(arg)", "asList(arg)"], rows))

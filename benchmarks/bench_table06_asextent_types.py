@@ -1,0 +1,37 @@
+"""Table 6 -- asExtent: sets and lists dereference into an extent of
+objects; other kinds are rejected."""
+
+import pytest
+
+from repro.algebra.collections import (
+    DictStore,
+    Extent,
+    ListOfOids,
+    NamedObject,
+    SetOfOids,
+)
+from repro.algebra.conversion_ops import as_extent
+from repro.bench.reporting import emit, table
+from repro.core.errors import AlgebraError
+
+
+def test_table06_asextent(benchmark):
+    store = DictStore()
+    objects = [store.add("C", {"v": i}) for i in range(5)]
+    as_set = SetOfOids({o.oid for o in objects})
+    as_list = ListOfOids([o.oid for o in objects])
+    benchmark(lambda: as_extent(as_set, store))
+
+    rows = []
+    for kind, arg in (("Set", as_set), ("List", as_list)):
+        result = as_extent(arg, store)
+        assert isinstance(result, Extent)
+        assert sorted(o.state["v"] for o in result) == [0, 1, 2, 3, 4]
+        rows.append([kind, f"extent of {len(result)} dereferenced objects"])
+    for kind, arg in (("Extent", Extent("C", objects)),
+                      ("Named Object", NamedObject("n", objects[0]))):
+        with pytest.raises(AlgebraError):
+            as_extent(arg, store)
+        rows.append([kind, "not applicable (raises)"])
+    emit("table06_asextent_types",
+         table(["type of arg", "asExtent(arg)"], rows))

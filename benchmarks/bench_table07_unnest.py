@@ -1,0 +1,66 @@
+"""Table 7 -- argument kinds of Unnest, plus the paper's worked example:
+e = {<o1,{o2,o3}>, <o4,{o5}>}  unnests to  {<o1,o2>, <o1,o3>, <o4,o5>}."""
+
+from repro.algebra.collections import (
+    DictStore,
+    Extent,
+    ListOfOids,
+    SetOfOids,
+)
+from repro.algebra.conversion_ops import flatten, nest, unnest
+from repro.bench.reporting import emit, table
+from repro.storage.oid import OID
+
+
+def build():
+    store = DictStore()
+    o1, o2, o3, o4, o5 = (OID(9, 0, i) for i in range(1, 6))
+    tuples = [
+        store.add("T", {"head": o1, "members": {o2, o3}}),
+        store.add("T", {"head": o4, "members": {o5}}),
+    ]
+    return store, tuples, (o1, o2, o3, o4, o5)
+
+
+def test_table07_unnest(benchmark):
+    store, tuples, (o1, o2, o3, o4, o5) = build()
+    extent = Extent("T", tuples)
+    benchmark(lambda: unnest(extent, "members", store))
+
+    expected_pairs = sorted([(o1, o2), (o1, o3), (o4, o5)])
+    rows = []
+    arguments = {
+        "Extent of tuple objects": extent,
+        "Set(OIDs of tuple objects)": SetOfOids({t.oid for t in tuples}),
+        "List(OIDs of tuple objects)": ListOfOids([t.oid for t in tuples]),
+        "A tuple type object": tuples[0],
+    }
+    for kind, arg in arguments.items():
+        result = unnest(arg, "members", store)
+        assert isinstance(result, Extent)  # always an extent of tuples
+        pairs = sorted((o.state["head"], o.state["members"]) for o in result)
+        if kind == "A tuple type object":
+            assert pairs == sorted([(o1, o2), (o1, o3)])
+        else:
+            assert pairs == expected_pairs
+        rows.append([kind, f"Extent of {len(result)} unnested tuples"])
+
+    # Nest inverts Unnest.
+    renested = nest(unnest(extent, "members", store), "members", store)
+    grouped = {o.state["head"]: o.state["members"] for o in renested}
+    assert grouped == {o1: {o2, o3}, o4: {o5}}
+
+    # Flatten's worked example.
+    flat = flatten([{o1, o2}, {o3}])
+    assert flat.oids == {o1, o2, o3}
+
+    emit(
+        "table07_unnest",
+        table(["aTupleCollection argument", "Unnest result"], rows)
+        + "\n\npaper example: e = {<o1,{o2,o3}>, <o4,{o5}>}"
+        + "\nunnest(e)     = "
+        + str(sorted((str(a), str(b)) for a, b in expected_pairs))
+        + "\nnest(unnest(e)) == e: True"
+        + "\nFlatten({{o1,o2},{o3}}) = "
+        + str(sorted(str(o) for o in flat.oids)),
+    )

@@ -1,0 +1,32 @@
+"""Table 9 -- the B+-tree parameters v(I), level(I), leaves(I), keysize(I),
+unique(I), read from live indexes of several sizes."""
+
+from repro.bench.reporting import emit, table
+from repro.storage.btree import BPlusTree
+
+
+def test_table09_btree_parameters(benchmark):
+    def build(num_keys: int, order: int) -> BPlusTree:
+        tree = BPlusTree(order=order, keysize=8, unique=True)
+        for key in range(num_keys):
+            tree.insert(key, key)
+        return tree
+
+    benchmark(lambda: build(2000, 32))
+    rows = []
+    for num_keys, order in ((100, 8), (2000, 8), (2000, 32), (50000, 32)):
+        tree = build(num_keys, order)
+        params = tree.params()
+        tree.check_invariants()
+        # Structural sanity of the reported parameters:
+        assert params.v == order
+        assert num_keys / (2 * order) <= params.leaves <= num_keys / order + 1
+        rows.append([
+            f"{num_keys} keys", params.v, params.level, params.leaves,
+            params.keysize, params.unique,
+        ])
+    emit(
+        "table09_btree_params",
+        table(["index I", "v(I)", "level(I)", "leaves(I)", "keysize(I)",
+               "unique(I)"], rows),
+    )

@@ -1,0 +1,60 @@
+"""Table 10 -- the physical disk parameters, and a verification that the
+simulated disk's accounting satisfies the SEQCOST/RNDCOST identities."""
+
+import pytest
+
+from repro.bench.reporting import emit, table
+from repro.storage.disk import DiskParams, SimulatedDisk
+
+
+def test_table10_disk_parameters(benchmark):
+    params = DiskParams()
+    rows = [
+        ["B", "block size", f"{params.block_size} bytes"],
+        ["btt", "block transfer time", f"{params.btt} ms"],
+        ["ebt", "effective block transfer time", f"{params.ebt} ms"],
+        ["r", "average rotational latency", f"{params.r} ms"],
+        ["s", "average seek time", f"{params.s} ms"],
+    ]
+
+    def sequential_scan(pages: int) -> float:
+        disk = SimulatedDisk(params)
+        volume = disk.mount_volume()
+        for _ in range(pages):
+            disk.allocate_page(volume)
+        disk.stats.reset()
+        for page in range(pages):
+            disk.read_page(volume, page)
+        return disk.stats.elapsed_ms
+
+    measured_seq = benchmark(lambda: sequential_scan(200))
+    # Accounting identity: a physical sequential scan of b pages costs one
+    # random start-up plus (b-1) effective transfers = SEQCOST(b) shifted
+    # by the first block's btt-vs-ebt difference.
+    expected = params.rnd_cost(1) + 199 * params.ebt
+    assert measured_seq == pytest.approx(expected)
+    analytic = params.seq_cost(200)
+    # Random scan of the same pages:
+    disk = SimulatedDisk(params)
+    volume = disk.mount_volume()
+    for _ in range(200):
+        disk.allocate_page(volume)
+    disk.stats.reset()
+    for page in range(0, 200, 2):      # stride-2: never sequential
+        disk.read_page(volume, page)
+    for page in range(1, 200, 2):
+        disk.read_page(volume, page)
+    measured_rnd = disk.stats.elapsed_ms
+    assert measured_rnd == pytest.approx(params.rnd_cost(200))
+    assert measured_rnd > measured_seq * 5   # the ratio the model rests on
+
+    emit(
+        "table10_disk_params",
+        table(["parameter", "definition", "value"], rows)
+        + f"\n\nmeasured sequential scan of 200 pages: {measured_seq:.1f} ms"
+        + f"  (analytic SEQCOST(200) = {analytic:.1f} ms)"
+        + f"\nmeasured random scan of 200 pages:     {measured_rnd:.1f} ms"
+        + f"  (analytic RNDCOST(200) = {params.rnd_cost(200):.1f} ms)"
+        + "\nESM mode (file stored as a B+-tree): SEQCOST == RNDCOST = "
+        + f"{DiskParams(esm_sequential_is_random=True).seq_cost(200):.1f} ms",
+    )

@@ -1,0 +1,34 @@
+"""Table 11 -- the ImmSelInfo dictionary: optimize a query with immediate
+selections and dump the dictionary rows (range variable, predicate,
+selectivity, indexed access cost, sequential access cost, access type)."""
+
+from repro.bench.reporting import emit
+from repro.optimizer.dictionaries import format_immselinfo
+from repro.sql.parser import parse
+
+
+def test_table11_immselinfo(live_db, benchmark):
+    live_db.execute("CREATE INDEX t11_weight ON Vehicle (weight)")
+    live_db.analyze()
+    sql = ("SELECT v FROM Vehicle v "
+           "WHERE v.weight > 1000 AND v.id = 7 AND v.weight < 2000")
+    plan = benchmark(
+        lambda: live_db.kernel.planner().plan_query(parse(sql))
+    )
+    (term,) = plan.terms
+    entries = term.dictionaries.imm
+    assert len(entries) == 3
+    for entry in entries:
+        assert entry.range_var == "v"
+        assert 0.0 <= entry.selectivity <= 1.0
+        assert entry.sequential_access_cost > 0
+        assert entry.access_type in ("indexed", "sequential")
+    # The indexed column is populated exactly where an index exists.
+    by_text = {str(e.predicate): e for e in entries}
+    assert by_text["(v.id = 7)"].indexed_access_cost is None
+    assert by_text["(v.weight > 1000)"].indexed_access_cost is not None
+    emit(
+        "table11_immselinfo",
+        f"query: {sql}\n\n" + format_immselinfo(entries),
+    )
+    live_db.execute("DROP INDEX t11_weight")

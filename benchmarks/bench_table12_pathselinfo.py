@@ -1,0 +1,27 @@
+"""Table 12 -- the PathSelInfo dictionary: range variable, predicate,
+selectivity, forward traversal cost, for a query with path selections."""
+
+from repro.bench.reporting import emit
+from repro.optimizer.dictionaries import format_pathselinfo
+from repro.sql.parser import parse
+
+
+def test_table12_pathselinfo(live_db, benchmark):
+    sql = ("SELECT v FROM Vehicle v "
+           "WHERE v.drivetrain.engine.cylinders = 2 "
+           "AND v.drivetrain.transmission = 'AUTOMATIC'")
+    plan = benchmark(
+        lambda: live_db.kernel.planner().plan_query(parse(sql))
+    )
+    (term,) = plan.terms
+    entries = term.dictionaries.path
+    assert len(entries) == 2
+    for entry in entries:
+        assert entry.range_var == "v"
+        assert 0.0 < entry.selectivity <= 1.0
+        assert entry.forward_traversal_cost > 0
+        assert entry.rank >= entry.forward_traversal_cost
+    emit(
+        "table12_pathselinfo",
+        f"query: {sql}\n\n" + format_pathselinfo(entries),
+    )

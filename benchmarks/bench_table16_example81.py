@@ -1,0 +1,92 @@
+"""Table 16 -- the PathSelInfo dictionary of Example 8.1, computed from the
+paper's exact Tables 13-15 statistics.
+
+Reproduced exactly:
+* selectivities: P1 = 6.25e-2, P2 = 5.00e-5 (the paper's values);
+* the derived column identity cost/(1-fs);
+* the ordering decision P2 before P1.
+
+The absolute forward-traversal costs (the paper's 771.825/520.825) depend
+on undisclosed disk constants; ours come from the documented Table 10
+defaults, and the *ratios* put the same path first.
+"""
+
+import pytest
+
+from repro.bench.reporting import emit
+from repro.optimizer.dictionaries import format_pathselinfo
+from repro.optimizer.paths import order_by_rank
+from repro.sql.parser import parse
+
+EXAMPLE_81 = (
+    "SELECT v FROM Vehicle v "
+    "WHERE v.manufacturer.name = 'BMW' "
+    "AND v.drivetrain.engine.cylinders = 2"
+)
+
+PAPER_SELECTIVITIES = {"P1": 6.25e-2, "P2": 5.00e-5}
+PAPER_COSTS = {"P1": 771.825, "P2": 520.825}
+PAPER_RANKS = {"P1": 823.280, "P2": 520.825}
+
+
+def test_table16_example81(paper_planner, benchmark):
+    plan = benchmark(lambda: paper_planner.plan_query(parse(EXAMPLE_81)))
+    (term,) = plan.terms
+    entries = term.dictionaries.path
+    assert len(entries) == 2
+    by_name = {}
+    for entry in entries:
+        name = "P2" if "manufacturer" in str(entry.predicate) else "P1"
+        by_name[name] = entry
+
+    # Selectivities: exact reproduction of the paper's column.
+    assert by_name["P1"].selectivity == pytest.approx(6.25e-2)
+    assert by_name["P2"].selectivity == pytest.approx(5.00e-5)
+    # Forward traversal costs (ours in ms, the paper's in seconds):
+    # P2 = 20000 pointer chases x 26.04125 ms = 520.825 s, the paper's
+    # exact value; P1 adds the 10000 second-hop chases (781.2 s vs the
+    # paper's 771.8 s -- within 1.5%, their exact second-hop count being
+    # undisclosed).
+    assert by_name["P2"].forward_traversal_cost / 1000 == \
+        pytest.approx(PAPER_COSTS["P2"], rel=1e-6)
+    assert by_name["P1"].forward_traversal_cost / 1000 == \
+        pytest.approx(PAPER_COSTS["P1"], rel=0.015)
+    # Derived-column identity, checked on the paper's own numbers:
+    assert PAPER_COSTS["P1"] / (1 - PAPER_SELECTIVITIES["P1"]) == \
+        pytest.approx(PAPER_RANKS["P1"], abs=5e-4)
+    # ... and on ours:
+    for entry in entries:
+        assert entry.rank == pytest.approx(
+            entry.forward_traversal_cost / (1 - entry.selectivity)
+        )
+    # Ordering decision: P2 (the company path) first, exactly as Table 16.
+    ordered = order_by_rank(entries)
+    assert "manufacturer" in str(ordered[0].predicate)
+    assert by_name["P2"].rank < by_name["P1"].rank
+    # Same ordering as implied by the paper's own F values:
+    paper_order = sorted(
+        PAPER_RANKS, key=PAPER_RANKS.get
+    )
+    ours_order = ["P2" if "manufacturer" in str(e.predicate) else "P1"
+                  for e in ordered]
+    assert ours_order == paper_order == ["P2", "P1"]
+
+    seconds = {
+        name: entry.forward_traversal_cost / 1000
+        for name, entry in by_name.items()
+    }
+    emit(
+        "table16_example81",
+        "query: " + EXAMPLE_81
+        + "\n\nours (paper Tables 13-15 statistics, Table 10 default disk;"
+        "\ncosts in ms -- divide by 1000 for the paper's seconds):\n"
+        + format_pathselinfo(entries)
+        + "\n\npaper's Table 16 (seconds):"
+        + "\n  P1: selectivity 6.25e-2, F 771.825, F/(1-s) 823.280"
+        + "\n  P2: selectivity 5.00e-5, F 520.825, F/(1-s) 520.825"
+        + "\nours, in seconds:"
+        + f"\n  P1: F {seconds['P1']:.3f}   P2: F {seconds['P2']:.3f}"
+        + "\n\nreproduced: selectivities exactly; F(P2) exactly "
+        "(520.825 s);\nF(P1) within 1.5%; the F/(1-s) identity; and the "
+        "ordering decision\n(P2 before P1).",
+    )

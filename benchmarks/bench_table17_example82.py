@@ -1,0 +1,65 @@
+"""Table 17 -- the initial cost and selectivity estimations of Example 8.2.
+
+The paper's Table 17 body did not survive in the available text, so this
+benchmark regenerates the table our optimizer computes from the paper's
+exact statistics: for each adjacent pair of the chain
+Vehicle -> VehicleDriveTrain -> VehicleEngine(cylinders = 2), the cheapest
+join technique jc, the temporary-collection selectivity js, and the greedy
+rank jc/(1-js).
+
+The reproducible *decision* is Example 8.2's: the (VehicleDriveTrain,
+VehicleEngine) pair -- the end carrying the selection -- merges first,
+because the (Vehicle, VehicleDriveTrain) pair filters nothing (js = 1).
+"""
+
+import pytest
+
+from repro.bench.reporting import emit, table
+from repro.sql.parser import parse
+
+EXAMPLE_82 = (
+    "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
+)
+
+
+def test_table17_example82(paper_planner, benchmark):
+    plan = benchmark(lambda: paper_planner.plan_query(parse(EXAMPLE_82)))
+    (term,) = plan.terms
+    estimates = term.initial_join_estimates
+    assert len(estimates) == 2
+
+    rows = []
+    for step in estimates:
+        rows.append([
+            " x ".join(step.left_classes) + " , "
+            + " x ".join(step.right_classes),
+            step.attr,
+            step.strategy,
+            round(step.jc, 3),
+            round(step.js, 6),
+            step.rank if step.rank == float("inf") else round(step.rank, 3),
+        ])
+    by_left = {step.left_classes[-1]: step for step in estimates}
+    # k_engine = 10000/16 = 625 selected engines; js for (DT, E) = 625/10000.
+    assert by_left["VehicleDriveTrain"].js == pytest.approx(0.0625)
+    # (V, DT) filters nothing: every vehicle survives.
+    assert by_left["Vehicle"].js == pytest.approx(1.0)
+    assert by_left["Vehicle"].rank == float("inf")
+    # The greedy choice (Example 8.2): merge (DT, E) first.
+    first_merge = term.join_steps[0]
+    assert first_merge.left_classes == ("VehicleDriveTrain",)
+    assert first_merge.right_classes == ("VehicleEngine",)
+    # Expected cardinalities along the paper's statistics:
+    assert first_merge.result_cardinality == pytest.approx(625.0)
+    assert term.join_steps[1].result_cardinality == pytest.approx(1250.0)
+
+    emit(
+        "table17_example82",
+        "query: " + EXAMPLE_82
+        + "\n\ninitial estimations (our regeneration of Table 17; the "
+        "paper's table body\nis not present in the surviving text):\n"
+        + table(["candidate pair", "attr", "min-cost technique", "jc",
+                 "js", "jc/(1-js)"], rows)
+        + "\n\nExample 8.2 decision reproduced: the (VehicleDriveTrain, "
+        "VehicleEngine)\npair is merged first, then joined to Vehicle.",
+    )

@@ -1,0 +1,73 @@
+"""A tour of MoodView: every tool of Section 9, over the paper's database.
+
+Run:  python examples/moodview_tour.py
+"""
+
+from repro import MoodDatabase
+from repro.bench.paperdb import build_paper_database
+from repro.moodview import MoodView
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 64}\n{title}\n{'=' * 64}")
+
+
+def main() -> None:
+    db = MoodDatabase()
+    build_paper_database(db, scale=80, seed=5)
+    view = MoodView(db.kernel)
+
+    banner("Initial window (Figure 9.1a)")
+    print(view.initial_window())
+
+    banner("Schema browser: the class hierarchy DAG (Figure 9.1c)")
+    print(view.schema_browser.hierarchy_drawing())
+
+    banner("Class presentation (Figure 9.2b)")
+    print(view.schema_browser.class_presentation("JapaneseAuto"))
+
+    banner("Type designer's attribute table (Figure 9.2c)")
+    print(view.schema_browser.attribute_table("Company"))
+
+    banner("Method tool (Figure 9.2a)")
+    view.method_tool.define_method(
+        "Company", "label", [], "String",
+        "return self.name + ' @ ' + self.location",
+    )
+    print(view.method_tool.method_presentation("Company", "label"))
+
+    banner("Query manager with history (Section 9.3)")
+    result = view.query_manager.run(
+        "SELECT c.name, c.location FROM Company c WHERE c.name = 'BMW'"
+    )
+    print(view.query_manager.render_result(result))
+    view.query_manager.run("SELECT v FROM Vehicle v WHERE v.weight > 2000")
+    print("\nSession history:")
+    print(view.query_manager.history_listing())
+
+    banner("Object browser: generic object presentation (Figure 9.3)")
+    vehicle = db.extent("Vehicle")[0]
+    print(view.object_browser.present(vehicle, depth=2))
+
+    banner("Cursor-driven browsing (Section 9.4)")
+    result = view.query_manager.run(
+        "SELECT e FROM VehicleEngine e WHERE e.cylinders > 24"
+    )
+    cursor = view.object_browser.browse(result)
+    while cursor.has_next():
+        cursor.next()
+        print(view.object_browser.present_cursor(cursor))
+
+    banner("Interactive update with dynamic type checking")
+    view.object_browser.update_attribute(vehicle, "weight", 1111)
+    print("updated weight:", db.get(vehicle.oid).state["weight"])
+
+    banner("C++ view: export the schema (Figure 9.1b)")
+    print(view.cpp_view.export_cpp(["Vehicle", "Automobile"]))
+
+    banner("Administration tool")
+    print(view.admin_tool.full_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: define a schema, create objects, query with the optimizer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MoodDatabase
+
+
+def main() -> None:
+    db = MoodDatabase()
+
+    # --- DDL: classes with attributes, inheritance and a compiled method ----
+    db.execute_script("""
+        CREATE CLASS Person TUPLE (
+            name String(32),
+            age Integer
+        ) METHODS (
+            is_adult () Boolean { return self.age >= 18 }
+        );
+
+        CREATE CLASS Student INHERITS FROM Person
+        TUPLE (gpa Float);
+    """)
+
+    # --- objects: through SQL ('new', as MoodView issues it) ----------------
+    db.execute("new Person <'Asuman', 45>")
+    db.execute("new Person <'Cetin', 17>")
+    db.execute("new Student <'Budak', 24, 3.7> AS star_student")
+
+    # --- ad-hoc queries ------------------------------------------------------
+    result = db.query("SELECT p.name FROM Person p WHERE p.is_adult() = TRUE "
+                      "ORDER BY p.name")
+    print("Adults (Person and its subclasses):", result.scalars())
+
+    result = db.query("SELECT s.name, s.gpa FROM Student s "
+                      "WHERE s.gpa > 3.0")
+    print("Good students:", result.rows)
+
+    # The minus operator excludes subclasses (IS-A semantics otherwise).
+    result = db.query("SELECT p FROM EVERY Person - Student p")
+    print("Persons that are not Students:",
+          [obj.state["name"] for (obj,) in result.rows])
+
+    # --- the optimizer at work ----------------------------------------------
+    result = db.query("SELECT p FROM Person p WHERE p.age > 20")
+    print("\nAccess plan:")
+    print(result.plan.render())
+
+    # --- named objects -------------------------------------------------------
+    star = db.get(db.kernel.catalog.lookup_name("star_student"))
+    print("\nNamed object 'star_student':", star.state)
+
+    # --- late binding: redefine the method, no recompilation of the server ---
+    db.execute("CREATE METHOD Person::is_adult() Boolean "
+               "{ return self.age >= 21 }")
+    result = db.query("SELECT p.name FROM Person p "
+                      "WHERE p.is_adult() = TRUE ORDER BY p.name")
+    print("\nAdults after redefining is_adult (>= 21):", result.scalars())
+
+
+if __name__ == "__main__":
+    main()

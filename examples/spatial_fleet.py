@@ -1,0 +1,69 @@
+"""Spatial data with the R-tree indexing tool (Section 9's MoodView).
+
+A fleet of depots across a map, indexed in an R-tree; window queries,
+nearest-neighbour lookups and the ASCII map rendering.
+
+Run:  python examples/spatial_fleet.py
+"""
+
+import random
+
+from repro import MoodDatabase
+from repro.moodview import MoodView
+from repro.storage.rtree import Rect
+
+
+def main() -> None:
+    db = MoodDatabase()
+    view = MoodView(db.kernel)
+    db.execute("""
+        CREATE CLASS Depot TUPLE (
+            name String(32),
+            x Integer,
+            y Integer,
+            trucks Integer
+        )
+    """)
+
+    rng = random.Random(1994)
+    for index in range(60):
+        db.new_object("Depot", {
+            "name": f"depot-{index:02d}",
+            "x": rng.randrange(0, 100),
+            "y": rng.randrange(0, 100),
+            "trucks": rng.randrange(1, 20),
+        })
+
+    view.spatial_tool.create_spatial_index("depots", "Depot", "x", "y")
+    print(view.spatial_tool.structure_report("depots"))
+
+    # --- window query ---------------------------------------------------------
+    window = Rect(20, 20, 60, 60)
+    hits = view.spatial_tool.window_query("depots", 20, 20, 60, 60)
+    print(f"\n{len(hits)} depots inside the window [20,60]x[20,60]")
+
+    print("\nMap ('*' = depot, boxed = query window):")
+    print(view.spatial_tool.render_map("depots", window=window))
+
+    # --- nearest neighbours ------------------------------------------------------
+    near = view.spatial_tool.nearest("depots", 50, 50, k=3)
+    print("\n3 depots nearest to (50, 50):")
+    for depot in near:
+        print(f"  {depot.state['name']} at "
+              f"({depot.state['x']}, {depot.state['y']})")
+
+    # --- spatial + SQL together ---------------------------------------------------
+    busy = [d for d in hits if d.state["trucks"] > 10]
+    print(f"\nOf the windowed depots, {len(busy)} have more than 10 trucks")
+
+    # Index maintenance on deletion.
+    victim = hits[0]
+    view.spatial_tool.remove_object("depots", victim)
+    db.delete(victim.oid)
+    print(f"removed {victim.state['name']}; index now has "
+          f"{len(view.spatial_tool.window_query('depots', 0, 0, 100, 100))} "
+          "entries")
+
+
+if __name__ == "__main__":
+    main()

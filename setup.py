@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to this legacy path (setup.py develop) when
+PEP 517 editable builds are unavailable; all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

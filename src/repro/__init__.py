@@ -1,0 +1,19 @@
+"""Reproduction of the METU Object-Oriented DBMS (MOOD, 1994).
+
+Quickstart::
+
+    from repro import MoodDatabase
+
+    db = MoodDatabase()
+    db.execute("CREATE CLASS Point TUPLE (x Integer, y Integer)")
+    db.execute("NEW Point <1, 2>")
+    result = db.query("SELECT p.x FROM Point p WHERE p.y = 2")
+"""
+
+from repro.core.database import MoodDatabase
+from repro.core.kernel import MoodKernel, QueryResult, StatementResult
+
+__version__ = "1.0.0"
+
+__all__ = ["MoodDatabase", "MoodKernel", "QueryResult", "StatementResult",
+           "__version__"]

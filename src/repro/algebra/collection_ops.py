@@ -1,0 +1,419 @@
+"""Collection operators of the MOOD algebra (Section 3.2, Tables 1-4).
+
+Select, IndSel, Project, Join, Partition, Sort, DupElim, Union,
+Intersection and Difference, each honouring the paper's return-kind tables:
+
+* Table 1 (Select): Extent -> Extent or Set, Set -> Set, List -> List,
+  Named -> Named.
+* Table 2 (Join): any Extent argument makes the result an Extent; otherwise
+  Set dominates List dominates Named; Named x Named yields a single object.
+* Table 3 (DupElim): not applicable to sets; lists become ordered distinct
+  OID lists; extents are deduplicated under *deep* equality.
+* Table 4 (set operators): Set x anything -> Set, List x List -> List
+  (union of two lists is concatenation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra.collections import (
+    ArgKind,
+    Collection,
+    Extent,
+    ListOfOids,
+    NamedObject,
+    ObjectStore,
+    SetOfOids,
+    kind_of,
+    materialize,
+)
+from repro.core.errors import AlgebraError
+from repro.model.objects import MoodObject, deep_equal
+from repro.storage.oid import OID
+
+Predicate = Callable[[MoodObject], bool]
+
+
+# --------------------------------------------------------------------------
+# Select (Table 1)
+# --------------------------------------------------------------------------
+
+def select(arg: Collection, predicate: Predicate, store: ObjectStore,
+           as_oids: bool = False) -> Collection:
+    """Select the objects from ``arg`` satisfying ``predicate``.
+
+    An Extent argument may return an Extent or (with ``as_oids``) a Set,
+    exactly the two options Table 1 grants it.
+    """
+    if isinstance(arg, Extent):
+        matching = [obj for obj in arg.objects if predicate(obj)]
+        if as_oids:
+            return SetOfOids({obj.oid for obj in matching})
+        return Extent(arg.class_name, matching)
+    if isinstance(arg, SetOfOids):
+        return SetOfOids(
+            {oid for oid in arg.oids if predicate(store.deref(oid))}
+        )
+    if isinstance(arg, ListOfOids):
+        return ListOfOids(
+            [oid for oid in arg.oids if predicate(store.deref(oid))]
+        )
+    if isinstance(arg, NamedObject):
+        if arg.obj is not None and predicate(arg.obj):
+            return NamedObject(arg.name, arg.obj)
+        return NamedObject(arg.name, None)
+    raise AlgebraError(f"Select: unsupported argument {type(arg).__name__}")
+
+
+def ind_sel(class_name: str, index, key, store: ObjectStore,
+            hi=None, lo_inclusive: bool = True,
+            hi_inclusive: bool = True) -> SetOfOids:
+    """IndSel: select OIDs from an extent through an index.
+
+    ``index`` is a B+-tree (supports ``search``/``range_scan``) or a hash
+    index (``search``).  Equality probes pass only ``key``; range probes
+    pass ``key`` and ``hi``.  The return value is a set of object
+    identifiers, per the paper.
+    """
+    if hi is None:
+        return SetOfOids(set(index.search(key)))
+    if not hasattr(index, "range_scan"):
+        raise AlgebraError("IndSel: range probes require a B+-tree index")
+    return SetOfOids(
+        {oid for _, oid in index.range_scan(key, hi, lo_inclusive, hi_inclusive)}
+    )
+
+
+# --------------------------------------------------------------------------
+# Project
+# --------------------------------------------------------------------------
+
+def project(arg: Collection, attributes: list[str], store: ObjectStore) -> Extent:
+    """Project tuple objects onto ``attributes``.
+
+    List/set arguments are dereferenced first; the result is an extent of
+    (anonymous) tuple values, which MOOD may later turn into objects of a
+    dynamically defined class.
+    """
+    objects = materialize(arg, store)
+    projected = []
+    for obj in objects:
+        missing = [a for a in attributes if a not in obj.state]
+        if missing:
+            raise AlgebraError(
+                f"Project: {obj.class_name} object lacks attributes {missing}"
+            )
+        projected.append(
+            MoodObject(
+                oid=OID(0, 0, 0),
+                class_name="_Projection",
+                state={a: obj.state[a] for a in attributes},
+            )
+        )
+    return Extent("_Projection", projected)
+
+
+# --------------------------------------------------------------------------
+# Join (Table 2)
+# --------------------------------------------------------------------------
+
+class JoinMethod:
+    FORWARD_TRAVERSAL = "FORWARD_TRAVERSAL"
+    BACKWARD_TRAVERSAL = "BACKWARD_TRAVERSAL"
+    INDEXED = "INDEXED"
+    HASH_PARTITION = "HASH_PARTITION"
+
+
+_JOIN_KIND_RANK = {
+    ArgKind.NAMED: 0,
+    ArgKind.LIST: 1,
+    ArgKind.SET: 2,
+    ArgKind.EXTENT: 3,
+}
+
+
+def join_result_kind(kind1: ArgKind, kind2: ArgKind) -> ArgKind:
+    """Table 2: an Extent dominates, then Set, then List, then Named."""
+    if _JOIN_KIND_RANK[kind1] >= _JOIN_KIND_RANK[kind2]:
+        return kind1
+    return kind2
+
+
+@dataclass
+class JoinResult:
+    """Pairs produced by a Join, carrying the Table 2 return kind.
+
+    When both inputs are named objects the result is a single object pair
+    (kind NAMED), mirroring the table's 'Object' cell.
+    """
+
+    kind: ArgKind
+    pairs: list[tuple[MoodObject, MoodObject]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def left_objects(self) -> list[MoodObject]:
+        seen: set[OID] = set()
+        result = []
+        for left, _ in self.pairs:
+            if left.oid not in seen:
+                seen.add(left.oid)
+                result.append(left)
+        return result
+
+
+def _reference_oids(value: Any) -> list[OID]:
+    """OIDs reachable through a reference-valued attribute (Ref/Set/List)."""
+    if isinstance(value, OID):
+        return [] if value.is_null else [value]
+    if isinstance(value, (set, frozenset)):
+        return [oid for oid in sorted(value) if isinstance(oid, OID)]
+    if isinstance(value, list):
+        return [oid for oid in value if isinstance(oid, OID)]
+    return []
+
+
+def join(
+    arg1: Collection,
+    arg2: Collection,
+    join_method: str,
+    attribute: str,
+    store: ObjectStore,
+    join_index=None,
+) -> JoinResult:
+    """Implicit join ``arg1.attribute = arg2.self`` (Section 6).
+
+    ``join_method`` picks the physical strategy; all four produce the same
+    pairs, at different (accounted) cost.  ``join_index`` supplies a binary
+    join index for the INDEXED method.
+    """
+    kind = join_result_kind(kind_of(arg1), kind_of(arg2))
+    left = materialize(arg1, store)
+    right = materialize(arg2, store)
+    right_by_oid = {obj.oid: obj for obj in right}
+    pairs: list[tuple[MoodObject, MoodObject]] = []
+
+    if join_method == JoinMethod.FORWARD_TRAVERSAL:
+        for left_obj in left:
+            for oid in _reference_oids(left_obj.state.get(attribute)):
+                right_obj = right_by_oid.get(oid)
+                if right_obj is not None:
+                    pairs.append((left_obj, right_obj))
+    elif join_method == JoinMethod.BACKWARD_TRAVERSAL:
+        right_oids = set(right_by_oid)
+        for left_obj in left:  # sequential scan over the referencing class
+            for oid in _reference_oids(left_obj.state.get(attribute)):
+                if oid in right_oids:
+                    pairs.append((left_obj, right_by_oid[oid]))
+    elif join_method == JoinMethod.INDEXED:
+        if join_index is None:
+            raise AlgebraError("INDEXED join requires a binary join index")
+        left_by_oid = {obj.oid: obj for obj in left}
+        for left_oid, right_oid in join_index.pairs():
+            left_obj = left_by_oid.get(left_oid)
+            right_obj = right_by_oid.get(right_oid)
+            if left_obj is not None and right_obj is not None:
+                pairs.append((left_obj, right_obj))
+    elif join_method == JoinMethod.HASH_PARTITION:
+        # Pointer-based hash partition: hash the referencing side on the
+        # pointer field, then chase each pointer into the partition table.
+        partitions: dict[int, list[tuple[OID, MoodObject]]] = {}
+        num_partitions = max(1, min(16, len(left) // 8 + 1))
+        for left_obj in left:
+            for oid in _reference_oids(left_obj.state.get(attribute)):
+                bucket = hash(oid) % num_partitions
+                partitions.setdefault(bucket, []).append((oid, left_obj))
+        for bucket in sorted(partitions):
+            for oid, left_obj in partitions[bucket]:
+                right_obj = right_by_oid.get(oid)
+                if right_obj is not None:
+                    pairs.append((left_obj, right_obj))
+    else:
+        raise AlgebraError(f"unknown join method {join_method!r}")
+    return JoinResult(kind, pairs)
+
+
+def join_on_predicate(
+    arg1: Collection,
+    arg2: Collection,
+    predicate: Callable[[MoodObject, MoodObject], bool],
+    store: ObjectStore,
+) -> JoinResult:
+    """Explicit (nested-loop) join on an arbitrary predicate."""
+    kind = join_result_kind(kind_of(arg1), kind_of(arg2))
+    pairs = [
+        (a, b)
+        for a in materialize(arg1, store)
+        for b in materialize(arg2, store)
+        if predicate(a, b)
+    ]
+    return JoinResult(kind, pairs)
+
+
+# --------------------------------------------------------------------------
+# Partition
+# --------------------------------------------------------------------------
+
+def partition(
+    arg: Collection, attributes: list[str], store: ObjectStore
+) -> list[tuple[tuple, list[MoodObject]]]:
+    """Group objects by equal values of ``attributes``.
+
+    Returns the set of groups as ``(key, objects)`` pairs, key-sorted for
+    determinism.
+    """
+    groups: dict[tuple, list[MoodObject]] = {}
+    for obj in materialize(arg, store):
+        key = tuple(_group_key(obj.state.get(a)) for a in attributes)
+        groups.setdefault(key, []).append(obj)
+    return sorted(groups.items(), key=lambda item: repr(item[0]))
+
+
+def _group_key(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(value, key=repr))
+    if isinstance(value, list):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value
+
+
+# --------------------------------------------------------------------------
+# Sort: heap sort with merging
+# --------------------------------------------------------------------------
+
+def _heap_sort(items: list, key) -> list:
+    """Plain binary-heap sort (the paper's only supported sort method)."""
+    heap = [(key(item), index, item) for index, item in enumerate(items)]
+    heapq.heapify(heap)
+    return [heapq.heappop(heap)[2] for _ in range(len(heap))]
+
+
+def heap_sort_with_merging(items: list, key, chunk_size: int = 256) -> list:
+    """Heap sort with merging: sort bounded chunks with a heap, then k-way
+    merge the runs -- the external-sort shape the paper names."""
+    if len(items) <= chunk_size:
+        return _heap_sort(items, key)
+    runs = [
+        _heap_sort(items[start:start + chunk_size], key)
+        for start in range(0, len(items), chunk_size)
+    ]
+    merged = heapq.merge(*[[(key(i), n, i) for n, i in enumerate(run)]
+                           for run in runs])
+    return [item for _, _, item in merged]
+
+
+def sort(
+    arg: Collection,
+    attributes: list[str],
+    store: ObjectStore,
+    descending: bool = False,
+    chunk_size: int = 256,
+) -> Collection:
+    """Sort by ``attributes`` without duplicate elimination.
+
+    Extent -> sorted extent of objects; Set/List -> the sorted object
+    identifiers (returned as a list, an ordered collection).
+    """
+    objects = materialize(arg, store)
+
+    def key(obj: MoodObject):
+        return tuple(_sort_key(obj.state.get(a)) for a in attributes)
+
+    ordered = heap_sort_with_merging(objects, key, chunk_size)
+    if descending:
+        ordered = list(reversed(ordered))
+    if isinstance(arg, Extent):
+        return Extent(arg.class_name, ordered)
+    return ListOfOids([obj.oid for obj in ordered])
+
+
+class _NullsFirst:
+    """Sort key wrapper ordering None before everything."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other: "_NullsFirst") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullsFirst) and self.value == other.value
+
+
+def _sort_key(value: Any) -> _NullsFirst:
+    return _NullsFirst(value)
+
+
+# --------------------------------------------------------------------------
+# DupElim (Table 3)
+# --------------------------------------------------------------------------
+
+def dup_elim(arg: Collection, store: ObjectStore) -> Collection:
+    if isinstance(arg, SetOfOids):
+        raise AlgebraError("DupElim is not applicable to sets (Table 3)")
+    if isinstance(arg, ListOfOids):
+        return ListOfOids(sorted(set(arg.oids)))
+    if isinstance(arg, Extent):
+        distinct: list[MoodObject] = []
+        for obj in arg.objects:
+            if not any(deep_equal(obj, kept, store.deref) for kept in distinct):
+                distinct.append(obj)
+        return Extent(arg.class_name, distinct)
+    raise AlgebraError(f"DupElim: unsupported argument {type(arg).__name__}")
+
+
+# --------------------------------------------------------------------------
+# Union / Intersection / Difference (Table 4)
+# --------------------------------------------------------------------------
+
+def _set_or_list(arg: Collection) -> tuple[bool, list[OID]]:
+    if isinstance(arg, SetOfOids):
+        return True, sorted(arg.oids)
+    if isinstance(arg, ListOfOids):
+        return False, list(arg.oids)
+    raise AlgebraError(
+        "set operators take sets or lists "
+        f"(got {type(arg).__name__})"
+    )
+
+
+def union(arg1: Collection, arg2: Collection) -> Collection:
+    is_set1, oids1 = _set_or_list(arg1)
+    is_set2, oids2 = _set_or_list(arg2)
+    if not is_set1 and not is_set2:
+        return ListOfOids(oids1 + oids2)  # list union is concatenation
+    return SetOfOids(set(oids1) | set(oids2))
+
+
+def intersection(arg1: Collection, arg2: Collection) -> Collection:
+    is_set1, oids1 = _set_or_list(arg1)
+    is_set2, oids2 = _set_or_list(arg2)
+    if not is_set1 and not is_set2:
+        members = set(oids2)
+        return ListOfOids([oid for oid in oids1 if oid in members])
+    return SetOfOids(set(oids1) & set(oids2))
+
+
+def difference(arg1: Collection, arg2: Collection) -> Collection:
+    is_set1, oids1 = _set_or_list(arg1)
+    is_set2, oids2 = _set_or_list(arg2)
+    if not is_set1 and not is_set2:
+        members = set(oids2)
+        return ListOfOids([oid for oid in oids1 if oid not in members])
+    return SetOfOids(set(oids1) - set(oids2))

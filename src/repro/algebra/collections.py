@@ -1,0 +1,149 @@
+"""Argument kinds of the MOOD algebra.
+
+Section 3.2: objects are accessed through *extents*, *sets of object
+identifiers*, *lists of object identifiers*, and *named objects*.  Each
+operator's return kind is a function of its argument kinds (the paper's
+Tables 1-7); these wrapper classes carry that kind through plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.core.errors import AlgebraError
+from repro.model.objects import MoodObject
+from repro.storage.oid import OID
+
+
+class ArgKind(Enum):
+    EXTENT = "Extent"
+    SET = "Set"
+    LIST = "List"
+    NAMED = "Named Obj."
+
+
+@dataclass
+class Extent:
+    """A collection of materialised objects of (subclasses of) one class."""
+
+    class_name: str
+    objects: list[MoodObject] = field(default_factory=list)
+
+    kind = ArgKind.EXTENT
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self):
+        return iter(self.objects)
+
+    def oids(self) -> list[OID]:
+        return [obj.oid for obj in self.objects]
+
+
+@dataclass
+class SetOfOids:
+    """A set object holding object identifiers."""
+
+    oids: set[OID] = field(default_factory=set)
+
+    kind = ArgKind.SET
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    def __iter__(self):
+        return iter(sorted(self.oids))
+
+
+@dataclass
+class ListOfOids:
+    """A list object holding object identifiers (ordered, duplicates OK)."""
+
+    oids: list[OID] = field(default_factory=list)
+
+    kind = ArgKind.LIST
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    def __iter__(self):
+        return iter(self.oids)
+
+
+@dataclass
+class NamedObject:
+    """A single object reached through its unique name."""
+
+    name: str
+    obj: MoodObject | None
+
+    kind = ArgKind.NAMED
+
+    def __len__(self) -> int:
+        return 0 if self.obj is None else 1
+
+    def __iter__(self):
+        if self.obj is not None:
+            yield self.obj
+
+
+Collection = Extent | SetOfOids | ListOfOids | NamedObject
+
+
+def kind_of(arg: Any) -> ArgKind:
+    kind = getattr(arg, "kind", None)
+    if isinstance(kind, ArgKind):
+        return kind
+    raise AlgebraError(f"{type(arg).__name__} is not an algebra collection")
+
+
+class ObjectStore:
+    """What the algebra needs from the engine: deref and extent access."""
+
+    def deref(self, oid: OID) -> MoodObject:
+        raise NotImplementedError
+
+    def extent(self, class_name: str) -> list[MoodObject]:
+        raise NotImplementedError
+
+
+class DictStore(ObjectStore):
+    """In-memory store (used by tests and small examples)."""
+
+    def __init__(self):
+        self._objects: dict[OID, MoodObject] = {}
+        self._extents: dict[str, list[OID]] = {}
+        self._next = 0
+
+    def add(self, class_name: str, state: dict) -> MoodObject:
+        self._next += 1
+        oid = OID(1, self._next // 100, self._next % 100)
+        obj = MoodObject(oid, class_name, state)
+        self._objects[oid] = obj
+        self._extents.setdefault(class_name, []).append(oid)
+        return obj
+
+    def deref(self, oid: OID) -> MoodObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise AlgebraError(f"dangling reference {oid}") from None
+
+    def extent(self, class_name: str) -> list[MoodObject]:
+        return [self._objects[oid] for oid in self._extents.get(class_name, [])]
+
+
+def materialize(arg: Collection, store: ObjectStore) -> list[MoodObject]:
+    """Objects of a collection, dereferencing OIDs where needed."""
+    if isinstance(arg, Extent):
+        return list(arg.objects)
+    if isinstance(arg, SetOfOids):
+        return [store.deref(oid) for oid in sorted(arg.oids)]
+    if isinstance(arg, ListOfOids):
+        return [store.deref(oid) for oid in arg.oids]
+    if isinstance(arg, NamedObject):
+        return [arg.obj] if arg.obj is not None else []
+    raise AlgebraError(f"cannot materialise {type(arg).__name__}")

@@ -1,0 +1,144 @@
+"""Conversion operators of the MOOD algebra (Section 3.2, Tables 5-7).
+
+asSet, asList, asExtent, Unnest, Nest and Flatten.  *"The type conversion
+functions may be carried out as a result of optimization, or their usage
+may be forced explicitly by the user query."*
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra.collections import (
+    Collection,
+    Extent,
+    ListOfOids,
+    NamedObject,
+    ObjectStore,
+    SetOfOids,
+    materialize,
+)
+from repro.core.errors import AlgebraError
+from repro.model.objects import MoodObject
+from repro.storage.oid import OID
+
+
+def as_set(arg: Collection) -> SetOfOids:
+    """asSet (Table 5): the object identifiers of ``arg``, as a set."""
+    if isinstance(arg, Extent):
+        return SetOfOids({obj.oid for obj in arg.objects})
+    if isinstance(arg, SetOfOids):
+        return SetOfOids(set(arg.oids))
+    if isinstance(arg, ListOfOids):
+        return SetOfOids(set(arg.oids))
+    if isinstance(arg, NamedObject):
+        return SetOfOids({arg.obj.oid} if arg.obj is not None else set())
+    raise AlgebraError(f"asSet: unsupported argument {type(arg).__name__}")
+
+
+def as_list(arg: Collection) -> ListOfOids:
+    """asList (Table 5): the object identifiers of ``arg``, as a list."""
+    if isinstance(arg, Extent):
+        return ListOfOids([obj.oid for obj in arg.objects])
+    if isinstance(arg, SetOfOids):
+        return ListOfOids(sorted(arg.oids))
+    if isinstance(arg, ListOfOids):
+        return ListOfOids(list(arg.oids))
+    if isinstance(arg, NamedObject):
+        return ListOfOids([arg.obj.oid] if arg.obj is not None else [])
+    raise AlgebraError(f"asList: unsupported argument {type(arg).__name__}")
+
+
+def as_extent(arg: Collection, store: ObjectStore) -> Extent:
+    """asExtent (Table 6): dereference a set or list into an extent."""
+    if not isinstance(arg, (SetOfOids, ListOfOids)):
+        raise AlgebraError(
+            "asExtent takes a set or list "
+            f"(got {type(arg).__name__}, per Table 6)"
+        )
+    objects = materialize(arg, store)
+    class_names = {obj.class_name for obj in objects}
+    class_name = class_names.pop() if len(class_names) == 1 else "_Mixed"
+    return Extent(class_name, objects)
+
+
+def unnest(arg: Collection, attribute: str, store: ObjectStore) -> Extent:
+    """Unnest (Table 7): flatten a set/list-valued attribute.
+
+    The paper's example: ``e = {<o1,{o2,o3}>, <o4,{o5}>}`` unnests to
+    ``e' = {<o1,o2>, <o1,o3>, <o4,o5>}``.  The result is always an extent
+    of tuples, whatever the argument kind.
+    """
+    if isinstance(arg, MoodObject):  # a single tuple-type object
+        objects: list[MoodObject] = [arg]
+    else:
+        objects = materialize(arg, store)
+    result: list[MoodObject] = []
+    for obj in objects:
+        value = obj.state.get(attribute)
+        elements: list[Any]
+        if isinstance(value, (set, frozenset)):
+            elements = sorted(value, key=repr)
+        elif isinstance(value, list):
+            elements = list(value)
+        elif value is None:
+            elements = []
+        else:
+            raise AlgebraError(
+                f"Unnest: attribute {attribute!r} of {obj.class_name} "
+                "is not a set or list"
+            )
+        for element in elements:
+            state = dict(obj.state)
+            state[attribute] = element
+            result.append(MoodObject(OID(0, 0, 0), "_Unnested", state))
+    return Extent("_Unnested", result)
+
+
+def nest(arg: Collection, attribute: str, store: ObjectStore) -> Extent:
+    """Nest: the inverse of Unnest -- group tuples equal on every other
+    attribute and collect ``attribute`` values into a set."""
+    if isinstance(arg, MoodObject):
+        objects: list[MoodObject] = [arg]
+    else:
+        objects = materialize(arg, store)
+    groups: dict[tuple, tuple[dict, set]] = {}
+    order: list[tuple] = []
+    for obj in objects:
+        rest = {k: v for k, v in obj.state.items() if k != attribute}
+        key = tuple(sorted((k, repr(v)) for k, v in rest.items()))
+        if key not in groups:
+            groups[key] = (rest, set())
+            order.append(key)
+        groups[key][1].add(obj.state.get(attribute))
+    result = []
+    for key in order:
+        rest, values = groups[key]
+        state = dict(rest)
+        state[attribute] = values
+        result.append(MoodObject(OID(0, 0, 0), "_Nested", state))
+    return Extent("_Nested", result)
+
+
+def flatten(arg: Any) -> SetOfOids:
+    """Flatten: convert nested sets/lists of OIDs into one set of OIDs.
+
+    ``Flatten({{oid1, oid2}, {oid3}}) = {oid1, oid2, oid3}``; the result is
+    always a set.
+    """
+    result: set[OID] = set()
+    _flatten_into(arg, result)
+    return SetOfOids(result)
+
+
+def _flatten_into(value: Any, result: set[OID]) -> None:
+    if isinstance(value, OID):
+        result.add(value)
+    elif isinstance(value, (set, frozenset, list, tuple)):
+        for element in value:
+            _flatten_into(element, result)
+    elif isinstance(value, (SetOfOids, ListOfOids)):
+        for oid in value:
+            result.add(oid)
+    else:
+        raise AlgebraError(f"Flatten: cannot flatten {type(value).__name__}")

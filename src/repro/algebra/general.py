@@ -1,0 +1,77 @@
+"""General operators of the MOOD algebra (Section 3.2).
+
+``ObjId``, ``TypeId``, ``Deref``, ``isA`` and ``Bind`` -- the operators that
+handle naming and single-object operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.collections import Collection, ObjectStore
+from repro.catalog.catalog import Catalog
+from repro.core.errors import AlgebraError
+from repro.model.objects import MoodObject
+from repro.model.types import referenced_class
+from repro.storage.oid import OID
+
+
+def obj_id(obj: MoodObject) -> OID:
+    """ObjId(o): the object identifier of ``o``."""
+    return obj.oid
+
+
+def type_id(obj: MoodObject, catalog: Catalog) -> int:
+    """TypeId(o): every MOOD object has a type associated with it."""
+    return catalog.type_id(obj.class_name)
+
+
+def deref(oid: OID, store: ObjectStore) -> MoodObject:
+    """Deref(oid): the object with identifier ``oid``."""
+    return store.deref(oid)
+
+
+def is_a(path: str, catalog: Catalog) -> str:
+    """isA(path): the path starts with a class name; the result is the
+    class name of the path's last attribute.
+
+    ``isA("Vehicle.drivetrain.engine") == "VehicleEngine"``.
+    """
+    parts = path.split(".")
+    if not parts or not parts[0]:
+        raise AlgebraError(f"malformed path {path!r}")
+    current = parts[0]
+    if not catalog.has_class(current):
+        raise AlgebraError(f"path {path!r} does not start with a class name")
+    for attribute in parts[1:]:
+        attr_type = catalog.attribute_type(current, attribute)
+        target = referenced_class(attr_type)
+        if target is None:
+            raise AlgebraError(
+                f"attribute {attribute!r} of {current!r} is not a reference; "
+                f"path {path!r} ends before it"
+            )
+        current = target
+    return current
+
+
+@dataclass
+class Binding:
+    """Bind(arg, aName): the naming operator; gives ``name`` to ``arg``."""
+
+    name: str
+    arg: Collection
+
+    @property
+    def kind(self):
+        return self.arg.kind
+
+    def __iter__(self):
+        return iter(self.arg)
+
+    def __len__(self):
+        return len(self.arg)
+
+
+def bind(arg: Collection, name: str) -> Binding:
+    return Binding(name, arg)

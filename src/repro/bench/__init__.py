@@ -1,0 +1,26 @@
+"""Benchmark support: the paper's example database, statistics, workloads."""
+
+from repro.bench.paperdb import (
+    PAPER_ATTR_STATS,
+    PAPER_CLASS_STATS,
+    PAPER_REF_STATS,
+    PAPER_SCHEMA_DDL,
+    build_paper_database,
+    paper_statistics,
+)
+from repro.bench.reporting import emit, table
+from repro.bench.workloads import GeneratedQuery, random_query, workload
+
+__all__ = [
+    "GeneratedQuery",
+    "PAPER_ATTR_STATS",
+    "PAPER_CLASS_STATS",
+    "PAPER_REF_STATS",
+    "PAPER_SCHEMA_DDL",
+    "build_paper_database",
+    "emit",
+    "paper_statistics",
+    "random_query",
+    "table",
+    "workload",
+]

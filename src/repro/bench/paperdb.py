@@ -1,0 +1,177 @@
+"""The paper's example database (Section 3.1) and statistics (Tables 13-15).
+
+Two ways to get statistics:
+
+* :func:`paper_statistics` injects the paper's exact Table 13-15 numbers
+  (they are synthetic -- e.g. Company's 200,000 rows of size 500 cannot fit
+  in 2,500 pages of any sane size -- but Tables 16/17 are computed from
+  them, so reproduction requires them verbatim);
+* building the database at a chosen scale with :func:`build_paper_database`
+  and measuring via :func:`repro.cost.statistics.collect_statistics`.
+
+Note a naming wobble in the paper: the schema declares the attribute
+``manufacturer REFERENCE (Company)`` but Example 8.1's query spells it
+``v.company``.  We follow the schema (``manufacturer``) and register the
+statistics under that name.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cost.params import DatabaseStats
+
+#: Table 13 -- class statistics.
+PAPER_CLASS_STATS = {
+    "Vehicle": (20000, 2000, 400),
+    "VehicleDriveTrain": (10000, 750, 300),
+    "VehicleEngine": (10000, 5000, 2000),
+    "Company": (200000, 2500, 500),
+}
+
+#: Table 14 -- attribute statistics (dist, max, min).
+PAPER_ATTR_STATS = {
+    ("VehicleEngine", "cylinders"): (16, 32, 2),
+    ("Company", "name"): (200000, None, None),
+}
+
+#: Table 15 -- reference statistics (target, fan, totref).
+#: totlinks and hitprb are derived: totlinks = fan * |C|, hitprb = totref/|D|.
+PAPER_REF_STATS = {
+    ("Vehicle", "drivetrain"): ("VehicleDriveTrain", 1.0, 10000),
+    ("Vehicle", "manufacturer"): ("Company", 1.0, 20000),
+    ("VehicleDriveTrain", "engine"): ("VehicleEngine", 1.0, 10000),
+}
+
+
+def paper_statistics() -> DatabaseStats:
+    """DatabaseStats loaded with the paper's exact Tables 13-15."""
+    stats = DatabaseStats()
+    for class_name, (count, nbpages, size) in PAPER_CLASS_STATS.items():
+        stats.set_class(class_name, count, nbpages, size)
+    for (class_name, attr), (dist, hi, lo) in PAPER_ATTR_STATS.items():
+        stats.set_attribute(class_name, attr, dist, hi, lo)
+    for (class_name, attr), (target, fan, totref) in PAPER_REF_STATS.items():
+        stats.set_reference(class_name, attr, target, fan, totref)
+    return stats
+
+
+#: MOODSQL DDL for the Section 3.1 schema, verbatim in structure.
+PAPER_SCHEMA_DDL = [
+    """CREATE CLASS VehicleEngine TUPLE (
+        size Integer,
+        cylinders Integer
+    )""",
+    """CREATE CLASS VehicleDriveTrain TUPLE (
+        engine REFERENCE (VehicleEngine),
+        transmission String(32)
+    )""",
+    """CREATE CLASS Employee TUPLE (
+        ssno Integer,
+        name String(32),
+        age Integer
+    )""",
+    """CREATE CLASS Company TUPLE (
+        name String(32),
+        location String(32),
+        president REFERENCE (Employee)
+    )""",
+    """CREATE CLASS Vehicle TUPLE (
+        id Integer,
+        weight Integer,
+        drivetrain REFERENCE (VehicleDriveTrain),
+        manufacturer REFERENCE (Company)
+    ) METHODS (
+        lbweight () Integer { return int(self.weight * 2.2075) },
+        curbweight () Integer { return self.weight }
+    )""",
+    "CREATE CLASS Automobile INHERITS FROM Vehicle",
+    "CREATE CLASS JapaneseAuto INHERITS FROM Automobile",
+]
+
+TRANSMISSIONS = ["AUTOMATIC", "MANUAL", "CVT", "DCT"]
+LOCATIONS = ["Munich", "Tokyo", "Detroit", "Ankara", "Torino"]
+JAPANESE_COMPANIES = {"Toyota", "Honda", "Nissan"}
+COMPANY_STEMS = [
+    "BMW", "Toyota", "Honda", "Nissan", "Ford", "Fiat", "Saab", "TOFAS",
+]
+
+
+def build_paper_database(db, scale: int = 100, seed: int = 42) -> dict:
+    """Populate a MoodDatabase with the Section 3.1 schema and data.
+
+    ``scale`` is the number of Vehicle instances; other extents keep the
+    paper's Table 13 proportions (|DriveTrain| = |Engine| = scale/2,
+    |Company| = 10*scale) and Table 15's fan/totref structure: every
+    drivetrain is shared by two vehicles (totref = |C|/2), every engine by
+    one drivetrain, and manufacturers are drawn from all companies.
+
+    Returns a summary dict of created OIDs per class.
+    """
+    rng = random.Random(seed)
+    for ddl in PAPER_SCHEMA_DDL:
+        db.execute(ddl)
+
+    num_vehicles = scale
+    num_drivetrains = max(1, scale // 2)
+    num_engines = max(1, scale // 2)
+    num_companies = max(1, scale * 10)
+    num_employees = max(1, scale // 4)
+
+    employees = [
+        db.new_object("Employee", {
+            "ssno": 1000 + i,
+            "name": f"Employee-{i}",
+            "age": 25 + (i % 40),
+        })
+        for i in range(num_employees)
+    ]
+    companies = []
+    for i in range(num_companies):
+        stem = COMPANY_STEMS[i % len(COMPANY_STEMS)]
+        name = stem if i < len(COMPANY_STEMS) else f"{stem}-{i}"
+        companies.append(
+            db.new_object("Company", {
+                "name": name,
+                "location": LOCATIONS[i % len(LOCATIONS)],
+                "president": rng.choice(employees),
+            })
+        )
+    engines = [
+        db.new_object("VehicleEngine", {
+            "size": 1000 + 250 * (i % 13),
+            "cylinders": 2 * (1 + i % 16),  # 2..32, 16 distinct (Table 14)
+        })
+        for i in range(num_engines)
+    ]
+    drivetrains = [
+        db.new_object("VehicleDriveTrain", {
+            "engine": engines[i % num_engines],
+            "transmission": TRANSMISSIONS[i % len(TRANSMISSIONS)],
+        })
+        for i in range(num_drivetrains)
+    ]
+    vehicles = []
+    for i in range(num_vehicles):
+        class_name = ("JapaneseAuto" if i % 5 == 0
+                      else "Automobile" if i % 2 == 0 else "Vehicle")
+        company = (
+            companies[rng.randrange(num_companies)]
+            if class_name != "JapaneseAuto"
+            else companies[1 + (i % 3)]  # Toyota/Honda/Nissan stems
+        )
+        vehicles.append(
+            db.new_object(class_name, {
+                "id": i,
+                "weight": 800 + (i * 37) % 1400,
+                "drivetrain": drivetrains[i % num_drivetrains],
+                "manufacturer": company,
+            })
+        )
+    return {
+        "Employee": employees,
+        "Company": companies,
+        "VehicleEngine": engines,
+        "VehicleDriveTrain": drivetrains,
+        "Vehicle": vehicles,
+    }

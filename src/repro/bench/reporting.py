@@ -1,0 +1,50 @@
+"""Benchmark reporting helpers.
+
+Each benchmark regenerates one of the paper's tables or figures; the
+artifact is printed to the console and persisted under
+``benchmarks/output/`` so EXPERIMENTS.md can cite the measured output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def _output_dir() -> pathlib.Path:
+    # benchmarks/output next to the benchmarks package when run from the
+    # repository; otherwise the current working directory.
+    for candidate in (pathlib.Path.cwd() / "benchmarks",
+                      pathlib.Path.cwd()):
+        if candidate.is_dir():
+            return candidate / "output"
+    return pathlib.Path.cwd() / "output"
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artifact and persist it as ``benchmarks/output/<name>.txt``."""
+    directory = _output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def table(header: list[str], rows: list[list]) -> str:
+    """Render a plain-text table."""
+    def cell(value) -> str:
+        if isinstance(value, float):
+            if value == float("inf"):
+                return "inf"
+            if 0 < abs(value) < 0.1:
+                return f"{value:.2e}"
+            return f"{value:,.3f}"
+        return str(value)
+
+    grid = [list(map(str, header))] + [[cell(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in grid) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(grid):
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if index == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)

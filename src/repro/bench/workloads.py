@@ -1,0 +1,126 @@
+"""Query workload generators over the Section 3.1 schema.
+
+Used by the shape benchmarks and by the planner-robustness property tests:
+:func:`random_query` produces syntactically and schema-valid MOODSQL text
+with randomised range variables, immediate/path/join predicates, Boolean
+structure, and optional GROUP BY / ORDER BY / DISTINCT clauses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: (class, atomic attribute, sample constants) usable in predicates.
+ATOMIC_SITES = [
+    ("Vehicle", "weight", [800, 1000, 1500, 2000]),
+    ("Vehicle", "id", [0, 5, 50, 500]),
+    ("VehicleEngine", "cylinders", [2, 4, 8, 16, 32]),
+    ("VehicleEngine", "size", [1000, 2000, 3000]),
+    ("Employee", "age", [25, 40, 60]),
+]
+
+#: Paths rooted at Vehicle (attribute chain, sample constants, quoting).
+VEHICLE_PATHS = [
+    (("drivetrain", "transmission"),
+     ["AUTOMATIC", "MANUAL", "CVT"], True),
+    (("drivetrain", "engine", "cylinders"), [2, 4, 8], False),
+    (("drivetrain", "engine", "size"), [1000, 2500], False),
+    (("manufacturer", "name"), ["BMW", "Toyota", "Ford"], True),
+    (("manufacturer", "location"), ["Munich", "Tokyo"], True),
+]
+
+COMPARISONS = ["=", "<>", "<", "<=", ">", ">="]
+
+
+@dataclass
+class GeneratedQuery:
+    sql: str
+    num_predicates: int
+    uses_paths: bool
+    uses_join: bool
+    clauses: list[str] = field(default_factory=list)
+
+
+def _literal(value, quoted: bool) -> str:
+    return f"'{value}'" if quoted else str(value)
+
+
+def _vehicle_predicate(rng: random.Random, var: str) -> tuple[str, bool]:
+    """A predicate on a Vehicle-rooted range variable; returns (text,
+    is_path)."""
+    if rng.random() < 0.5:
+        _, attr, constants = rng.choice(
+            [site for site in ATOMIC_SITES if site[0] == "Vehicle"]
+        )
+        op = rng.choice(COMPARISONS)
+        return f"{var}.{attr} {op} {rng.choice(constants)}", False
+    attrs, constants, quoted = rng.choice(VEHICLE_PATHS)
+    op = "=" if quoted else rng.choice(COMPARISONS)
+    constant = _literal(rng.choice(constants), quoted)
+    return f"{var}.{'.'.join(attrs)} {op} {constant}", True
+
+
+def random_query(rng: random.Random) -> GeneratedQuery:
+    """One random, always-valid MOODSQL query over the paper schema."""
+    clauses: list[str] = []
+    uses_join = rng.random() < 0.3
+    ranges = ["Vehicle v"]
+    if rng.random() < 0.3:
+        ranges[0] = rng.choice([
+            "Vehicle v",
+            "EVERY Automobile - JapaneseAuto v",
+            "Automobile v",
+        ])
+    predicates: list[str] = []
+    uses_paths = False
+    for _ in range(rng.randint(1, 3)):
+        text, is_path = _vehicle_predicate(rng, "v")
+        predicates.append(text)
+        uses_paths = uses_paths or is_path
+    if uses_join:
+        ranges.append("VehicleEngine e")
+        predicates.append("v.drivetrain.engine = e")
+        if rng.random() < 0.7:
+            predicates.append(
+                f"e.cylinders {rng.choice(COMPARISONS)} "
+                f"{rng.choice([2, 4, 8, 16])}"
+            )
+    # Boolean structure: AND everything, or an OR of two AND-halves.
+    if len(predicates) >= 2 and rng.random() < 0.4:
+        half = max(1, len(predicates) // 2)
+        where = (
+            "(" + " AND ".join(predicates[:half]) + ") OR ("
+            + " AND ".join(predicates[half:]) + ")"
+        )
+        clauses.append("OR")
+    else:
+        where = " AND ".join(predicates)
+    projection = rng.choice(["v", "v.id", "v.id, v.weight"])
+    distinct = ""
+    if rng.random() < 0.2:
+        distinct = "DISTINCT "
+        clauses.append("DISTINCT")
+    sql = f"SELECT {distinct}{projection} FROM {', '.join(ranges)} " \
+          f"WHERE {where}"
+    if rng.random() < 0.25:
+        sql += " GROUP BY v.weight"
+        clauses.append("GROUP BY")
+        if rng.random() < 0.5:
+            sql += " HAVING v.weight > 900"
+            clauses.append("HAVING")
+    if rng.random() < 0.3:
+        sql += " ORDER BY v.weight" + (" DESC" if rng.random() < 0.5 else "")
+        clauses.append("ORDER BY")
+    return GeneratedQuery(
+        sql=sql,
+        num_predicates=len(predicates),
+        uses_paths=uses_paths,
+        uses_join=uses_join,
+        clauses=clauses,
+    )
+
+
+def workload(seed: int, size: int) -> list[GeneratedQuery]:
+    rng = random.Random(seed)
+    return [random_query(rng) for _ in range(size)]

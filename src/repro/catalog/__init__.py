@@ -1,0 +1,34 @@
+"""Catalog: MoodsType/MoodsAttribute/MoodsFunction extents, schema, cfront."""
+
+from repro.catalog.catalog import Catalog, IndexInfo
+from repro.catalog.cppfront import (
+    ParsedClass,
+    ParsedMethodBody,
+    cpp_type_to_mood,
+    generate_header,
+    generate_headers,
+    mood_type_to_cpp,
+    parse_cpp,
+)
+from repro.catalog.entities import MoodsAttribute, MoodsFunction, MoodsType
+from repro.catalog.schema import ClassDefinition, ClassHierarchy
+from repro.catalog.typeparse import format_type, parse_type
+
+__all__ = [
+    "Catalog",
+    "ClassDefinition",
+    "ClassHierarchy",
+    "IndexInfo",
+    "MoodsAttribute",
+    "MoodsFunction",
+    "MoodsType",
+    "ParsedClass",
+    "ParsedMethodBody",
+    "cpp_type_to_mood",
+    "format_type",
+    "generate_header",
+    "generate_headers",
+    "mood_type_to_cpp",
+    "parse_cpp",
+    "parse_type",
+]

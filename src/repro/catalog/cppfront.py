@@ -1,0 +1,302 @@
+"""The "modified cfront": C++ class declarations <-> catalog schema.
+
+Section 2: *"To handle the case where data is defined in C++, we have
+modified cfront such that cfront extracts the catalog information and
+stores it into the CATALOG."*  And the reverse direction: *"When data is
+defined through MOODSQL data definition language, the definitions are
+stored in the CATALOG and a C++ header file is created for future
+compilation."*  MoodView additionally round-trips both ways (Section 9.2).
+
+This module implements both directions over a pragmatic subset of C++
+class syntax (single/multiple public inheritance, field declarations,
+member-function declarations, and out-of-line member-function definitions
+``ret Class::name(params) { body }``).
+
+Type mapping (C++ -> MOOD):
+
+==================  =======================
+``int``             Integer
+``long``            LongInteger
+``float/double``    Float
+``char``            Char
+``char x[N]``       String(N)
+``char* / string``  String
+``bool``            Boolean
+``T*``              Reference(T)
+``set<T>``          Set(T')
+``list<T>``         List(T')
+==================  =======================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.catalog.entities import MoodsFunction
+from repro.catalog.schema import ClassHierarchy
+from repro.core.errors import SchemaError
+from repro.model.types import (
+    BooleanType,
+    CharType,
+    FloatType,
+    IntegerType,
+    ListType,
+    LongIntegerType,
+    MoodType,
+    RefType,
+    SetType,
+    StringType,
+)
+
+
+@dataclass
+class ParsedClass:
+    """Schema information cfront extracts from one C++ class."""
+
+    name: str
+    bases: list[str] = field(default_factory=list)
+    attributes: list[tuple[str, str]] = field(default_factory=list)  # (name, MOOD type text)
+    methods: list[MoodsFunction] = field(default_factory=list)
+
+
+@dataclass
+class ParsedMethodBody:
+    """An out-of-line member function definition found in the source."""
+
+    owner: str
+    name: str
+    return_type: str
+    parameters: list[tuple[str, str]]
+    body: str
+
+    @property
+    def signature(self) -> str:
+        param_types = ",".join(ptype for _, ptype in self.parameters)
+        return f"{self.owner}::{self.name}({param_types})"
+
+
+_SIMPLE_CPP_TYPES = {
+    "int": "Integer",
+    "long": "LongInteger",
+    "float": "Float",
+    "double": "Float",
+    "char": "Char",
+    "bool": "Boolean",
+    "string": "String",
+    "void": "Integer",  # MOOD has no void; cfront maps it to Integer 0
+}
+
+
+def cpp_type_to_mood(cpp_type: str, array_bound: int | None = None) -> str:
+    """Translate a C++ type spelling into MOOD textual type notation."""
+    text = cpp_type.strip()
+    template = re.fullmatch(r"(set|list)\s*<\s*(.+?)\s*>", text)
+    if template:
+        constructor = "Set" if template.group(1) == "set" else "List"
+        inner = cpp_type_to_mood(template.group(2))
+        return f"{constructor}({inner})"
+    if text.endswith("*"):
+        target = text[:-1].strip()
+        if target == "char":
+            return "String"
+        return f"Reference({target})"
+    if text == "char" and array_bound is not None:
+        return f"String({array_bound})"
+    if text in _SIMPLE_CPP_TYPES:
+        return _SIMPLE_CPP_TYPES[text]
+    # An unqualified class name used by value: treat as a reference.
+    if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", text):
+        return f"Reference({text})"
+    raise SchemaError(f"cannot map C++ type {text!r} to a MOOD type")
+
+
+def mood_type_to_cpp(mood_type: MoodType) -> str:
+    """Translate a MOOD type descriptor into a C++ spelling."""
+    if isinstance(mood_type, IntegerType):
+        return "int"
+    if isinstance(mood_type, LongIntegerType):
+        return "long"
+    if isinstance(mood_type, FloatType):
+        return "double"
+    if isinstance(mood_type, CharType):
+        return "char"
+    if isinstance(mood_type, BooleanType):
+        return "bool"
+    if isinstance(mood_type, StringType):
+        return "char*" if mood_type.max_length is None else f"char[{mood_type.max_length}]"
+    if isinstance(mood_type, RefType):
+        return f"{mood_type.target}*"
+    if isinstance(mood_type, SetType):
+        return f"set<{mood_type_to_cpp(mood_type.element)}>"
+    if isinstance(mood_type, ListType):
+        return f"list<{mood_type_to_cpp(mood_type.element)}>"
+    raise SchemaError(f"cannot map MOOD type {mood_type.name!r} to C++")
+
+
+_CLASS_RE = re.compile(
+    r"class\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*"
+    r"(?::\s*(?P<bases>[^{]+))?\{(?P<body>.*?)\}\s*;",
+    re.DOTALL,
+)
+_METHOD_DEF_RE = re.compile(
+    r"(?P<ret>[A-Za-z_][A-Za-z_0-9 <>\*]*?)\s+"
+    r"(?P<owner>[A-Za-z_][A-Za-z_0-9]*)\s*::\s*"
+    r"(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*\((?P<params>[^)]*)\)\s*"
+    r"\{(?P<body>.*?)\}",
+    re.DOTALL,
+)
+# Type and member name must be separated by whitespace or a '*', so that
+# 'int;' is rejected rather than read as a field 'nt' of type 'i'.
+_FIELD_RE = re.compile(
+    r"(?P<type>[A-Za-z_][A-Za-z_0-9]*(?:\s*<[^>]+>)?)(?P<sep>\s*\*+\s*|\s+)"
+    r"(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*(?:\[(?P<bound>\d+)\])?\s*;"
+)
+_METHOD_DECL_RE = re.compile(
+    r"(?P<ret>[A-Za-z_][A-Za-z_0-9]*(?:\s*<[^>]+>)?)(?P<sep>\s*\*+\s*|\s+)"
+    r"(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*\((?P<params>[^)]*)\)\s*;"
+)
+_ACCESS_RE = re.compile(r"\b(public|private|protected)\s*:")
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+
+
+def _strip_comments(source: str) -> str:
+    return _COMMENT_RE.sub("", source)
+
+
+def _parse_params(text: str) -> list[tuple[str, str]]:
+    text = text.strip()
+    if not text or text == "void":
+        return []
+    parameters = []
+    for index, chunk in enumerate(text.split(",")):
+        chunk = chunk.strip()
+        match = re.fullmatch(
+            r"(?P<type>.+?)\s*(?P<name>[A-Za-z_][A-Za-z_0-9]*)?", chunk
+        )
+        if match is None:
+            raise SchemaError(f"cannot parse parameter {chunk!r}")
+        cpp_type = match.group("type").strip()
+        name = match.group("name") or f"arg{index}"
+        # 'int x' captures type 'int'; a bare 'int' captures name 'int'.
+        if match.group("name") is None and cpp_type == "":
+            cpp_type, name = name, f"arg{index}"
+        parameters.append((name, cpp_type_to_mood(cpp_type)))
+    return parameters
+
+
+def parse_cpp(source: str) -> tuple[list[ParsedClass], list[ParsedMethodBody]]:
+    """Extract catalog information from C++ source, as modified cfront does.
+
+    Returns the class declarations and any out-of-line method bodies.
+    """
+    source = _strip_comments(source)
+    bodies: list[ParsedMethodBody] = []
+    # Parse method definitions first and blank them out, so the class
+    # matcher never sees their braces.
+    def _collect(match: re.Match) -> str:
+        ret = match.group("ret").strip()
+        if ret in ("class", "struct"):
+            return match.group(0)
+        bodies.append(
+            ParsedMethodBody(
+                owner=match.group("owner"),
+                name=match.group("name"),
+                return_type=cpp_type_to_mood(ret),
+                parameters=_parse_params(match.group("params")),
+                body=match.group("body").strip(),
+            )
+        )
+        return ""
+
+    without_defs = _METHOD_DEF_RE.sub(_collect, source)
+
+    classes: list[ParsedClass] = []
+    for match in _CLASS_RE.finditer(without_defs):
+        name = match.group("name")
+        bases = []
+        if match.group("bases"):
+            for base in match.group("bases").split(","):
+                base = base.strip()
+                base = re.sub(r"^(public|private|protected|virtual)\s+", "", base)
+                bases.append(base.strip())
+        body = _ACCESS_RE.sub("", match.group("body"))
+        attributes: list[tuple[str, str]] = []
+        methods: list[MoodsFunction] = []
+        for line in body.split(";"):
+            line = line.strip()
+            if not line:
+                continue
+            statement = line + ";"
+            decl = _METHOD_DECL_RE.fullmatch(statement)
+            if decl:
+                ret = decl.group("ret").strip() + decl.group("sep").strip()
+                methods.append(
+                    MoodsFunction(
+                        owner=name,
+                        name=decl.group("name"),
+                        return_type=cpp_type_to_mood(ret),
+                        parameters=_parse_params(decl.group("params")),
+                    )
+                )
+                continue
+            fld = _FIELD_RE.fullmatch(statement)
+            if fld:
+                bound = int(fld.group("bound")) if fld.group("bound") else None
+                cpp_type = fld.group("type").strip() + fld.group("sep").strip()
+                attributes.append(
+                    (fld.group("name"), cpp_type_to_mood(cpp_type, bound))
+                )
+                continue
+            raise SchemaError(f"cannot parse declaration {statement!r} in class {name}")
+        classes.append(ParsedClass(name, bases, attributes, methods))
+    return classes, bodies
+
+
+def generate_header(class_name: str, hierarchy: ClassHierarchy) -> str:
+    """Generate the C++ header for a class, as the kernel does after DDL."""
+    from repro.catalog.typeparse import parse_type
+
+    definition = hierarchy.get(class_name)
+    lines = []
+    if definition.superclasses:
+        bases = ", ".join(f"public {base}" for base in definition.superclasses)
+        lines.append(f"class {class_name} : {bases} {{")
+    else:
+        lines.append(f"class {class_name} {{")
+    lines.append("public:")
+    for attribute in definition.attributes:
+        cpp = mood_type_to_cpp(parse_type(attribute.type_name))
+        array = re.fullmatch(r"char\[(\d+)\]", cpp)
+        if array:
+            lines.append(f"    char {attribute.name}[{array.group(1)}];")
+        else:
+            lines.append(f"    {cpp} {attribute.name};")
+    for method in definition.methods:
+        params = ", ".join(
+            f"{mood_type_to_cpp(parse_type(ptype))} {pname}"
+            for pname, ptype in method.parameters
+        )
+        ret = mood_type_to_cpp(parse_type(method.return_type))
+        lines.append(f"    {ret} {method.name}({params});")
+    lines.append("};")
+    return "\n".join(lines)
+
+
+def generate_headers(hierarchy: ClassHierarchy, class_names: list[str]) -> str:
+    """Headers for several classes, superclasses first."""
+    emitted: list[str] = []
+    done: set[str] = set()
+
+    def _emit(name: str) -> None:
+        if name in done:
+            return
+        for base in hierarchy.get(name).superclasses:
+            if base in class_names:
+                _emit(base)
+        done.add(name)
+        emitted.append(generate_header(name, hierarchy))
+
+    for name in class_names:
+        _emit(name)
+    return "\n\n".join(emitted)

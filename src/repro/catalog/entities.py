@@ -1,0 +1,118 @@
+"""Catalog entities: MoodsType, MoodsAttribute, MoodsFunction.
+
+Section 2: *"In order to achieve late binding at run time, it is necessary
+to carry compile time information to run time.  This is accomplished by the
+use of the classes MoodsType, MoodsAttribute and MoodsFunction.  The
+MoodsType class keeps track of all the types used in the system.  The
+MoodsAttribute stores the information about the attributes of these
+classes.  The instances of the MoodsFunction class keeps information about
+the member functions."* (Figure 2.2 shows their layout on ESM.)
+
+These are plain records; the :class:`repro.catalog.catalog.Catalog` stores
+them in system extents and keeps an in-memory symbol table over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+
+@dataclass
+class MoodsType:
+    """One row of the MoodsType system extent."""
+
+    name: str
+    type_id: int
+    is_class: bool                       # classes have extents; types do not
+    superclasses: list[str] = field(default_factory=list)
+    is_system: bool = False
+
+    def to_record(self) -> dict:
+        return {
+            "name": self.name,
+            "type_id": self.type_id,
+            "is_class": self.is_class,
+            "superclasses": list(self.superclasses),
+            "is_system": self.is_system,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "MoodsType":
+        return cls(
+            name=record["name"],
+            type_id=record["type_id"],
+            is_class=record["is_class"],
+            superclasses=list(record["superclasses"]),
+            is_system=record["is_system"],
+        )
+
+
+@dataclass
+class MoodsAttribute:
+    """One row of the MoodsAttribute system extent."""
+
+    owner: str                 # owning class/type name
+    name: str
+    type_name: str             # textual type (decoded via the type parser)
+    position: int              # declaration order within the owner
+
+    def to_record(self) -> dict:
+        return {
+            "owner": self.owner,
+            "name": self.name,
+            "type_name": self.type_name,
+            "position": self.position,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "MoodsAttribute":
+        return cls(
+            owner=record["owner"],
+            name=record["name"],
+            type_name=record["type_name"],
+            position=record["position"],
+        )
+
+
+@dataclass
+class MoodsFunction:
+    """One row of the MoodsFunction system extent.
+
+    The paper: *"MOOD System handles the methods only by keeping
+    information on their name, return type, and names and types of their
+    parameters."*  The body is kept as text in the owning class's directory
+    (Function Manager) and compiled separately.
+    """
+
+    owner: str
+    name: str
+    return_type: str
+    parameters: list[tuple[str, str]] = field(default_factory=list)  # (name, type)
+    source: str = ""
+
+    @property
+    def signature(self) -> str:
+        """Signature used to locate the function at invocation time:
+        class name + function name + parameter types (Section 2)."""
+        param_types = ",".join(ptype for _, ptype in self.parameters)
+        return f"{self.owner}::{self.name}({param_types})"
+
+    def to_record(self) -> dict:
+        return {
+            "owner": self.owner,
+            "name": self.name,
+            "return_type": self.return_type,
+            "parameters": [list(p) for p in self.parameters],
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "MoodsFunction":
+        return cls(
+            owner=record["owner"],
+            name=record["name"],
+            return_type=record["return_type"],
+            parameters=[tuple(p) for p in record["parameters"]],
+            source=record["source"],
+        )

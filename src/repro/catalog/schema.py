@@ -1,0 +1,239 @@
+"""Class definitions and the inheritance DAG.
+
+MOOD supports multiple inheritance (Section 3.1); MoodView renders the
+hierarchy as a DAG (Section 9.2).  This module holds the in-memory side of
+the schema: class definitions, C3 linearisation for attribute/method
+resolution, subclass closure for ``EVERY`` / IS-A semantics, and the FROM
+clause's minus operator ("excluding the instances of a subclass").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.entities import MoodsAttribute, MoodsFunction
+from repro.catalog.typeparse import parse_type
+from repro.core.errors import SchemaError, UnknownAttributeError, UnknownClassError
+from repro.model.types import MoodType
+
+
+@dataclass
+class ClassDefinition:
+    """A class (or plain type) as the schema sees it."""
+
+    name: str
+    type_id: int
+    is_class: bool
+    superclasses: list[str] = field(default_factory=list)
+    attributes: list[MoodsAttribute] = field(default_factory=list)  # own only
+    methods: list[MoodsFunction] = field(default_factory=list)      # own only
+    is_system: bool = False
+
+    def own_attribute(self, attr_name: str) -> MoodsAttribute | None:
+        for attribute in self.attributes:
+            if attribute.name == attr_name:
+                return attribute
+        return None
+
+    def own_method(self, method_name: str) -> MoodsFunction | None:
+        for method in self.methods:
+            if method.name == method_name:
+                return method
+        return None
+
+
+class ClassHierarchy:
+    """All class definitions plus DAG queries over them."""
+
+    def __init__(self):
+        self._classes: dict[str, ClassDefinition] = {}
+
+    # -- definition ------------------------------------------------------
+
+    def add(self, definition: ClassDefinition) -> None:
+        if definition.name in self._classes:
+            raise SchemaError(f"class {definition.name!r} already defined")
+        for superclass in definition.superclasses:
+            if superclass not in self._classes:
+                raise UnknownClassError(
+                    f"superclass {superclass!r} of {definition.name!r} undefined"
+                )
+        if len(set(definition.superclasses)) != len(definition.superclasses):
+            raise SchemaError(
+                f"duplicate superclass in {definition.name!r}"
+            )
+        self._classes[definition.name] = definition
+        try:
+            self.linearize(definition.name)   # C3 must exist
+            self.all_attributes(definition.name)  # no attribute conflicts
+        except SchemaError:
+            del self._classes[definition.name]
+            raise
+
+    def remove(self, name: str) -> None:
+        self.get(name)
+        if self.subclasses(name):
+            raise SchemaError(f"class {name!r} still has subclasses")
+        del self._classes[name]
+
+    def get(self, name: str) -> ClassDefinition:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownClassError(f"unknown class {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def definitions(self) -> list[ClassDefinition]:
+        return [self._classes[name] for name in self.names()]
+
+    # -- linearisation (C3) ------------------------------------------------
+
+    def linearize(self, name: str) -> list[str]:
+        """C3 linearisation: the class, then its superclasses, most derived
+        first, each appearing once."""
+        definition = self.get(name)
+        if not definition.superclasses:
+            return [name]
+        parent_linearisations = [
+            self.linearize(parent) for parent in definition.superclasses
+        ]
+        merged = self._c3_merge(
+            parent_linearisations + [list(definition.superclasses)], name
+        )
+        return [name] + merged
+
+    @staticmethod
+    def _c3_merge(sequences: list[list[str]], context: str) -> list[str]:
+        sequences = [list(seq) for seq in sequences if seq]
+        result: list[str] = []
+        while sequences:
+            for sequence in sequences:
+                head = sequence[0]
+                if not any(head in other[1:] for other in sequences):
+                    break
+            else:
+                raise SchemaError(
+                    f"inconsistent multiple inheritance for {context!r}"
+                )
+            result.append(head)
+            sequences = [
+                [item for item in seq if item != head] for seq in sequences
+            ]
+            sequences = [seq for seq in sequences if seq]
+        return result
+
+    # -- resolution ----------------------------------------------------------
+
+    def all_attributes(self, name: str) -> list[MoodsAttribute]:
+        """Attributes including inherited ones, base-most first (the C++
+        object layout order); an attribute redefined with a *different*
+        type along the hierarchy is a schema error."""
+        seen: dict[str, MoodsAttribute] = {}
+        ordered: list[MoodsAttribute] = []
+        for class_name in reversed(self.linearize(name)):
+            for attribute in self.get(class_name).attributes:
+                existing = seen.get(attribute.name)
+                if existing is None:
+                    seen[attribute.name] = attribute
+                    ordered.append(attribute)
+                elif existing.type_name != attribute.type_name:
+                    raise SchemaError(
+                        f"attribute {attribute.name!r} inherited with "
+                        f"conflicting types in {name!r}"
+                    )
+        return ordered
+
+    def attribute(self, class_name: str, attr_name: str) -> MoodsAttribute:
+        for attribute in self.all_attributes(class_name):
+            if attribute.name == attr_name:
+                return attribute
+        raise UnknownAttributeError(
+            f"class {class_name!r} has no attribute {attr_name!r}"
+        )
+
+    def attribute_type(self, class_name: str, attr_name: str) -> MoodType:
+        return parse_type(self.attribute(class_name, attr_name).type_name)
+
+    def has_attribute(self, class_name: str, attr_name: str) -> bool:
+        try:
+            self.attribute(class_name, attr_name)
+            return True
+        except UnknownAttributeError:
+            return False
+
+    def all_methods(self, name: str) -> dict[str, MoodsFunction]:
+        """Methods including inherited ones; the most derived definition
+        wins (late binding resolves against this map)."""
+        resolved: dict[str, MoodsFunction] = {}
+        for class_name in reversed(self.linearize(name)):
+            for method in self.get(class_name).methods:
+                resolved[method.name] = method
+        return resolved
+
+    def resolve_method(self, class_name: str, method_name: str) -> MoodsFunction:
+        method = self.all_methods(class_name).get(method_name)
+        if method is None:
+            raise UnknownAttributeError(
+                f"class {class_name!r} has no method {method_name!r}"
+            )
+        return method
+
+    # -- DAG queries ------------------------------------------------------------
+
+    def superclasses(self, name: str, transitive: bool = False) -> list[str]:
+        if not transitive:
+            return list(self.get(name).superclasses)
+        return self.linearize(name)[1:]
+
+    def subclasses(self, name: str, transitive: bool = True) -> list[str]:
+        self.get(name)
+        direct = [
+            definition.name
+            for definition in self._classes.values()
+            if name in definition.superclasses
+        ]
+        if not transitive:
+            return sorted(direct)
+        closure: set[str] = set()
+        frontier = list(direct)
+        while frontier:
+            child = frontier.pop()
+            if child in closure:
+                continue
+            closure.add(child)
+            frontier.extend(self.subclasses(child, transitive=False))
+        return sorted(closure)
+
+    def is_subclass(self, candidate: str, ancestor: str) -> bool:
+        """True when ``candidate`` IS-A ``ancestor`` (reflexive)."""
+        return candidate == ancestor or ancestor in self.linearize(candidate)
+
+    def extent_classes(self, base: str, exclude: list[str] | None = None) -> list[str]:
+        """Classes whose instances belong to a FROM-clause range.
+
+        IS-A semantics: the base class and all its (transitive) subclasses.
+        Each name in ``exclude`` removes that subclass's whole subtree --
+        the paper's minus operator.
+        """
+        included = {base, *self.subclasses(base)}
+        for excluded in exclude or []:
+            if excluded not in included:
+                raise SchemaError(
+                    f"{excluded!r} is not a subclass of {base!r}; "
+                    "the minus operator excludes subclasses only"
+                )
+            included -= {excluded, *self.subclasses(excluded)}
+        return sorted(included)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """(superclass, subclass) edges of the inheritance DAG."""
+        result = []
+        for definition in self._classes.values():
+            for parent in definition.superclasses:
+                result.append((parent, definition.name))
+        return sorted(result)

@@ -1,0 +1,123 @@
+"""Textual MOOD type expressions <-> type descriptors.
+
+The catalog stores attribute types textually (as the MOODSQL DDL spells
+them); this module parses that notation back into
+:class:`~repro.model.types.MoodType` descriptors.  Grammar::
+
+    type     := basic | bounded | constructed
+    basic    := Integer | LongInteger | Float | String | Char | Boolean
+    bounded  := String '(' number ')'
+    constructed := Set '(' type ')' | List '(' type ')'
+                 | Reference '(' identifier ')'
+                 | Tuple '(' field (',' field)* ')'
+    field    := identifier type
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import UnknownTypeError
+from repro.model.types import (
+    BASIC_TYPES,
+    ListType,
+    MoodType,
+    RefType,
+    SetType,
+    StringType,
+    TupleType,
+)
+
+_TOKEN = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*|\d+|[(),])")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise UnknownTypeError(f"bad type syntax near {text[position:]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.position = 0
+
+    def peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self, expected: str | None = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise UnknownTypeError(f"unexpected end of type {self.source!r}")
+        if expected is not None and token != expected:
+            raise UnknownTypeError(
+                f"expected {expected!r}, found {token!r} in type {self.source!r}"
+            )
+        self.position += 1
+        return token
+
+    def parse_type(self) -> MoodType:
+        token = self.take()
+        if token == "String" and self.peek() == "(":
+            self.take("(")
+            length = self.take()
+            if not length.isdigit():
+                raise UnknownTypeError(f"bad String bound {length!r}")
+            self.take(")")
+            return StringType(int(length))
+        if token in BASIC_TYPES:
+            return BASIC_TYPES[token]
+        upper = token.upper()
+        if upper == "SET":
+            self.take("(")
+            element = self.parse_type()
+            self.take(")")
+            return SetType(element)
+        if upper == "LIST":
+            self.take("(")
+            element = self.parse_type()
+            self.take(")")
+            return ListType(element)
+        if upper == "REFERENCE" or upper == "REF":
+            self.take("(")
+            target = self.take()
+            self.take(")")
+            return RefType(target)
+        if upper == "TUPLE":
+            self.take("(")
+            fields = []
+            while True:
+                name = self.take()
+                fields.append((name, self.parse_type()))
+                if self.peek() == ",":
+                    self.take(",")
+                    continue
+                break
+            self.take(")")
+            return TupleType(tuple(fields))
+        raise UnknownTypeError(f"unknown type {token!r} in {self.source!r}")
+
+
+def parse_type(text: str) -> MoodType:
+    """Parse a textual type expression into a descriptor."""
+    parser = _Parser(_tokenize(text), text)
+    result = parser.parse_type()
+    if parser.peek() is not None:
+        raise UnknownTypeError(f"trailing tokens in type {text!r}")
+    return result
+
+
+def format_type(mood_type: MoodType) -> str:
+    """Render a descriptor in the catalog's textual notation."""
+    return mood_type.name

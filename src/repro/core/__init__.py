@@ -1,0 +1,8 @@
+"""The MOOD kernel and database facade."""
+
+from repro.core.database import MoodDatabase
+from repro.core.errors import MoodError
+from repro.core.kernel import MoodKernel, QueryResult, StatementResult
+
+__all__ = ["MoodDatabase", "MoodError", "MoodKernel", "QueryResult",
+           "StatementResult"]

@@ -1,0 +1,123 @@
+"""MoodDatabase: the user-facing facade.
+
+Wraps :class:`~repro.core.kernel.MoodKernel` with conveniences: statement
+scripts, automatic statistics collection before planning, a direct object
+API (the 'defined through C++' route), and I/O accounting helpers for
+experiments.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel import MoodKernel, QueryResult, StatementResult
+from repro.model.objects import MoodObject
+from repro.sql.ast import SelectQuery
+from repro.sql.parser import parse_script
+from repro.storage.disk import DiskParams, IOStats
+from repro.storage.oid import OID
+
+
+class MoodDatabase:
+    """A MOOD database instance."""
+
+    def __init__(
+        self,
+        disk_params: DiskParams | None = None,
+        buffer_capacity: int = 512,
+        auto_analyze: bool = True,
+    ):
+        self.kernel = MoodKernel(disk_params, buffer_capacity)
+        self.auto_analyze = auto_analyze
+        self._schema_version = 0
+        self._analyzed_version = -1
+
+    # -- statements -------------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult | StatementResult:
+        """Execute one statement (auto-analyzing before SELECTs)."""
+        results = self.execute_script(sql)
+        return results[-1]
+
+    def execute_script(self, sql: str) -> list[QueryResult | StatementResult]:
+        """Execute a ';'-separated script; returns one result per statement."""
+        statements = parse_script(sql)
+        results = []
+        for statement in statements:
+            if isinstance(statement, SelectQuery):
+                self._ensure_statistics()
+            result = self.kernel.execute_statement(statement)
+            if not isinstance(statement, SelectQuery):
+                self._schema_version += 1
+            results.append(result)
+        return results
+
+    def query(self, sql: str) -> QueryResult:
+        result = self.execute(sql)
+        if not isinstance(result, QueryResult):
+            raise TypeError("query() is for SELECT statements")
+        return result
+
+    def _ensure_statistics(self) -> None:
+        if not self.auto_analyze:
+            return
+        if self._analyzed_version != self._schema_version:
+            self.kernel.analyze()
+            self._analyzed_version = self._schema_version
+
+    def analyze(self):
+        stats = self.kernel.analyze()
+        self._analyzed_version = self._schema_version
+        return stats
+
+    # -- direct object API (the C++ route) -----------------------------------------
+
+    def new_object(self, class_name: str, state: dict) -> MoodObject:
+        """Create an object directly; MoodObject values become references."""
+        converted = {key: _to_storable(value) for key, value in state.items()}
+        self._schema_version += 1  # data changed; stats are stale
+        return self.kernel.objects.new_object(class_name, converted)
+
+    def get(self, oid: OID) -> MoodObject:
+        return self.kernel.objects.deref(oid)
+
+    def save(self, obj: MoodObject) -> None:
+        self.kernel.objects.update_object(obj)
+        self._schema_version += 1
+
+    def delete(self, oid: OID) -> None:
+        self.kernel.objects.delete_object(oid)
+        self._schema_version += 1
+
+    def extent(self, class_name: str, deep: bool = True) -> list[MoodObject]:
+        return list(self.kernel.objects.iter_extent(class_name, deep=deep))
+
+    def invoke(self, obj: MoodObject, method: str, args: list | None = None):
+        """Invoke a member function with late binding."""
+        return self.kernel.functions.invoke(
+            obj, method, args or [], resolve=self.kernel.objects.deref
+        )
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def io_stats(self) -> IOStats:
+        return self.kernel.storage.io_stats
+
+    def reset_io(self) -> None:
+        self.kernel.storage.io_stats.reset()
+
+    def io_probe(self):
+        """Snapshot for measuring a single operation's I/O."""
+        return self.kernel.storage.io_snapshot()
+
+    def io_since(self, snapshot) -> IOStats:
+        return self.kernel.storage.io_stats.since(snapshot)
+
+
+def _to_storable(value):
+    if isinstance(value, MoodObject):
+        return value.oid
+    if isinstance(value, (set, frozenset)):
+        return {_to_storable(v) for v in value}
+    if isinstance(value, list):
+        return [_to_storable(v) for v in value]
+    return value

@@ -1,0 +1,168 @@
+"""Exception hierarchy for the MOOD reproduction.
+
+The paper (Section 2) routes *all* system errors -- including signals raised
+by dynamically linked, separately compiled member functions -- through a
+single ``Exception`` class so that compiled code fails as gracefully as
+interpreted code.  We mirror that with a single rooted hierarchy: every error
+the library raises derives from :class:`MoodError`.
+"""
+
+from __future__ import annotations
+
+
+class MoodError(Exception):
+    """Root of all errors raised by the MOOD reproduction."""
+
+
+# --------------------------------------------------------------------------
+# Storage layer
+# --------------------------------------------------------------------------
+
+class StorageError(MoodError):
+    """Base class for storage-manager failures."""
+
+
+class PageFullError(StorageError):
+    """A slotted page had insufficient free space for a record."""
+
+
+class RecordNotFoundError(StorageError):
+    """An OID did not resolve to a live record."""
+
+
+class FileNotFoundStorageError(StorageError):
+    """A storage file id did not resolve to a file."""
+
+
+class VolumeError(StorageError):
+    """A volume id did not resolve to a mounted volume."""
+
+
+class IndexStructureError(StorageError):
+    """An index (B+-tree, hash, R-tree) violated a structural expectation."""
+
+
+class LockError(MoodError):
+    """Base class for lock-manager failures."""
+
+
+class DeadlockError(LockError):
+    """A lock wait would have closed a cycle in the wait-for graph."""
+
+
+class LockTimeoutError(LockError):
+    """A lock could not be acquired within the allotted time."""
+
+
+class TransactionError(MoodError):
+    """Illegal transaction state transition or use of a dead transaction."""
+
+
+class RecoveryError(MoodError):
+    """Restart recovery could not be completed."""
+
+
+# --------------------------------------------------------------------------
+# Data model / type system
+# --------------------------------------------------------------------------
+
+class TypeSystemError(MoodError):
+    """Base class for type-system failures."""
+
+
+class TypeMismatchError(TypeSystemError):
+    """A value did not conform to its declared MOOD type."""
+
+
+class UnknownTypeError(TypeSystemError):
+    """A type id or type name did not resolve in the type registry."""
+
+
+class SerdeError(MoodError):
+    """Value (de)serialisation failed."""
+
+
+# --------------------------------------------------------------------------
+# Catalog and schema
+# --------------------------------------------------------------------------
+
+class CatalogError(MoodError):
+    """Base class for catalog failures."""
+
+
+class SchemaError(CatalogError):
+    """Illegal schema definition or modification."""
+
+
+class UnknownClassError(CatalogError):
+    """A class name or type id did not resolve in the catalog."""
+
+
+class UnknownAttributeError(CatalogError):
+    """An attribute name did not resolve on a class."""
+
+
+# --------------------------------------------------------------------------
+# Function manager
+# --------------------------------------------------------------------------
+
+class FunctionError(MoodError):
+    """Base class for function-manager failures."""
+
+
+class FunctionNotFoundError(FunctionError):
+    """No member function matched the requested signature."""
+
+
+class CompilationError(FunctionError):
+    """A member-function body failed to compile."""
+
+
+class FunctionRuntimeError(FunctionError):
+    """A dynamically linked member function raised at run time.
+
+    This is the reproduction of the paper's ``Exception`` class: errors from
+    compiled functions are caught and surfaced 'as if they are interpreted'.
+    """
+
+    def __init__(self, signature: str, original: BaseException):
+        super().__init__(f"member function {signature!r} failed: {original!r}")
+        self.signature = signature
+        self.original = original
+
+
+# --------------------------------------------------------------------------
+# MOODSQL front end
+# --------------------------------------------------------------------------
+
+class MoodSqlError(MoodError):
+    """Base class for MOODSQL front-end failures."""
+
+
+class LexerError(MoodSqlError):
+    """The MOODSQL lexer met an illegal character sequence."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(MoodSqlError):
+    """The MOODSQL parser met an unexpected token."""
+
+
+# --------------------------------------------------------------------------
+# Algebra / optimizer / executor
+# --------------------------------------------------------------------------
+
+class AlgebraError(MoodError):
+    """An algebra operator was applied to an unsupported argument kind."""
+
+
+class OptimizerError(MoodError):
+    """The optimizer could not produce a plan."""
+
+
+class ExecutionError(MoodError):
+    """Plan execution failed."""

@@ -1,0 +1,381 @@
+"""The MOOD kernel (Figure 2.1).
+
+One object wiring every subsystem the paper describes: ESM (storage), the
+CATALOG, the Function Manager, the MOODSQL interpreter with its optimizer,
+and the execution engine.  ``execute`` is the single entry point the paper
+prescribes -- *"interfaces access the database through SQL statements
+interpreted by the kernel"* -- including the DDL, ``new`` object creation,
+DML, and ad-hoc queries.
+
+The kernel traces each statement's processing steps (parse, simplify, DNF,
+optimize, execute, and the operator events of Figure 7.2); the trace of the
+last statement is kept on :attr:`MoodKernel.trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.cppfront import generate_header
+from repro.catalog.entities import MoodsFunction
+from repro.core.errors import ExecutionError, MoodSqlError
+from repro.cost.params import DatabaseStats
+from repro.cost.statistics import collect_statistics
+from repro.engine.cursor import ObjectCursor
+from repro.engine.evaluator import ExpressionEvaluator, Row
+from repro.engine.executor import Executor, TraceEvent
+from repro.engine.indexes import IndexManager
+from repro.engine.objects import ObjectManager
+from repro.functions.manager import FunctionManager
+from repro.model.objects import MoodObject
+from repro.optimizer.planner import Planner, QueryPlan
+from repro.sql.ast import (
+    AlterClass,
+    AnalyzeStmt,
+    CreateClass,
+    CreateIndex,
+    CreateMethod,
+    DeleteStmt,
+    DropClass,
+    DropIndex,
+    DropMethod,
+    NewObject,
+    SelectQuery,
+    Statement,
+    UpdateStmt,
+)
+from repro.sql.parser import parse as parse_sql
+from repro.storage.disk import DiskParams
+from repro.storage.manager import StorageManager
+
+
+@dataclass
+class QueryResult:
+    """Result of a SELECT: projected rows plus planning artifacts."""
+
+    columns: list[str]
+    rows: list[tuple]
+    binding_rows: list[Row]
+    plan: QueryPlan
+    trace: list[TraceEvent]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalars(self) -> list:
+        """First-column values (convenient for single-projection queries)."""
+        return [row[0] for row in self.rows]
+
+
+@dataclass
+class StatementResult:
+    """Result of a non-SELECT statement."""
+
+    kind: str
+    detail: str = ""
+    obj: MoodObject | None = None
+    count: int = 0
+    header: str | None = None    # generated C++ header for CREATE CLASS
+
+
+class MoodKernel:
+    """The kernel: catalog + functions + optimizer + executor over ESM."""
+
+    def __init__(
+        self,
+        disk_params: DiskParams | None = None,
+        buffer_capacity: int = 512,
+    ):
+        self.storage = StorageManager(disk_params, buffer_capacity)
+        self.catalog = Catalog(self.storage)
+        self.functions = FunctionManager(self.catalog)
+        self.objects = ObjectManager(self.storage, self.catalog)
+        self.indexes = IndexManager(self.storage, self.catalog, self.objects)
+        self.evaluator = ExpressionEvaluator(self.objects, self.functions)
+        self.stats = DatabaseStats()
+        self.trace: list[TraceEvent] = []
+        self.last_plan: QueryPlan | None = None
+
+    # -- statistics and planning -------------------------------------------------
+
+    def analyze(self) -> DatabaseStats:
+        """Collect the Table 8 statistics from the live database."""
+        self.stats = collect_statistics(
+            self.catalog,
+            objects_of=lambda name: list(
+                self.objects.iter_extent(name, deep=False)
+            ),
+            nbpages_of=lambda name: self.catalog.extent_file(name).nbpages(),
+        )
+        return self.stats
+
+    def has_statistics(self) -> bool:
+        return bool(self.stats.classes)
+
+    def planner(self) -> Planner:
+        if not self.has_statistics():
+            self.analyze()
+        return Planner(
+            self.catalog,
+            self.stats,
+            self.storage.params,
+            btree_params_of=self.indexes.btree_params_of,
+            join_indexes=self.indexes.join_index_params(),
+            path_indexes=self.indexes.path_index_params(),
+        )
+
+    # -- the entry point ----------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult | StatementResult:
+        """Parse and execute one MOODSQL statement."""
+        statement = parse_sql(sql)
+        return self.execute_statement(statement)
+
+    def execute_statement(
+        self, statement: Statement
+    ) -> QueryResult | StatementResult:
+        self.trace = [TraceEvent("PARSE")]
+        if isinstance(statement, SelectQuery):
+            return self._execute_select(statement)
+        if isinstance(statement, CreateClass):
+            return self._execute_create_class(statement)
+        if isinstance(statement, DropClass):
+            self.catalog.drop_class(statement.name)
+            self.objects.rebuild_page_map()
+            return StatementResult("DROP CLASS", statement.name)
+        if isinstance(statement, AlterClass):
+            return self._execute_alter(statement)
+        if isinstance(statement, CreateIndex):
+            self.indexes.create_index(
+                statement.name, statement.class_name, statement.attribute,
+                statement.kind, statement.unique,
+            )
+            return StatementResult("CREATE INDEX", statement.name)
+        if isinstance(statement, DropIndex):
+            self.indexes.drop_index(statement.name)
+            return StatementResult("DROP INDEX", statement.name)
+        if isinstance(statement, CreateMethod):
+            return self._execute_create_method(statement)
+        if isinstance(statement, DropMethod):
+            types = ",".join(statement.parameter_types)
+            signature = f"{statement.class_name}::{statement.name}({types})"
+            self.functions.delete_function(signature)
+            return StatementResult("DROP METHOD", signature)
+        if isinstance(statement, NewObject):
+            return self._execute_new(statement)
+        if isinstance(statement, DeleteStmt):
+            return self._execute_delete(statement)
+        if isinstance(statement, UpdateStmt):
+            return self._execute_update(statement)
+        if isinstance(statement, AnalyzeStmt):
+            self.analyze()
+            return StatementResult(
+                "ANALYZE", f"{len(self.stats.classes)} classes"
+            )
+        raise MoodSqlError(f"unsupported statement {type(statement).__name__}")
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def _execute_select(self, query: SelectQuery) -> QueryResult:
+        self.trace.append(TraceEvent("SIMPLIFY"))
+        self.trace.append(TraceEvent("DNF"))
+        self.trace.append(TraceEvent("OPTIMIZE"))
+        plan = self.planner().plan_query(query)
+        self.last_plan = plan
+        executor = Executor(
+            objects=self.objects,
+            evaluator=self.evaluator,
+            catalog=self.catalog,
+            index_manager=self.indexes,
+            trace=self.trace,
+        )
+        binding_rows = executor.execute_plan(plan)
+        columns, rows = self._project(query, binding_rows)
+        if query.distinct:
+            rows = _dedup_tuples(rows)
+        self.functions.end_scope()  # statement boundary unloads functions
+        return QueryResult(
+            columns=columns,
+            rows=rows,
+            binding_rows=binding_rows,
+            plan=plan,
+            trace=list(self.trace),
+        )
+
+    def _project(self, query: SelectQuery, binding_rows: list[Row]):
+        if query.projections:
+            columns = [str(p) for p in query.projections]
+            rows = [
+                tuple(
+                    self.evaluator.value(projection, row)
+                    for projection in query.projections
+                )
+                for row in binding_rows
+            ]
+        else:
+            columns = [r.var for r in query.ranges]
+            rows = [
+                tuple(row[column] for column in columns)
+                for row in binding_rows
+            ]
+        return columns, rows
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def _execute_create_class(self, statement: CreateClass) -> StatementResult:
+        methods = [
+            MoodsFunction(
+                owner=statement.name,
+                name=decl.name,
+                return_type=decl.return_type,
+                parameters=list(decl.parameters),
+                source=decl.body or "",
+            )
+            for decl in statement.methods
+        ]
+        self.catalog.define_class(
+            statement.name,
+            attributes=list(statement.attributes),
+            superclasses=list(statement.superclasses),
+            methods=methods,
+            is_class=statement.is_class,
+        )
+        # 'a C++ header file is created for future compilation'
+        header = generate_header(statement.name, self.catalog.hierarchy)
+        return StatementResult(
+            "CREATE CLASS" if statement.is_class else "CREATE TYPE",
+            statement.name,
+            header=header,
+        )
+
+    def _execute_alter(self, statement: AlterClass) -> StatementResult:
+        if statement.action == "add":
+            self.catalog.add_attribute(statement.name, statement.attribute,
+                                       statement.type_text)
+        elif statement.action == "drop":
+            self.catalog.drop_attribute(statement.name, statement.attribute)
+            self._migrate_attribute(statement.name, "drop",
+                                    statement.attribute)
+        else:
+            self.catalog.rename_attribute(statement.name, statement.attribute,
+                                          statement.new_name)
+            self._migrate_attribute(statement.name, "rename",
+                                    statement.attribute, statement.new_name)
+        return StatementResult("ALTER CLASS", statement.name)
+
+    def _migrate_attribute(self, class_name: str, action: str,
+                           old: str, new: str | None = None) -> None:
+        """Rewrite stored instances after a rename/drop (MOOD's dynamic
+        schema changes apply to existing objects)."""
+        from repro.model.serde import decode, encode
+
+        for member in self.catalog.hierarchy.extent_classes(class_name):
+            extent = self.catalog.extent_file(member)
+            for oid, payload in list(self.storage.scan(extent)):
+                state = decode(payload)
+                if old not in state:
+                    continue
+                if action == "rename":
+                    state[new] = state.pop(old)
+                else:
+                    state.pop(old)
+                self.storage.update(extent, oid, encode(state))
+
+    def _execute_create_method(self, statement: CreateMethod) -> StatementResult:
+        function = MoodsFunction(
+            owner=statement.class_name,
+            name=statement.decl.name,
+            return_type=statement.decl.return_type,
+            parameters=list(statement.decl.parameters),
+            source=statement.decl.body or "",
+        )
+        existing = self.catalog.class_def(statement.class_name).own_method(
+            statement.decl.name
+        )
+        if existing is not None and existing.signature == function.signature:
+            self.functions.update_function(function)
+            return StatementResult("UPDATE METHOD", function.signature)
+        self.functions.add_function(function)
+        return StatementResult("CREATE METHOD", function.signature)
+
+    # -- DML ---------------------------------------------------------------------
+
+    def _execute_new(self, statement: NewObject) -> StatementResult:
+        attributes = self.catalog.hierarchy.all_attributes(statement.class_name)
+        if len(statement.values) > len(attributes):
+            raise ExecutionError(
+                f"new {statement.class_name}: {len(statement.values)} values "
+                f"for {len(attributes)} attributes"
+            )
+        state = {}
+        for attribute, expr in zip(attributes, statement.values):
+            state[attribute.name] = self.evaluator.value(expr, {})
+        obj = self.objects.new_object(statement.class_name, state)
+        if statement.bind_name:
+            self.catalog.bind_name(statement.bind_name, obj.oid)
+        return StatementResult("NEW", str(obj.oid), obj=obj)
+
+    def _matching_rows(self, range_var, where) -> list[Row]:
+        include = tuple(
+            self.catalog.hierarchy.extent_classes(range_var.class_name,
+                                                  list(range_var.minus))
+        )
+        rows = [
+            {range_var.var: obj}
+            for obj in self.objects.iter_extent(range_var.class_name,
+                                                include=include)
+        ]
+        if where is not None:
+            rows = [r for r in rows if self.evaluator.predicate(where, r)]
+        return rows
+
+    def _execute_delete(self, statement: DeleteStmt) -> StatementResult:
+        rows = self._matching_rows(statement.range_var, statement.where)
+        for row in rows:
+            self.objects.delete_object(row[statement.range_var.var].oid)
+        return StatementResult("DELETE", count=len(rows))
+
+    def _execute_update(self, statement: UpdateStmt) -> StatementResult:
+        rows = self._matching_rows(statement.range_var, statement.where)
+        for row in rows:
+            obj = row[statement.range_var.var]
+            for attribute, expr in statement.assignments:
+                obj.state[attribute] = self.evaluator.value(expr, row)
+            self.objects.update_object(obj)
+        return StatementResult("UPDATE", count=len(rows))
+
+    # -- MoodView services ----------------------------------------------------------
+
+    def cursor_for(self, result: QueryResult, var: str | None = None) -> ObjectCursor:
+        """An object cursor over one output variable of a query result."""
+        if var is None:
+            var = result.plan.output_vars[0]
+        objects = []
+        seen = set()
+        for row in result.binding_rows:
+            obj = row.get(var)
+            if obj is not None and obj.oid not in seen:
+                seen.add(obj.oid)
+                objects.append(obj)
+        return ObjectCursor(self.catalog, objects)
+
+
+def _dedup_tuples(rows: list[tuple]) -> list[tuple]:
+    seen = set()
+    result = []
+    for row in rows:
+        try:
+            key = tuple(
+                value.oid if isinstance(value, MoodObject) else repr(value)
+                for value in row
+            )
+        except TypeError:
+            key = repr(row)
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result

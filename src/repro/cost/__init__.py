@@ -1,0 +1,58 @@
+"""The MOOD cost model (Sections 4-6): parameters, selectivity, I/O costs."""
+
+from repro.cost.approx import c_approx, cardenas, overlap_probability, yao
+from repro.cost.fileops import indcost, rndcost, rngxcost, seqcost
+from repro.cost.joincost import (
+    DEFAULT_CPU_COST,
+    JoinCostEstimate,
+    JoinStrategy,
+    backward_traversal_cost,
+    best_join_strategy,
+    binary_join_index_cost,
+    forward_traversal_cost,
+    hash_partition_cost,
+    pages_hit,
+)
+from repro.cost.params import AttrStats, ClassCard, DatabaseStats, RefStats
+from repro.cost.selectivity import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    PathExpression,
+    atomic_selectivity,
+    expected_matches,
+    fref,
+    path_selectivity,
+)
+from repro.cost.statistics import collect_statistics
+
+__all__ = [
+    "AttrStats",
+    "ClassCard",
+    "DEFAULT_CPU_COST",
+    "DEFAULT_EQ_SELECTIVITY",
+    "DEFAULT_RANGE_SELECTIVITY",
+    "DatabaseStats",
+    "JoinCostEstimate",
+    "JoinStrategy",
+    "PathExpression",
+    "RefStats",
+    "atomic_selectivity",
+    "backward_traversal_cost",
+    "best_join_strategy",
+    "binary_join_index_cost",
+    "c_approx",
+    "cardenas",
+    "collect_statistics",
+    "expected_matches",
+    "forward_traversal_cost",
+    "fref",
+    "hash_partition_cost",
+    "indcost",
+    "overlap_probability",
+    "pages_hit",
+    "path_selectivity",
+    "rndcost",
+    "rngxcost",
+    "seqcost",
+    "yao",
+]

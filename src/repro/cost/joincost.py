@@ -1,0 +1,178 @@
+"""Cost of the implicit join operation (Section 6).
+
+``k_c`` objects of class C are implicitly joined through attribute A with
+``k_d`` objects of class D (``C.A = D.self``); when no prior selection
+applies, ``k_c = |C|`` and ``k_d = |D|``.  Four strategies are costed:
+
+* forward traversal (``ftc``),
+* backward traversal (``btc``) -- a sequential scan over C's extent,
+* binary join index (``bjc = INDCOST(k)``),
+* pointer-based hash-partition join (``hhc``) -- applicable only when A's
+  constructor is Reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.approx import c_approx
+from repro.cost.fileops import indcost, rndcost, seqcost
+from repro.cost.params import DatabaseStats
+from repro.storage.btree import BTreeParams
+from repro.storage.disk import DiskParams
+
+#: CPU cost of one in-memory reference comparison, in the same milliseconds
+#: unit as the disk parameters.  The paper's btc formula charges
+#: ``k_c * fan * k_d * CPUCOST`` for matching; the constant is configurable.
+DEFAULT_CPU_COST = 1e-5
+
+
+def pages_hit(nbpages: float, k: float) -> float:
+    """Expected distinct pages touched by k uniform record probes:
+    ``nbpages * (1 - (1 - 1/nbpages)^k)`` (Cardenas)."""
+    if nbpages <= 0 or k <= 0:
+        return 0.0
+    return nbpages * (1.0 - (1.0 - 1.0 / nbpages) ** k)
+
+
+def forward_traversal_cost(
+    params: DiskParams,
+    stats: DatabaseStats,
+    class_c: str,
+    attr: str,
+    k_c: float,
+) -> float:
+    """ftc = RNDCOST(nbpg_c) + RNDCOST(k_c * fan(A, C, D)).
+
+    ``nbpg_c`` is the expected number of C pages holding the ``k_c``
+    starting objects; the second term chases every induced reference with
+    no buffer hits (the paper's worst case).
+    """
+    nbpg_c = pages_hit(stats.nbpages(class_c), k_c)
+    fan = stats.fan(attr, class_c)
+    return rndcost(params, nbpg_c) + rndcost(params, k_c * fan)
+
+
+def backward_traversal_cost(
+    params: DiskParams,
+    stats: DatabaseStats,
+    class_c: str,
+    attr: str,
+    k_c: float,
+    k_d: float,
+    d_accessed_previously: bool = False,
+    cpu_cost: float = DEFAULT_CPU_COST,
+) -> float:
+    """btc = SEQCOST(nbpages(C)) + k_c*fan*k_d*CPUCOST
+    [+ SEQCOST(nbpages(D)) unless D was accessed previously].
+
+    Backward traversal must sequentially scan the referencing extent C.
+    """
+    fan = stats.fan(attr, class_c)
+    cost = seqcost(params, stats.nbpages(class_c))
+    cost += k_c * fan * k_d * cpu_cost
+    if not d_accessed_previously:
+        target = stats.ref_target(attr, class_c)
+        cost += seqcost(params, stats.nbpages(target))
+    return cost
+
+
+def binary_join_index_cost(
+    params: DiskParams,
+    index: BTreeParams,
+    k: float,
+) -> float:
+    """bjc = INDCOST(k): probing the binary join index for k objects of
+    either class."""
+    return indcost(params, index, k)
+
+
+def hash_partition_cost(
+    params: DiskParams,
+    stats: DatabaseStats,
+    class_c: str,
+    attr: str,
+    k_c: float,
+) -> float:
+    """Pointer-based hash-partition join.
+
+    The referencing class C is hashed on the pointer field A (the classic
+    3(b+b') pass structure scaled by the fraction of C participating), then
+    each pointer is chased into D:
+
+    .. math::
+
+        hhc = 3 \\frac{k_c}{|C|} SEQCOST(nbpages(C)) + RNDCOST(nbpg)
+
+    with :math:`nbpg = nbpages(D)(1 - (1 - 1/nbpages(D))^{\\alpha})` and
+    :math:`\\alpha = c(|C|\\,fan, totref, k_c\\,fan)`.  Only applicable when
+    A's constructor is Reference.
+    """
+    card_c = stats.card(class_c)
+    if card_c == 0:
+        return 0.0
+    fan = stats.fan(attr, class_c)
+    totref = stats.totref(attr, class_c)
+    target = stats.ref_target(attr, class_c)
+    alpha = c_approx(card_c * fan, totref, k_c * fan)
+    nbpg = pages_hit(stats.nbpages(target), alpha)
+    return 3.0 * (k_c / card_c) * seqcost(params, stats.nbpages(class_c)) \
+        + rndcost(params, nbpg)
+
+
+class JoinStrategy:
+    FORWARD = "FORWARD_TRAVERSAL"
+    BACKWARD = "BACKWARD_TRAVERSAL"
+    BINARY_JOIN_INDEX = "BINARY_JOIN_INDEX"
+    HASH_PARTITION = "HASH_PARTITION"
+
+
+@dataclass(frozen=True)
+class JoinCostEstimate:
+    strategy: str
+    cost: float
+
+
+def best_join_strategy(
+    params: DiskParams,
+    stats: DatabaseStats,
+    class_c: str,
+    attr: str,
+    k_c: float,
+    k_d: float,
+    join_index: BTreeParams | None = None,
+    attr_is_reference: bool = True,
+    d_accessed_previously: bool = False,
+    cpu_cost: float = DEFAULT_CPU_COST,
+) -> JoinCostEstimate:
+    """Cost all applicable strategies and return the cheapest (Section 8.3:
+    'jc is the minimum cost join technique among the four join
+    algorithms')."""
+    candidates = [
+        JoinCostEstimate(
+            JoinStrategy.FORWARD,
+            forward_traversal_cost(params, stats, class_c, attr, k_c),
+        ),
+        JoinCostEstimate(
+            JoinStrategy.BACKWARD,
+            backward_traversal_cost(
+                params, stats, class_c, attr, k_c, k_d,
+                d_accessed_previously, cpu_cost,
+            ),
+        ),
+    ]
+    if join_index is not None:
+        candidates.append(
+            JoinCostEstimate(
+                JoinStrategy.BINARY_JOIN_INDEX,
+                binary_join_index_cost(params, join_index, min(k_c, k_d)),
+            )
+        )
+    if attr_is_reference:
+        candidates.append(
+            JoinCostEstimate(
+                JoinStrategy.HASH_PARTITION,
+                hash_partition_cost(params, stats, class_c, attr, k_c),
+            )
+        )
+    return min(candidates, key=lambda estimate: estimate.cost)

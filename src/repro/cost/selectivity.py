@@ -1,0 +1,181 @@
+"""Selectivity estimation (Section 4.1).
+
+Atomic selectivities under the uniform-distribution assumption, the
+``fref`` forward-reference recursion, and the paper's path-expression
+selectivity
+
+.. math::
+
+    f_s(p.A_1...A_m) = o\\big(totref_{m-1},\\;
+        fref(p.A_1..A_{m-1}, 1),\\;
+        k_m \\cdot hitprb(A_{m-1}, C_{m-1}, C_m)\\big)
+
+with :math:`k_m = |C_m| \\cdot f_s(A_m\\,\\theta\\,c)`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import OptimizerError
+from repro.cost.approx import c_approx, overlap_probability
+from repro.cost.params import DatabaseStats
+
+#: Fallback selectivity when statistics cannot answer (System R tradition).
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_OTHER_SELECTIVITY = 0.5
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+def _clamp(value: float) -> float:
+    return max(0.0, min(1.0, value))
+
+
+def atomic_selectivity(
+    stats: DatabaseStats,
+    class_name: str,
+    attribute: str,
+    op: str,
+    constant,
+    constant2=None,
+) -> float:
+    """Selectivity of ``s.A op constant`` for an atomic attribute.
+
+    * ``=``: 1 / dist(A, C)
+    * ``>``: (max - c) / (max - min); other inequalities by symmetry
+    * ``BETWEEN``: (c2 - c1) / (max - min)
+    * ``<>``: 1 - 1/dist
+
+    Non-numeric attributes fall back to the classic default fractions for
+    range operators.
+    """
+    if not stats.has_attribute(class_name, attribute):
+        return _default_for(op)
+    attr = stats.attributes[(class_name, attribute)]
+    if op == "=":
+        return _clamp(1.0 / attr.dist) if attr.dist > 0 else DEFAULT_EQ_SELECTIVITY
+    if op == "<>":
+        if attr.dist > 0:
+            return _clamp(1.0 - 1.0 / attr.dist)
+        return 1.0 - DEFAULT_EQ_SELECTIVITY
+    numeric = (
+        attr.max is not None
+        and attr.min is not None
+        and isinstance(constant, (int, float))
+        and not isinstance(constant, bool)
+    )
+    if not numeric:
+        return _default_for(op)
+    span = attr.max - attr.min
+    if span <= 0:
+        return 1.0 if attr.min <= constant <= attr.max else 0.0
+    if op == "BETWEEN":
+        if constant2 is None:
+            raise OptimizerError("BETWEEN needs two constants")
+        low, high = min(constant, constant2), max(constant, constant2)
+        return _clamp((high - low) / span)
+    if op == ">":
+        return _clamp((attr.max - constant) / span)
+    if op == ">=":
+        return _clamp((attr.max - constant) / span + 1.0 / max(attr.dist, 1))
+    if op == "<":
+        return _clamp((constant - attr.min) / span)
+    if op == "<=":
+        return _clamp((constant - attr.min) / span + 1.0 / max(attr.dist, 1))
+    raise OptimizerError(f"unknown comparison operator {op!r}")
+
+
+def _default_for(op: str) -> float:
+    if op == "=":
+        return DEFAULT_EQ_SELECTIVITY
+    if op == "<>":
+        return 1.0 - DEFAULT_EQ_SELECTIVITY
+    if op in ("<", "<=", ">", ">=", "BETWEEN"):
+        return DEFAULT_RANGE_SELECTIVITY
+    return DEFAULT_OTHER_SELECTIVITY
+
+
+# --------------------------------------------------------------------------
+# Path expressions
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PathExpression:
+    """A resolved path ``p.A_1.A_2...A_m``.
+
+    ``classes`` are :math:`C_1..C_m` (the class each attribute belongs to),
+    ``reference_attrs`` are :math:`A_1..A_{m-1}` (set/reference
+    constructors), and ``final_attr`` is the atomic :math:`A_m`.
+    """
+
+    classes: tuple[str, ...]
+    reference_attrs: tuple[str, ...]
+    final_attr: str
+
+    def __post_init__(self):
+        if len(self.classes) != len(self.reference_attrs) + 1:
+            raise OptimizerError(
+                "path expression needs one class per attribute plus the "
+                "final class"
+            )
+
+    @property
+    def length(self) -> int:
+        """m: the number of attributes in the path."""
+        return len(self.reference_attrs) + 1
+
+    def text(self, variable: str = "p") -> str:
+        return ".".join([variable, *self.reference_attrs, self.final_attr])
+
+
+def fref(stats: DatabaseStats, path: PathExpression, k: float,
+         upto: int | None = None) -> float:
+    """Expected number of C_{i+1} objects after forward-traversing the
+    first ``upto`` reference attributes starting from ``k`` objects of C_1.
+
+    .. math::
+
+        fref(p.A_1..A_i, k) = c(totlinks_i, totref_i,
+                                fref(p.A_1..A_{i-1}, k) \\cdot fan_i)
+    """
+    steps = len(path.reference_attrs) if upto is None else upto
+    value = float(k)
+    for i in range(steps):
+        attr = path.reference_attrs[i]
+        owner = path.classes[i]
+        totlinks = stats.totlinks(attr, owner)
+        totref = stats.totref(attr, owner)
+        fan = stats.fan(attr, owner)
+        value = c_approx(totlinks, totref, value * fan)
+    return value
+
+
+def path_selectivity(
+    stats: DatabaseStats,
+    path: PathExpression,
+    op: str,
+    constant,
+    constant2=None,
+) -> float:
+    """Selectivity of the single-path predicate ``p.A_1...A_m theta c``."""
+    final_class = path.classes[-1]
+    f_final = atomic_selectivity(
+        stats, final_class, path.final_attr, op, constant, constant2
+    )
+    if len(path.reference_attrs) == 0:
+        return f_final  # degenerate: an immediate selection
+    k_m = stats.card(final_class) * f_final
+    forward = fref(stats, path, 1.0)
+    last_attr = path.reference_attrs[-1]
+    last_owner = path.classes[-2]
+    hit = stats.hitprb(last_attr, last_owner)
+    totref_last = stats.totref(last_attr, last_owner)
+    return overlap_probability(totref_last, forward, k_m * hit)
+
+
+def expected_matches(stats: DatabaseStats, class_name: str,
+                     selectivity: float) -> float:
+    """k = |C| * f_s : expected qualifying instances."""
+    return stats.card(class_name) * selectivity

@@ -1,0 +1,23 @@
+"""Execution engine: objects, indexes, evaluation, physical joins, cursors."""
+
+from repro.engine.cursor import AttributeCell, ObjectCursor, describe_value
+from repro.engine.evaluator import ExpressionEvaluator, Row
+from repro.engine.executor import Executor, TraceEvent
+from repro.engine.indexes import BinaryJoinIndex, IndexManager
+from repro.engine.joins import (
+    PipelinedLeaf,
+    backward_traversal,
+    forward_traversal,
+    hash_partition_join,
+    indexed_join,
+    nested_loop_join,
+)
+from repro.engine.objects import ObjectManager
+
+__all__ = [
+    "AttributeCell", "BinaryJoinIndex", "Executor", "ExpressionEvaluator",
+    "IndexManager", "ObjectCursor", "ObjectManager", "PipelinedLeaf", "Row",
+    "TraceEvent", "backward_traversal", "describe_value",
+    "forward_traversal", "hash_partition_join", "indexed_join",
+    "nested_loop_join",
+]

@@ -1,0 +1,112 @@
+"""The kernel<->MoodView cursor protocol (Section 9.4).
+
+*"A cursor like mechanism which exists commonly in RDBMSs is designed for
+displaying objects. ... The kernel gets the stored representation of the
+object from the database and returns a pointer to a buffer area each
+element of which specifies a name, a type and a value of the object's
+attributes. ... It is also possible to sequence back and forth through the
+returned objects using the cursor functions provided by the kernel."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.core.errors import ExecutionError
+from repro.model.objects import MoodObject
+from repro.storage.oid import OID
+
+
+@dataclass(frozen=True)
+class AttributeCell:
+    """One element of the cursor's buffer area: name, type, value."""
+
+    name: str
+    type_name: str
+    value: object
+
+    def __str__(self) -> str:
+        return f"{self.name} : {self.type_name} = {self.value!r}"
+
+
+class ObjectCursor:
+    """Back-and-forth cursor over a sequence of objects."""
+
+    def __init__(self, catalog: Catalog, objects: list[MoodObject]):
+        self.catalog = catalog
+        self._objects = objects
+        self._position = -1  # before the first object
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def next(self) -> MoodObject:
+        if self._position + 1 >= len(self._objects):
+            raise ExecutionError("cursor is at the last object")
+        self._position += 1
+        return self._objects[self._position]
+
+    def prev(self) -> MoodObject:
+        if self._position <= 0:
+            raise ExecutionError("cursor is at the first object")
+        self._position -= 1
+        return self._objects[self._position]
+
+    def has_next(self) -> bool:
+        return self._position + 1 < len(self._objects)
+
+    def has_prev(self) -> bool:
+        return self._position > 0
+
+    def current(self) -> MoodObject:
+        if not 0 <= self._position < len(self._objects):
+            raise ExecutionError("cursor is not positioned on an object")
+        return self._objects[self._position]
+
+    def buffer(self) -> list[AttributeCell]:
+        """The (name, type, value) triples of the current object, in the
+        class's attribute order -- what MoodView synthesises widgets from."""
+        obj = self.current()
+        cells = []
+        for attribute in self.catalog.hierarchy.all_attributes(obj.class_name):
+            cells.append(
+                AttributeCell(
+                    name=attribute.name,
+                    type_name=attribute.type_name,
+                    value=obj.state.get(attribute.name),
+                )
+            )
+        return cells
+
+    def rewind(self) -> None:
+        self._position = -1
+
+
+def describe_value(catalog: Catalog, value) -> str:
+    """Run-time type of a value, for MoodView's dynamic type checks."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "Boolean"
+    if isinstance(value, int):
+        return "Integer"
+    if isinstance(value, float):
+        return "Float"
+    if isinstance(value, str):
+        return "Char" if len(value) == 1 else "String"
+    if isinstance(value, OID):
+        return "Reference"
+    if isinstance(value, (set, frozenset)):
+        return "Set"
+    if isinstance(value, list):
+        return "List"
+    if isinstance(value, dict):
+        return "Tuple"
+    if isinstance(value, MoodObject):
+        return value.class_name
+    return type(value).__name__

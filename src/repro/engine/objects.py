@@ -1,0 +1,159 @@
+"""The object manager: persistent MOOD objects over class extents.
+
+Bridges the catalog's schema and the storage manager's record files:
+creating an object validates its state against the class's (inherited)
+tuple type, serialises it, and places it in the class extent; dereferencing
+an OID locates its extent through a page map and decodes the record.
+
+Implements the algebra's :class:`~repro.algebra.collections.ObjectStore`
+protocol, so algebra operators run directly against persistent data.
+All I/O goes through the storage manager and is therefore accounted
+against the Table 10 disk parameters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.algebra.collections import ObjectStore
+from repro.catalog.catalog import Catalog
+from repro.core.errors import CatalogError, ExecutionError
+from repro.model.objects import MoodObject
+from repro.model.serde import decode, encode
+from repro.storage.manager import StorageManager
+from repro.storage.oid import OID
+from repro.storage.transactions import Transaction
+
+
+class ObjectManager(ObjectStore):
+    """Creates, reads, updates and deletes persistent MOOD objects."""
+
+    def __init__(self, storage: StorageManager, catalog: Catalog):
+        self.storage = storage
+        self.catalog = catalog
+        # page number -> class name, for OID -> extent resolution.
+        self._page_class: dict[int, str] = {}
+        #: observers notified as (event, obj, old_state) for index upkeep
+        self.observers: list = []
+
+    # -- page map ------------------------------------------------------------
+
+    def _remember_pages(self, class_name: str) -> None:
+        extent = self.catalog.extent_file(class_name)
+        for page in extent.pages:
+            self._page_class[page] = class_name
+
+    def _class_of(self, oid: OID) -> str:
+        class_name = self._page_class.get(oid.page)
+        if class_name is None:
+            self.rebuild_page_map()
+            class_name = self._page_class.get(oid.page)
+        if class_name is None:
+            raise ExecutionError(f"OID {oid} does not address any extent")
+        return class_name
+
+    def rebuild_page_map(self) -> None:
+        self._page_class.clear()
+        for class_name in self.catalog.class_names(include_system=True):
+            definition = self.catalog.class_def(class_name)
+            if definition.is_class:
+                self._remember_pages(class_name)
+
+    # -- CRUD ------------------------------------------------------------------
+
+    def new_object(
+        self,
+        class_name: str,
+        state: dict,
+        txn: Transaction | None = None,
+    ) -> MoodObject:
+        definition = self.catalog.class_def(class_name)
+        if not definition.is_class:
+            raise CatalogError(
+                f"{class_name!r} is a type; values of it are not objects"
+            )
+        validator = self.catalog.validator_for(class_name)
+        canonical = validator.validate(state) or {}
+        extent = self.catalog.extent_file(class_name)
+        oid = self.storage.insert(extent, encode(canonical), txn)
+        self._remember_pages(class_name)
+        obj = MoodObject(oid, class_name, canonical)
+        for observer in self.observers:
+            observer("insert", obj, None)
+        return obj
+
+    def deref(self, oid: OID) -> MoodObject:
+        class_name = self._class_of(oid)
+        extent = self.catalog.extent_file(class_name)
+        payload = self.storage.read(extent, oid)
+        return MoodObject(oid, class_name, decode(payload))
+
+    def update_object(
+        self,
+        obj: MoodObject,
+        txn: Transaction | None = None,
+    ) -> None:
+        """Persist an object's (modified) state."""
+        validator = self.catalog.validator_for(obj.class_name)
+        old_state = decode(
+            self.storage.read(self.catalog.extent_file(obj.class_name),
+                              obj.oid)
+        )
+        canonical = validator.validate(obj.state) or {}
+        obj.state = canonical
+        extent = self.catalog.extent_file(obj.class_name)
+        self.storage.update(extent, obj.oid, encode(canonical), txn)
+        self._remember_pages(obj.class_name)
+        for observer in self.observers:
+            observer("update", obj, old_state)
+
+    def delete_object(self, oid: OID, txn: Transaction | None = None) -> None:
+        obj = self.deref(oid)
+        extent = self.catalog.extent_file(obj.class_name)
+        self.storage.delete(extent, oid, txn)
+        for observer in self.observers:
+            observer("delete", obj, None)
+
+    # -- extents -------------------------------------------------------------
+
+    def iter_extent(
+        self, class_name: str, deep: bool = True,
+        include: tuple[str, ...] | None = None,
+    ) -> Iterator[MoodObject]:
+        """Objects of a class extent.
+
+        ``deep`` includes subclasses (IS-A); ``include`` restricts to an
+        explicit class list (the FROM clause's resolved closure)."""
+        if include is not None:
+            classes = list(include)
+        elif deep:
+            classes = self.catalog.hierarchy.extent_classes(class_name)
+        else:
+            classes = [class_name]
+        for member in classes:
+            extent = self.catalog.extent_file(member)
+            for oid, payload in self.storage.scan(extent):
+                yield MoodObject(oid, member, decode(payload))
+
+    def extent(self, class_name: str) -> list[MoodObject]:
+        """ObjectStore protocol: the deep extent, materialised."""
+        return list(self.iter_extent(class_name, deep=True))
+
+    def count(self, class_name: str, deep: bool = False) -> int:
+        classes = (
+            self.catalog.hierarchy.extent_classes(class_name)
+            if deep else [class_name]
+        )
+        return sum(
+            self.catalog.extent_file(member).record_count()
+            for member in classes
+        )
+
+    def nbpages(self, class_name: str, deep: bool = False) -> int:
+        classes = (
+            self.catalog.hierarchy.extent_classes(class_name)
+            if deep else [class_name]
+        )
+        return sum(
+            self.catalog.extent_file(member).nbpages() for member in classes
+        )

@@ -1,0 +1,62 @@
+"""Function signatures.
+
+Section 2: *"When a function is invoked through the SQL interpreter, the
+signature of the function is created by using class name to which the
+function is applied and its parameter list.  This signature is used in
+locating the function in the CATALOG."*
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import FunctionError
+from repro.storage.oid import OID
+
+
+def build_signature(class_name: str, function_name: str,
+                    parameter_types: list[str]) -> str:
+    """The catalog-lookup key: ``Class::name(T1,T2,...)``."""
+    return f"{class_name}::{function_name}({','.join(parameter_types)})"
+
+
+def infer_parameter_type(value: Any) -> str:
+    """MOOD type name of an actual argument, for signature construction."""
+    if isinstance(value, bool):
+        return "Boolean"
+    if isinstance(value, int):
+        return "Integer" if -(2**31) <= value < 2**31 else "LongInteger"
+    if isinstance(value, float):
+        return "Float"
+    if isinstance(value, str):
+        return "Char" if len(value) == 1 else "String"
+    if isinstance(value, OID):
+        return "Reference"
+    raise FunctionError(f"cannot infer parameter type of {value!r}")
+
+
+def signature_for_call(class_name: str, function_name: str,
+                       arguments: list[Any]) -> str:
+    return build_signature(
+        class_name, function_name,
+        [infer_parameter_type(argument) for argument in arguments],
+    )
+
+
+def types_compatible(declared: str, inferred: str) -> bool:
+    """Whether an actual of ``inferred`` type binds a ``declared`` formal.
+
+    Widening numeric conversions and string refinements are accepted, as
+    the C++ compiler would accept them at the call site.
+    """
+    if declared == inferred:
+        return True
+    declared_base = declared.split("(")[0]
+    if declared_base == inferred.split("(")[0]:
+        return True  # String(32) vs String, Reference(X) vs Reference
+    numeric_rank = {"Char": 0, "Integer": 1, "LongInteger": 2, "Float": 3}
+    if declared_base in numeric_rank and inferred in numeric_rank:
+        return numeric_rank[inferred] <= numeric_rank[declared_base]
+    if declared_base == "String" and inferred == "Char":
+        return True
+    return False

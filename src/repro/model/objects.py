@@ -1,0 +1,110 @@
+"""Objects versus values, and deep equality.
+
+Section 2 distinguishes classes from types: a class has a default extent,
+its instances are objects with identity (OIDs); values of plain types have
+copy semantics.  :class:`MoodObject` is the in-memory face of one stored
+instance; :func:`deep_equal` implements the "deep equality check" that
+``DupElim`` applies to extents (Table 3), following references through a
+resolver with a cycle guard.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.storage.oid import OID
+
+
+@dataclass
+class MoodObject:
+    """One instance of a class: identity, class name, and tuple state."""
+
+    oid: OID
+    class_name: str
+    state: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, attribute: str) -> Any:
+        return self.state.get(attribute)
+
+    def set(self, attribute: str, value: Any) -> None:
+        self.state[attribute] = value
+
+    def copy_value(self) -> dict[str, Any]:
+        """A deep copy of the state: the *value* of the object (copy
+        semantics, as for instances of plain types)."""
+        return copy.deepcopy(self.state)
+
+    def __str__(self) -> str:
+        return f"{self.class_name}[{self.oid}]"
+
+
+Resolver = Callable[[OID], MoodObject]
+
+
+def shallow_equal(a: MoodObject, b: MoodObject) -> bool:
+    """Identity-based equality of references; state compared directly."""
+    return a.class_name == b.class_name and a.state == b.state
+
+
+def deep_equal(a: MoodObject, b: MoodObject, resolve: Resolver) -> bool:
+    """Deep (value) equality: references are followed and compared by the
+    value of the objects they denote, not by identity.
+
+    Cycles are handled by memoising the pairs under comparison: a pair
+    already on the comparison stack is assumed equal (the standard
+    coinductive reading of equality on cyclic structures).
+    """
+    return _deep_equal_values(a, b, resolve, set())
+
+
+def _deep_equal_values(a: Any, b: Any, resolve: Resolver, visiting: set) -> bool:
+    if isinstance(a, MoodObject) and isinstance(b, MoodObject):
+        if a.class_name != b.class_name:
+            return False
+        pair = (a.oid, b.oid)
+        if pair in visiting:
+            return True
+        visiting.add(pair)
+        try:
+            return _deep_equal_values(a.state, b.state, resolve, visiting)
+        finally:
+            visiting.discard(pair)
+    if isinstance(a, OID) and isinstance(b, OID):
+        if a == b:
+            return True
+        if a.is_null or b.is_null:
+            return False
+        return _deep_equal_values(resolve(a), resolve(b), resolve, visiting)
+    if isinstance(a, dict) and isinstance(b, dict):
+        if set(a) != set(b):
+            return False
+        return all(
+            _deep_equal_values(a[key], b[key], resolve, visiting) for key in a
+        )
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return False
+        return all(
+            _deep_equal_values(x, y, resolve, visiting) for x, y in zip(a, b)
+        )
+    if isinstance(a, (set, frozenset)) and isinstance(b, (set, frozenset)):
+        if len(a) != len(b):
+            return False
+        # Quadratic matching; sets of references are typically small.
+        unmatched = list(b)
+        for x in a:
+            for index, y in enumerate(unmatched):
+                if _deep_equal_values(x, y, resolve, visiting):
+                    unmatched.pop(index)
+                    break
+            else:
+                return False
+        return True
+    if type(a) is not type(b) and not (
+        isinstance(a, (int, float)) and isinstance(b, (int, float))
+        and not isinstance(a, bool) and not isinstance(b, bool)
+    ):
+        return False
+    return a == b

@@ -1,0 +1,297 @@
+"""Run-time-typed expression operands.
+
+Section 2: *"For interpretation of arithmetic and Boolean expressions, the
+types of operands are necessary at run time.  This information is provided
+by the class OperandDataType."*  The paper's example::
+
+    OperandDataType x(INT16), y(INT32), z(DOUBLE);
+    x = 10; y = 13;
+    z = (x*3 + x%3) * (y/4*5)   // evaluated, result cast to double
+
+The interpreter *"mainly overloads addition, subtraction, multiplication,
+division and mode operation operators in the order (+, -, *, /, %) for
+arithmetic expressions.  It evaluates AND, OR, NOT, and comparison
+operators for Boolean expressions.  Type checking and conversion of results
+are performed at run-time."*
+
+This class reproduces that machinery with C++ semantics: fixed-width
+integer wrap-around, integer division truncating toward zero, usual
+arithmetic conversions for mixed-width operands, and run-time type errors
+for ill-typed combinations (e.g. ``%`` on floats, AND on integers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.core.errors import TypeMismatchError
+
+
+class DType(Enum):
+    """Run-time operand types, ordered by numeric promotion rank."""
+
+    BOOL = "BOOL"
+    CHAR = "CHAR"
+    INT16 = "INT16"
+    INT32 = "INT32"
+    INT64 = "INT64"
+    FLOAT = "FLOAT"
+    DOUBLE = "DOUBLE"
+    STRING = "STRING"
+
+
+_INT_WIDTH = {DType.CHAR: 8, DType.INT16: 16, DType.INT32: 32, DType.INT64: 64}
+_NUMERIC_RANK = {
+    DType.BOOL: 0,
+    DType.CHAR: 1,
+    DType.INT16: 2,
+    DType.INT32: 3,
+    DType.INT64: 4,
+    DType.FLOAT: 5,
+    DType.DOUBLE: 6,
+}
+
+
+def _is_integral(dtype: DType) -> bool:
+    return dtype in _INT_WIDTH or dtype is DType.BOOL
+
+
+def _is_numeric(dtype: DType) -> bool:
+    return dtype in _NUMERIC_RANK
+
+
+def _wrap_int(value: int, dtype: DType) -> int:
+    """Two's-complement wrap-around to the dtype's width."""
+    width = _INT_WIDTH[dtype]
+    mask = (1 << width) - 1
+    value &= mask
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+def _promote(a: DType, b: DType) -> DType:
+    """Usual arithmetic conversions; result at least INT16 (int promotion)."""
+    if not (_is_numeric(a) and _is_numeric(b)):
+        raise TypeMismatchError(f"cannot combine {a.value} and {b.value}")
+    winner = a if _NUMERIC_RANK[a] >= _NUMERIC_RANK[b] else b
+    if _NUMERIC_RANK[winner] < _NUMERIC_RANK[DType.INT16]:
+        return DType.INT16
+    return winner
+
+
+@dataclass(frozen=True)
+class OperandDataType:
+    """An immutable (dtype, value) pair with overloaded C++-style operators."""
+
+    dtype: DType
+    value: Any
+
+    # -- constructors --------------------------------------------------------
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", self._check(self.dtype, self.value))
+
+    @staticmethod
+    def _check(dtype: DType, value: Any) -> Any:
+        if dtype is DType.BOOL:
+            if not isinstance(value, bool):
+                raise TypeMismatchError(f"{value!r} is not BOOL")
+            return value
+        if dtype is DType.STRING:
+            if not isinstance(value, str):
+                raise TypeMismatchError(f"{value!r} is not STRING")
+            return value
+        if dtype in _INT_WIDTH:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeMismatchError(f"{value!r} is not {dtype.value}")
+            return _wrap_int(value, dtype)
+        if dtype in (DType.FLOAT, DType.DOUBLE):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeMismatchError(f"{value!r} is not {dtype.value}")
+            return float(value)
+        raise TypeMismatchError(f"unknown dtype {dtype!r}")
+
+    @classmethod
+    def of(cls, value: Any) -> "OperandDataType":
+        """Wrap a plain Python value with an inferred dtype."""
+        if isinstance(value, OperandDataType):
+            return value
+        if isinstance(value, bool):
+            return cls(DType.BOOL, value)
+        if isinstance(value, int):
+            dtype = DType.INT32 if -(2**31) <= value < 2**31 else DType.INT64
+            return cls(dtype, value)
+        if isinstance(value, float):
+            return cls(DType.DOUBLE, value)
+        if isinstance(value, str):
+            return cls(DType.STRING, value)
+        raise TypeMismatchError(f"cannot infer operand type of {value!r}")
+
+    def cast(self, dtype: DType) -> "OperandDataType":
+        """Explicit conversion (the paper's 'result's type is casted')."""
+        if dtype is self.dtype:
+            return self
+        if dtype is DType.STRING or self.dtype is DType.STRING:
+            raise TypeMismatchError(
+                f"no conversion between {self.dtype.value} and {dtype.value}"
+            )
+        if dtype is DType.BOOL:
+            return OperandDataType(DType.BOOL, bool(self.value))
+        if dtype in _INT_WIDTH:
+            return OperandDataType(dtype, int(self.value))
+        return OperandDataType(dtype, float(self.value))
+
+    # -- arithmetic (+, -, *, /, % in the paper's order) ------------------------
+
+    def _arith(self, other: "OperandDataType", op: str) -> "OperandDataType":
+        other = OperandDataType.of(other)
+        if self.dtype is DType.STRING or other.dtype is DType.STRING:
+            if op == "+" and self.dtype is other.dtype is DType.STRING:
+                return OperandDataType(DType.STRING, self.value + other.value)
+            raise TypeMismatchError(f"{op} not defined on STRING operands")
+        result_type = _promote(self.dtype, other.dtype)
+        a, b = self.value, other.value
+        if isinstance(a, bool):
+            a = int(a)
+        if isinstance(b, bool):
+            b = int(b)
+        if op == "+":
+            raw = a + b
+        elif op == "-":
+            raw = a - b
+        elif op == "*":
+            raw = a * b
+        elif op == "/":
+            if b == 0:
+                raise TypeMismatchError("division by zero")
+            if _is_integral(result_type):
+                raw = int(a / b)  # C++ truncates toward zero
+            else:
+                raw = a / b
+        elif op == "%":
+            if not (_is_integral(self.dtype) and _is_integral(other.dtype)):
+                raise TypeMismatchError("% requires integral operands")
+            if b == 0:
+                raise TypeMismatchError("modulo by zero")
+            raw = int(a - b * int(a / b))  # C++ remainder (sign of dividend)
+        else:  # pragma: no cover
+            raise TypeMismatchError(f"unknown operator {op}")
+        if _is_integral(result_type):
+            raw = _wrap_int(int(raw), result_type)
+        return OperandDataType(result_type, raw)
+
+    def __add__(self, other):
+        return self._arith(other, "+")
+
+    def __sub__(self, other):
+        return self._arith(other, "-")
+
+    def __mul__(self, other):
+        return self._arith(other, "*")
+
+    def __truediv__(self, other):
+        return self._arith(other, "/")
+
+    def __mod__(self, other):
+        return self._arith(other, "%")
+
+    def __radd__(self, other):
+        return OperandDataType.of(other)._arith(self, "+")
+
+    def __rsub__(self, other):
+        return OperandDataType.of(other)._arith(self, "-")
+
+    def __rmul__(self, other):
+        return OperandDataType.of(other)._arith(self, "*")
+
+    def __rtruediv__(self, other):
+        return OperandDataType.of(other)._arith(self, "/")
+
+    def __rmod__(self, other):
+        return OperandDataType.of(other)._arith(self, "%")
+
+    def __neg__(self):
+        if self.dtype is DType.STRING:
+            raise TypeMismatchError("unary minus not defined on STRING")
+        return OperandDataType(DType.INT32, 0)._arith(self, "-").cast(
+            _promote(self.dtype, DType.INT16)
+        )
+
+    # -- comparisons -------------------------------------------------------
+
+    def _compare(self, other: "OperandDataType", op: str) -> "OperandDataType":
+        other = OperandDataType.of(other)
+        string_pair = self.dtype is DType.STRING and other.dtype is DType.STRING
+        numeric_pair = _is_numeric(self.dtype) and _is_numeric(other.dtype)
+        if not (string_pair or numeric_pair):
+            raise TypeMismatchError(
+                f"cannot compare {self.dtype.value} with {other.dtype.value}"
+            )
+        a, b = self.value, other.value
+        result = {
+            "=": a == b,
+            "<>": a != b,
+            "<": a < b,
+            "<=": a <= b,
+            ">": a > b,
+            ">=": a >= b,
+        }[op]
+        return OperandDataType(DType.BOOL, result)
+
+    def eq(self, other):
+        return self._compare(other, "=")
+
+    def ne(self, other):
+        return self._compare(other, "<>")
+
+    def __lt__(self, other):
+        return self._compare(other, "<")
+
+    def __le__(self, other):
+        return self._compare(other, "<=")
+
+    def __gt__(self, other):
+        return self._compare(other, ">")
+
+    def __ge__(self, other):
+        return self._compare(other, ">=")
+
+    # -- Boolean connectives (AND, OR, NOT) ----------------------------------
+
+    def _require_bool(self, context: str) -> bool:
+        if self.dtype is not DType.BOOL:
+            raise TypeMismatchError(f"{context} requires BOOL operands")
+        return self.value
+
+    def and_(self, other: "OperandDataType") -> "OperandDataType":
+        other = OperandDataType.of(other)
+        return OperandDataType(
+            DType.BOOL, self._require_bool("AND") and other._require_bool("AND")
+        )
+
+    def or_(self, other: "OperandDataType") -> "OperandDataType":
+        other = OperandDataType.of(other)
+        return OperandDataType(
+            DType.BOOL, self._require_bool("OR") or other._require_bool("OR")
+        )
+
+    def not_(self) -> "OperandDataType":
+        return OperandDataType(DType.BOOL, not self._require_bool("NOT"))
+
+    def __and__(self, other):
+        return self.and_(other)
+
+    def __or__(self, other):
+        return self.or_(other)
+
+    def __invert__(self):
+        return self.not_()
+
+    def __bool__(self) -> bool:
+        return self._require_bool("truth test")
+
+    def __str__(self) -> str:
+        return f"{self.value} : {self.dtype.value}"

@@ -1,0 +1,17 @@
+"""MoodView, the graphical user interface (Section 9), in text mode."""
+
+from repro.moodview.admin_tool import AdminTool
+from repro.moodview.class_designer import ClassDesigner, MethodTool
+from repro.moodview.cpp_view import CppView
+from repro.moodview.environment import MoodView
+from repro.moodview.object_browser import ObjectBrowser
+from repro.moodview.query_manager import HistoryEntry, QueryManager
+from repro.moodview.schema_browser import SchemaBrowser, initial_window
+from repro.moodview.spatial_tool import SpatialTool
+from repro.moodview.text_editor import TextEditor
+
+__all__ = [
+    "AdminTool", "ClassDesigner", "CppView", "HistoryEntry", "MethodTool",
+    "MoodView", "ObjectBrowser", "QueryManager", "SchemaBrowser",
+    "SpatialTool", "TextEditor", "initial_window",
+]

@@ -1,0 +1,103 @@
+"""The class designer and method tool (Figure 9.2).
+
+MoodView lets the user add/drop/rename attributes and create/update/delete
+methods.  Per Section 9.4, *"All the database operations performed by the
+user through MoodView are converted to SQL statements and the
+interpretation of SQL statements is performed by the Kernel"* -- so every
+mutation here is issued as MOODSQL text through ``kernel.execute``.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel import MoodKernel
+
+
+class ClassDesigner:
+    """Graphical type designer: schema mutations as SQL."""
+
+    def __init__(self, kernel: MoodKernel):
+        self.kernel = kernel
+        self.issued_sql: list[str] = []
+
+    def _run(self, sql: str):
+        self.issued_sql.append(sql)
+        return self.kernel.execute(sql)
+
+    def create_class(self, name: str,
+                     attributes: list[tuple[str, str]] | None = None,
+                     superclasses: list[str] | None = None):
+        parts = [f"CREATE CLASS {name}"]
+        if superclasses:
+            parts.append("INHERITS FROM " + ", ".join(superclasses))
+        if attributes:
+            fields = ", ".join(f"{a} {t}" for a, t in attributes)
+            parts.append(f"TUPLE ({fields})")
+        return self._run(" ".join(parts))
+
+    def drop_class(self, name: str):
+        return self._run(f"DROP CLASS {name}")
+
+    def add_attribute(self, class_name: str, attribute: str, type_text: str):
+        return self._run(
+            f"ALTER CLASS {class_name} ADD ATTRIBUTE {attribute} {type_text}"
+        )
+
+    def drop_attribute(self, class_name: str, attribute: str):
+        return self._run(
+            f"ALTER CLASS {class_name} DROP ATTRIBUTE {attribute}"
+        )
+
+    def rename_attribute(self, class_name: str, old: str, new: str):
+        return self._run(
+            f"ALTER CLASS {class_name} RENAME ATTRIBUTE {old} TO {new}"
+        )
+
+
+class MethodTool:
+    """Figure 9.2(a): create, update and delete methods; view bodies."""
+
+    def __init__(self, kernel: MoodKernel):
+        self.kernel = kernel
+        self.issued_sql: list[str] = []
+
+    def _run(self, sql: str):
+        self.issued_sql.append(sql)
+        return self.kernel.execute(sql)
+
+    def define_method(self, class_name: str, name: str,
+                      parameters: list[tuple[str, str]],
+                      return_type: str, body: str):
+        params = ", ".join(f"{p} {t}" for p, t in parameters)
+        return self._run(
+            f"CREATE METHOD {class_name}::{name}({params}) {return_type} "
+            "{ " + body + " }"
+        )
+
+    def drop_method(self, class_name: str, name: str,
+                    parameter_types: list[str] | None = None):
+        types = ", ".join(parameter_types or [])
+        return self._run(f"DROP METHOD {class_name}::{name}({types})")
+
+    def method_presentation(self, class_name: str, name: str) -> str:
+        """Figure 9.2(a): name, return type, parameters, applicable
+        classes, and the body."""
+        method = self.kernel.catalog.hierarchy.resolve_method(class_name,
+                                                              name)
+        applicable = [method.owner] + \
+            self.kernel.catalog.hierarchy.subclasses(method.owner)
+        lines = [
+            "+--- Method Presentation " + "-" * 25,
+            f"| Name        : {method.name}",
+            f"| Return Type : {method.return_type}",
+            "| Parameters  : " + (
+                ", ".join(f"{p} {t}" for p, t in method.parameters)
+                or "(none)"
+            ),
+            f"| Applicable Classes: {', '.join(applicable)}",
+            "| Body:",
+        ]
+        body = method.source or "(defined externally)"
+        for line in body.splitlines() or [body]:
+            lines.append(f"|   {line}")
+        lines.append("+" + "-" * 49)
+        return "\n".join(lines)

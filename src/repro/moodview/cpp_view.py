@@ -1,0 +1,66 @@
+"""Data definition in C++ (Figure 9.1(b)).
+
+MoodView displays class hierarchies defined in C++ (via the modified
+cfront) and converts graphically designed schemas back into C++ code.
+Both directions run through :mod:`repro.catalog.cppfront`.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.cppfront import generate_headers, parse_cpp
+from repro.catalog.entities import MoodsFunction
+from repro.core.kernel import MoodKernel
+
+
+class CppView:
+    def __init__(self, kernel: MoodKernel):
+        self.kernel = kernel
+
+    def import_cpp(self, source: str) -> list[str]:
+        """Define classes from C++ source (cfront extracts catalog info and
+        method signatures; out-of-line bodies are compiled by the Function
+        Manager).  Returns the names defined, in dependency order."""
+        classes, bodies = parse_cpp(source)
+        by_name = {c.name: c for c in classes}
+        defined: list[str] = []
+
+        def define(name: str) -> None:
+            if name in defined or self.kernel.catalog.has_class(name):
+                return
+            parsed = by_name[name]
+            for base in parsed.bases:
+                if base in by_name:
+                    define(base)
+            self.kernel.catalog.define_class(
+                name,
+                attributes=parsed.attributes,
+                superclasses=parsed.bases,
+                methods=parsed.methods,
+            )
+            defined.append(name)
+
+        for name in by_name:
+            define(name)
+        # Attach out-of-line bodies through the Function Manager.
+        for body in bodies:
+            function = MoodsFunction(
+                owner=body.owner,
+                name=body.name,
+                return_type=body.return_type,
+                parameters=body.parameters,
+                source=body.body,
+            )
+            existing = self.kernel.catalog.class_def(body.owner).own_method(
+                body.name
+            )
+            if existing is not None:
+                function.parameters = existing.parameters
+                self.kernel.functions.update_function(function)
+            else:
+                self.kernel.functions.add_function(function)
+        return defined
+
+    def export_cpp(self, class_names: list[str] | None = None) -> str:
+        """C++ headers for (part of) the schema, superclasses first."""
+        names = class_names or self.kernel.catalog.class_names()
+        return generate_headers(self.kernel.catalog.hierarchy, names)

@@ -1,0 +1,226 @@
+"""DAG placement for the schema browser (Section 9.2).
+
+*"Their inheritance relationships is represented as a DAG ... and MoodView
+uses a DAG placement algorithm that minimizes crossovers and makes drawings
+for graph nodes."*
+
+This is the classic layered (Sugiyama-style) method:
+
+1. layer assignment by longest path from the roots;
+2. crossing minimisation by repeated barycenter sweeps;
+3. coordinate assignment on a character grid.
+
+The renderer draws boxed nodes connected by ``|`` / ``\\`` / ``/`` edges,
+suitable for terminals; :func:`count_crossings` lets tests verify the
+minimisation actually works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+Edge = tuple[str, str]   # (parent, child)
+
+
+@dataclass
+class Layout:
+    layers: list[list[str]]                  # node names per layer, in order
+    positions: dict[str, tuple[int, int]]    # name -> (layer, column index)
+    crossings: int = 0
+
+
+def assign_layers(nodes: list[str], edges: list[Edge]) -> list[list[str]]:
+    """Longest-path layering: a node sits one layer below its deepest
+    parent; roots are layer 0."""
+    parents: dict[str, list[str]] = {node: [] for node in nodes}
+    for parent, child in edges:
+        parents[child].append(parent)
+    depth: dict[str, int] = {}
+
+    def depth_of(node: str, visiting: tuple = ()) -> int:
+        if node in depth:
+            return depth[node]
+        if node in visiting:
+            raise ValueError(f"inheritance graph has a cycle at {node!r}")
+        if not parents[node]:
+            depth[node] = 0
+        else:
+            depth[node] = 1 + max(
+                depth_of(parent, visiting + (node,))
+                for parent in parents[node]
+            )
+        return depth[node]
+
+    for node in nodes:
+        depth_of(node)
+    num_layers = max(depth.values(), default=-1) + 1
+    layers: list[list[str]] = [[] for _ in range(num_layers)]
+    for node in sorted(nodes):
+        layers[depth[node]].append(node)
+    return layers
+
+
+def count_crossings(layers: list[list[str]], edges: list[Edge]) -> int:
+    """Edge crossings between consecutive layers, for the given orders."""
+    position = {
+        node: (layer_index, column)
+        for layer_index, layer in enumerate(layers)
+        for column, node in enumerate(layer)
+    }
+    crossings = 0
+    for layer_index in range(len(layers) - 1):
+        segment = [
+            (position[parent][1], position[child][1])
+            for parent, child in edges
+            if parent in position and child in position
+            and position[parent][0] == layer_index
+            and position[child][0] == layer_index + 1
+        ]
+        for i in range(len(segment)):
+            for j in range(i + 1, len(segment)):
+                (a_top, a_bottom), (b_top, b_bottom) = segment[i], segment[j]
+                if (a_top - b_top) * (a_bottom - b_bottom) < 0:
+                    crossings += 1
+    return crossings
+
+
+def minimize_crossings(layers: list[list[str]], edges: list[Edge],
+                       sweeps: int = 8) -> list[list[str]]:
+    """Barycenter heuristic: order each layer by the mean position of its
+    neighbours in the fixed adjacent layer, alternating down/up sweeps;
+    keep the best ordering seen."""
+    children: dict[str, list[str]] = {}
+    parents: dict[str, list[str]] = {}
+    for parent, child in edges:
+        children.setdefault(parent, []).append(child)
+        parents.setdefault(child, []).append(parent)
+
+    best = [list(layer) for layer in layers]
+    best_crossings = count_crossings(best, edges)
+    current = [list(layer) for layer in layers]
+
+    for sweep in range(sweeps):
+        downward = sweep % 2 == 0
+        layer_range = (
+            range(1, len(current)) if downward
+            else range(len(current) - 2, -1, -1)
+        )
+        for layer_index in layer_range:
+            reference = current[layer_index - 1] if downward \
+                else current[layer_index + 1]
+            reference_position = {node: i for i, node in enumerate(reference)}
+            neighbour_map = parents if downward else children
+            original_position = {
+                node: i for i, node in enumerate(current[layer_index])
+            }
+
+            def barycenter(node: str) -> float:
+                neighbours = [
+                    reference_position[n]
+                    for n in neighbour_map.get(node, [])
+                    if n in reference_position
+                ]
+                if not neighbours:
+                    return float(original_position[node])
+                return sum(neighbours) / len(neighbours)
+
+            current[layer_index].sort(key=barycenter)
+        crossings = count_crossings(current, edges)
+        if crossings < best_crossings:
+            best_crossings = crossings
+            best = [list(layer) for layer in current]
+    return best
+
+
+def layout(nodes: list[str], edges: list[Edge]) -> Layout:
+    """Full pipeline: layering, crossing minimisation, positions."""
+    layers = assign_layers(nodes, edges)
+    layers = minimize_crossings(layers, edges)
+    positions = {
+        node: (layer_index, column)
+        for layer_index, layer in enumerate(layers)
+        for column, node in enumerate(layer)
+    }
+    return Layout(layers=layers, positions=positions,
+                  crossings=count_crossings(layers, edges))
+
+
+@dataclass
+class _Box:
+    name: str
+    left: int
+
+    @property
+    def width(self) -> int:
+        return len(self.name) + 4
+
+    @property
+    def center(self) -> int:
+        return self.left + self.width // 2
+
+
+def render(nodes: list[str], edges: list[Edge],
+           column_gap: int = 3) -> str:
+    """ASCII drawing of the DAG: boxed class names, edges between layers."""
+    if not nodes:
+        return "(empty schema)"
+    computed = layout(nodes, edges)
+    rows: list[str] = []
+    boxes_per_layer: list[dict[str, _Box]] = []
+    for layer in computed.layers:
+        boxes: dict[str, _Box] = {}
+        cursor = 0
+        for node in layer:
+            boxes[node] = _Box(node, cursor)
+            cursor += boxes[node].width + column_gap
+        boxes_per_layer.append(boxes)
+
+    def box_lines(boxes: dict[str, _Box]) -> list[str]:
+        top = _compose(
+            [(b.left, "+" + "-" * (b.width - 2) + "+")
+             for b in boxes.values()]
+        )
+        mid = _compose(
+            [(b.left, f"| {b.name} |") for b in boxes.values()]
+        )
+        return [top, mid, top]
+
+    for layer_index, boxes in enumerate(boxes_per_layer):
+        rows.extend(box_lines(boxes))
+        if layer_index + 1 >= len(boxes_per_layer):
+            break
+        below = boxes_per_layer[layer_index + 1]
+        connectors = []
+        for parent, child in edges:
+            if parent in boxes and child in below:
+                top_x = boxes[parent].center
+                bottom_x = below[child].center
+                connectors.append((top_x, bottom_x))
+        rows.extend(_edge_rows(connectors))
+    return "\n".join(rows)
+
+
+def _compose(pieces: list[tuple[int, str]]) -> str:
+    width = max((left + len(text) for left, text in pieces), default=0)
+    row = [" "] * width
+    for left, text in pieces:
+        for offset, ch in enumerate(text):
+            row[left + offset] = ch
+    return "".join(row)
+
+
+def _edge_rows(connectors: list[tuple[int, int]], height: int = 2) -> list[str]:
+    rows = []
+    for step in range(1, height + 1):
+        pieces = []
+        for top_x, bottom_x in connectors:
+            x = top_x + round((bottom_x - top_x) * step / (height + 1))
+            if bottom_x > top_x:
+                glyph = "\\"
+            elif bottom_x < top_x:
+                glyph = "/"
+            else:
+                glyph = "|"
+            pieces.append((x, glyph))
+        rows.append(_compose(pieces))
+    return rows

@@ -1,0 +1,36 @@
+"""The MoodView environment: one object exposing every tool (Figure 9.1(a)).
+
+*"MoodView provides the database programmer with tools and functionalities
+for every phase of OODBMS application development."*
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel import MoodKernel
+from repro.moodview.admin_tool import AdminTool
+from repro.moodview.class_designer import ClassDesigner, MethodTool
+from repro.moodview.cpp_view import CppView
+from repro.moodview.object_browser import ObjectBrowser
+from repro.moodview.query_manager import QueryManager
+from repro.moodview.schema_browser import SchemaBrowser, initial_window
+from repro.moodview.spatial_tool import SpatialTool
+from repro.moodview.text_editor import TextEditor
+
+
+class MoodView:
+    """The graphical front end to MOOD, in text mode."""
+
+    def __init__(self, kernel: MoodKernel):
+        self.kernel = kernel
+        self.schema_browser = SchemaBrowser(kernel)
+        self.class_designer = ClassDesigner(kernel)
+        self.method_tool = MethodTool(kernel)
+        self.object_browser = ObjectBrowser(kernel)
+        self.query_manager = QueryManager(kernel)
+        self.admin_tool = AdminTool(kernel)
+        self.spatial_tool = SpatialTool(kernel)
+        self.cpp_view = CppView(kernel)
+        self.text_editor = TextEditor()
+
+    def initial_window(self) -> str:
+        return initial_window()

@@ -1,0 +1,128 @@
+"""The object browser: generic object presentations (Figure 9.3).
+
+*"MOOD objects constitute graphs connecting atoms and constructors.
+MoodView has a generic display algorithm for displaying these object graphs
+and walking through the referenced objects."*  The algorithm below renders
+any object from catalog information alone (no per-class code), follows
+references to a bounded depth, shares back-references, and guards cycles.
+
+Updates go through :meth:`ObjectBrowser.update_attribute`, which performs
+the dynamic type checking the paper describes before persisting.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.typeparse import parse_type
+from repro.core.errors import ExecutionError, TypeMismatchError
+from repro.core.kernel import MoodKernel, QueryResult
+from repro.engine.cursor import ObjectCursor
+from repro.model.objects import MoodObject
+from repro.storage.oid import OID
+
+
+class ObjectBrowser:
+    """Display, walk and update object graphs."""
+
+    def __init__(self, kernel: MoodKernel, max_depth: int = 3):
+        self.kernel = kernel
+        self.max_depth = max_depth
+
+    # -- generic display algorithm -------------------------------------------
+
+    def present(self, obj: MoodObject, depth: int | None = None) -> str:
+        """Figure 9.3: a generic, catalog-driven object presentation."""
+        lines: list[str] = []
+        self._present_into(obj, lines, indent=0,
+                           depth=self.max_depth if depth is None else depth,
+                           visited=set())
+        return "\n".join(lines)
+
+    def _present_into(self, obj: MoodObject, lines: list[str], indent: int,
+                      depth: int, visited: set[OID]) -> None:
+        pad = "  " * indent
+        lines.append(f"{pad}[{obj.class_name}] oid={obj.oid}")
+        if obj.oid in visited:
+            lines[-1] += "  (already shown)"
+            return
+        visited.add(obj.oid)
+        for attribute in self.kernel.catalog.hierarchy.all_attributes(
+                obj.class_name):
+            value = obj.state.get(attribute.name)
+            label = f"{pad}  {attribute.name} ({attribute.type_name})"
+            if isinstance(value, OID):
+                if value.is_null:
+                    lines.append(f"{label} = NULL")
+                elif depth > 0:
+                    lines.append(f"{label} ->")
+                    self._present_into(self.kernel.objects.deref(value),
+                                       lines, indent + 2, depth - 1, visited)
+                else:
+                    lines.append(f"{label} -> {value}")
+            elif isinstance(value, (set, frozenset, list)):
+                items = sorted(value, key=repr) if isinstance(
+                    value, (set, frozenset)) else list(value)
+                lines.append(f"{label} = collection of {len(items)}")
+                for item in items:
+                    if isinstance(item, OID) and depth > 0:
+                        self._present_into(self.kernel.objects.deref(item),
+                                           lines, indent + 2, depth - 1,
+                                           visited)
+                    else:
+                        lines.append(f"{pad}    - {item!r}")
+            else:
+                lines.append(f"{label} = {value!r}")
+
+    # -- updates with dynamic type checking -----------------------------------------
+
+    def update_attribute(self, obj: MoodObject, attribute: str,
+                         value) -> None:
+        """Set one attribute, dynamically type-checked against the
+        catalog's declared type, then persisted."""
+        declared = parse_type(
+            self.kernel.catalog.hierarchy.attribute(obj.class_name,
+                                                    attribute).type_name
+        )
+        if isinstance(value, MoodObject):
+            value = value.oid
+        try:
+            canonical = declared.validate(value)
+        except TypeMismatchError as exc:
+            raise TypeMismatchError(
+                f"MoodView update rejected: {exc}"
+            ) from None
+        obj.state[attribute] = canonical
+        self.kernel.objects.update_object(obj)
+
+    def copy_attribute(self, source: MoodObject, target: MoodObject,
+                       attribute: str) -> None:
+        """The copy/paste operation, with the same dynamic checks."""
+        self.update_attribute(target, attribute,
+                              source.state.get(attribute))
+
+    # -- method activation -------------------------------------------------------
+
+    def activate_method(self, obj: MoodObject, method: str,
+                        args: list | None = None):
+        """Interactive method activation against a presented object."""
+        return self.kernel.functions.invoke(
+            obj, method, args or [], resolve=self.kernel.objects.deref
+        )
+
+    # -- cursors over query results --------------------------------------------------
+
+    def browse(self, result: QueryResult, var: str | None = None) -> ObjectCursor:
+        return self.kernel.cursor_for(result, var)
+
+    def present_cursor(self, cursor: ObjectCursor) -> str:
+        """Render the cursor's current object from its buffer area of
+        (name, type, value) cells -- exactly what the kernel hands
+        MoodView to synthesise widgets from."""
+        try:
+            obj = cursor.current()
+        except ExecutionError:
+            return "(cursor not positioned)"
+        lines = [f"Object {cursor.position + 1} of {len(cursor)} "
+                 f"-- {obj.class_name} {obj.oid}"]
+        for cell in cursor.buffer():
+            lines.append(f"  {cell}")
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""The SQL-based query manager (Section 9.3).
+
+*"Query manager provides a query editor with facilities for accessing
+previous queries in a session."*  Results render as plain-text tables;
+whole-object projections show the object's class and OID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import MoodError
+from repro.core.kernel import MoodKernel, QueryResult
+from repro.model.objects import MoodObject
+
+
+@dataclass
+class HistoryEntry:
+    sql: str
+    ok: bool
+    rows: int = 0
+    error: str = ""
+
+
+@dataclass
+class QueryManager:
+    kernel: MoodKernel
+    history: list[HistoryEntry] = field(default_factory=list)
+
+    def run(self, sql: str) -> QueryResult:
+        """Execute a query, recording it in the session history."""
+        try:
+            result = self.kernel.execute(sql)
+        except MoodError as exc:
+            self.history.append(HistoryEntry(sql, ok=False, error=str(exc)))
+            raise
+        rows = len(result) if isinstance(result, QueryResult) else 0
+        self.history.append(HistoryEntry(sql, ok=True, rows=rows))
+        if not isinstance(result, QueryResult):
+            raise MoodError("the query manager runs SELECT statements")
+        return result
+
+    def previous(self, offset: int = 1) -> str:
+        """Access a previous query of the session (1 = most recent)."""
+        if offset < 1 or offset > len(self.history):
+            raise MoodError(f"no history entry {offset}")
+        return self.history[-offset].sql
+
+    def rerun_previous(self, offset: int = 1) -> QueryResult:
+        return self.run(self.previous(offset))
+
+    def history_listing(self) -> str:
+        lines = ["# | ok | rows | query"]
+        for index, entry in enumerate(self.history, start=1):
+            status = "y" if entry.ok else "n"
+            summary = entry.sql.replace("\n", " ")
+            if len(summary) > 60:
+                summary = summary[:57] + "..."
+            lines.append(f"{index} | {status}  | {entry.rows:4d} | {summary}")
+        return "\n".join(lines)
+
+    # -- result rendering -------------------------------------------------------
+
+    @staticmethod
+    def render_result(result: QueryResult, limit: int = 20) -> str:
+        header = list(result.columns)
+        body = []
+        for row in result.rows[:limit]:
+            body.append([_cell(value) for value in row])
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if len(result.rows) > limit:
+            lines.append(f"... {len(result.rows) - limit} more rows")
+        lines.append(f"({len(result.rows)} rows)")
+        return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, MoodObject):
+        return f"{value.class_name}[{value.oid}]"
+    if value is None:
+        return "NULL"
+    return str(value)

@@ -1,0 +1,124 @@
+"""The schema browser and class presentations (Figures 9.1-9.2).
+
+Text-mode renderings of MoodView's windows: the initial tool panel, the
+class-hierarchy DAG, the class presentation card and the type designer's
+attribute table.  Everything is read through the kernel's catalog, as the
+paper requires.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.core.kernel import MoodKernel
+from repro.moodview import dag_layout
+
+TOOLS = (
+    "Schema Browser",
+    "Class Designer",
+    "Method Tool",
+    "Object Browser",
+    "Query Manager",
+    "Admin Tool",
+    "Spatial Tool (R-Trees)",
+    "C++ View",
+    "Text Editor",
+)
+
+
+def initial_window() -> str:
+    """Figure 9.1(a): the icon panel shown on entering the environment."""
+    width = max(len(tool) for tool in TOOLS) + 6
+    lines = ["+" + "-" * width + "+",
+             "|" + "MoodView".center(width) + "|",
+             "+" + "-" * width + "+"]
+    for tool in TOOLS:
+        lines.append("|" + f"  [{tool}]".ljust(width) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+class SchemaBrowser:
+    """Design, browse and modify the database schema interactively."""
+
+    def __init__(self, kernel: MoodKernel):
+        self.kernel = kernel
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.kernel.catalog
+
+    def hierarchy_drawing(self, include_system: bool = False) -> str:
+        """Figure 9.1(c): the class-hierarchy DAG."""
+        nodes = self.catalog.class_names(include_system=include_system)
+        edges = [
+            (parent, child)
+            for parent, child in self.catalog.hierarchy.edges()
+            if parent in nodes and child in nodes
+        ]
+        return dag_layout.render(nodes, edges)
+
+    def crossings(self) -> int:
+        nodes = self.catalog.class_names()
+        edges = self.catalog.hierarchy.edges()
+        return dag_layout.layout(nodes, edges).crossings
+
+    def class_presentation(self, class_name: str) -> str:
+        """Figure 9.2(b): type name/id, super/subclasses, methods,
+        attributes."""
+        definition = self.catalog.class_def(class_name)
+        hierarchy = self.catalog.hierarchy
+        lines = [
+            "+--- Class Presentation " + "-" * 26,
+            f"| Type Name : {definition.name}",
+            f"| Type Id   : {definition.type_id}",
+            f"| Class Type: "
+            f"{'System Class' if definition.is_system else 'User Class'}"
+            f"{'' if definition.is_class else ' (Type: no extent)'}",
+            f"| Superclasses: "
+            f"{', '.join(definition.superclasses) or '(none)'}",
+            f"| Subclasses  : "
+            f"{', '.join(hierarchy.subclasses(class_name, transitive=False)) or '(none)'}",
+            "| Methods:",
+        ]
+        methods = hierarchy.all_methods(class_name)
+        if methods:
+            for name in sorted(methods):
+                method = methods[name]
+                inherited = "" if method.owner == class_name \
+                    else f"   (from {method.owner})"
+                lines.append(f"|   {method.signature} "
+                             f"{method.return_type}{inherited}")
+        else:
+            lines.append("|   (none)")
+        lines.append("| Attributes:")
+        attributes = hierarchy.all_attributes(class_name)
+        if attributes:
+            for attribute in attributes:
+                inherited = "" if attribute.owner == class_name \
+                    else f"   (from {attribute.owner})"
+                lines.append(
+                    f"|   {attribute.name} : {attribute.type_name}{inherited}"
+                )
+        else:
+            lines.append("|   (none)")
+        lines.append("+" + "-" * 49)
+        return "\n".join(lines)
+
+    def attribute_table(self, class_name: str) -> str:
+        """Figure 9.2(c): the type designer's FIELD NAME / DATA TYPE grid."""
+        attributes = self.catalog.hierarchy.all_attributes(class_name)
+        header = ("FIELD NAME", "DATA TYPE", "DEFINED IN")
+        rows = [
+            (a.name, a.type_name, a.owner) for a in attributes
+        ] or [("(none)", "-", "-")]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in rows))
+            for i in range(3)
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)

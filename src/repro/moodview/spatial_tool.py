@@ -1,0 +1,130 @@
+"""The graphical indexing tool for spatial data: R-trees (abstract,
+Section 9).
+
+Indexes objects by two numeric attributes into an R-tree, answers window
+and nearest-neighbour queries, and renders an ASCII 'map' -- the text-mode
+stand-in for the graphical tool.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ExecutionError
+from repro.core.kernel import MoodKernel
+from repro.model.objects import MoodObject
+from repro.storage.rtree import Rect, RTree
+
+
+class SpatialTool:
+    """R-tree indexing of a class by two numeric attributes."""
+
+    def __init__(self, kernel: MoodKernel):
+        self.kernel = kernel
+        self._indexes: dict[str, tuple[RTree, str, str, str]] = {}
+
+    def create_spatial_index(self, name: str, class_name: str,
+                             x_attr: str, y_attr: str) -> RTree:
+        if name in self._indexes:
+            raise ExecutionError(f"spatial index {name!r} already exists")
+        self.kernel.catalog.hierarchy.attribute(class_name, x_attr)
+        self.kernel.catalog.hierarchy.attribute(class_name, y_attr)
+        tree = self.kernel.storage.create_rtree_index(name)
+        for obj in self.kernel.objects.iter_extent(class_name, deep=True):
+            x = obj.state.get(x_attr)
+            y = obj.state.get(y_attr)
+            if x is not None and y is not None:
+                tree.insert(Rect.point(float(x), float(y)), obj.oid)
+        self._indexes[name] = (tree, class_name, x_attr, y_attr)
+        return tree
+
+    def _index(self, name: str) -> tuple[RTree, str, str, str]:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise ExecutionError(f"no spatial index {name!r}") from None
+
+    def window_query(self, name: str, min_x: float, min_y: float,
+                     max_x: float, max_y: float) -> list[MoodObject]:
+        tree, _, _, _ = self._index(name)
+        hits = tree.search(Rect(min_x, min_y, max_x, max_y))
+        return [self.kernel.objects.deref(oid) for _, oid in hits]
+
+    def nearest(self, name: str, x: float, y: float,
+                k: int = 1) -> list[MoodObject]:
+        tree, _, _, _ = self._index(name)
+        return [
+            self.kernel.objects.deref(oid)
+            for _, oid in tree.nearest(x, y, k)
+        ]
+
+    def insert_object(self, name: str, obj: MoodObject) -> None:
+        tree, _, x_attr, y_attr = self._index(name)
+        tree.insert(
+            Rect.point(float(obj.state[x_attr]), float(obj.state[y_attr])),
+            obj.oid,
+        )
+
+    def remove_object(self, name: str, obj: MoodObject) -> bool:
+        tree, _, x_attr, y_attr = self._index(name)
+        return tree.delete(
+            Rect.point(float(obj.state[x_attr]), float(obj.state[y_attr])),
+            obj.oid,
+        )
+
+    # -- rendering ------------------------------------------------------------
+
+    def render_map(self, name: str, width: int = 48, height: int = 16,
+                   window: Rect | None = None) -> str:
+        """ASCII map: '*' per indexed point ('#' where several collide),
+        with the query window outlined when given."""
+        tree, class_name, x_attr, y_attr = self._index(name)
+        entries = list(tree.all_entries())
+        if not entries:
+            return "(empty spatial index)"
+        min_x = min(rect.min_x for rect, _ in entries)
+        max_x = max(rect.max_x for rect, _ in entries)
+        min_y = min(rect.min_y for rect, _ in entries)
+        max_y = max(rect.max_y for rect, _ in entries)
+        span_x = max(max_x - min_x, 1e-9)
+        span_y = max(max_y - min_y, 1e-9)
+        grid = [[" "] * width for _ in range(height)]
+
+        def cell(x: float, y: float) -> tuple[int, int]:
+            column = int((x - min_x) / span_x * (width - 1))
+            row = int((y - min_y) / span_y * (height - 1))
+            column = min(max(column, 0), width - 1)   # clamp windows that
+            row = min(max(row, 0), height - 1)        # exceed the data
+            return (height - 1 - row), column  # north up
+
+        if window is not None:
+            top_row, left = cell(window.min_x, window.max_y)
+            bottom_row, right = cell(window.max_x, window.min_y)
+            for column in range(left, right + 1):
+                grid[top_row][column] = "-"
+                grid[bottom_row][column] = "-"
+            for row in range(top_row, bottom_row + 1):
+                grid[row][left] = "|"
+                grid[row][right] = "|"
+        for rect, _ in entries:
+            row, column = cell(rect.min_x, rect.min_y)
+            grid[row][column] = "#" if grid[row][column] == "*" else "*"
+        lines = [
+            f"R-tree {name!r} on {class_name}({x_attr}, {y_attr}): "
+            f"{len(entries)} entries, height {tree.height}"
+        ]
+        lines.append("+" + "-" * width + "+")
+        for row in grid:
+            lines.append("|" + "".join(row) + "|")
+        lines.append("+" + "-" * width + "+")
+        lines.append(
+            f"x: [{min_x:g}, {max_x:g}]  y: [{min_y:g}, {max_y:g}]"
+        )
+        return "\n".join(lines)
+
+    def structure_report(self, name: str) -> str:
+        tree, class_name, x_attr, y_attr = self._index(name)
+        return (
+            f"spatial index {name!r}: class={class_name} "
+            f"axes=({x_attr}, {y_attr}) entries={len(tree)} "
+            f"height={tree.height} node_reads={tree.stats.node_reads} "
+            f"splits={tree.stats.splits}"
+        )

@@ -1,0 +1,93 @@
+"""The full-screen text editor (abstract: "a full screen text-editor ...
+are also implemented").
+
+A minimal line-oriented buffer editor: load/save text, insert/delete/
+replace lines, search, and render a numbered "screen".  MoodView uses it
+for method bodies and query texts.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import MoodError
+
+
+class TextEditor:
+    def __init__(self, text: str = ""):
+        self._lines: list[str] = text.splitlines() if text else []
+        self.modified = False
+
+    # -- buffer access ----------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self._lines)
+
+    def line_count(self) -> int:
+        return len(self._lines)
+
+    def line(self, number: int) -> str:
+        self._check(number)
+        return self._lines[number - 1]
+
+    def _check(self, number: int) -> None:
+        if not 1 <= number <= len(self._lines):
+            raise MoodError(
+                f"line {number} out of range (1..{len(self._lines)})"
+            )
+
+    # -- editing ----------------------------------------------------------
+
+    def load(self, text: str) -> None:
+        self._lines = text.splitlines()
+        self.modified = False
+
+    def insert_line(self, number: int, text: str) -> None:
+        """Insert before line ``number`` (line_count+1 appends)."""
+        if not 1 <= number <= len(self._lines) + 1:
+            raise MoodError(f"cannot insert at line {number}")
+        self._lines.insert(number - 1, text)
+        self.modified = True
+
+    def append_line(self, text: str) -> None:
+        self._lines.append(text)
+        self.modified = True
+
+    def delete_line(self, number: int) -> str:
+        self._check(number)
+        self.modified = True
+        return self._lines.pop(number - 1)
+
+    def replace_line(self, number: int, text: str) -> None:
+        self._check(number)
+        self._lines[number - 1] = text
+        self.modified = True
+
+    def search(self, needle: str, start: int = 1) -> int | None:
+        """1-based line number of the first match at/after ``start``."""
+        for number in range(start, len(self._lines) + 1):
+            if needle in self._lines[number - 1]:
+                return number
+        return None
+
+    def replace_all(self, needle: str, replacement: str) -> int:
+        count = 0
+        for index, line in enumerate(self._lines):
+            if needle in line:
+                self._lines[index] = line.replace(needle, replacement)
+                count += 1
+        if count:
+            self.modified = True
+        return count
+
+    # -- rendering ------------------------------------------------------------
+
+    def screen(self, top: int = 1, height: int = 20) -> str:
+        """A numbered window onto the buffer."""
+        width = len(str(len(self._lines))) or 1
+        lines = []
+        for number in range(top, min(top + height, len(self._lines) + 1)):
+            lines.append(f"{number:>{width}} | {self._lines[number - 1]}")
+        status = f"-- {len(self._lines)} lines" + \
+            (" [modified]" if self.modified else "")
+        lines.append(status)
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""The MOOD query optimizer (Sections 7-8)."""
+
+from repro.optimizer.atomic import AtomicSelectionPlan, plan_atomic_selections
+from repro.optimizer.classify import (
+    ClassifiedTerm,
+    ExplicitJoin,
+    ImmediatePredicate,
+    OtherPredicate,
+    PathPredicate,
+    classify_term,
+    resolve_path,
+    resolve_reference_path,
+)
+from repro.optimizer.dictionaries import (
+    ImmSelEntry,
+    OtherSelEntry,
+    PathSelEntry,
+    SelectionDictionaries,
+    format_immselinfo,
+    format_pathselinfo,
+    format_table,
+)
+from repro.optimizer.joins import (
+    ChainLeaf,
+    JoinOrderResult,
+    MergeStep,
+    order_implicit_joins,
+)
+from repro.optimizer.paths import (
+    brute_force_order,
+    forward_path_cost,
+    objective,
+    order_by_rank,
+    rank_order,
+    rank_path_predicates,
+)
+from repro.optimizer.plan import (
+    BindNode,
+    DupElimNode,
+    IndexProbe,
+    IndSelNode,
+    JoinNode,
+    NamedRef,
+    PartitionNode,
+    PlanNode,
+    ProjectNode,
+    SelectNode,
+    SortNode,
+    UnionNode,
+    render_plan,
+)
+from repro.optimizer.planner import Planner, QueryPlan, TermPlanInfo
+
+__all__ = [
+    "AtomicSelectionPlan", "BindNode", "ChainLeaf", "ClassifiedTerm",
+    "DupElimNode", "ExplicitJoin", "ImmSelEntry", "ImmediatePredicate",
+    "IndSelNode", "IndexProbe", "JoinNode", "JoinOrderResult", "MergeStep",
+    "NamedRef", "OtherPredicate", "OtherSelEntry", "PartitionNode",
+    "PathPredicate", "PathSelEntry", "PlanNode", "Planner", "ProjectNode",
+    "QueryPlan", "SelectNode", "SelectionDictionaries", "SortNode",
+    "TermPlanInfo", "UnionNode", "brute_force_order", "classify_term",
+    "forward_path_cost", "format_immselinfo", "format_pathselinfo",
+    "format_table", "objective", "order_by_rank", "order_implicit_joins",
+    "plan_atomic_selections", "rank_order", "rank_path_predicates",
+    "render_plan", "resolve_path", "resolve_reference_path",
+]

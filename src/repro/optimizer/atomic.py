@@ -1,0 +1,223 @@
+"""Ordering of atomic selections (Section 8.1).
+
+For the immediate selections on one range variable:
+
+1. compute each predicate's selectivity and the sequential-scan cost;
+2. for indexed predicates, compute ``cost_i = INDCOST(1)`` for equality or
+   ``RNGXCOST(f_s)`` otherwise, and sort ascending;
+3. use the maximum number ``k`` of indexes satisfying
+
+   .. math::
+
+        \\sum_{i=1}^k cost_i + RNDCOST\\big(|C| \\prod_{i=1}^k f_i\\big)
+            < SEQCOST(nbpages(C));
+
+4. apply the remaining predicates in increasing order of selectivity
+   (the short-circuiting heuristic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog, IndexInfo
+from repro.cost.fileops import indcost, rndcost, rngxcost, seqcost
+from repro.cost.params import DatabaseStats
+from repro.cost.selectivity import (
+    DEFAULT_OTHER_SELECTIVITY,
+    atomic_selectivity,
+)
+from repro.optimizer.classify import ImmediatePredicate
+from repro.optimizer.dictionaries import ImmSelEntry
+from repro.storage.btree import BTreeParams
+from repro.storage.disk import DiskParams
+
+
+@dataclass
+class IndexChoice:
+    predicate: ImmediatePredicate
+    index: IndexInfo
+    probe_cost: float
+    selectivity: float
+
+
+@dataclass
+class AtomicSelectionPlan:
+    """The Section 8.1 decision for one range variable."""
+
+    var: str
+    class_name: str
+    access_type: str                       # "indexed" | "sequential" | "none"
+    chosen_indexes: list[IndexChoice] = field(default_factory=list)
+    residual: list[ImmediatePredicate] = field(default_factory=list)
+    entries: list[ImmSelEntry] = field(default_factory=list)
+    estimated_cost: float = 0.0
+    combined_selectivity: float = 1.0
+    expected_cardinality: float = 0.0
+
+
+#: Cost charged for one equality probe of a hash index (directory + bucket).
+_HASH_PROBE_PAGES = 2
+
+
+def plan_atomic_selections(
+    predicates: list[ImmediatePredicate],
+    var: str,
+    class_name: str,
+    catalog: Catalog,
+    stats: DatabaseStats,
+    disk: DiskParams,
+    btree_params_of=None,
+) -> AtomicSelectionPlan:
+    """Apply Section 8.1 to one range variable's immediate selections.
+
+    ``btree_params_of(index_name)`` supplies live Table 9 parameters for
+    B+-tree indexes; absent, a B+-tree sized from the class statistics is
+    assumed.
+    """
+    plan = AtomicSelectionPlan(var=var, class_name=class_name,
+                               access_type="none")
+    if not stats.has_class(class_name):
+        # No statistics at all: sequential scan, predicates in given order.
+        plan.access_type = "sequential" if predicates else "none"
+        plan.residual = list(predicates)
+        return plan
+    card = stats.card(class_name)
+    sequential = seqcost(disk, stats.nbpages(class_name))
+    plan.estimated_cost = sequential if predicates or card else 0.0
+
+    scored: list[tuple[ImmediatePredicate, float]] = []
+    for predicate in predicates:
+        if predicate.is_method:
+            selectivity = DEFAULT_OTHER_SELECTIVITY
+        else:
+            selectivity = atomic_selectivity(
+                stats, class_name, predicate.attribute, predicate.op,
+                predicate.constant, predicate.constant2,
+            )
+        scored.append((predicate, selectivity))
+
+    candidates: list[IndexChoice] = []
+    for predicate, selectivity in scored:
+        if predicate.is_method:
+            continue
+        indexes = catalog.indexes_on(class_name, predicate.attribute)
+        best: IndexChoice | None = None
+        for info in indexes:
+            probe = _probe_cost(info, predicate, selectivity, stats,
+                                class_name, disk, btree_params_of)
+            if probe is None:
+                continue
+            if best is None or probe < best.probe_cost:
+                best = IndexChoice(predicate, info, probe, selectivity)
+        if best is not None:
+            candidates.append(best)
+
+    candidates.sort(key=lambda choice: choice.probe_cost)
+    chosen = 0
+    best_cost = None
+    for k in range(1, len(candidates) + 1):
+        probes = sum(c.probe_cost for c in candidates[:k])
+        product = 1.0
+        for choice in candidates[:k]:
+            product *= choice.selectivity
+        fetch = rndcost(disk, card * product)
+        total = probes + fetch
+        if total < sequential:
+            chosen = k  # the *maximum* k satisfying the inequality
+            best_cost = total
+    plan.chosen_indexes = candidates[:chosen]
+    if chosen:
+        plan.access_type = "indexed"
+        plan.estimated_cost = best_cost
+    elif predicates:
+        plan.access_type = "sequential"
+        plan.estimated_cost = sequential
+
+    index_predicates = {id(c.predicate) for c in plan.chosen_indexes}
+    residual = [(p, s) for p, s in scored if id(p) not in index_predicates]
+    # Increasing estimated selectivity: most filtering first.
+    residual.sort(key=lambda pair: pair[1])
+    plan.residual = [p for p, _ in residual]
+
+    for predicate, selectivity in scored:
+        plan.combined_selectivity *= selectivity
+        choice = next(
+            (c for c in plan.chosen_indexes if c.predicate is predicate), None
+        )
+        plan.entries.append(
+            ImmSelEntry(
+                range_var=var,
+                predicate=predicate.expr,
+                selectivity=selectivity,
+                indexed_access_cost=(choice.probe_cost if choice else
+                                     _any_probe_cost(
+                                         predicate, selectivity, catalog,
+                                         stats, class_name, disk,
+                                         btree_params_of)),
+                sequential_access_cost=sequential,
+                access_type="indexed" if choice else "sequential",
+                index_name=choice.index.name if choice else None,
+                index_kind=choice.index.kind if choice else None,
+            )
+        )
+    plan.expected_cardinality = card * plan.combined_selectivity
+    return plan
+
+
+def _probe_cost(
+    info: IndexInfo,
+    predicate: ImmediatePredicate,
+    selectivity: float,
+    stats: DatabaseStats,
+    class_name: str,
+    disk: DiskParams,
+    btree_params_of,
+) -> float | None:
+    """cost_i of Section 8.1: INDCOST(1) for '=', RNGXCOST(f_s) otherwise;
+    hash indexes serve equality only."""
+    if info.kind == "join":
+        return None  # binary join indexes do not serve atomic selections
+    if info.kind == "hash":
+        if predicate.op != "=":
+            return None
+        return rndcost(disk, _HASH_PROBE_PAGES)
+    params = None
+    if btree_params_of is not None:
+        params = btree_params_of(info.name)
+    if params is None:
+        params = _assumed_btree(stats, class_name)
+    if predicate.op == "=":
+        return indcost(disk, params, 1)
+    return rngxcost(disk, params, selectivity)
+
+
+def _any_probe_cost(predicate, selectivity, catalog, stats, class_name, disk,
+                    btree_params_of) -> float | None:
+    """Indexed-access-cost column for the dictionary even when the index
+    was not chosen (None when no index exists)."""
+    if predicate.is_method:
+        return None
+    best = None
+    for info in catalog.indexes_on(class_name, predicate.attribute):
+        probe = _probe_cost(info, predicate, selectivity, stats, class_name,
+                            disk, btree_params_of)
+        if probe is not None and (best is None or probe < best):
+            best = probe
+    return best
+
+
+def _assumed_btree(stats: DatabaseStats, class_name: str) -> BTreeParams:
+    """A plausible B+-tree over |C| keys when live parameters are absent."""
+    import math
+
+    card = max(1, stats.card(class_name))
+    order = 64
+    leaves = max(1, math.ceil(card / order))
+    level = 1
+    reach = leaves
+    while reach > 1:
+        level += 1
+        reach = math.ceil(reach / order)
+    return BTreeParams(v=order, level=level, leaves=leaves, keysize=8,
+                       unique=False)

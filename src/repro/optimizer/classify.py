@@ -1,0 +1,277 @@
+"""Predicate classification (Section 7).
+
+Within an AND-term, each predicate is classified as:
+
+* **Immediate Selection** -- ``s.A theta c`` where A is an atomic attribute
+  or a parameterless method;
+* **Path Selection** -- ``s.A1...Am theta c`` over a genuine path (an
+  implicit join);
+* **Other Selection** -- methods with parameters and complex predicates,
+  whose selectivity "is not so easy to calculate";
+* **Explicit join** -- predicates relating two range variables, such as the
+  Section 3.1 example's ``c.drivetrain.engine = v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.core.errors import OptimizerError, UnknownAttributeError
+from repro.cost.selectivity import PathExpression
+from repro.model.types import is_atomic, is_reference_like, referenced_class
+from repro.sql.ast import (
+    Between,
+    BinOp,
+    COMPARISON_OPS,
+    Expr,
+    Literal,
+    MethodCall,
+    Path,
+)
+from repro.sql.rewrite import referenced_variables
+
+_FLIPPED = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass(frozen=True)
+class ImmediatePredicate:
+    """s.A theta c with A atomic (or a parameterless method)."""
+
+    var: str
+    attribute: str          # attribute or method name
+    op: str                 # comparison op, or "BETWEEN"
+    constant: object
+    constant2: object = None
+    is_method: bool = False
+    expr: Expr = None
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class PathPredicate:
+    """s.A1...Am theta c over a reference path."""
+
+    var: str
+    path: PathExpression
+    op: str
+    constant: object
+    constant2: object = None
+    expr: Expr = None
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class OtherPredicate:
+    var: str
+    expr: Expr = None
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class ExplicitJoin:
+    """A predicate relating two range variables.
+
+    ``left_var.left_attrs = right_var.right_attrs``; the canonical paper
+    form is a path against a bare variable (``c.drivetrain.engine = v``).
+    """
+
+    left_var: str
+    left_attrs: tuple[str, ...]
+    right_var: str
+    right_attrs: tuple[str, ...]
+    op: str
+    expr: Expr = None
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass
+class ClassifiedTerm:
+    """Classification of one AND-term's predicates."""
+
+    immediate: list[ImmediatePredicate] = field(default_factory=list)
+    path: list[PathPredicate] = field(default_factory=list)
+    other: list[OtherPredicate] = field(default_factory=list)
+    joins: list[ExplicitJoin] = field(default_factory=list)
+
+    def immediate_for(self, var: str) -> list[ImmediatePredicate]:
+        return [p for p in self.immediate if p.var == var]
+
+    def path_for(self, var: str) -> list[PathPredicate]:
+        return [p for p in self.path if p.var == var]
+
+    def other_for(self, var: str) -> list[OtherPredicate]:
+        return [p for p in self.other if p.var == var]
+
+
+def resolve_path(
+    catalog: Catalog, start_class: str, attrs: tuple[str, ...]
+) -> PathExpression | None:
+    """Resolve attribute names along reference constructors into a
+    :class:`PathExpression`, or ``None`` when the chain is not a pure
+    reference path ending at an atomic attribute."""
+    if not attrs:
+        return None
+    classes = [start_class]
+    for attribute in attrs[:-1]:
+        try:
+            attr_type = catalog.attribute_type(classes[-1], attribute)
+        except UnknownAttributeError:
+            return None
+        if not is_reference_like(attr_type):
+            return None
+        target = referenced_class(attr_type)
+        if target is None or not catalog.has_class(target):
+            return None
+        classes.append(target)
+    try:
+        final_type = catalog.attribute_type(classes[-1], attrs[-1])
+    except UnknownAttributeError:
+        return None
+    if not is_atomic(final_type):
+        return None
+    return PathExpression(
+        classes=tuple(classes),
+        reference_attrs=tuple(attrs[:-1]),
+        final_attr=attrs[-1],
+    )
+
+
+def resolve_reference_path(
+    catalog: Catalog, start_class: str, attrs: tuple[str, ...]
+) -> tuple[str, ...] | None:
+    """Classes along a pure reference path (used by explicit joins);
+    returns the class chain C_0..C_n or None."""
+    classes = [start_class]
+    for attribute in attrs:
+        try:
+            attr_type = catalog.attribute_type(classes[-1], attribute)
+        except UnknownAttributeError:
+            return None
+        if not is_reference_like(attr_type):
+            return None
+        target = referenced_class(attr_type)
+        if target is None or not catalog.has_class(target):
+            return None
+        classes.append(target)
+    return tuple(classes)
+
+
+def classify_term(
+    term: list[Expr],
+    var_classes: dict[str, str],
+    catalog: Catalog,
+) -> ClassifiedTerm:
+    """Classify the predicates of one AND-term."""
+    result = ClassifiedTerm()
+    for predicate in term:
+        _classify_one(predicate, var_classes, catalog, result)
+    return result
+
+
+def _classify_one(
+    predicate: Expr,
+    var_classes: dict[str, str],
+    catalog: Catalog,
+    result: ClassifiedTerm,
+) -> None:
+    variables = referenced_variables(predicate)
+    unknown = variables - set(var_classes)
+    if unknown:
+        raise OptimizerError(f"unbound range variables {sorted(unknown)}")
+    if len(variables) >= 2:
+        join = _as_explicit_join(predicate, var_classes)
+        if join is not None:
+            result.joins.append(join)
+        else:
+            # Multi-variable but not a recognisable equi-join: keep it as
+            # an 'other' filter on its first variable (evaluated after the
+            # joins bind every variable).
+            result.other.append(
+                OtherPredicate(sorted(variables)[0], predicate)
+            )
+        return
+    if not variables:
+        # Constant predicates survive simplification only when opaque;
+        # treat as 'other' on no variable (planner applies them last).
+        result.other.append(OtherPredicate("", predicate))
+        return
+    var = next(iter(variables))
+    simple = _as_simple_comparison(predicate)
+    if simple is not None:
+        left, op, constant, constant2 = simple
+        if isinstance(left, MethodCall) and not left.args \
+                and left.receiver.is_variable:
+            result.immediate.append(
+                ImmediatePredicate(var, left.method, op, constant, constant2,
+                                   is_method=True, expr=predicate)
+            )
+            return
+        if isinstance(left, Path) and left.var == var and left.attrs:
+            if len(left.attrs) == 1:
+                attr_type = None
+                try:
+                    attr_type = catalog.attribute_type(
+                        var_classes[var], left.attrs[0]
+                    )
+                except UnknownAttributeError:
+                    pass
+                if attr_type is not None and is_atomic(attr_type):
+                    result.immediate.append(
+                        ImmediatePredicate(var, left.attrs[0], op, constant,
+                                           constant2, expr=predicate)
+                    )
+                    return
+            else:
+                path = resolve_path(catalog, var_classes[var], left.attrs)
+                if path is not None:
+                    result.path.append(
+                        PathPredicate(var, path, op, constant, constant2,
+                                      expr=predicate)
+                    )
+                    return
+    result.other.append(OtherPredicate(var, predicate))
+
+
+def _as_simple_comparison(predicate: Expr):
+    """Decompose ``lhs theta constant`` (either orientation) or a BETWEEN
+    with constant bounds; returns (lhs, op, c, c2) or None."""
+    if isinstance(predicate, BinOp) and predicate.op in COMPARISON_OPS:
+        if isinstance(predicate.right, Literal):
+            return predicate.left, predicate.op, predicate.right.value, None
+        if isinstance(predicate.left, Literal):
+            return (predicate.right, _FLIPPED[predicate.op],
+                    predicate.left.value, None)
+        return None
+    if isinstance(predicate, Between):
+        if isinstance(predicate.low, Literal) and isinstance(
+                predicate.high, Literal):
+            return (predicate.expr, "BETWEEN", predicate.low.value,
+                    predicate.high.value)
+    return None
+
+
+def _as_explicit_join(predicate: Expr,
+                      var_classes: dict[str, str]) -> ExplicitJoin | None:
+    if not isinstance(predicate, BinOp) or predicate.op not in COMPARISON_OPS:
+        return None
+    left, right = predicate.left, predicate.right
+    if isinstance(left, Path) and isinstance(right, Path):
+        if left.var != right.var:
+            return ExplicitJoin(
+                left_var=left.var,
+                left_attrs=left.attrs,
+                right_var=right.var,
+                right_attrs=right.attrs,
+                op=predicate.op,
+                expr=predicate,
+            )
+    return None

@@ -1,0 +1,181 @@
+"""Implicit join ordering (Section 8.3, Algorithm 8.2).
+
+A path expression ``p.a1.a2...an`` implies a chain of implicit joins over
+classes :math:`C_0, C_1, ..., C_{n-1}`.  The greedy heuristic repeatedly
+merges the adjacent pair minimising
+
+.. math::
+
+    f(jc, js) = jc / (1 - js)
+
+where ``jc`` is the minimum cost among the four join techniques and ``js``
+the selectivity of the resulting temporary collection (the fraction of the
+referencing side that survives -- a pair whose join filters nothing ranks
+last).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cost.joincost import best_join_strategy
+from repro.cost.params import DatabaseStats
+from repro.optimizer.plan import JoinNode, PlanNode
+from repro.storage.btree import BTreeParams
+from repro.storage.disk import DiskParams
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class ChainLeaf:
+    """One class of the join chain, with its already-planned access."""
+
+    class_name: str
+    var: str
+    cardinality: float
+    plan: PlanNode
+
+
+@dataclass
+class _Segment:
+    leaves: list[ChainLeaf]
+    cardinality: float
+    plan: PlanNode
+
+    @property
+    def head(self) -> ChainLeaf:
+        return self.leaves[0]
+
+    @property
+    def tail(self) -> ChainLeaf:
+        return self.leaves[-1]
+
+
+@dataclass
+class MergeStep:
+    """One iteration of Algorithm 8.2 (a row of our Table 17)."""
+
+    left_classes: tuple[str, ...]
+    right_classes: tuple[str, ...]
+    attr: str
+    strategy: str
+    jc: float
+    js: float
+    rank: float
+    result_cardinality: float
+
+
+@dataclass
+class JoinOrderResult:
+    plan: PlanNode
+    cardinality: float
+    steps: list[MergeStep] = field(default_factory=list)
+    #: candidate rows computed before the first merge (Table 17 shape)
+    initial_estimates: list[MergeStep] = field(default_factory=list)
+
+
+def order_implicit_joins(
+    leaves: list[ChainLeaf],
+    link_attrs: list[str],
+    stats: DatabaseStats,
+    disk: DiskParams,
+    join_indexes: dict[str, BTreeParams] | None = None,
+    cpu_cost: float | None = None,
+) -> JoinOrderResult:
+    """Run Algorithm 8.2 over a chain.
+
+    ``leaves[i]`` accesses class :math:`C_i`; ``link_attrs[i]`` is the
+    reference attribute of :math:`C_i` targeting :math:`C_{i+1}`.
+    ``join_indexes`` maps a link attribute to its binary-join-index
+    parameters when one exists.
+    """
+    if len(leaves) != len(link_attrs) + 1:
+        raise ValueError("need one link attribute between adjacent classes")
+    if len(leaves) == 1:
+        return JoinOrderResult(plan=leaves[0].plan,
+                               cardinality=leaves[0].cardinality)
+    segments = [_Segment([leaf], leaf.cardinality, leaf.plan)
+                for leaf in leaves]
+    # Link attribute between adjacent segments, tracked by tail class name.
+    links = dict(zip([leaf.class_name for leaf in leaves[:-1]], link_attrs))
+    result = JoinOrderResult(plan=segments[0].plan, cardinality=0.0)
+
+    first_round = True
+    while len(segments) > 1:
+        candidates = []
+        for index in range(len(segments) - 1):
+            left, right = segments[index], segments[index + 1]
+            step = _estimate(left, right, links, stats, disk,
+                             join_indexes, cpu_cost)
+            candidates.append((step.rank, index, step))
+            if first_round:
+                result.initial_estimates.append(step)
+        first_round = False
+        _, index, step = min(candidates, key=lambda item: (item[0], item[1]))
+        left, right = segments[index], segments[index + 1]
+        joined_plan = JoinNode(
+            left=left.plan,
+            right=right.plan,
+            method=step.strategy,
+            predicate_text=(
+                f"{left.tail.var}.{step.attr} = {right.head.var}.self"
+            ),
+            left_var=left.tail.var,
+            attr=step.attr,
+            right_var=right.head.var,
+        )
+        joined_plan.estimated_cost = step.jc
+        joined_plan.estimated_cardinality = step.result_cardinality
+        merged = _Segment(
+            leaves=left.leaves + right.leaves,
+            cardinality=step.result_cardinality,
+            plan=joined_plan,
+        )
+        segments[index:index + 2] = [merged]
+        result.steps.append(step)
+    result.plan = segments[0].plan
+    result.cardinality = segments[0].cardinality
+    return result
+
+
+def _estimate(
+    left: _Segment,
+    right: _Segment,
+    links: dict[str, str],
+    stats: DatabaseStats,
+    disk: DiskParams,
+    join_indexes: dict[str, BTreeParams] | None,
+    cpu_cost: float | None,
+) -> MergeStep:
+    attr = links[left.tail.class_name]
+    class_c = left.tail.class_name
+    class_d = right.head.class_name
+    k_c = left.cardinality
+    k_d = right.cardinality
+    kwargs = {}
+    if cpu_cost is not None:
+        kwargs["cpu_cost"] = cpu_cost
+    estimate = best_join_strategy(
+        disk, stats, class_c, attr, k_c, k_d,
+        join_index=(join_indexes or {}).get(attr),
+        **kwargs,
+    )
+    card_d = max(1, stats.card(class_d))
+    fan = stats.fan(attr, class_c)
+    result_cardinality = k_c * fan * min(1.0, k_d / card_d)
+    js = min(1.0, result_cardinality / k_c) if k_c > 0 else 1.0
+    if js >= 1.0 - _EPSILON:
+        rank = float("inf")
+    else:
+        rank = estimate.cost / (1.0 - js)
+    return MergeStep(
+        left_classes=tuple(leaf.class_name for leaf in left.leaves),
+        right_classes=tuple(leaf.class_name for leaf in right.leaves),
+        attr=attr,
+        strategy=estimate.strategy,
+        jc=estimate.cost,
+        js=js,
+        rank=rank,
+        result_cardinality=result_cardinality,
+    )

@@ -1,0 +1,48 @@
+"""MOODSQL front end: lexer, parser, AST, rewriting (Sections 3 and 7)."""
+
+from repro.sql.ast import (
+    AlterClass,
+    AnalyzeStmt,
+    Between,
+    BinOp,
+    BoolOp,
+    CreateClass,
+    CreateIndex,
+    CreateMethod,
+    DeleteStmt,
+    DropClass,
+    DropIndex,
+    DropMethod,
+    Expr,
+    InList,
+    Literal,
+    MethodCall,
+    MethodDecl,
+    NewObject,
+    Not,
+    OrderItem,
+    Path,
+    RangeVar,
+    SelectQuery,
+    Statement,
+    UnaryMinus,
+    UpdateStmt,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import Parser, parse, parse_expression, parse_script
+from repro.sql.rewrite import (
+    dnf_to_expr,
+    referenced_variables,
+    simplify,
+    to_dnf,
+)
+
+__all__ = [
+    "AlterClass", "AnalyzeStmt", "Between", "BinOp", "BoolOp", "CreateClass",
+    "CreateIndex", "CreateMethod", "DeleteStmt", "DropClass", "DropIndex",
+    "DropMethod", "Expr", "InList", "Literal", "MethodCall", "MethodDecl",
+    "NewObject", "Not", "OrderItem", "Parser", "Path", "RangeVar",
+    "SelectQuery", "Statement", "Token", "TokenType", "UnaryMinus",
+    "UpdateStmt", "dnf_to_expr", "parse", "parse_expression", "parse_script",
+    "referenced_variables", "simplify", "to_dnf", "tokenize",
+]

@@ -1,0 +1,263 @@
+"""MOODSQL abstract syntax.
+
+Expression nodes cover literals, path expressions (the language's defining
+feature), method calls, arithmetic, comparisons and Boolean connectives;
+statements cover the Section 3.1 query form, the DDL, and the ``new``
+object creation MoodView issues (Section 9.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any  # int | float | str | bool | None
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Path:
+    """A (possibly trivial) path expression: ``var.a1.a2...an``."""
+
+    var: str
+    attrs: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return ".".join([self.var, *self.attrs])
+
+    @property
+    def is_variable(self) -> bool:
+        return not self.attrs
+
+
+@dataclass(frozen=True)
+class MethodCall:
+    """``path.method(args)``; a parameterless method looks like ``v.m()``."""
+
+    receiver: Path
+    method: str
+    args: tuple["Expr", ...] = ()
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.receiver}.{self.method}({args})"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Arithmetic (+ - * / %) or comparison (= <> < <= > >=)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryMinus:
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """n-ary AND / OR."""
+
+    op: str  # "AND" | "OR"
+    items: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return "(" + f" {self.op} ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class Between:
+    expr: "Expr"
+    low: "Expr"
+    high: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.expr} BETWEEN {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True)
+class InList:
+    expr: "Expr"
+    items: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return f"({self.expr} IN ({', '.join(str(i) for i in self.items)}))"
+
+
+Expr = Union[Literal, Path, MethodCall, BinOp, UnaryMinus, Not, BoolOp,
+             Between, InList]
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RangeVar:
+    """One FROM-clause range: ``[EVERY] Class [- Sub]... var``."""
+
+    class_name: str
+    var: str
+    minus: tuple[str, ...] = ()
+    every: bool = False
+
+    def __str__(self) -> str:
+        text = "EVERY " if self.every else ""
+        text += self.class_name
+        for excluded in self.minus:
+            text += f" - {excluded}"
+        return f"{text} {self.var}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Path
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    projections: tuple[Expr, ...]   # empty tuple means SELECT *
+    ranges: tuple[RangeVar, ...]
+    where: Expr | None = None
+    group_by: tuple[Path, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class MethodDecl:
+    name: str
+    parameters: tuple[tuple[str, str], ...]   # (name, type text)
+    return_type: str
+    body: str | None = None
+
+
+@dataclass(frozen=True)
+class CreateClass:
+    name: str
+    superclasses: tuple[str, ...] = ()
+    attributes: tuple[tuple[str, str], ...] = ()   # (name, type text)
+    methods: tuple[MethodDecl, ...] = ()
+    is_class: bool = True    # CREATE TYPE sets False
+
+
+@dataclass(frozen=True)
+class DropClass:
+    name: str
+
+
+@dataclass(frozen=True)
+class AlterClass:
+    """ALTER CLASS c ADD ATTRIBUTE a T | DROP ATTRIBUTE a
+    | RENAME ATTRIBUTE a TO b."""
+
+    name: str
+    action: str                       # "add" | "drop" | "rename"
+    attribute: str
+    type_text: str | None = None
+    new_name: str | None = None
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    class_name: str
+    attribute: str
+    kind: str = "btree"     # USING btree|hash
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateMethod:
+    """CREATE METHOD Class::name(params) RetType { body }."""
+
+    decl: MethodDecl
+    class_name: str
+    replace: bool = False
+
+
+@dataclass(frozen=True)
+class DropMethod:
+    class_name: str
+    name: str
+    parameter_types: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class NewObject:
+    """``new Employee <'Budak Arpinar', 'Computer Engineer', 1969>``.
+
+    Values bind positionally to the class's attributes (inherited first,
+    declaration order).  ``AS name`` registers a named object.
+    """
+
+    class_name: str
+    values: tuple[Expr, ...]
+    bind_name: str | None = None
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    range_var: RangeVar
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    range_var: RangeVar
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class AnalyzeStmt:
+    pass
+
+
+Statement = Union[
+    SelectQuery, CreateClass, DropClass, AlterClass, CreateIndex, DropIndex,
+    CreateMethod, DropMethod, NewObject, DeleteStmt, UpdateStmt, AnalyzeStmt,
+]

@@ -1,0 +1,203 @@
+"""MOODSQL lexer.
+
+Tokenises the SQL-like surface of Section 3.1 plus the DDL/DML the kernel
+serves MoodView with (Section 9.4's ``new Employee <...>`` object creation,
+method definition with raw bodies, index DDL).
+
+A ``{`` always opens a raw method body (C++ in the paper, Python here):
+the lexer captures brace-balanced text verbatim into a single BODY token,
+preserving strings and nesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.errors import LexerError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+    "DESC", "EVERY", "AND", "OR", "NOT", "BETWEEN", "IN", "CREATE", "CLASS",
+    "TYPE", "TUPLE", "METHODS", "METHOD", "INHERITS", "INDEX", "ON", "USING",
+    "UNIQUE", "DROP", "DELETE", "UPDATE", "SET", "NEW", "AS", "TRUE",
+    "FALSE", "NULL", "ANALYZE", "DISTINCT", "ATTRIBUTE", "RENAME", "TO",
+    "ALTER", "ADD",
+}
+
+
+class TokenType(Enum):
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"     # = <> < <= > >= + - * / % ::
+    PUNCT = "PUNCT"           # ( ) , . ;
+    BODY = "BODY"             # raw { ... } method body
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __str__(self) -> str:
+        return f"{self.value!r}"
+
+
+_OPERATORS = ("<=", ">=", "<>", "::", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),.;:"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise MOODSQL source into a token list ending with EOF."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    def column() -> int:
+        return position - line_start + 1
+
+    while position < length:
+        ch = text[position]
+        if ch == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if ch.isspace():
+            position += 1
+            continue
+        if text.startswith("--", position):
+            newline = text.find("\n", position)
+            position = length if newline == -1 else newline
+            continue
+        if ch == "{":
+            start_line, start_column = line, column()
+            depth = 0
+            start = position
+            in_string: str | None = None
+            while position < length:
+                current = text[position]
+                if in_string is not None:
+                    if current == in_string:
+                        in_string = None
+                    elif current == "\n":
+                        line += 1
+                        line_start = position + 1
+                elif current in "'\"":
+                    in_string = current
+                elif current == "{":
+                    depth += 1
+                elif current == "}":
+                    depth -= 1
+                    if depth == 0:
+                        position += 1
+                        break
+                elif current == "\n":
+                    line += 1
+                    line_start = position + 1
+                position += 1
+            else:
+                raise LexerError("unterminated method body", start_line,
+                                 start_column)
+            if depth != 0:
+                raise LexerError("unterminated method body", start_line,
+                                 start_column)
+            body = text[start + 1:position - 1]
+            tokens.append(Token(TokenType.BODY, body, start_line, start_column))
+            continue
+        if ch in "'\"":
+            quote = ch
+            start_line, start_column = line, column()
+            position += 1
+            chars: list[str] = []
+            while position < length:
+                current = text[position]
+                if current == quote:
+                    if position + 1 < length and text[position + 1] == quote:
+                        chars.append(quote)  # doubled quote escape
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                if current == "\n":
+                    raise LexerError("unterminated string", start_line,
+                                     start_column)
+                chars.append(current)
+                position += 1
+            else:
+                raise LexerError("unterminated string", start_line, start_column)
+            tokens.append(
+                Token(TokenType.STRING, "".join(chars), start_line, start_column)
+            )
+            continue
+        if ch.isdigit():
+            start = position
+            start_column = column()
+            while position < length and text[position].isdigit():
+                position += 1
+            is_float = False
+            if (
+                position < length
+                and text[position] == "."
+                and position + 1 < length
+                and text[position + 1].isdigit()
+            ):
+                is_float = True
+                position += 1
+                while position < length and text[position].isdigit():
+                    position += 1
+            if position < length and text[position] in "eE":
+                lookahead = position + 1
+                if lookahead < length and text[lookahead] in "+-":
+                    lookahead += 1
+                if lookahead < length and text[lookahead].isdigit():
+                    is_float = True
+                    position = lookahead
+                    while position < length and text[position].isdigit():
+                        position += 1
+            token_type = TokenType.FLOAT if is_float else TokenType.INTEGER
+            tokens.append(
+                Token(token_type, text[start:position], line, start_column)
+            )
+            continue
+        if ch.isalpha() or ch == "_":
+            start = position
+            start_column = column()
+            while position < length and (text[position].isalnum()
+                                         or text[position] == "_"):
+                position += 1
+            word = text[start:position]
+            if word.upper() in KEYWORDS:
+                tokens.append(
+                    Token(TokenType.KEYWORD, word.upper(), line, start_column)
+                )
+            else:
+                tokens.append(Token(TokenType.IDENT, word, line, start_column))
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if text.startswith(operator, position):
+                tokens.append(Token(TokenType.OPERATOR, operator, line, column()))
+                position += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, line, column()))
+            position += 1
+            continue
+        raise LexerError(f"illegal character {ch!r}", line, column())
+    tokens.append(Token(TokenType.EOF, "", line, column()))
+    return tokens

@@ -1,0 +1,631 @@
+"""MOODSQL recursive-descent parser.
+
+Implements the Section 3.1 grammar::
+
+    SELECT projection-list
+    FROM [EVERY] class-name [- subclass]... r1, ...
+    [ GROUP BY attribute-list [ HAVING predicate ] ]
+    [ WHERE search-expression ]
+    [ ORDER BY attribute-list ]
+
+(clauses after FROM are accepted in any order, since the paper itself puts
+WHERE after GROUP BY), plus the DDL (CREATE CLASS ... TUPLE ... METHODS,
+INHERITS FROM, CREATE INDEX), method management (CREATE/DROP METHOD), the
+``new Class <...>`` object creation of Section 9.4, DELETE, UPDATE, ALTER
+CLASS and ANALYZE.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ParseError
+from repro.sql.ast import (
+    AlterClass,
+    AnalyzeStmt,
+    Between,
+    BinOp,
+    BoolOp,
+    COMPARISON_OPS,
+    CreateClass,
+    CreateIndex,
+    CreateMethod,
+    DeleteStmt,
+    DropClass,
+    DropIndex,
+    DropMethod,
+    Expr,
+    InList,
+    Literal,
+    MethodCall,
+    MethodDecl,
+    NewObject,
+    Not,
+    OrderItem,
+    Path,
+    RangeVar,
+    SelectQuery,
+    Statement,
+    UnaryMinus,
+    UpdateStmt,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(
+            f"{message} (found {token.value!r} at line {token.line}, "
+            f"column {token.column})"
+        )
+
+    def expect_keyword(self, *words: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(*words):
+            raise self.error(f"expected {' or '.join(words)}")
+        return self.advance()
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.peek().is_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.type is not TokenType.IDENT:
+            raise self.error(f"expected {what}")
+        return self.advance().value
+
+    def expect_punct(self, value: str) -> None:
+        token = self.peek()
+        if token.type is not TokenType.PUNCT or token.value != value:
+            raise self.error(f"expected {value!r}")
+        self.advance()
+
+    def accept_punct(self, value: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.PUNCT and token.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_operator(self, value: str) -> None:
+        token = self.peek()
+        if token.type is not TokenType.OPERATOR or token.value != value:
+            raise self.error(f"expected {value!r}")
+        self.advance()
+
+    def accept_operator(self, value: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value == value:
+            self.advance()
+            return True
+        return False
+
+    # -- entry points ----------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        statement = self._statement()
+        self.accept_punct(";")
+        if self.peek().type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+        return statement
+
+    def parse_script(self) -> list[Statement]:
+        statements = []
+        while self.peek().type is not TokenType.EOF:
+            statements.append(self._statement())
+            while self.accept_punct(";"):
+                pass
+        return statements
+
+    # -- statements ----------------------------------------------------------------
+
+    def _statement(self) -> Statement:
+        token = self.peek()
+        if token.is_keyword("SELECT"):
+            return self._select()
+        if token.is_keyword("CREATE"):
+            return self._create()
+        if token.is_keyword("DROP"):
+            return self._drop()
+        if token.is_keyword("ALTER"):
+            return self._alter()
+        if token.is_keyword("NEW"):
+            return self._new_object()
+        if token.is_keyword("DELETE"):
+            return self._delete()
+        if token.is_keyword("UPDATE"):
+            return self._update()
+        if token.is_keyword("ANALYZE"):
+            self.advance()
+            return AnalyzeStmt()
+        raise self.error("expected a statement")
+
+    def _select(self) -> SelectQuery:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        projections: tuple[Expr, ...]
+        if self.accept_operator("*"):
+            projections = ()
+        else:
+            items = [self._expr()]
+            while self.accept_punct(","):
+                items.append(self._expr())
+            projections = tuple(items)
+        self.expect_keyword("FROM")
+        ranges = [self._range_var()]
+        while self.accept_punct(","):
+            ranges.append(self._range_var())
+        where = None
+        group_by: tuple[Path, ...] = ()
+        having = None
+        order_by: tuple[OrderItem, ...] = ()
+        while True:
+            if self.peek().is_keyword("WHERE"):
+                if where is not None:
+                    raise self.error("duplicate WHERE clause")
+                self.advance()
+                where = self._expr()
+            elif self.peek().is_keyword("GROUP"):
+                if group_by:
+                    raise self.error("duplicate GROUP BY clause")
+                self.advance()
+                self.expect_keyword("BY")
+                paths = [self._path_only()]
+                while self.accept_punct(","):
+                    paths.append(self._path_only())
+                group_by = tuple(paths)
+                if self.accept_keyword("HAVING"):
+                    having = self._expr()
+            elif self.peek().is_keyword("ORDER"):
+                if order_by:
+                    raise self.error("duplicate ORDER BY clause")
+                self.advance()
+                self.expect_keyword("BY")
+                items = [self._order_item()]
+                while self.accept_punct(","):
+                    items.append(self._order_item())
+                order_by = tuple(items)
+            else:
+                break
+        if having is not None and not group_by:
+            raise self.error("HAVING requires GROUP BY")
+        return SelectQuery(
+            projections=projections,
+            ranges=tuple(ranges),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            distinct=distinct,
+        )
+
+    def _range_var(self) -> RangeVar:
+        every = self.accept_keyword("EVERY")
+        class_name = self.expect_ident("class name")
+        minus: list[str] = []
+        while self.accept_operator("-"):
+            minus.append(self.expect_ident("excluded subclass"))
+        var = self.expect_ident("range variable")
+        return RangeVar(class_name=class_name, var=var, minus=tuple(minus),
+                        every=every)
+
+    def _order_item(self) -> OrderItem:
+        path = self._path_only()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(path, ascending)
+
+    def _path_only(self) -> Path:
+        expr = self._postfix()
+        if not isinstance(expr, Path):
+            raise self.error("expected a path expression")
+        return expr
+
+    # -- DDL ------------------------------------------------------------------
+
+    def _create(self) -> Statement:
+        self.expect_keyword("CREATE")
+        if self.peek().is_keyword("CLASS", "TYPE"):
+            return self._create_class()
+        if self.peek().is_keyword("METHOD"):
+            return self._create_method()
+        if self.peek().is_keyword("UNIQUE", "INDEX"):
+            return self._create_index()
+        raise self.error("expected CLASS, TYPE, METHOD or INDEX after CREATE")
+
+    def _create_class(self) -> CreateClass:
+        is_class = self.advance().value == "CLASS"
+        name = self.expect_ident("class name")
+        superclasses: list[str] = []
+        attributes: list[tuple[str, str]] = []
+        methods: list[MethodDecl] = []
+        while True:
+            if self.accept_keyword("INHERITS"):
+                self.expect_keyword("FROM")
+                superclasses.append(self.expect_ident("superclass"))
+                while self.accept_punct(","):
+                    superclasses.append(self.expect_ident("superclass"))
+            elif self.accept_keyword("TUPLE"):
+                self.expect_punct("(")
+                while not self.accept_punct(")"):
+                    attr_name = self.expect_ident("attribute name")
+                    attributes.append((attr_name, self._type_text()))
+                    if not self.accept_punct(","):
+                        self.expect_punct(")")
+                        break
+            elif self.accept_keyword("METHODS"):
+                # Accept both the paper's 'METHODS:' form and a
+                # parenthesised 'METHODS ( ... )' variant.
+                self.accept_punct(":")
+                parenthesised = self.accept_punct("(")
+                while True:
+                    if parenthesised and self.accept_punct(")"):
+                        break
+                    if self.peek().type is not TokenType.IDENT:
+                        break
+                    methods.append(self._method_decl(name))
+                    if not self.accept_punct(","):
+                        if parenthesised:
+                            self.expect_punct(")")
+                        break
+            else:
+                break
+        return CreateClass(
+            name=name,
+            superclasses=tuple(superclasses),
+            attributes=tuple(attributes),
+            methods=tuple(methods),
+            is_class=is_class,
+        )
+
+    def _type_text(self) -> str:
+        """Consume a type expression (balanced in parentheses) as text."""
+        pieces: list[str] = []
+        depth = 0
+        while True:
+            token = self.peek()
+            if token.type is TokenType.EOF:
+                break
+            if token.type is TokenType.PUNCT and token.value == "(":
+                depth += 1
+            elif token.type is TokenType.PUNCT and token.value == ")":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif token.type is TokenType.PUNCT and token.value == ",":
+                if depth == 0:
+                    break
+            elif token.type not in (TokenType.IDENT, TokenType.INTEGER,
+                                    TokenType.KEYWORD):
+                break
+            pieces.append(token.value)
+            self.advance()
+        if not pieces:
+            raise self.error("expected a type")
+        # Reassemble with spaces; the type parser is whitespace-insensitive.
+        return " ".join(pieces)
+
+    def _method_decl(self, class_name: str) -> MethodDecl:
+        method_name = self.expect_ident("method name")
+        self.expect_punct("(")
+        parameters: list[tuple[str, str]] = []
+        while not self.accept_punct(")"):
+            param_name = self.expect_ident("parameter name")
+            parameters.append((param_name, self._type_text()))
+            if not self.accept_punct(","):
+                self.expect_punct(")")
+                break
+        return_type = self._type_text()
+        body = None
+        if self.peek().type is TokenType.BODY:
+            body = self.advance().value
+        return MethodDecl(
+            name=method_name,
+            parameters=tuple(parameters),
+            return_type=return_type,
+            body=body,
+        )
+
+    def _create_method(self) -> CreateMethod:
+        self.expect_keyword("METHOD")
+        class_name = self.expect_ident("class name")
+        self.expect_operator("::")
+        # Reuse the declaration parser from the method name onwards: put the
+        # name back by parsing manually.
+        method_name = self.expect_ident("method name")
+        self.expect_punct("(")
+        parameters: list[tuple[str, str]] = []
+        while not self.accept_punct(")"):
+            param_name = self.expect_ident("parameter name")
+            parameters.append((param_name, self._type_text()))
+            if not self.accept_punct(","):
+                self.expect_punct(")")
+                break
+        return_type = self._type_text()
+        if self.peek().type is not TokenType.BODY:
+            raise self.error("expected a { body } for CREATE METHOD")
+        body = self.advance().value
+        return CreateMethod(
+            decl=MethodDecl(method_name, tuple(parameters), return_type, body),
+            class_name=class_name,
+        )
+
+    def _create_index(self) -> CreateIndex:
+        unique = self.accept_keyword("UNIQUE")
+        self.expect_keyword("INDEX")
+        name = self.expect_ident("index name")
+        self.expect_keyword("ON")
+        class_name = self.expect_ident("class name")
+        self.expect_punct("(")
+        segments = [self.expect_ident("attribute")]
+        while self.accept_punct("."):
+            segments.append(self.expect_ident("attribute"))
+        attribute = ".".join(segments)
+        self.expect_punct(")")
+        kind = "path" if len(segments) > 1 else "btree"
+        if self.accept_keyword("USING"):
+            kind = self.expect_ident("index kind").lower()
+        return CreateIndex(name=name, class_name=class_name,
+                           attribute=attribute, kind=kind, unique=unique)
+
+    def _drop(self) -> Statement:
+        self.expect_keyword("DROP")
+        if self.accept_keyword("CLASS", "TYPE"):
+            return DropClass(self.expect_ident("class name"))
+        if self.accept_keyword("INDEX"):
+            return DropIndex(self.expect_ident("index name"))
+        if self.accept_keyword("METHOD"):
+            class_name = self.expect_ident("class name")
+            self.expect_operator("::")
+            method_name = self.expect_ident("method name")
+            parameter_types: list[str] = []
+            if self.accept_punct("("):
+                while not self.accept_punct(")"):
+                    parameter_types.append(self._type_text())
+                    if not self.accept_punct(","):
+                        self.expect_punct(")")
+                        break
+            return DropMethod(class_name, method_name, tuple(parameter_types))
+        raise self.error("expected CLASS, TYPE, INDEX or METHOD after DROP")
+
+    def _alter(self) -> AlterClass:
+        self.expect_keyword("ALTER")
+        self.expect_keyword("CLASS")
+        name = self.expect_ident("class name")
+        if self.accept_keyword("ADD"):
+            self.expect_keyword("ATTRIBUTE")
+            attribute = self.expect_ident("attribute")
+            return AlterClass(name, "add", attribute,
+                              type_text=self._type_text())
+        if self.accept_keyword("DROP"):
+            self.expect_keyword("ATTRIBUTE")
+            return AlterClass(name, "drop", self.expect_ident("attribute"))
+        if self.accept_keyword("RENAME"):
+            self.expect_keyword("ATTRIBUTE")
+            attribute = self.expect_ident("attribute")
+            self.expect_keyword("TO")
+            return AlterClass(name, "rename", attribute,
+                              new_name=self.expect_ident("new name"))
+        raise self.error("expected ADD, DROP or RENAME")
+
+    # -- DML --------------------------------------------------------------------
+
+    def _new_object(self) -> NewObject:
+        self.expect_keyword("NEW")
+        class_name = self.expect_ident("class name")
+        values: list[Expr] = []
+        if self.accept_operator("<>"):
+            pass  # 'NEW X <>' lexes the empty brackets as one token
+        else:
+            self.expect_operator("<")
+            if not self.accept_operator(">"):
+                # Values are additive expressions: a top-level '>' closes
+                # the bracket instead of comparing.
+                values.append(self._additive())
+                while self.accept_punct(","):
+                    values.append(self._additive())
+                self.expect_operator(">")
+        bind_name = None
+        if self.accept_keyword("AS"):
+            bind_name = self.expect_ident("object name")
+        return NewObject(class_name=class_name, values=tuple(values),
+                         bind_name=bind_name)
+
+    def _delete(self) -> DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        range_var = self._range_var()
+        where = self._expr() if self.accept_keyword("WHERE") else None
+        return DeleteStmt(range_var, where)
+
+    def _update(self) -> UpdateStmt:
+        self.expect_keyword("UPDATE")
+        range_var = self._range_var()
+        self.expect_keyword("SET")
+        assignments = []
+        while True:
+            attribute = self.expect_ident("attribute")
+            self.expect_operator("=")
+            assignments.append((attribute, self._expr()))
+            if not self.accept_punct(","):
+                break
+        where = self._expr() if self.accept_keyword("WHERE") else None
+        return UpdateStmt(range_var, tuple(assignments), where)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        items = [self._and_expr()]
+        while self.accept_keyword("OR"):
+            items.append(self._and_expr())
+        if len(items) == 1:
+            return items[0]
+        return BoolOp("OR", tuple(items))
+
+    def _and_expr(self) -> Expr:
+        items = [self._not_expr()]
+        while self.accept_keyword("AND"):
+            items.append(self._not_expr())
+        if len(items) == 1:
+            return items[0]
+        return BoolOp("AND", tuple(items))
+
+    def _not_expr(self) -> Expr:
+        if self.accept_keyword("NOT"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value in COMPARISON_OPS:
+            op = self.advance().value
+            return BinOp(op, left, self._additive())
+        if token.is_keyword("BETWEEN"):
+            self.advance()
+            low = self._additive()
+            self.expect_keyword("AND")
+            return Between(left, low, self._additive())
+        if token.is_keyword("IN"):
+            self.advance()
+            self.expect_punct("(")
+            items = [self._expr()]
+            while self.accept_punct(","):
+                items.append(self._expr())
+            self.expect_punct(")")
+            return InList(left, tuple(items))
+        if token.is_keyword("NOT") and self.peek(1).is_keyword("BETWEEN", "IN"):
+            self.advance()
+            return Not(self._comparison_tail(left))
+        return left
+
+    def _comparison_tail(self, left: Expr) -> Expr:
+        if self.accept_keyword("BETWEEN"):
+            low = self._additive()
+            self.expect_keyword("AND")
+            return Between(left, low, self._additive())
+        self.expect_keyword("IN")
+        self.expect_punct("(")
+        items = [self._expr()]
+        while self.accept_punct(","):
+            items.append(self._expr())
+        self.expect_punct(")")
+        return InList(left, tuple(items))
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                op = self.advance().value
+                left = BinOp(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                op = self.advance().value
+                left = BinOp(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self.accept_operator("-"):
+            return UnaryMinus(self._unary())
+        if self.accept_operator("+"):
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        token = self.peek()
+        if token.type is TokenType.INTEGER:
+            self.advance()
+            return Literal(int(token.value))
+        if token.type is TokenType.FLOAT:
+            self.advance()
+            return Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self.advance()
+            inner = self._expr()
+            self.expect_punct(")")
+            return inner
+        if token.type is TokenType.IDENT:
+            segments = [self.advance().value]
+            while self.peek().type is TokenType.PUNCT and self.peek().value == ".":
+                self.advance()
+                segments.append(self.expect_ident("attribute"))
+            if self.peek().type is TokenType.PUNCT and self.peek().value == "(":
+                self.advance()
+                args: list[Expr] = []
+                if not self.accept_punct(")"):
+                    args.append(self._expr())
+                    while self.accept_punct(","):
+                        args.append(self._expr())
+                    self.expect_punct(")")
+                if len(segments) < 2:
+                    raise self.error("method call needs a receiver")
+                return MethodCall(
+                    receiver=Path(segments[0], tuple(segments[1:-1])),
+                    method=segments[-1],
+                    args=tuple(args),
+                )
+            return Path(segments[0], tuple(segments[1:]))
+        raise self.error("expected an expression")
+
+
+def parse(text: str) -> Statement:
+    """Parse a single MOODSQL statement."""
+    return Parser(text).parse_statement()
+
+
+def parse_script(text: str) -> list[Statement]:
+    """Parse a ';'-separated sequence of statements."""
+    return Parser(text).parse_script()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression (used by tests and tools)."""
+    parser = Parser(text)
+    expr = parser._expr()
+    if parser.peek().type is not TokenType.EOF:
+        raise parser.error("unexpected trailing input")
+    return expr

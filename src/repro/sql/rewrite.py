@@ -1,0 +1,252 @@
+"""Expression simplification and disjunctive normal form (Section 7).
+
+The query processor, after parsing, (1) simplifies expressions and (2)
+transforms WHERE/HAVING predicates into DNF::
+
+    (p11 AND p12 AND ...) OR (p21 AND p22 AND ...) OR ...
+
+so each AND-term is planned separately and the UNION operation combines the
+subaccess plans.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import OptimizerError
+from repro.sql.ast import (
+    Between,
+    BinOp,
+    BoolOp,
+    COMPARISON_OPS,
+    Expr,
+    InList,
+    Literal,
+    MethodCall,
+    Not,
+    Path,
+    UnaryMinus,
+)
+
+_NEGATED_COMPARISON = {
+    "=": "<>", "<>": "=", "<": ">=", ">=": "<", ">": "<=", "<=": ">",
+}
+
+#: Upper bound on AND-terms produced by the DNF distribution; queries whose
+#: DNF would explode beyond this are rejected rather than planned badly.
+MAX_DNF_TERMS = 256
+
+
+# --------------------------------------------------------------------------
+# Simplification
+# --------------------------------------------------------------------------
+
+def simplify(expr: Expr) -> Expr:
+    """Constant folding, NOT pushdown (De Morgan), TRUE/FALSE absorption,
+    flattening of nested AND/OR."""
+    expr = _push_not(expr, negate=False)
+    return _fold(expr)
+
+
+def _push_not(expr: Expr, negate: bool) -> Expr:
+    if isinstance(expr, Not):
+        return _push_not(expr.operand, not negate)
+    if isinstance(expr, BoolOp):
+        items = tuple(_push_not(item, negate) for item in expr.items)
+        op = expr.op
+        if negate:  # De Morgan
+            op = "OR" if op == "AND" else "AND"
+        return BoolOp(op, items)
+    if negate and isinstance(expr, BinOp) and expr.op in COMPARISON_OPS:
+        return BinOp(_NEGATED_COMPARISON[expr.op], expr.left, expr.right)
+    if negate and isinstance(expr, Literal) and isinstance(expr.value, bool):
+        return Literal(not expr.value)
+    if negate:
+        return Not(expr)  # opaque predicate: keep the NOT
+    return expr
+
+
+def _fold(expr: Expr) -> Expr:
+    if isinstance(expr, BoolOp):
+        folded_items: list[Expr] = []
+        for item in expr.items:
+            folded = _fold(item)
+            if isinstance(folded, BoolOp) and folded.op == expr.op:
+                folded_items.extend(folded.items)  # flatten
+            else:
+                folded_items.append(folded)
+        identity = expr.op == "AND"
+        kept: list[Expr] = []
+        for item in folded_items:
+            if isinstance(item, Literal) and isinstance(item.value, bool):
+                if item.value == identity:
+                    continue  # TRUE in AND / FALSE in OR: drop
+                return Literal(not identity)  # FALSE in AND / TRUE in OR
+            if item not in kept:  # idempotence: p AND p -> p
+                kept.append(item)
+        if not kept:
+            return Literal(identity)
+        if len(kept) == 1:
+            return kept[0]
+        return BoolOp(expr.op, tuple(kept))
+    if isinstance(expr, Not):
+        inner = _fold(expr.operand)
+        if isinstance(inner, Literal) and isinstance(inner.value, bool):
+            return Literal(not inner.value)
+        return Not(inner)
+    if isinstance(expr, BinOp):
+        left = _fold(expr.left)
+        right = _fold(expr.right)
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            folded = _fold_binop(expr.op, left.value, right.value)
+            if folded is not None:
+                return folded
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, UnaryMinus):
+        inner = _fold(expr.operand)
+        if isinstance(inner, Literal) and isinstance(inner.value, (int, float)) \
+                and not isinstance(inner.value, bool):
+            return Literal(-inner.value)
+        return UnaryMinus(inner)
+    if isinstance(expr, Between):
+        return Between(_fold(expr.expr), _fold(expr.low), _fold(expr.high))
+    if isinstance(expr, InList):
+        return InList(_fold(expr.expr), tuple(_fold(i) for i in expr.items))
+    if isinstance(expr, MethodCall):
+        return MethodCall(expr.receiver, expr.method,
+                          tuple(_fold(a) for a in expr.args))
+    return expr
+
+
+def _fold_binop(op: str, left, right) -> Expr | None:
+    numeric = (
+        isinstance(left, (int, float)) and not isinstance(left, bool)
+        and isinstance(right, (int, float)) and not isinstance(right, bool)
+    )
+    strings = isinstance(left, str) and isinstance(right, str)
+    if op in COMPARISON_OPS and (numeric or strings):
+        result = {
+            "=": left == right,
+            "<>": left != right,
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }[op]
+        return Literal(result)
+    if numeric:
+        try:
+            if op == "+":
+                return Literal(left + right)
+            if op == "-":
+                return Literal(left - right)
+            if op == "*":
+                return Literal(left * right)
+            if op == "/":
+                if right == 0:
+                    return None
+                if isinstance(left, int) and isinstance(right, int):
+                    return Literal(int(left / right))
+                return Literal(left / right)
+            if op == "%":
+                if right == 0 or not (isinstance(left, int)
+                                      and isinstance(right, int)):
+                    return None
+                return Literal(int(left - right * int(left / right)))
+        except (OverflowError, ValueError):
+            return None
+    if strings and op == "+":
+        return Literal(left + right)
+    return None
+
+
+# --------------------------------------------------------------------------
+# Disjunctive normal form
+# --------------------------------------------------------------------------
+
+def to_dnf(expr: Expr) -> list[list[Expr]]:
+    """Transform a (simplified) Boolean expression to DNF: a list of
+    AND-terms, each a list of predicates.
+
+    ``[[p]]`` for a single predicate; ``[]`` for constant FALSE; ``[[]]``
+    (one empty AND-term, satisfied by everything) for constant TRUE.
+    """
+    expr = simplify(expr)
+    if isinstance(expr, Literal) and isinstance(expr.value, bool):
+        return [[]] if expr.value else []
+    terms = _dnf(expr)
+    if len(terms) > MAX_DNF_TERMS:
+        raise OptimizerError(
+            f"DNF explosion: {len(terms)} AND-terms (limit {MAX_DNF_TERMS})"
+        )
+    return terms
+
+
+def _dnf(expr: Expr) -> list[list[Expr]]:
+    if isinstance(expr, BoolOp) and expr.op == "OR":
+        terms: list[list[Expr]] = []
+        for item in expr.items:
+            terms.extend(_dnf(item))
+        return terms
+    if isinstance(expr, BoolOp) and expr.op == "AND":
+        # Distribute AND over the OR-terms of the children.
+        product: list[list[Expr]] = [[]]
+        for item in expr.items:
+            child_terms = _dnf(item)
+            product = [
+                existing + candidate
+                for existing in product
+                for candidate in child_terms
+            ]
+            if len(product) > MAX_DNF_TERMS:
+                raise OptimizerError(
+                    f"DNF explosion beyond {MAX_DNF_TERMS} AND-terms"
+                )
+        return product
+    return [[expr]]
+
+
+def dnf_to_expr(terms: list[list[Expr]]) -> Expr:
+    """Rebuild an expression from DNF (used by tests for equivalence)."""
+    if not terms:
+        return Literal(False)
+    ors: list[Expr] = []
+    for term in terms:
+        if not term:
+            return Literal(True)
+        ors.append(term[0] if len(term) == 1 else BoolOp("AND", tuple(term)))
+    if len(ors) == 1:
+        return ors[0]
+    return BoolOp("OR", tuple(ors))
+
+
+def referenced_variables(expr: Expr | None) -> set[str]:
+    """Range variables mentioned anywhere in an expression."""
+    result: set[str] = set()
+    _collect_vars(expr, result)
+    return result
+
+
+def _collect_vars(expr: Expr | None, result: set[str]) -> None:
+    if expr is None or isinstance(expr, Literal):
+        return
+    if isinstance(expr, Path):
+        result.add(expr.var)
+    elif isinstance(expr, MethodCall):
+        result.add(expr.receiver.var)
+        for arg in expr.args:
+            _collect_vars(arg, result)
+    elif isinstance(expr, BinOp):
+        _collect_vars(expr.left, result)
+        _collect_vars(expr.right, result)
+    elif isinstance(expr, (Not, UnaryMinus)):
+        _collect_vars(expr.operand, result)
+    elif isinstance(expr, BoolOp):
+        for item in expr.items:
+            _collect_vars(item, result)
+    elif isinstance(expr, Between):
+        _collect_vars(expr.expr, result)
+        _collect_vars(expr.low, result)
+        _collect_vars(expr.high, result)
+    elif isinstance(expr, InList):
+        _collect_vars(expr.expr, result)
+        for item in expr.items:
+            _collect_vars(item, result)

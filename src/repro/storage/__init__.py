@@ -1,0 +1,39 @@
+"""Storage substrate: the reproduction's Exodus Storage Manager (ESM).
+
+Public surface::
+
+    from repro.storage import (
+        StorageManager, DiskParams, IOStats, OID, NULL_OID,
+        BPlusTree, ExtendibleHashIndex, RTree, Rect,
+        LockManager, LockMode, Transaction,
+    )
+"""
+
+from repro.storage.btree import BPlusTree, BTreeParams
+from repro.storage.disk import DiskParams, IOStats, SimulatedDisk
+from repro.storage.file import StorageFile
+from repro.storage.hashindex import ExtendibleHashIndex
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.manager import StorageManager
+from repro.storage.oid import NULL_OID, OID
+from repro.storage.rtree import Rect, RTree
+from repro.storage.transactions import Transaction, TransactionManager
+
+__all__ = [
+    "BPlusTree",
+    "BTreeParams",
+    "DiskParams",
+    "ExtendibleHashIndex",
+    "IOStats",
+    "LockManager",
+    "LockMode",
+    "NULL_OID",
+    "OID",
+    "Rect",
+    "RTree",
+    "SimulatedDisk",
+    "StorageFile",
+    "StorageManager",
+    "Transaction",
+    "TransactionManager",
+]

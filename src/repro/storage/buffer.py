@@ -1,0 +1,165 @@
+"""Buffer manager: a pool of page frames over the simulated disk.
+
+ESM provides MOOD with buffered page access; we reproduce a classic
+pin/unpin LRU buffer pool.  Frames are ``bytearray`` views that callers
+(e.g. :class:`repro.storage.page.SlottedPage`) edit in place; a frame
+marked dirty is written back when evicted or flushed.
+
+The pool also keeps hit/miss statistics so experiments can distinguish
+buffer behaviour from raw disk behaviour, and supports :meth:`drop_all`,
+which models losing volatile memory in a crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+
+PageId = tuple[int, int]  # (volume, page_no)
+
+
+@dataclass
+class _Frame:
+    page_id: PageId
+    data: bytearray
+    pin_count: int = 0
+    dirty: bool = False
+    last_used: int = 0
+
+
+@dataclass
+class BufferStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushes = 0
+
+
+class BufferManager:
+    """Fixed-capacity LRU buffer pool with pin counting."""
+
+    def __init__(self, disk: SimulatedDisk, capacity: int = 128):
+        if capacity < 1:
+            raise StorageError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._frames: dict[PageId, _Frame] = {}
+        self._tick = 0
+        self._capture_before: dict[PageId, bytes] | None = None
+        self._capture_dirty: set[PageId] = set()
+
+    # -- core protocol -------------------------------------------------------
+
+    def fetch(self, volume: int, page_no: int) -> bytearray:
+        """Pin the page and return its in-memory frame buffer."""
+        page_id = (volume, page_no)
+        frame = self._frames.get(page_id)
+        if frame is None:
+            self.stats.misses += 1
+            self._ensure_room()
+            frame = _Frame(page_id, bytearray(self.disk.read_page(volume, page_no)))
+            self._frames[page_id] = frame
+        else:
+            self.stats.hits += 1
+        if self._capture_before is not None and page_id not in self._capture_before:
+            self._capture_before[page_id] = bytes(frame.data)
+        frame.pin_count += 1
+        self._tick += 1
+        frame.last_used = self._tick
+        return frame.data
+
+    def unpin(self, volume: int, page_no: int, dirty: bool = False) -> None:
+        frame = self._frames.get((volume, page_no))
+        if frame is None or frame.pin_count == 0:
+            raise StorageError(f"unpin of unpinned page {volume}.{page_no}")
+        frame.pin_count -= 1
+        frame.dirty = frame.dirty or dirty
+        if dirty and self._capture_before is not None:
+            self._capture_dirty.add((volume, page_no))
+
+    def _ensure_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        victims = [f for f in self._frames.values() if f.pin_count == 0]
+        if not victims:
+            raise StorageError("buffer pool exhausted: every frame is pinned")
+        victim = min(victims, key=lambda f: f.last_used)
+        self._evict(victim)
+
+    def _evict(self, frame: _Frame) -> None:
+        if frame.dirty:
+            self.disk.write_page(*frame.page_id, bytes(frame.data))
+            self.stats.flushes += 1
+        del self._frames[frame.page_id]
+        self.stats.evictions += 1
+
+    # -- page-image capture (write-ahead logging support) --------------------
+
+    def start_capture(self) -> None:
+        """Begin recording before-images of pages touched from now on."""
+        if self._capture_before is not None:
+            raise StorageError("page capture already in progress")
+        self._capture_before = {}
+        self._capture_dirty = set()
+
+    def end_capture(self) -> list[tuple[PageId, bytes, bytes]]:
+        """Stop capturing; return ``(page_id, before, after)`` per dirtied page."""
+        if self._capture_before is None:
+            raise StorageError("no page capture in progress")
+        changes: list[tuple[PageId, bytes, bytes]] = []
+        for page_id in sorted(self._capture_dirty):
+            before = self._capture_before[page_id]
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                after = bytes(frame.data)
+            else:  # evicted mid-operation; the disk holds the after-image
+                after = self.disk.peek_page(*page_id)
+            changes.append((page_id, before, after))
+        self._capture_before = None
+        self._capture_dirty = set()
+        return changes
+
+    # -- durability --------------------------------------------------------
+
+    def flush_page(self, volume: int, page_no: int) -> None:
+        frame = self._frames.get((volume, page_no))
+        if frame is not None and frame.dirty:
+            self.disk.write_page(volume, page_no, bytes(frame.data))
+            frame.dirty = False
+            self.stats.flushes += 1
+
+    def flush_all(self) -> None:
+        for page_id in sorted(self._frames):
+            self.flush_page(*page_id)
+
+    def drop_all(self) -> None:
+        """Discard every frame without write-back (crash simulation)."""
+        self._frames.clear()
+
+    def forget_page(self, volume: int, page_no: int) -> None:
+        """Discard a frame without write-back (used when a page is freed)."""
+        self._frames.pop((volume, page_no), None)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> list[PageId]:
+        return sorted(self._frames)
+
+    def pin_count(self, volume: int, page_no: int) -> int:
+        frame = self._frames.get((volume, page_no))
+        return frame.pin_count if frame else 0

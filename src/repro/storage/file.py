@@ -1,0 +1,235 @@
+"""Storage files: ordered collections of slotted pages holding records.
+
+A file is the persistent home of a class extent (and of the system catalog
+extents of Figure 2.2).  Records are addressed by :class:`~repro.storage.oid.OID`
+and keep their OID for life: an update that no longer fits on its page moves
+the body elsewhere and leaves a *forwarding stub* behind, exactly as slotted
+storage managers of the ESM era did.
+
+Record wire format: a one-byte tag followed by the payload.
+
+====== ==========================================================
+tag     meaning
+====== ==========================================================
+DATA    record body lives here, addressed by this slot's OID
+FWD     stub; payload is the OID of the relocated body
+MOVED   relocated body; reachable only through its FWD stub
+====== ==========================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+
+from repro.core.errors import (
+    PageFullError,
+    RecordNotFoundError,
+    StorageError,
+)
+from repro.storage.buffer import BufferManager
+from repro.storage.oid import OID
+from repro.storage.page import SlottedPage, max_record_size
+
+_TAG_DATA = 0
+_TAG_FWD = 1
+_TAG_MOVED = 2
+
+_FWD = struct.Struct("<III")
+
+
+class StorageFile:
+    """A file of records on one volume, managed through the buffer pool."""
+
+    def __init__(self, file_id: int, volume: int, buffer: BufferManager):
+        self.file_id = file_id
+        self.volume = volume
+        self.buffer = buffer
+        self.pages: list[int] = []
+        self._page_set: set[int] = set()
+        self._record_count = 0
+        # Pages believed to have free room, checked again before use.
+        self._free_hints: list[int] = []
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self.buffer.disk.params.block_size
+
+    def nbpages(self) -> int:
+        """Number of pages in the file (the cost model's nbpages(C))."""
+        return len(self.pages)
+
+    def record_count(self) -> int:
+        return self._record_count
+
+    def max_payload(self) -> int:
+        return max_record_size(self.page_size) - 1
+
+    # -- page helpers ----------------------------------------------------------
+
+    def _new_page(self) -> int:
+        page_no = self.buffer.disk.allocate_page(self.volume)
+        frame = self.buffer.fetch(self.volume, page_no)
+        SlottedPage.format(frame)
+        self.buffer.unpin(self.volume, page_no, dirty=True)
+        self.pages.append(page_no)
+        self._page_set.add(page_no)
+        return page_no
+
+    def _page(self, page_no: int) -> SlottedPage:
+        return SlottedPage(self.buffer.fetch(self.volume, page_no))
+
+    # -- record operations --------------------------------------------------
+
+    def insert(self, payload: bytes) -> OID:
+        if len(payload) > self.max_payload():
+            raise StorageError(
+                f"record of {len(payload)} bytes exceeds the page capacity "
+                f"of {self.max_payload()} bytes"
+            )
+        record = bytes([_TAG_DATA]) + payload
+        slot, page_no = self._place(record)
+        self._record_count += 1
+        return OID(self.volume, page_no, slot)
+
+    def _place(self, record: bytes) -> tuple[int, int]:
+        """Store a raw tagged record somewhere with room; return (slot, page)."""
+        while self._free_hints:
+            page_no = self._free_hints[-1]
+            page = self._page(page_no)
+            if page.has_room_for(record):
+                slot = page.insert(record)
+                self.buffer.unpin(self.volume, page_no, dirty=True)
+                return slot, page_no
+            self.buffer.unpin(self.volume, page_no, dirty=False)
+            self._free_hints.pop()
+        page_no = self._new_page()
+        page = self._page(page_no)
+        slot = page.insert(record)
+        self.buffer.unpin(self.volume, page_no, dirty=True)
+        self._free_hints.append(page_no)
+        return slot, page_no
+
+    def _read_raw(self, oid: OID) -> bytes:
+        if oid.volume != self.volume or oid.page not in self._page_set:
+            raise RecordNotFoundError(f"OID {oid} is not in file {self.file_id}")
+        page = self._page(oid.page)
+        try:
+            raw = page.read(oid.slot)
+        finally:
+            self.buffer.unpin(self.volume, oid.page, dirty=False)
+        return raw
+
+    def read(self, oid: OID) -> bytes:
+        """Read a record payload, following at most one forwarding stub."""
+        raw = self._read_raw(oid)
+        tag = raw[0]
+        if tag == _TAG_FWD:
+            target = OID(*_FWD.unpack(raw[1:1 + _FWD.size]))
+            raw = self._read_raw(target)
+            if raw[0] != _TAG_MOVED:
+                raise StorageError(f"dangling forwarding stub at {oid}")
+        elif tag == _TAG_MOVED:
+            raise RecordNotFoundError(
+                f"OID {oid} addresses a relocated body, not a record"
+            )
+        return raw[1:]
+
+    def update(self, oid: OID, payload: bytes) -> None:
+        """Replace the record at ``oid`` in place, relocating if needed."""
+        if len(payload) > self.max_payload():
+            raise StorageError("updated record exceeds page capacity")
+        raw = self._read_raw(oid)
+        tag = raw[0]
+        if tag == _TAG_MOVED:
+            raise RecordNotFoundError(
+                f"OID {oid} addresses a relocated body, not a record"
+            )
+        if tag == _TAG_FWD:
+            # Drop the old body; try to bring the record home first.
+            old_target = OID(*_FWD.unpack(raw[1:1 + _FWD.size]))
+            self._delete_raw(old_target)
+        page = self._page(oid.page)
+        try:
+            page.update(oid.slot, bytes([_TAG_DATA]) + payload)
+            self.buffer.unpin(self.volume, oid.page, dirty=True)
+            return
+        except PageFullError:
+            self.buffer.unpin(self.volume, oid.page, dirty=False)
+        # Relocate the body and leave a stub.
+        slot, page_no = self._place(bytes([_TAG_MOVED]) + payload)
+        target = OID(self.volume, page_no, slot)
+        stub = bytes([_TAG_FWD]) + _FWD.pack(target.volume, target.page, target.slot)
+        page = self._page(oid.page)
+        try:
+            page.update(oid.slot, stub)
+        finally:
+            self.buffer.unpin(self.volume, oid.page, dirty=True)
+
+    def _delete_raw(self, oid: OID) -> None:
+        page = self._page(oid.page)
+        try:
+            page.delete(oid.slot)
+        finally:
+            self.buffer.unpin(self.volume, oid.page, dirty=True)
+        if oid.page not in self._free_hints:
+            self._free_hints.append(oid.page)
+
+    def delete(self, oid: OID) -> None:
+        raw = self._read_raw(oid)
+        tag = raw[0]
+        if tag == _TAG_MOVED:
+            raise RecordNotFoundError(
+                f"OID {oid} addresses a relocated body, not a record"
+            )
+        if tag == _TAG_FWD:
+            target = OID(*_FWD.unpack(raw[1:1 + _FWD.size]))
+            self._delete_raw(target)
+        self._delete_raw(oid)
+        self._record_count -= 1
+
+    def exists(self, oid: OID) -> bool:
+        try:
+            self.read(oid)
+            return True
+        except (RecordNotFoundError, StorageError):
+            return False
+
+    # -- scans ------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[OID, bytes]]:
+        """Yield every live record as ``(oid, payload)`` in page order.
+
+        Relocated bodies are reported under their home (stub) OID so that a
+        record's identity is stable across relocations.
+        """
+        for page_no in list(self.pages):
+            page = self._page(page_no)
+            try:
+                entries = page.records()
+            finally:
+                self.buffer.unpin(self.volume, page_no, dirty=False)
+            for slot, raw in entries:
+                tag = raw[0]
+                if tag == _TAG_DATA:
+                    yield OID(self.volume, page_no, slot), raw[1:]
+                elif tag == _TAG_FWD:
+                    target = OID(*_FWD.unpack(raw[1:1 + _FWD.size]))
+                    body = self._read_raw(target)
+                    yield OID(self.volume, page_no, slot), body[1:]
+                # MOVED bodies are reached through their stubs only.
+
+    def oids(self) -> list[OID]:
+        return [oid for oid, _ in self.scan()]
+
+    def destroy(self) -> None:
+        """Free every page of the file."""
+        for page_no in self.pages:
+            self.buffer.forget_page(self.volume, page_no)
+            self.buffer.disk.free_page(self.volume, page_no)
+        self.pages.clear()
+        self._page_set.clear()
+        self._free_hints.clear()
+        self._record_count = 0

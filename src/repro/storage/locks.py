@@ -1,0 +1,166 @@
+"""Lock manager: shared/exclusive locks with deadlock detection.
+
+ESM gives MOOD "controlling data access and concurrency"; the MOOD kernel
+additionally locks a class's shared object while the Function Manager
+rewrites it (Section 2).  This lock manager serves both: S/X locks on
+arbitrary hashable resources (file ids, class names, shared-object names),
+strict two-phase usage by the transaction manager, blocking waits under a
+condition variable, and wait-for-graph cycle detection that raises
+:class:`DeadlockError` in the requester rather than blocking forever.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Hashable
+
+from repro.core.errors import DeadlockError, LockError, LockTimeoutError
+
+
+class LockMode(Enum):
+    S = "S"
+    X = "X"
+
+
+def _compatible(held: LockMode, requested: LockMode) -> bool:
+    return held is LockMode.S and requested is LockMode.S
+
+
+@dataclass
+class _ResourceLocks:
+    granted: dict[Any, LockMode] = field(default_factory=dict)  # owner -> mode
+    waiting: list[tuple[Any, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """S/X lock table with wait-for-graph deadlock detection."""
+
+    def __init__(self, timeout: float = 10.0):
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._table: dict[Hashable, _ResourceLocks] = {}
+        # owner -> set of resources (for release_all)
+        self._held: dict[Any, set[Hashable]] = {}
+
+    # -- acquisition ------------------------------------------------------
+
+    def acquire(
+        self,
+        owner: Any,
+        resource: Hashable,
+        mode: LockMode,
+        timeout: float | None = None,
+    ) -> None:
+        """Acquire (or upgrade to) ``mode`` on ``resource`` for ``owner``.
+
+        Re-acquiring a held mode is a no-op; S->X upgrades succeed when the
+        owner is the only holder.  Raises :class:`DeadlockError` when the
+        wait would close a cycle, :class:`LockTimeoutError` on timeout.
+        """
+        deadline_timeout = self.timeout if timeout is None else timeout
+        with self._condition:
+            entry = self._table.setdefault(resource, _ResourceLocks())
+            if self._try_grant(entry, owner, resource, mode):
+                return
+            entry.waiting.append((owner, mode))
+            try:
+                if self._would_deadlock(owner):
+                    raise DeadlockError(
+                        f"lock {mode.value} on {resource!r} by {owner!r} "
+                        "would deadlock"
+                    )
+                granted = self._condition.wait_for(
+                    lambda: self._try_grant(entry, owner, resource, mode),
+                    timeout=deadline_timeout,
+                )
+                if not granted:
+                    raise LockTimeoutError(
+                        f"timed out waiting for {mode.value} on {resource!r}"
+                    )
+            finally:
+                if (owner, mode) in entry.waiting:
+                    entry.waiting.remove((owner, mode))
+
+    def _try_grant(
+        self, entry: _ResourceLocks, owner: Any, resource: Hashable, mode: LockMode
+    ) -> bool:
+        held = entry.granted.get(owner)
+        if held is LockMode.X or held is mode:
+            return True  # already held (idempotent)
+        others = {o: m for o, m in entry.granted.items() if o != owner}
+        if mode is LockMode.S:
+            grantable = all(_compatible(m, mode) for m in others.values())
+        else:
+            grantable = not others
+        if grantable:
+            entry.granted[owner] = mode
+            self._held.setdefault(owner, set()).add(resource)
+            return True
+        return False
+
+    # -- deadlock detection ---------------------------------------------------
+
+    def _wait_for_edges(self) -> dict[Any, set[Any]]:
+        edges: dict[Any, set[Any]] = {}
+        for entry in self._table.values():
+            for waiter, mode in entry.waiting:
+                blockers = {
+                    holder
+                    for holder, held in entry.granted.items()
+                    if holder != waiter and not _compatible(held, mode)
+                }
+                if blockers:
+                    edges.setdefault(waiter, set()).update(blockers)
+        return edges
+
+    def _would_deadlock(self, start: Any) -> bool:
+        edges = self._wait_for_edges()
+        seen: set[Any] = set()
+        stack = list(edges.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+        return False
+
+    # -- release --------------------------------------------------------------
+
+    def release(self, owner: Any, resource: Hashable) -> None:
+        with self._condition:
+            entry = self._table.get(resource)
+            if entry is None or owner not in entry.granted:
+                raise LockError(f"{owner!r} holds no lock on {resource!r}")
+            del entry.granted[owner]
+            self._held.get(owner, set()).discard(resource)
+            if not entry.granted and not entry.waiting:
+                del self._table[resource]
+            self._condition.notify_all()
+
+    def release_all(self, owner: Any) -> None:
+        with self._condition:
+            for resource in list(self._held.get(owner, ())):
+                entry = self._table.get(resource)
+                if entry and owner in entry.granted:
+                    del entry.granted[owner]
+                    if not entry.granted and not entry.waiting:
+                        del self._table[resource]
+            self._held.pop(owner, None)
+            self._condition.notify_all()
+
+    # -- introspection --------------------------------------------------------
+
+    def holders(self, resource: Hashable) -> dict[Any, LockMode]:
+        with self._lock:
+            entry = self._table.get(resource)
+            return dict(entry.granted) if entry else {}
+
+    def held_by(self, owner: Any) -> set[Hashable]:
+        with self._lock:
+            return set(self._held.get(owner, ()))

@@ -1,0 +1,299 @@
+"""The storage manager facade: our stand-in for the Exodus Storage Manager.
+
+Per the paper's Section 1, ESM gives MOOD storage management, concurrency
+control, and backup/recovery; the MOOD kernel layers catalog management,
+SQL interpretation/optimization, and dynamic function linking on top.  This
+class is the 'ESM' the rest of the reproduction talks to:
+
+* volumes/pages/buffering over the simulated disk,
+* record files addressed by OID,
+* B+-tree, extendible-hash and R-tree indexes wired into I/O accounting,
+* transactions with strict file-level 2PL and physical WAL,
+* crash and restart-recovery simulation,
+* named roots (persistent entry points used to bootstrap the catalog).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.errors import (
+    FileNotFoundStorageError,
+    StorageError,
+)
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskParams, IOStats, SimulatedDisk
+from repro.storage.file import StorageFile
+from repro.storage.hashindex import ExtendibleHashIndex
+from repro.storage.locks import LockManager
+from repro.storage.oid import OID
+from repro.storage.recovery import RecoveryReport, recover
+from repro.storage.rtree import RTree
+from repro.storage.transactions import Transaction, TransactionManager
+from repro.storage.wal import LogKind, WriteAheadLog
+
+
+class StorageManager:
+    """Facade over disk, buffer pool, WAL, locks, files and indexes."""
+
+    def __init__(
+        self,
+        params: DiskParams | None = None,
+        buffer_capacity: int = 256,
+    ):
+        self.disk = SimulatedDisk(params)
+        self.volume = self.disk.mount_volume()
+        self.buffer = BufferManager(self.disk, buffer_capacity)
+        self.wal = WriteAheadLog(self.disk.params)
+        self.locks = LockManager()
+        self.txns = TransactionManager(self.wal, self.locks, self._apply_page_image)
+        self.txns.on_abort = self._refresh_after_abort
+        self._files: dict[int, StorageFile] = {}
+        self._file_names: dict[str, int] = {}
+        self._next_file_id = 1
+        self._btrees: dict[str, BPlusTree] = {}
+        self._hashes: dict[str, ExtendibleHashIndex] = {}
+        self._rtrees: dict[str, RTree] = {}
+        self._named_roots: dict[str, OID] = {}
+
+    # -- I/O accounting ------------------------------------------------------
+
+    @property
+    def params(self) -> DiskParams:
+        return self.disk.params
+
+    @property
+    def io_stats(self) -> IOStats:
+        return self.disk.stats
+
+    def io_snapshot(self) -> IOStats:
+        return self.disk.stats.snapshot()
+
+    def _charge_index_page(self) -> None:
+        """One index-node visit = one random page read (INDCOST model)."""
+        self.disk.stats.charge_random_read(self.disk.params)
+
+    # -- files --------------------------------------------------------------
+
+    def create_file(self, name: str | None = None) -> StorageFile:
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        storage_file = StorageFile(file_id, self.volume, self.buffer)
+        self._files[file_id] = storage_file
+        if name is not None:
+            if name in self._file_names:
+                raise StorageError(f"file named {name!r} already exists")
+            self._file_names[name] = file_id
+        return storage_file
+
+    def file(self, file_id: int) -> StorageFile:
+        try:
+            return self._files[file_id]
+        except KeyError:
+            raise FileNotFoundStorageError(f"no file {file_id}") from None
+
+    def file_by_name(self, name: str) -> StorageFile:
+        if name not in self._file_names:
+            raise FileNotFoundStorageError(f"no file named {name!r}")
+        return self._files[self._file_names[name]]
+
+    def drop_file(self, file_id: int) -> None:
+        storage_file = self.file(file_id)
+        storage_file.destroy()
+        del self._files[file_id]
+        for name, fid in list(self._file_names.items()):
+            if fid == file_id:
+                del self._file_names[name]
+
+    def files(self) -> list[StorageFile]:
+        return [self._files[fid] for fid in sorted(self._files)]
+
+    # -- record operations (transaction-aware) -------------------------------
+
+    def insert(
+        self, storage_file: StorageFile, payload: bytes, txn: Transaction | None = None
+    ) -> OID:
+        if txn is None:
+            return storage_file.insert(payload)
+        self.txns.lock_exclusive(txn, ("file", storage_file.file_id))
+        self.buffer.start_capture()
+        try:
+            oid = storage_file.insert(payload)
+        finally:
+            changes = self.buffer.end_capture()
+        self._log_changes(txn, changes)
+        return oid
+
+    def read(
+        self, storage_file: StorageFile, oid: OID, txn: Transaction | None = None
+    ) -> bytes:
+        if txn is not None:
+            self.txns.lock_shared(txn, ("file", storage_file.file_id))
+        return storage_file.read(oid)
+
+    def update(
+        self,
+        storage_file: StorageFile,
+        oid: OID,
+        payload: bytes,
+        txn: Transaction | None = None,
+    ) -> None:
+        if txn is None:
+            storage_file.update(oid, payload)
+            return
+        self.txns.lock_exclusive(txn, ("file", storage_file.file_id))
+        self.buffer.start_capture()
+        try:
+            storage_file.update(oid, payload)
+        finally:
+            changes = self.buffer.end_capture()
+        self._log_changes(txn, changes)
+
+    def delete(
+        self, storage_file: StorageFile, oid: OID, txn: Transaction | None = None
+    ) -> None:
+        if txn is None:
+            storage_file.delete(oid)
+            return
+        self.txns.lock_exclusive(txn, ("file", storage_file.file_id))
+        self.buffer.start_capture()
+        try:
+            storage_file.delete(oid)
+        finally:
+            changes = self.buffer.end_capture()
+        self._log_changes(txn, changes)
+
+    def scan(
+        self, storage_file: StorageFile, txn: Transaction | None = None
+    ) -> Iterator[tuple[OID, bytes]]:
+        if txn is not None:
+            self.txns.lock_shared(txn, ("file", storage_file.file_id))
+        return storage_file.scan()
+
+    def _log_changes(self, txn: Transaction, changes) -> None:
+        for (volume, page_no), before, after in changes:
+            self.txns.log_page_update(txn, volume, page_no, before, after)
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        return self.txns.begin()
+
+    def checkpoint(self) -> None:
+        """Flush all dirty pages and cut a checkpoint in the log."""
+        self.buffer.flush_all()
+        self.wal.append(LogKind.CHECKPOINT, 0)
+        self.wal.force()
+
+    # -- crash / restart simulation -------------------------------------------
+
+    def crash(self) -> None:
+        """Lose volatile state: buffer pool, lock table, active transactions."""
+        self.buffer.drop_all()
+        self.disk.crash()
+        self.txns.active.clear()
+        self.locks = LockManager()
+        self.txns.locks = self.locks
+
+    def restart(self) -> RecoveryReport:
+        """Run restart recovery and refresh per-file record counts."""
+        report = recover(self.wal, self._apply_page_image)
+        for storage_file in self._files.values():
+            self._recount(storage_file)
+        return report
+
+    def _apply_page_image(self, volume: int, page_no: int, image: bytes) -> None:
+        self.buffer.forget_page(volume, page_no)
+        self.disk.poke_page(volume, page_no, image)
+
+    def _recount(self, storage_file: StorageFile) -> None:
+        count = sum(1 for _ in storage_file.scan())
+        storage_file._record_count = count
+
+    def _refresh_after_abort(self, txn: Transaction) -> None:
+        """Recount records of files the aborted transaction wrote."""
+        for resource in self.locks.held_by(txn.txn_id):
+            if isinstance(resource, tuple) and resource[0] == "file":
+                storage_file = self._files.get(resource[1])
+                if storage_file is not None:
+                    self._recount(storage_file)
+
+    # -- indexes --------------------------------------------------------------
+
+    def create_btree_index(
+        self,
+        name: str,
+        order: int = 32,
+        unique: bool = False,
+        keysize: int = 8,
+    ) -> BPlusTree:
+        if name in self._btrees:
+            raise StorageError(f"B+-tree index {name!r} already exists")
+        tree = BPlusTree(
+            order=order,
+            unique=unique,
+            keysize=keysize,
+            on_node_access=self._charge_index_page,
+        )
+        self._btrees[name] = tree
+        return tree
+
+    def btree_index(self, name: str) -> BPlusTree:
+        try:
+            return self._btrees[name]
+        except KeyError:
+            raise StorageError(f"no B+-tree index {name!r}") from None
+
+    def create_hash_index(
+        self, name: str, bucket_capacity: int = 32, unique: bool = False
+    ) -> ExtendibleHashIndex:
+        if name in self._hashes:
+            raise StorageError(f"hash index {name!r} already exists")
+        index = ExtendibleHashIndex(
+            bucket_capacity=bucket_capacity,
+            unique=unique,
+            on_bucket_access=self._charge_index_page,
+        )
+        self._hashes[name] = index
+        return index
+
+    def hash_index(self, name: str) -> ExtendibleHashIndex:
+        try:
+            return self._hashes[name]
+        except KeyError:
+            raise StorageError(f"no hash index {name!r}") from None
+
+    def create_rtree_index(self, name: str, max_entries: int = 8) -> RTree:
+        if name in self._rtrees:
+            raise StorageError(f"R-tree index {name!r} already exists")
+        tree = RTree(max_entries=max_entries, on_node_access=self._charge_index_page)
+        self._rtrees[name] = tree
+        return tree
+
+    def rtree_index(self, name: str) -> RTree:
+        try:
+            return self._rtrees[name]
+        except KeyError:
+            raise StorageError(f"no R-tree index {name!r}") from None
+
+    def drop_index(self, name: str) -> None:
+        for registry in (self._btrees, self._hashes, self._rtrees):
+            if name in registry:
+                del registry[name]
+                return
+        raise StorageError(f"no index {name!r}")
+
+    def index_names(self) -> list[str]:
+        return sorted([*self._btrees, *self._hashes, *self._rtrees])
+
+    # -- named roots ------------------------------------------------------------
+
+    def set_root(self, name: str, oid: OID) -> None:
+        self._named_roots[name] = oid
+
+    def get_root(self, name: str) -> OID | None:
+        return self._named_roots.get(name)
+
+    def root_names(self) -> list[str]:
+        return sorted(self._named_roots)

@@ -1,0 +1,45 @@
+"""Object identifiers.
+
+MOOD objects live on ESM pages and are addressed physically; we use the
+classic ``(volume, page, slot)`` triple.  OIDs are immutable, hashable and
+totally ordered (page order, then slot order), which the algebra relies on
+for sorted OID collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import StorageError
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """Physical object identifier: ``volume.page.slot``."""
+
+    volume: int
+    page: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"{self.volume}.{self.page}.{self.slot}"
+
+    @classmethod
+    def parse(cls, text: str) -> "OID":
+        """Parse the ``volume.page.slot`` textual form."""
+        parts = text.split(".")
+        if len(parts) != 3:
+            raise StorageError(f"malformed OID {text!r}")
+        try:
+            volume, page, slot = (int(part) for part in parts)
+        except ValueError:
+            raise StorageError(f"malformed OID {text!r}") from None
+        return cls(volume, page, slot)
+
+    @property
+    def is_null(self) -> bool:
+        return self == NULL_OID
+
+
+#: The null reference: no MOOD object ever receives this identifier.
+NULL_OID = OID(0, 0, 0)

@@ -1,0 +1,61 @@
+"""Restart recovery: redo-all, undo-losers over physical page images.
+
+With page images in the log and strict file-level two-phase locking (no two
+uncommitted transactions ever write the same page), the classic physical
+recovery algorithm applies:
+
+1. **Analysis** -- read the log to learn each transaction's fate.  Losers
+   are the transactions that neither committed nor aborted: a run-time abort
+   logged compensation updates for its undo, so redo-all already replays it.
+2. **Redo** -- reapply the after-image of every update since the last
+   checkpoint, in LSN order (includes compensation updates).
+3. **Undo** -- apply the before-image of every loser update, in reverse LSN
+   order, then log an ABORT for each loser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.wal import LogKind, WriteAheadLog
+
+
+@dataclass
+class RecoveryReport:
+    winners: list[int]
+    losers: list[int]
+    redone: int
+    undone: int
+
+
+def recover(wal: WriteAheadLog, apply_page_image) -> RecoveryReport:
+    """Run restart recovery; ``apply_page_image(volume, page, image)`` is the
+    storage manager's force-write primitive (it must bypass the buffer pool's
+    stale frames).
+    """
+    fates = wal.transactions_on_log()
+    winners = sorted(t for t, fate in fates.items() if fate is LogKind.COMMIT)
+    losers = sorted(t for t, fate in fates.items() if fate is LogKind.BEGIN)
+
+    checkpoint_lsn = wal.last_checkpoint_lsn()
+    redone = 0
+    for record in wal.records(from_lsn=checkpoint_lsn + 1):
+        if record.kind is LogKind.UPDATE and record.after is not None:
+            apply_page_image(record.volume, record.page_no, record.after)
+            redone += 1
+
+    loser_set = set(losers)
+    undone = 0
+    for record in wal.records_reversed():
+        if (
+            record.kind is LogKind.UPDATE
+            and record.txn_id in loser_set
+            and record.before is not None
+        ):
+            apply_page_image(record.volume, record.page_no, record.before)
+            undone += 1
+
+    for txn_id in losers:
+        wal.append(LogKind.ABORT, txn_id)
+    wal.force()
+    return RecoveryReport(winners, losers, redone, undone)

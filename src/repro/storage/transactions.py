@@ -1,0 +1,142 @@
+"""Transactions: strict two-phase locking over the write-ahead log.
+
+A transaction takes S locks on files it reads and X locks on files it
+writes, holds them to commit/abort (strict 2PL), and logs page images for
+every page it dirties.  Abort undoes the transaction's page updates in
+reverse LSN order from the before-images; commit forces the log first
+(write-ahead rule).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.core.errors import TransactionError
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.wal import LogKind, WriteAheadLog
+
+
+class TxnState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """Handle for one transaction; created by :class:`TransactionManager`."""
+
+    def __init__(self, txn_id: int, manager: "TransactionManager"):
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+        self._manager = manager
+        self.update_lsns: list[int] = []
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}"
+            )
+
+    def commit(self) -> None:
+        self._manager.commit(self)
+
+    def abort(self) -> None:
+        self._manager.abort(self)
+
+    # Context-manager protocol: commit on success, abort on error.
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state is not TxnState.ACTIVE:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    def __repr__(self) -> str:
+        return f"Transaction({self.txn_id}, {self.state.value})"
+
+
+class TransactionManager:
+    """Begins, commits and aborts transactions against a WAL and lock table."""
+
+    def __init__(self, wal: WriteAheadLog, locks: LockManager, apply_page_image):
+        """``apply_page_image(volume, page_no, image)`` force-writes a page."""
+        self.wal = wal
+        self.locks = locks
+        self._apply_page_image = apply_page_image
+        self._next_txn_id = 1
+        self.active: dict[int, Transaction] = {}
+        #: Optional hook called after an abort's undo, before lock release
+        #: (the storage manager uses it to refresh derived per-file state).
+        self.on_abort = None
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self._next_txn_id, self)
+        self._next_txn_id += 1
+        self.wal.append(LogKind.BEGIN, txn.txn_id)
+        self.active[txn.txn_id] = txn
+        return txn
+
+    def lock_shared(self, txn: Transaction, resource) -> None:
+        txn._require_active()
+        self.locks.acquire(txn.txn_id, resource, LockMode.S)
+
+    def lock_exclusive(self, txn: Transaction, resource) -> None:
+        txn._require_active()
+        self.locks.acquire(txn.txn_id, resource, LockMode.X)
+
+    def log_page_update(
+        self, txn: Transaction, volume: int, page_no: int,
+        before: bytes, after: bytes,
+    ) -> None:
+        txn._require_active()
+        lsn = self.wal.append(
+            LogKind.UPDATE, txn.txn_id, volume, page_no, before, after
+        )
+        txn.update_lsns.append(lsn)
+
+    def commit(self, txn: Transaction) -> None:
+        txn._require_active()
+        self.wal.append(LogKind.COMMIT, txn.txn_id)
+        self.wal.force()  # write-ahead: log hits stable storage first
+        txn.state = TxnState.COMMITTED
+        self._finish(txn)
+
+    def abort(self, txn: Transaction) -> None:
+        txn._require_active()
+        # Undo this transaction's page updates in reverse order, logging a
+        # compensation update for each so that restart redo-all replays the
+        # undo as well (the classic CLR idea, at page-image granularity).
+        updates = set(txn.update_lsns)
+        undo_list = [
+            record
+            for record in self.wal.records_reversed()
+            if record.lsn in updates and record.before is not None
+        ]
+        for record in undo_list:
+            self._apply_page_image(record.volume, record.page_no, record.before)
+            self.wal.append(
+                LogKind.UPDATE,
+                txn.txn_id,
+                record.volume,
+                record.page_no,
+                before=record.after,
+                after=record.before,
+            )
+        self.wal.append(LogKind.ABORT, txn.txn_id)
+        self.wal.force()
+        txn.state = TxnState.ABORTED
+        if self.on_abort is not None:
+            self.on_abort(txn)
+        self._finish(txn)
+
+    def _finish(self, txn: Transaction) -> None:
+        self.locks.release_all(txn.txn_id)
+        self.active.pop(txn.txn_id, None)
+
+    def abort_all_active(self) -> None:
+        for txn in list(self.active.values()):
+            self.abort(txn)

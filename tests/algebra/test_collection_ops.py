@@ -1,0 +1,382 @@
+"""Tests for Select/IndSel/Project/Join/Partition/Sort/DupElim/set ops,
+including the paper's return-kind Tables 1-4."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.collections import (
+    ArgKind,
+    DictStore,
+    Extent,
+    ListOfOids,
+    NamedObject,
+    SetOfOids,
+)
+from repro.algebra.collection_ops import (
+    JoinMethod,
+    difference,
+    dup_elim,
+    heap_sort_with_merging,
+    ind_sel,
+    intersection,
+    join,
+    join_on_predicate,
+    join_result_kind,
+    partition,
+    project,
+    select,
+    sort,
+    union,
+)
+from repro.core.errors import AlgebraError
+from repro.storage.btree import BPlusTree
+from repro.storage.hashindex import ExtendibleHashIndex
+from repro.storage.oid import OID
+
+
+@pytest.fixture
+def store():
+    return DictStore()
+
+
+def load_vehicles(store, weights=(900, 1100, 1500, 700)):
+    return [store.add("Vehicle", {"id": i, "weight": w})
+            for i, w in enumerate(weights)]
+
+
+# -- Select (Table 1) -------------------------------------------------------
+
+def test_select_extent_returns_extent(store):
+    vehicles = load_vehicles(store)
+    extent = Extent("Vehicle", vehicles)
+    heavy = select(extent, lambda o: o.state["weight"] > 1000, store)
+    assert isinstance(heavy, Extent)
+    assert [o.state["id"] for o in heavy] == [1, 2]
+
+
+def test_select_extent_as_oids_returns_set(store):
+    vehicles = load_vehicles(store)
+    extent = Extent("Vehicle", vehicles)
+    result = select(extent, lambda o: o.state["weight"] > 1000, store,
+                    as_oids=True)
+    assert isinstance(result, SetOfOids)
+    assert result.oids == {vehicles[1].oid, vehicles[2].oid}
+
+
+def test_select_set_returns_set(store):
+    vehicles = load_vehicles(store)
+    arg = SetOfOids({v.oid for v in vehicles})
+    result = select(arg, lambda o: o.state["weight"] < 1000, store)
+    assert isinstance(result, SetOfOids)
+    assert result.oids == {vehicles[0].oid, vehicles[3].oid}
+
+
+def test_select_list_returns_list_preserving_order(store):
+    vehicles = load_vehicles(store)
+    arg = ListOfOids([v.oid for v in reversed(vehicles)])
+    result = select(arg, lambda o: o.state["weight"] >= 1100, store)
+    assert isinstance(result, ListOfOids)
+    assert result.oids == [vehicles[2].oid, vehicles[1].oid]
+
+
+def test_select_named_object(store):
+    (vehicle,) = load_vehicles(store, weights=(2000,))
+    named = NamedObject("my_car", vehicle)
+    hit = select(named, lambda o: o.state["weight"] > 1000, store)
+    assert isinstance(hit, NamedObject)
+    assert hit.obj is vehicle
+    miss = select(named, lambda o: o.state["weight"] > 9000, store)
+    assert miss.obj is None
+
+
+# -- IndSel ---------------------------------------------------------------
+
+def test_indsel_btree_equality(store):
+    vehicles = load_vehicles(store)
+    index = BPlusTree(order=2)
+    for v in vehicles:
+        index.insert(v.state["weight"], v.oid)
+    result = ind_sel("Vehicle", index, 1100, store)
+    assert isinstance(result, SetOfOids)
+    assert result.oids == {vehicles[1].oid}
+
+
+def test_indsel_btree_range(store):
+    vehicles = load_vehicles(store)
+    index = BPlusTree(order=2)
+    for v in vehicles:
+        index.insert(v.state["weight"], v.oid)
+    result = ind_sel("Vehicle", index, 800, store, hi=1200)
+    assert result.oids == {vehicles[0].oid, vehicles[1].oid}
+
+
+def test_indsel_hash_equality_only(store):
+    vehicles = load_vehicles(store)
+    index = ExtendibleHashIndex()
+    for v in vehicles:
+        index.insert(v.state["weight"], v.oid)
+    assert ind_sel("Vehicle", index, 700, store).oids == {vehicles[3].oid}
+    with pytest.raises(AlgebraError):
+        ind_sel("Vehicle", index, 700, store, hi=900)
+
+
+# -- Project ------------------------------------------------------------------
+
+def test_project_extent(store):
+    vehicles = load_vehicles(store)
+    result = project(Extent("Vehicle", vehicles), ["weight"], store)
+    assert isinstance(result, Extent)
+    assert [o.state for o in result] == [
+        {"weight": 900}, {"weight": 1100}, {"weight": 1500}, {"weight": 700},
+    ]
+
+
+def test_project_dereferences_sets(store):
+    vehicles = load_vehicles(store)
+    arg = SetOfOids({v.oid for v in vehicles[:2]})
+    result = project(arg, ["id"], store)
+    assert sorted(o.state["id"] for o in result) == [0, 1]
+
+
+def test_project_missing_attribute_rejected(store):
+    vehicles = load_vehicles(store)
+    with pytest.raises(AlgebraError):
+        project(Extent("Vehicle", vehicles), ["nope"], store)
+
+
+# -- Join (Table 2) ------------------------------------------------------------
+
+def test_join_result_kind_table2():
+    E, S, L, N = ArgKind.EXTENT, ArgKind.SET, ArgKind.LIST, ArgKind.NAMED
+    expected = {
+        (E, E): E, (E, S): E, (E, L): E, (E, N): E,
+        (S, E): E, (S, S): S, (S, L): S, (S, N): S,
+        (L, E): E, (L, S): S, (L, L): L, (L, N): L,
+        (N, E): E, (N, S): S, (N, L): L, (N, N): N,
+    }
+    for (k1, k2), result in expected.items():
+        assert join_result_kind(k1, k2) is result
+
+
+def join_fixture(store):
+    engines = [store.add("Engine", {"cyl": c}) for c in (4, 6, 8)]
+    cars = [
+        store.add("Car", {"id": 0, "engine": engines[0].oid}),
+        store.add("Car", {"id": 1, "engine": engines[2].oid}),
+        store.add("Car", {"id": 2, "engine": engines[2].oid}),
+        store.add("Car", {"id": 3, "engine": None}),
+    ]
+    return cars, engines
+
+
+@pytest.mark.parametrize("method", [
+    JoinMethod.FORWARD_TRAVERSAL,
+    JoinMethod.BACKWARD_TRAVERSAL,
+    JoinMethod.HASH_PARTITION,
+])
+def test_join_methods_agree(store, method):
+    cars, engines = join_fixture(store)
+    result = join(
+        Extent("Car", cars), Extent("Engine", engines),
+        method, "engine", store,
+    )
+    pairs = sorted((c.state["id"], e.state["cyl"]) for c, e in result)
+    assert pairs == [(0, 4), (1, 8), (2, 8)]
+    assert result.kind is ArgKind.EXTENT
+
+
+def test_join_indexed_method(store):
+    cars, engines = join_fixture(store)
+
+    class FakeJoinIndex:
+        def pairs(self):
+            return [(c.oid, c.state["engine"]) for c in cars
+                    if c.state["engine"] is not None]
+
+    result = join(
+        Extent("Car", cars), Extent("Engine", engines),
+        JoinMethod.INDEXED, "engine", store, join_index=FakeJoinIndex(),
+    )
+    pairs = sorted((c.state["id"], e.state["cyl"]) for c, e in result)
+    assert pairs == [(0, 4), (1, 8), (2, 8)]
+
+
+def test_join_indexed_requires_index(store):
+    cars, engines = join_fixture(store)
+    with pytest.raises(AlgebraError):
+        join(Extent("Car", cars), Extent("Engine", engines),
+             JoinMethod.INDEXED, "engine", store)
+
+
+def test_join_restricts_to_right_collection(store):
+    cars, engines = join_fixture(store)
+    only_v8 = SetOfOids({engines[2].oid})
+    result = join(Extent("Car", cars), only_v8,
+                  JoinMethod.FORWARD_TRAVERSAL, "engine", store)
+    assert result.kind is ArgKind.EXTENT  # extent argument dominates
+    assert sorted(c.state["id"] for c, _ in result) == [1, 2]
+
+
+def test_join_set_valued_reference_attribute(store):
+    engines = [store.add("Engine", {"cyl": c}) for c in (4, 6)]
+    fleet = store.add("Fleet", {"engines": {engines[0].oid, engines[1].oid}})
+    result = join(Extent("Fleet", [fleet]), Extent("Engine", engines),
+                  JoinMethod.FORWARD_TRAVERSAL, "engines", store)
+    assert len(result) == 2
+
+
+def test_join_of_sets_returns_set_kind(store):
+    cars, engines = join_fixture(store)
+    result = join(
+        SetOfOids({c.oid for c in cars}),
+        SetOfOids({e.oid for e in engines}),
+        JoinMethod.FORWARD_TRAVERSAL, "engine", store,
+    )
+    assert result.kind is ArgKind.SET
+    assert len(result) == 3
+
+
+def test_join_unknown_method(store):
+    with pytest.raises(AlgebraError):
+        join(Extent("A", []), Extent("B", []), "SORT_MERGE", "x", store)
+
+
+def test_join_on_predicate(store):
+    smalls = [store.add("S", {"v": i}) for i in range(3)]
+    bigs = [store.add("B", {"v": i}) for i in range(3)]
+    result = join_on_predicate(
+        Extent("S", smalls), Extent("B", bigs),
+        lambda a, b: a.state["v"] == b.state["v"], store,
+    )
+    assert len(result) == 3
+    assert result.left_objects() == smalls
+
+
+# -- Partition --------------------------------------------------------------
+
+def test_partition(store):
+    objs = [store.add("C", {"g": i % 2, "v": i}) for i in range(6)]
+    groups = partition(Extent("C", objs), ["g"], store)
+    assert len(groups) == 2
+    sizes = {key[0]: len(members) for key, members in groups}
+    assert sizes == {0: 3, 1: 3}
+
+
+def test_partition_multi_attribute(store):
+    objs = [store.add("C", {"a": i % 2, "b": i % 3}) for i in range(12)]
+    groups = partition(Extent("C", objs), ["a", "b"], store)
+    assert len(groups) == 6
+    assert all(len(members) == 2 for _, members in groups)
+
+
+# -- Sort ----------------------------------------------------------------------
+
+def test_sort_extent(store):
+    vehicles = load_vehicles(store)
+    result = sort(Extent("Vehicle", vehicles), ["weight"], store)
+    assert isinstance(result, Extent)
+    assert [o.state["weight"] for o in result] == [700, 900, 1100, 1500]
+
+
+def test_sort_descending(store):
+    vehicles = load_vehicles(store)
+    result = sort(Extent("Vehicle", vehicles), ["weight"], store,
+                  descending=True)
+    assert [o.state["weight"] for o in result] == [1500, 1100, 900, 700]
+
+
+def test_sort_set_returns_ordered_oids(store):
+    vehicles = load_vehicles(store)
+    result = sort(SetOfOids({v.oid for v in vehicles}), ["weight"], store)
+    assert isinstance(result, ListOfOids)
+    weights = [store.deref(oid).state["weight"] for oid in result]
+    assert weights == [700, 900, 1100, 1500]
+
+
+def test_sort_keeps_duplicates(store):
+    objs = [store.add("C", {"v": 1}) for _ in range(3)]
+    result = sort(Extent("C", objs), ["v"], store)
+    assert len(result) == 3
+
+
+def test_sort_nulls_first(store):
+    objs = [store.add("C", {"v": v}) for v in (3, None, 1)]
+    result = sort(Extent("C", objs), ["v"], store)
+    assert [o.state["v"] for o in result] == [None, 1, 3]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-50, 50), max_size=200), st.integers(1, 32))
+def test_property_heap_sort_with_merging(values, chunk):
+    assert heap_sort_with_merging(values, key=lambda v: v, chunk_size=chunk) \
+        == sorted(values)
+
+
+# -- DupElim (Table 3) ----------------------------------------------------------
+
+def test_dup_elim_set_not_applicable(store):
+    with pytest.raises(AlgebraError):
+        dup_elim(SetOfOids(set()), store)
+
+
+def test_dup_elim_list(store):
+    vehicles = load_vehicles(store)
+    arg = ListOfOids([vehicles[1].oid, vehicles[0].oid, vehicles[1].oid])
+    result = dup_elim(arg, store)
+    assert isinstance(result, ListOfOids)
+    assert result.oids == sorted([vehicles[0].oid, vehicles[1].oid])
+
+
+def test_dup_elim_extent_deep_equality(store):
+    engine_a = store.add("Engine", {"cyl": 8})
+    engine_b = store.add("Engine", {"cyl": 8})
+    car1 = store.add("Car", {"engine": engine_a.oid})
+    car2 = store.add("Car", {"engine": engine_b.oid})  # deep-equal to car1
+    car3 = store.add("Car", {"engine": None})
+    result = dup_elim(Extent("Car", [car1, car2, car3]), store)
+    assert isinstance(result, Extent)
+    assert len(result) == 2  # car2 eliminated as a deep duplicate
+
+
+# -- Union / Intersection / Difference (Table 4) ----------------------------------
+
+def oids(*nums):
+    return [OID(1, n, 0) for n in nums]
+
+
+def test_set_set_ops():
+    a = SetOfOids(set(oids(1, 2, 3)))
+    b = SetOfOids(set(oids(3, 4)))
+    assert union(a, b).oids == set(oids(1, 2, 3, 4))
+    assert intersection(a, b).oids == set(oids(3))
+    assert difference(a, b).oids == set(oids(1, 2))
+
+
+def test_mixed_set_list_returns_set():
+    a = SetOfOids(set(oids(1, 2)))
+    b = ListOfOids(oids(2, 3))
+    assert isinstance(union(a, b), SetOfOids)
+    assert isinstance(intersection(b, a), SetOfOids)
+    assert isinstance(difference(b, a), SetOfOids)
+    assert union(a, b).oids == set(oids(1, 2, 3))
+
+
+def test_list_list_union_is_concatenation():
+    a = ListOfOids(oids(1, 2))
+    b = ListOfOids(oids(2, 3))
+    result = union(a, b)
+    assert isinstance(result, ListOfOids)
+    assert result.oids == oids(1, 2, 2, 3)
+
+
+def test_list_list_intersection_difference_preserve_order():
+    a = ListOfOids(oids(5, 1, 2, 5))
+    b = ListOfOids(oids(5))
+    assert intersection(a, b).oids == oids(5, 5)
+    assert difference(a, b).oids == oids(1, 2)
+
+
+def test_set_ops_reject_extents(store):
+    with pytest.raises(AlgebraError):
+        union(Extent("C", []), SetOfOids(set()))

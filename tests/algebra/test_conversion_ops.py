@@ -1,0 +1,135 @@
+"""Tests for asSet/asList/asExtent/Unnest/Nest/Flatten (Tables 5-7)."""
+
+import pytest
+
+from repro.algebra.collections import (
+    DictStore,
+    Extent,
+    ListOfOids,
+    NamedObject,
+    SetOfOids,
+)
+from repro.algebra.conversion_ops import (
+    as_extent,
+    as_list,
+    as_set,
+    flatten,
+    nest,
+    unnest,
+)
+from repro.core.errors import AlgebraError
+from repro.storage.oid import OID
+
+
+@pytest.fixture
+def store():
+    return DictStore()
+
+
+def test_as_set_from_each_kind(store):
+    objs = [store.add("C", {"v": i}) for i in range(3)]
+    extent = Extent("C", objs)
+    expected = {o.oid for o in objs}
+    assert as_set(extent).oids == expected
+    assert as_set(SetOfOids(expected)).oids == expected
+    assert as_set(ListOfOids([o.oid for o in objs] * 2)).oids == expected
+    assert as_set(NamedObject("n", objs[0])).oids == {objs[0].oid}
+    assert as_set(NamedObject("n", None)).oids == set()
+
+
+def test_as_list_from_each_kind(store):
+    objs = [store.add("C", {"v": i}) for i in range(3)]
+    expected = [o.oid for o in objs]
+    assert as_list(Extent("C", objs)).oids == expected
+    assert as_list(ListOfOids(expected)).oids == expected
+    assert as_list(SetOfOids(set(expected))).oids == sorted(expected)
+    assert as_list(NamedObject("n", objs[1])).oids == [objs[1].oid]
+
+
+def test_as_extent_dereferences(store):
+    objs = [store.add("C", {"v": i}) for i in range(3)]
+    result = as_extent(SetOfOids({o.oid for o in objs}), store)
+    assert isinstance(result, Extent)
+    assert result.class_name == "C"
+    assert sorted(o.state["v"] for o in result) == [0, 1, 2]
+
+
+def test_as_extent_rejects_extent_argument(store):
+    with pytest.raises(AlgebraError):
+        as_extent(Extent("C", []), store)
+    with pytest.raises(AlgebraError):
+        as_extent(NamedObject("n", None), store)
+
+
+def test_as_extent_mixed_classes(store):
+    a = store.add("A", {})
+    b = store.add("B", {})
+    result = as_extent(ListOfOids([a.oid, b.oid]), store)
+    assert result.class_name == "_Mixed"
+
+
+def test_unnest_paper_example(store):
+    """e = {<o1,{o2,o3}>, <o4,{o5}>} -> {<o1,o2>, <o1,o3>, <o4,o5>}."""
+    o1, o2, o3, o4, o5 = (OID(1, 0, i) for i in range(1, 6))
+    e = Extent("T", [
+        store.add("T", {"head": o1, "members": {o2, o3}}),
+        store.add("T", {"head": o4, "members": {o5}}),
+    ])
+    result = unnest(e, "members", store)
+    assert isinstance(result, Extent)
+    pairs = sorted((o.state["head"], o.state["members"]) for o in result)
+    assert pairs == sorted([(o1, o2), (o1, o3), (o4, o5)])
+
+
+def test_unnest_list_attribute_preserves_order(store):
+    obj = store.add("T", {"xs": [3, 1, 2]})
+    result = unnest(Extent("T", [obj]), "xs", store)
+    assert [o.state["xs"] for o in result] == [3, 1, 2]
+
+
+def test_unnest_single_object(store):
+    obj = store.add("T", {"xs": {1, 2}})
+    result = unnest(obj, "xs", store)
+    assert len(result) == 2
+
+
+def test_unnest_empty_and_null(store):
+    empty = store.add("T", {"xs": set()})
+    null = store.add("T", {"xs": None})
+    assert len(unnest(Extent("T", [empty, null]), "xs", store)) == 0
+
+
+def test_unnest_rejects_atomic_attribute(store):
+    obj = store.add("T", {"x": 5})
+    with pytest.raises(AlgebraError):
+        unnest(Extent("T", [obj]), "x", store)
+
+
+def test_nest_inverts_unnest(store):
+    o1, o2, o3, o4, o5 = (OID(1, 0, i) for i in range(1, 6))
+    flat = Extent("T", [
+        store.add("T", {"head": o1, "members": o2}),
+        store.add("T", {"head": o1, "members": o3}),
+        store.add("T", {"head": o4, "members": o5}),
+    ])
+    result = nest(flat, "members", store)
+    grouped = {o.state["head"]: o.state["members"] for o in result}
+    assert grouped == {o1: {o2, o3}, o4: {o5}}
+
+
+def test_flatten_paper_example():
+    oid1, oid2, oid3 = OID(1, 0, 1), OID(1, 0, 2), OID(1, 0, 3)
+    result = flatten([{oid1, oid2}, {oid3}])
+    assert isinstance(result, SetOfOids)
+    assert result.oids == {oid1, oid2, oid3}
+
+
+def test_flatten_nested_collections():
+    oid1, oid2 = OID(1, 0, 1), OID(1, 0, 2)
+    result = flatten([ListOfOids([oid1]), SetOfOids({oid2}), [[oid1]]])
+    assert result.oids == {oid1, oid2}
+
+
+def test_flatten_rejects_non_oids():
+    with pytest.raises(AlgebraError):
+        flatten([{1, 2}])

@@ -1,0 +1,77 @@
+"""Tests for the general algebra operators (ObjId, TypeId, Deref, isA, Bind)."""
+
+import pytest
+
+from repro.algebra.collections import DictStore, Extent, SetOfOids
+from repro.algebra.general import bind, deref, is_a, obj_id, type_id
+from repro.catalog.catalog import Catalog
+from repro.core.errors import AlgebraError
+from repro.storage.manager import StorageManager
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog(StorageManager(buffer_capacity=64))
+    catalog.define_class("VehicleEngine", [("cylinders", "Integer")])
+    catalog.define_class("VehicleDriveTrain", [
+        ("engine", "Reference(VehicleEngine)"),
+        ("transmission", "String(32)"),
+    ])
+    catalog.define_class("Vehicle", [
+        ("id", "Integer"),
+        ("drivetrain", "Reference(VehicleDriveTrain)"),
+        ("spares", "Set(Reference(VehicleEngine))"),
+    ])
+    return catalog
+
+
+def test_obj_id_and_deref():
+    store = DictStore()
+    obj = store.add("Vehicle", {"id": 1})
+    assert obj_id(obj) == obj.oid
+    assert deref(obj.oid, store) is obj
+
+
+def test_type_id(catalog):
+    store = DictStore()
+    obj = store.add("Vehicle", {"id": 1})
+    assert type_id(obj, catalog) == catalog.type_id("Vehicle")
+
+
+def test_is_a_single_step(catalog):
+    assert is_a("Vehicle.drivetrain", catalog) == "VehicleDriveTrain"
+
+
+def test_is_a_full_path(catalog):
+    assert is_a("Vehicle.drivetrain.engine", catalog) == "VehicleEngine"
+
+
+def test_is_a_through_set_constructor(catalog):
+    assert is_a("Vehicle.spares", catalog) == "VehicleEngine"
+
+
+def test_is_a_class_only(catalog):
+    assert is_a("Vehicle", catalog) == "Vehicle"
+
+
+def test_is_a_rejects_atomic_tail(catalog):
+    with pytest.raises(AlgebraError):
+        is_a("Vehicle.id", catalog)
+
+
+def test_is_a_rejects_unknown_root(catalog):
+    with pytest.raises(AlgebraError):
+        is_a("Nope.attr", catalog)
+    with pytest.raises(AlgebraError):
+        is_a("", catalog)
+
+
+def test_bind_names_a_collection():
+    extent = Extent("Vehicle", [])
+    binding = bind(extent, "v")
+    assert binding.name == "v"
+    assert binding.arg is extent
+    assert binding.kind is extent.kind
+    assert len(binding) == 0
+    oids = SetOfOids(set())
+    assert bind(oids, "s").kind is oids.kind

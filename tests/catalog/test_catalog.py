@@ -1,0 +1,214 @@
+"""Tests for the persistent catalog."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.entities import MoodsFunction
+from repro.core.errors import CatalogError, SchemaError
+from repro.storage.manager import StorageManager
+from repro.storage.oid import OID
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(StorageManager(buffer_capacity=64))
+
+
+def define_vehicle_schema(catalog):
+    catalog.define_class("VehicleEngine", [
+        ("size", "Integer"), ("cylinders", "Integer"),
+    ])
+    catalog.define_class("VehicleDriveTrain", [
+        ("engine", "Reference(VehicleEngine)"),
+        ("transmission", "String(32)"),
+    ])
+    catalog.define_class("Employee", [
+        ("ssno", "Integer"), ("name", "String(32)"), ("age", "Integer"),
+    ])
+    catalog.define_class("Company", [
+        ("name", "String(32)"), ("location", "String(32)"),
+        ("president", "Reference(Employee)"),
+    ])
+    catalog.define_class(
+        "Vehicle",
+        [
+            ("id", "Integer"), ("weight", "Integer"),
+            ("drivetrain", "Reference(VehicleDriveTrain)"),
+            ("manufacturer", "Reference(Company)"),
+        ],
+        methods=[
+            MoodsFunction("Vehicle", "lbweight", "Integer", [],
+                          source="return self.weight * 2.2075"),
+        ],
+    )
+    catalog.define_class("Automobile", superclasses=["Vehicle"])
+    catalog.define_class("JapaneseAuto", superclasses=["Automobile"])
+
+
+def test_define_and_lookup(catalog):
+    define_vehicle_schema(catalog)
+    assert catalog.has_class("Vehicle")
+    assert catalog.attribute_type("JapaneseAuto", "weight").name == "Integer"
+    assert catalog.class_def("Vehicle").methods[0].name == "lbweight"
+
+
+def test_type_ids_stable_and_distinct(catalog):
+    define_vehicle_schema(catalog)
+    vid = catalog.type_id("Vehicle")
+    cid = catalog.type_id("Company")
+    assert vid != cid
+    assert catalog.type_name(vid) == "Vehicle"
+
+
+def test_extent_files_created(catalog):
+    define_vehicle_schema(catalog)
+    extent = catalog.extent_file("Vehicle")
+    assert extent.record_count() == 0
+
+
+def test_types_have_no_extent(catalog):
+    catalog.define_class("Point", [("x", "Integer"), ("y", "Integer")],
+                         is_class=False)
+    with pytest.raises(CatalogError):
+        catalog.extent_file("Point")
+
+
+def test_duplicate_class_rejected(catalog):
+    define_vehicle_schema(catalog)
+    with pytest.raises(SchemaError):
+        catalog.define_class("Vehicle")
+
+
+def test_bad_attribute_type_rejected(catalog):
+    with pytest.raises(Exception):
+        catalog.define_class("Broken", [("x", "NotAType")])
+    assert not catalog.has_class("Broken")
+
+
+def test_validator_includes_inherited(catalog):
+    define_vehicle_schema(catalog)
+    validator = catalog.validator_for("JapaneseAuto")
+    assert validator.field_names() == [
+        "id", "weight", "drivetrain", "manufacturer",
+    ]
+
+
+def test_reload_restores_everything(catalog):
+    define_vehicle_schema(catalog)
+    catalog.bind_name("my_car", OID(1, 5, 2))
+    catalog.define_index("Vehicle_weight", "Vehicle", "weight", "btree")
+    catalog.reload()
+    assert catalog.has_class("JapaneseAuto")
+    assert catalog.hierarchy.linearize("JapaneseAuto") == [
+        "JapaneseAuto", "Automobile", "Vehicle",
+    ]
+    assert catalog.attribute_type("Vehicle", "manufacturer").name == \
+        "Reference(Company)"
+    assert catalog.lookup_name("my_car") == OID(1, 5, 2)
+    assert catalog.index_info("Vehicle_weight").attribute == "weight"
+    # Methods survive too.
+    fn = catalog.function_by_signature("Vehicle::lbweight()")
+    assert "2.2075" in fn.source
+
+
+def test_fresh_catalog_over_same_storage(catalog):
+    define_vehicle_schema(catalog)
+    rebuilt = Catalog(catalog.storage)
+    assert rebuilt.has_class("Vehicle")
+    assert rebuilt.class_names() == catalog.class_names()
+
+
+def test_drop_class(catalog):
+    define_vehicle_schema(catalog)
+    with pytest.raises(SchemaError):
+        catalog.drop_class("Vehicle")  # has subclasses
+    catalog.drop_class("JapaneseAuto")
+    catalog.drop_class("Automobile")
+    catalog.drop_class("Vehicle")
+    assert not catalog.has_class("Vehicle")
+    catalog.reload()
+    assert not catalog.has_class("Vehicle")
+
+
+def test_schema_evolution(catalog):
+    define_vehicle_schema(catalog)
+    catalog.add_attribute("Vehicle", "color", "String(16)")
+    assert catalog.attribute_type("JapaneseAuto", "color").name == "String(16)"
+    catalog.rename_attribute("Vehicle", "color", "paint")
+    assert catalog.hierarchy.has_attribute("Vehicle", "paint")
+    assert not catalog.hierarchy.has_attribute("Vehicle", "color")
+    catalog.retype_attribute("Vehicle", "paint", "String(64)")
+    assert catalog.attribute_type("Vehicle", "paint").name == "String(64)"
+    catalog.drop_attribute("Vehicle", "paint")
+    assert not catalog.hierarchy.has_attribute("Vehicle", "paint")
+    # All survives reload.
+    catalog.reload()
+    assert not catalog.hierarchy.has_attribute("Vehicle", "paint")
+
+
+def test_evolution_guards(catalog):
+    define_vehicle_schema(catalog)
+    with pytest.raises(SchemaError):
+        catalog.add_attribute("Vehicle", "weight", "Integer")  # duplicate
+    with pytest.raises(SchemaError):
+        catalog.drop_attribute("Automobile", "weight")  # inherited, not own
+    with pytest.raises(SchemaError):
+        catalog.rename_attribute("Vehicle", "weight", "id")  # collision
+
+
+def test_function_lifecycle(catalog):
+    define_vehicle_schema(catalog)
+    fn = MoodsFunction("Company", "employee_count", "Integer", [],
+                       source="return 0")
+    catalog.define_function(fn)
+    assert catalog.function_by_signature("Company::employee_count()").source \
+        == "return 0"
+    fn2 = MoodsFunction("Company", "employee_count", "Integer", [],
+                        source="return 42")
+    catalog.update_function(fn2)
+    assert catalog.function_by_signature("Company::employee_count()").source \
+        == "return 42"
+    catalog.drop_function("Company::employee_count()")
+    with pytest.raises(CatalogError):
+        catalog.function_by_signature("Company::employee_count()")
+
+
+def test_inherited_function_found_by_signature(catalog):
+    define_vehicle_schema(catalog)
+    fn = catalog.function_by_signature("JapaneseAuto::lbweight()")
+    assert fn.owner == "Vehicle"
+
+
+def test_named_objects(catalog):
+    catalog.bind_name("ceo", OID(1, 1, 1))
+    assert catalog.lookup_name("ceo") == OID(1, 1, 1)
+    catalog.bind_name("ceo", OID(1, 2, 2))  # rebinding allowed
+    assert catalog.lookup_name("ceo") == OID(1, 2, 2)
+    assert catalog.named_objects() == {"ceo": OID(1, 2, 2)}
+    catalog.unbind_name("ceo")
+    with pytest.raises(CatalogError):
+        catalog.lookup_name("ceo")
+    with pytest.raises(CatalogError):
+        catalog.unbind_name("ceo")
+
+
+def test_index_metadata(catalog):
+    define_vehicle_schema(catalog)
+    catalog.define_index("idx1", "Vehicle", "weight", "btree")
+    catalog.define_index("idx2", "Vehicle", "id", "hash", unique=True)
+    assert [i.name for i in catalog.indexes_on("Vehicle")] == ["idx1", "idx2"]
+    assert [i.name for i in catalog.indexes_on("Vehicle", "weight")] == ["idx1"]
+    assert catalog.indexes_on("Company") == []
+    with pytest.raises(CatalogError):
+        catalog.define_index("idx1", "Vehicle", "weight")
+    with pytest.raises(CatalogError):
+        catalog.define_index("idx3", "Vehicle", "weight", kind="bitmap")
+    catalog.drop_index("idx1")
+    assert [i.name for i in catalog.all_indexes()] == ["idx2"]
+
+
+def test_class_names_excludes_system(catalog):
+    catalog.define_class("SysThing", is_system=True)
+    catalog.define_class("UserThing")
+    assert catalog.class_names() == ["UserThing"]
+    assert "SysThing" in catalog.class_names(include_system=True)

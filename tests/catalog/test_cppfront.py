@@ -1,0 +1,193 @@
+"""Tests for the modified cfront (C++ <-> schema round trips)."""
+
+import pytest
+
+from repro.catalog.cppfront import (
+    cpp_type_to_mood,
+    generate_header,
+    generate_headers,
+    mood_type_to_cpp,
+    parse_cpp,
+)
+from repro.catalog.entities import MoodsAttribute, MoodsFunction
+from repro.catalog.schema import ClassDefinition, ClassHierarchy
+from repro.catalog.typeparse import parse_type
+from repro.core.errors import SchemaError
+
+PAPER_CPP = """
+// The Section 3.1 schema, as C++.
+class VehicleEngine {
+public:
+    int size;
+    int cylinders;
+};
+
+class Company {
+public:
+    char name[32];
+    char location[32];
+    Employee* president;
+};
+
+class Vehicle {
+public:
+    int id;
+    int weight;
+    VehicleDriveTrain* drivetrain;
+    Company* manufacturer;
+    int lbweight();
+    int curbweight();
+};
+
+class Automobile : public Vehicle {
+};
+
+class JapaneseAuto : public Automobile {
+};
+
+int Vehicle::lbweight()
+{ return weight * 2.2075; }
+
+int Vehicle::curbweight()
+{ return weight; }
+"""
+
+
+def test_cpp_type_mapping():
+    assert cpp_type_to_mood("int") == "Integer"
+    assert cpp_type_to_mood("long") == "LongInteger"
+    assert cpp_type_to_mood("double") == "Float"
+    assert cpp_type_to_mood("float") == "Float"
+    assert cpp_type_to_mood("bool") == "Boolean"
+    assert cpp_type_to_mood("char") == "Char"
+    assert cpp_type_to_mood("char", array_bound=32) == "String(32)"
+    assert cpp_type_to_mood("char*") == "String"
+    assert cpp_type_to_mood("Company*") == "Reference(Company)"
+    assert cpp_type_to_mood("set<Employee*>") == "Set(Reference(Employee))"
+    assert cpp_type_to_mood("list<int>") == "List(Integer)"
+    with pytest.raises(SchemaError):
+        cpp_type_to_mood("int&&&")
+
+
+def test_mood_type_mapping():
+    assert mood_type_to_cpp(parse_type("Integer")) == "int"
+    assert mood_type_to_cpp(parse_type("String(32)")) == "char[32]"
+    assert mood_type_to_cpp(parse_type("String")) == "char*"
+    assert mood_type_to_cpp(parse_type("Reference(Company)")) == "Company*"
+    assert mood_type_to_cpp(parse_type("Set(Reference(E))")) == "set<E*>"
+    assert mood_type_to_cpp(parse_type("List(Integer)")) == "list<int>"
+
+
+def test_parse_paper_schema():
+    classes, bodies = parse_cpp(PAPER_CPP)
+    by_name = {c.name: c for c in classes}
+    assert set(by_name) == {
+        "VehicleEngine", "Company", "Vehicle", "Automobile", "JapaneseAuto",
+    }
+    vehicle = by_name["Vehicle"]
+    assert vehicle.attributes == [
+        ("id", "Integer"),
+        ("weight", "Integer"),
+        ("drivetrain", "Reference(VehicleDriveTrain)"),
+        ("manufacturer", "Reference(Company)"),
+    ]
+    assert [m.name for m in vehicle.methods] == ["lbweight", "curbweight"]
+    assert by_name["Company"].attributes[0] == ("name", "String(32)")
+    assert by_name["Automobile"].bases == ["Vehicle"]
+    assert by_name["JapaneseAuto"].bases == ["Automobile"]
+
+
+def test_parse_method_bodies():
+    _, bodies = parse_cpp(PAPER_CPP)
+    by_sig = {b.signature: b for b in bodies}
+    assert "Vehicle::lbweight()" in by_sig
+    assert "2.2075" in by_sig["Vehicle::lbweight()"].body
+    assert by_sig["Vehicle::curbweight()"].return_type == "Integer"
+
+
+def test_parse_method_with_parameters():
+    source = """
+    class Calculator {
+    public:
+        int add(int a, int b);
+    };
+    int Calculator::add(int a, int b) { return a + b; }
+    """
+    classes, bodies = parse_cpp(source)
+    method = classes[0].methods[0]
+    assert method.parameters == [("a", "Integer"), ("b", "Integer")]
+    assert bodies[0].signature == "Calculator::add(Integer,Integer)"
+
+
+def test_parse_multiple_inheritance():
+    source = "class C : public A, public B { };"
+    # Empty body: no declarations.
+    classes, _ = parse_cpp(source)
+    assert classes[0].bases == ["A", "B"]
+
+
+def test_parse_rejects_garbage_members():
+    with pytest.raises(SchemaError):
+        parse_cpp("class X { int; };")
+
+
+def test_comments_are_ignored():
+    source = """
+    class Y {
+    public:
+        int x;  // a comment; with a semicolon
+        /* block comment
+           int fake; */
+        int z;
+    };
+    """
+    classes, _ = parse_cpp(source)
+    assert classes[0].attributes == [("x", "Integer"), ("z", "Integer")]
+
+
+def make_hierarchy():
+    h = ClassHierarchy()
+    h.add(ClassDefinition(
+        name="Vehicle", type_id=1, is_class=True,
+        attributes=[
+            MoodsAttribute("Vehicle", "id", "Integer", 0),
+            MoodsAttribute("Vehicle", "name", "String(32)", 1),
+            MoodsAttribute("Vehicle", "manufacturer", "Reference(Company)", 2),
+        ],
+        methods=[
+            MoodsFunction("Vehicle", "lbweight", "Integer",
+                          [("rate", "Float")]),
+        ],
+    ))
+    h.add(ClassDefinition(name="Automobile", type_id=2, is_class=True,
+                          superclasses=["Vehicle"]))
+    return h
+
+
+def test_generate_header():
+    header = generate_header("Vehicle", make_hierarchy())
+    assert "class Vehicle {" in header
+    assert "int id;" in header
+    assert "char name[32];" in header
+    assert "Company* manufacturer;" in header
+    assert "int lbweight(double rate);" in header
+
+
+def test_generate_header_with_bases():
+    header = generate_header("Automobile", make_hierarchy())
+    assert "class Automobile : public Vehicle {" in header
+
+
+def test_round_trip_cpp_to_schema_to_cpp():
+    hierarchy = make_hierarchy()
+    header = generate_headers(hierarchy, ["Automobile", "Vehicle"])
+    # Superclass emitted first despite request order.
+    assert header.index("class Vehicle") < header.index("class Automobile")
+    classes, _ = parse_cpp(header)
+    vehicle = next(c for c in classes if c.name == "Vehicle")
+    assert vehicle.attributes == [
+        ("id", "Integer"),
+        ("name", "String(32)"),
+        ("manufacturer", "Reference(Company)"),
+    ]
+    assert vehicle.methods[0].parameters == [("rate", "Float")]

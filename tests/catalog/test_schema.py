@@ -1,0 +1,192 @@
+"""Tests for the class hierarchy: inheritance, resolution, extent closure."""
+
+import pytest
+
+from repro.catalog.entities import MoodsAttribute, MoodsFunction
+from repro.catalog.schema import ClassDefinition, ClassHierarchy
+from repro.core.errors import (
+    SchemaError,
+    UnknownAttributeError,
+    UnknownClassError,
+)
+from repro.model.types import INTEGER
+
+
+def attr(owner, name, type_name, position=0):
+    return MoodsAttribute(owner=owner, name=name, type_name=type_name,
+                          position=position)
+
+
+def meth(owner, name, return_type="Integer", parameters=()):
+    return MoodsFunction(owner=owner, name=name, return_type=return_type,
+                         parameters=list(parameters))
+
+
+def cls(name, supers=(), attributes=(), methods=(), type_id=0):
+    return ClassDefinition(
+        name=name,
+        type_id=type_id,
+        is_class=True,
+        superclasses=list(supers),
+        attributes=list(attributes),
+        methods=list(methods),
+    )
+
+
+@pytest.fixture
+def vehicles():
+    """The paper's Section 3.1 hierarchy."""
+    h = ClassHierarchy()
+    h.add(cls("Vehicle", attributes=[
+        attr("Vehicle", "id", "Integer", 0),
+        attr("Vehicle", "weight", "Integer", 1),
+        attr("Vehicle", "drivetrain", "Reference(VehicleDriveTrain)", 2),
+        attr("Vehicle", "manufacturer", "Reference(Company)", 3),
+    ], methods=[meth("Vehicle", "lbweight"), meth("Vehicle", "weight")]))
+    h.add(cls("Automobile", supers=["Vehicle"]))
+    h.add(cls("JapaneseAuto", supers=["Automobile"]))
+    return h
+
+
+def test_add_and_get(vehicles):
+    assert vehicles.get("Vehicle").name == "Vehicle"
+    assert "Automobile" in vehicles
+    assert "Truck" not in vehicles
+
+
+def test_unknown_class(vehicles):
+    with pytest.raises(UnknownClassError):
+        vehicles.get("Truck")
+
+
+def test_duplicate_class_rejected(vehicles):
+    with pytest.raises(SchemaError):
+        vehicles.add(cls("Vehicle"))
+
+
+def test_undefined_superclass_rejected():
+    h = ClassHierarchy()
+    with pytest.raises(UnknownClassError):
+        h.add(cls("Car", supers=["Vehicle"]))
+
+
+def test_inherited_attributes(vehicles):
+    names = [a.name for a in vehicles.all_attributes("JapaneseAuto")]
+    assert names == ["id", "weight", "drivetrain", "manufacturer"]
+    assert vehicles.attribute("JapaneseAuto", "weight").owner == "Vehicle"
+    assert vehicles.attribute_type("Automobile", "id") == INTEGER
+
+
+def test_unknown_attribute(vehicles):
+    with pytest.raises(UnknownAttributeError):
+        vehicles.attribute("Vehicle", "nope")
+    assert not vehicles.has_attribute("Vehicle", "nope")
+    assert vehicles.has_attribute("JapaneseAuto", "id")
+
+
+def test_method_resolution_override(vehicles):
+    # JapaneseAuto overrides lbweight.
+    override = meth("JapaneseAuto", "lbweight")
+    vehicles.get("JapaneseAuto").methods.append(override)
+    resolved = vehicles.resolve_method("JapaneseAuto", "lbweight")
+    assert resolved.owner == "JapaneseAuto"
+    # Automobile still gets Vehicle's.
+    assert vehicles.resolve_method("Automobile", "lbweight").owner == "Vehicle"
+    with pytest.raises(UnknownAttributeError):
+        vehicles.resolve_method("Vehicle", "nonexistent")
+
+
+def test_multiple_inheritance_c3():
+    h = ClassHierarchy()
+    h.add(cls("A", attributes=[attr("A", "a", "Integer")]))
+    h.add(cls("B", supers=["A"], attributes=[attr("B", "b", "Integer")]))
+    h.add(cls("C", supers=["A"], attributes=[attr("C", "c", "Integer")]))
+    h.add(cls("D", supers=["B", "C"]))
+    order = h.linearize("D")
+    assert order == ["D", "B", "C", "A"]
+    # Diamond: 'a' appears once; layout order is base-most first
+    # (reverse linearisation: A, C, B, D).
+    assert [a.name for a in h.all_attributes("D")] == ["a", "c", "b"]
+
+
+def test_inconsistent_mro_rejected():
+    h = ClassHierarchy()
+    h.add(cls("A"))
+    h.add(cls("B", supers=["A"]))
+    # C : A, B but B : A forces A before B and after B simultaneously? No --
+    # the classic failure: D(A, B) where B derives from A puts A first while
+    # B's linearisation needs B before A.
+    with pytest.raises(SchemaError):
+        h.add(cls("D", supers=["A", "B"]))
+
+
+def test_attribute_conflict_across_bases_rejected():
+    h = ClassHierarchy()
+    h.add(cls("A", attributes=[attr("A", "x", "Integer")]))
+    h.add(cls("B", attributes=[attr("B", "x", "Float")]))
+    with pytest.raises(SchemaError):
+        h.add(cls("C", supers=["A", "B"]))
+
+
+def test_same_typed_attribute_across_bases_allowed():
+    h = ClassHierarchy()
+    h.add(cls("A", attributes=[attr("A", "x", "Integer")]))
+    h.add(cls("B", attributes=[attr("B", "x", "Integer")]))
+    h.add(cls("C", supers=["A", "B"]))
+    assert [a.name for a in h.all_attributes("C")] == ["x"]
+
+
+def test_subclasses(vehicles):
+    assert vehicles.subclasses("Vehicle") == ["Automobile", "JapaneseAuto"]
+    assert vehicles.subclasses("Vehicle", transitive=False) == ["Automobile"]
+    assert vehicles.subclasses("JapaneseAuto") == []
+
+
+def test_is_subclass(vehicles):
+    assert vehicles.is_subclass("JapaneseAuto", "Vehicle")
+    assert vehicles.is_subclass("Vehicle", "Vehicle")
+    assert not vehicles.is_subclass("Vehicle", "JapaneseAuto")
+
+
+def test_remove_refuses_with_subclasses(vehicles):
+    with pytest.raises(SchemaError):
+        vehicles.remove("Vehicle")
+    vehicles.remove("JapaneseAuto")
+    vehicles.remove("Automobile")
+    vehicles.remove("Vehicle")
+    assert vehicles.names() == []
+
+
+def test_extent_classes_is_a(vehicles):
+    assert vehicles.extent_classes("Vehicle") == [
+        "Automobile", "JapaneseAuto", "Vehicle",
+    ]
+
+
+def test_extent_classes_minus_operator(vehicles):
+    """FROM EVERY Automobile - JapaneseAuto (the paper's example query)."""
+    assert vehicles.extent_classes("Automobile", exclude=["JapaneseAuto"]) == [
+        "Automobile"
+    ]
+    assert vehicles.extent_classes("Vehicle", exclude=["JapaneseAuto"]) == [
+        "Automobile", "Vehicle",
+    ]
+
+
+def test_extent_minus_requires_subclass(vehicles):
+    with pytest.raises(SchemaError):
+        vehicles.extent_classes("JapaneseAuto", exclude=["Vehicle"])
+
+
+def test_edges(vehicles):
+    assert vehicles.edges() == [
+        ("Automobile", "JapaneseAuto"),
+        ("Vehicle", "Automobile"),
+    ]
+
+
+def test_superclasses_transitive(vehicles):
+    assert vehicles.superclasses("JapaneseAuto") == ["Automobile"]
+    assert vehicles.superclasses("JapaneseAuto", transitive=True) == [
+        "Automobile", "Vehicle",
+    ]

@@ -1,0 +1,85 @@
+"""Tests for textual type parsing."""
+
+import pytest
+
+from repro.catalog.typeparse import format_type, parse_type
+from repro.core.errors import UnknownTypeError
+from repro.model.types import (
+    BOOLEAN,
+    CHAR,
+    FLOAT,
+    INTEGER,
+    LONGINTEGER,
+    STRING,
+    ListType,
+    RefType,
+    SetType,
+    StringType,
+    TupleType,
+)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("Integer", INTEGER),
+        ("LongInteger", LONGINTEGER),
+        ("Float", FLOAT),
+        ("String", STRING),
+        ("Char", CHAR),
+        ("Boolean", BOOLEAN),
+        ("String(32)", StringType(32)),
+        ("Reference(Company)", RefType("Company")),
+        ("REFERENCE (VehicleDriveTrain)", RefType("VehicleDriveTrain")),
+        ("Set(Integer)", SetType(INTEGER)),
+        ("List(Reference(Employee))", ListType(RefType("Employee"))),
+        ("Set(Set(Integer))", SetType(SetType(INTEGER))),
+        (
+            "Tuple(x Integer, y Float)",
+            TupleType((("x", INTEGER), ("y", FLOAT))),
+        ),
+        (
+            "Tuple(engine Reference(VehicleEngine), transmission String(32))",
+            TupleType(
+                (("engine", RefType("VehicleEngine")),
+                 ("transmission", StringType(32)))
+            ),
+        ),
+    ],
+)
+def test_parse(text, expected):
+    assert parse_type(text) == expected
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "Nope",
+        "Set(Integer",
+        "Set()",
+        "Reference()",
+        "Integer Integer",
+        "String(x)",
+        "Tuple()",
+        "",
+        "Set(Integer) trailing",
+    ],
+)
+def test_parse_rejects(text):
+    with pytest.raises(UnknownTypeError):
+        parse_type(text)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "Integer",
+        "String(32)",
+        "Reference(Company)",
+        "Set(Reference(Employee))",
+        "List(Set(Integer))",
+        "Tuple(x Integer, y Float)",
+    ],
+)
+def test_roundtrip(text):
+    assert format_type(parse_type(text)) == text

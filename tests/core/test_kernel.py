@@ -1,0 +1,191 @@
+"""Kernel-level tests: the single SQL entry point for every operation."""
+
+import pytest
+
+from repro.core.database import MoodDatabase
+from repro.core.errors import (
+    ExecutionError,
+    FunctionNotFoundError,
+    SchemaError,
+)
+from repro.core.kernel import QueryResult, StatementResult
+
+
+@pytest.fixture
+def db():
+    return MoodDatabase(buffer_capacity=128)
+
+
+def test_create_class_generates_header(db):
+    result = db.execute(
+        "CREATE CLASS Employee TUPLE (ssno Integer, name String(32), "
+        "age Integer)"
+    )
+    assert isinstance(result, StatementResult)
+    assert result.kind == "CREATE CLASS"
+    assert "class Employee {" in result.header
+    assert "char name[32];" in result.header
+
+
+def test_create_class_with_inheritance_and_methods(db):
+    db.execute("CREATE CLASS Vehicle TUPLE (weight Integer) METHODS ("
+               "lbweight () Integer { return self.weight * 2.2075 })")
+    db.execute("CREATE CLASS Automobile INHERITS FROM Vehicle")
+    result = db.execute("NEW Automobile <1000>")
+    assert db.invoke(result.obj, "lbweight") == 2207
+
+
+def test_new_object_positional_binding(db):
+    db.execute("CREATE CLASS Employee TUPLE (ssno Integer, name String(32), "
+               "age Integer)")
+    result = db.execute('new Employee <"Budak Arpinar"'
+                        .replace('"Budak Arpinar"', "1, 'Budak Arpinar', 27")
+                        + ">")
+    assert result.obj.state == {"ssno": 1, "name": "Budak Arpinar", "age": 27}
+
+
+def test_new_object_partial_values_null_filled(db):
+    db.execute("CREATE CLASS Employee TUPLE (ssno Integer, name String(32), "
+               "age Integer)")
+    result = db.execute("NEW Employee <7>")
+    assert result.obj.state == {"ssno": 7, "name": None, "age": None}
+
+
+def test_new_object_too_many_values(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    with pytest.raises(ExecutionError):
+        db.execute("NEW P <1, 2>")
+
+
+def test_new_object_binds_name(db):
+    db.execute("CREATE CLASS Company TUPLE (name String(32))")
+    result = db.execute("NEW Company <'BMW'> AS bmw")
+    assert db.kernel.catalog.lookup_name("bmw") == result.obj.oid
+
+
+def test_moodview_new_instance_statement(db):
+    """Section 9.4's exact statement shape."""
+    db.execute("CREATE CLASS Employee TUPLE (name String(32), "
+               "title String(32), birthyear Integer)")
+    result = db.execute(
+        'new Employee < "Budak Arpinar", "Computer Engineer", 1969>'
+    )
+    assert result.obj.state["name"] == "Budak Arpinar"
+    assert result.obj.state["birthyear"] == 1969
+
+
+def test_delete_statement(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    for i in range(5):
+        db.execute(f"NEW P <{i}>")
+    result = db.execute("DELETE FROM P p WHERE p.x < 2")
+    assert result.count == 2
+    assert len(db.query("SELECT p FROM P p")) == 3
+
+
+def test_update_statement(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer, y Integer)")
+    db.execute("NEW P <1, 10>")
+    db.execute("NEW P <2, 20>")
+    result = db.execute("UPDATE P p SET y = p.y + 100 WHERE p.x = 2")
+    assert result.count == 1
+    values = sorted(db.query("SELECT p.y FROM P p").scalars())
+    assert values == [10, 120]
+
+
+def test_create_method_via_sql_and_invoke_in_query(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    db.execute("NEW P <4>")
+    db.execute("CREATE METHOD P::squared() Integer { return self.x * self.x }")
+    result = db.query("SELECT p.squared() FROM P p")
+    assert result.scalars() == [16]
+
+
+def test_update_method_via_sql(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    db.execute("NEW P <4>")
+    db.execute("CREATE METHOD P::f() Integer { return 1 }")
+    db.execute("CREATE METHOD P::f() Integer { return 2 }")  # replace
+    assert db.query("SELECT p.f() FROM P p").scalars() == [2]
+
+
+def test_drop_method_via_sql(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    db.execute("NEW P <4>")
+    db.execute("CREATE METHOD P::f() Integer { return 1 }")
+    db.execute("DROP METHOD P::f()")
+    with pytest.raises(FunctionNotFoundError):
+        db.query("SELECT p.f() FROM P p")
+
+
+def test_alter_class_statements(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    db.execute("ALTER CLASS P ADD ATTRIBUTE y Float")
+    db.execute("NEW P <1, 2.5>")
+    assert db.query("SELECT p.y FROM P p").scalars() == [2.5]
+    db.execute("ALTER CLASS P RENAME ATTRIBUTE y TO z")
+    assert db.query("SELECT p.z FROM P p").scalars() == [2.5]
+    db.execute("ALTER CLASS P DROP ATTRIBUTE z")
+    with pytest.raises(SchemaError):
+        db.execute("ALTER CLASS P DROP ATTRIBUTE z")
+
+
+def test_analyze_statement(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    db.execute("NEW P <1>")
+    result = db.execute("ANALYZE")
+    assert result.kind == "ANALYZE"
+    assert db.kernel.stats.card("P") == 1
+
+
+def test_script_execution(db):
+    results = db.execute_script(
+        "CREATE CLASS P TUPLE (x Integer); NEW P <1>; NEW P <2>;"
+        "SELECT p FROM P p WHERE p.x > 1"
+    )
+    assert len(results) == 4
+    assert isinstance(results[-1], QueryResult)
+    assert len(results[-1]) == 1
+
+
+def test_query_on_nonselect_rejected(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    with pytest.raises(TypeError):
+        db.query("NEW P <1>")
+
+
+def test_auto_analyze_refreshes_after_changes(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    db.execute("NEW P <1>")
+    db.query("SELECT p FROM P p")
+    assert db.kernel.stats.card("P") == 1
+    db.execute("NEW P <2>")
+    db.query("SELECT p FROM P p")
+    assert db.kernel.stats.card("P") == 2
+
+
+def test_trace_has_clause_pipeline(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    db.execute("NEW P <1>")
+    result = db.query("SELECT p FROM P p WHERE p.x = 1")
+    operators = [e.operator for e in result.trace]
+    for required in ("PARSE", "SIMPLIFY", "DNF", "OPTIMIZE"):
+        assert required in operators
+    assert operators.index("PARSE") < operators.index("OPTIMIZE")
+
+
+def test_function_scope_ends_per_statement(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer) METHODS ("
+               "f () Integer { return self.x })")
+    db.execute("NEW P <1>")
+    db.query("SELECT p.f() FROM P p")
+    # After the statement, shared objects are unloaded (scope change).
+    assert db.kernel.functions.loaded_classes() == []
+
+
+def test_kernel_survives_catalog_reload(db):
+    db.execute("CREATE CLASS P TUPLE (x Integer)")
+    db.execute("NEW P <42>")
+    db.kernel.catalog.reload()
+    db.kernel.objects.rebuild_page_map()
+    assert db.query("SELECT p.x FROM P p").scalars() == [42]

@@ -1,0 +1,102 @@
+"""Tests for the paper's example database builder and statistics."""
+
+import pytest
+
+from repro.bench.paperdb import (
+    PAPER_CLASS_STATS,
+    build_paper_database,
+    paper_statistics,
+)
+from repro.bench.workloads import random_query, workload
+from repro.core.database import MoodDatabase
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = MoodDatabase(buffer_capacity=256)
+    build_paper_database(database, scale=64, seed=9)
+    return database
+
+
+def test_paper_statistics_match_tables():
+    stats = paper_statistics()
+    for name, (count, nbpages, size) in PAPER_CLASS_STATS.items():
+        assert stats.card(name) == count
+        assert stats.nbpages(name) == nbpages
+        assert stats.size(name) == size
+    assert stats.hitprb("manufacturer", "Vehicle") == pytest.approx(0.1)
+    assert stats.totlinks("engine", "VehicleDriveTrain") == 10000
+
+
+def test_builder_proportions(db):
+    objects = db.kernel.objects
+    assert objects.count("Vehicle", deep=True) == 64
+    assert objects.count("VehicleDriveTrain") == 32
+    assert objects.count("VehicleEngine") == 32
+    assert objects.count("Company") == 640
+    assert objects.count("Employee") == 16
+
+
+def test_builder_reference_structure(db):
+    """Table 15's structure: every drivetrain shared by two vehicles,
+    every engine by one drivetrain."""
+    dt_refs = {}
+    for vehicle in db.extent("Vehicle"):
+        dt_refs.setdefault(vehicle.state["drivetrain"], 0)
+        dt_refs[vehicle.state["drivetrain"]] += 1
+    assert set(dt_refs.values()) == {2}
+    engine_refs = set()
+    for drivetrain in db.extent("VehicleDriveTrain"):
+        assert drivetrain.state["engine"] not in engine_refs
+        engine_refs.add(drivetrain.state["engine"])
+    assert len(engine_refs) == 32
+
+
+def test_builder_class_mix(db):
+    mix = {}
+    for vehicle in db.extent("Vehicle"):
+        mix[vehicle.class_name] = mix.get(vehicle.class_name, 0) + 1
+    assert set(mix) == {"Vehicle", "Automobile", "JapaneseAuto"}
+    # Japanese autos are manufactured by the Japanese company stems.
+    japanese = [v for v in db.extent("Vehicle")
+                if v.class_name == "JapaneseAuto"]
+    for auto in japanese:
+        name = db.get(auto.state["manufacturer"]).state["name"]
+        assert name.split("-")[0] in {"Toyota", "Honda", "Nissan"}
+
+
+def test_builder_cylinders_domain(db):
+    cylinders = {e.state["cylinders"] for e in db.extent("VehicleEngine")}
+    assert cylinders == set(range(2, 34, 2))  # Table 14: 16 values, 2..32
+
+
+def test_builder_deterministic():
+    a = MoodDatabase(buffer_capacity=128)
+    b = MoodDatabase(buffer_capacity=128)
+    created_a = build_paper_database(a, scale=20, seed=4)
+    created_b = build_paper_database(b, scale=20, seed=4)
+    state_a = [v.state for v in created_a["Vehicle"]]
+    state_b = [v.state for v in created_b["Vehicle"]]
+    assert state_a == state_b
+
+
+def test_workload_queries_all_parse_and_run(db):
+    for generated in workload(seed=31, size=25):
+        result = db.query(generated.sql)
+        assert result.plan is not None
+
+
+def test_workload_flags_are_accurate():
+    import random
+
+    rng = random.Random(8)
+    saw_join = saw_paths = False
+    for _ in range(50):
+        generated = random_query(rng)
+        if generated.uses_join:
+            saw_join = True
+            assert "VehicleEngine e" in generated.sql
+        if generated.uses_paths:
+            saw_paths = True
+        assert generated.num_predicates >= 1
+    assert saw_join and saw_paths

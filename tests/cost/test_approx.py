@@ -1,0 +1,108 @@
+"""Tests for c(n,m,r), Yao, Cardenas and o(t,x,y)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.approx import c_approx, cardenas, overlap_probability, yao
+
+
+def test_c_approx_piecewise_regions():
+    # r < m/2 -> r
+    assert c_approx(1000, 100, 10) == 10
+    # m/2 <= r < 2m -> (r + m)/3
+    assert c_approx(1000, 100, 80) == pytest.approx((80 + 100) / 3)
+    # r >= 2m -> m
+    assert c_approx(1000, 100, 500) == 100
+
+
+def test_c_approx_boundaries():
+    m = 100
+    assert c_approx(1000, m, m / 2) == pytest.approx((m / 2 + m) / 3)
+    assert c_approx(1000, m, 2 * m) == m
+
+
+def test_c_approx_capped_by_population():
+    assert c_approx(5, 100, 30) == 5
+
+
+def test_c_approx_degenerate():
+    assert c_approx(10, 10, 0) == 0.0
+    assert c_approx(10, 0, 5) == 0.0
+
+
+def test_yao_matches_intuition():
+    # Selecting every record touches every block.
+    assert yao(1000, 100, 1000) == pytest.approx(100)
+    # Selecting one record touches one block.
+    assert yao(1000, 100, 1) == pytest.approx(1, rel=0.01)
+    assert yao(1000, 100, 0) == 0.0
+
+
+def test_cardenas():
+    assert cardenas(100, 0) == 0.0
+    assert cardenas(100, 1) == pytest.approx(1.0)
+    assert cardenas(100, 10**6) == pytest.approx(100.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(2, 500), st.integers(1, 2000))
+def test_property_approximations_bounded_by_m(m, r):
+    n = m * 10
+    for approx in (c_approx(n, m, r), yao(n, m, r), cardenas(m, r)):
+        assert 0 <= approx <= m + 1e-9
+    # All approximations agree that r=1 touches ~1 block (for m >= 2;
+    # the piecewise formula lands in its middle branch when m = 1).
+    assert c_approx(n, m, 1) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(2, 300), st.integers(1, 4000))
+def test_property_c_approx_close_to_yao(m, r):
+    """The paper claims c(n,m,r) 'well serves' as a stand-in for Yao."""
+    n = m * 20  # 20 records per block
+    ours = c_approx(n, m, r)
+    exact = yao(n, m, r)
+    assert ours <= m
+    # Within the known error envelope of the piecewise approximation.
+    assert abs(ours - exact) <= max(2.0, 0.35 * m)
+
+
+def test_overlap_probability_paper_table16_values():
+    """The two selectivities of Table 16, computed from Tables 13-15."""
+    # P1: o(10000, 1, 625) = 625/10000
+    assert overlap_probability(10000, 1, 625) == pytest.approx(6.25e-2)
+    # P2: o(20000, 1, ceil(0.1)) = 1/20000
+    assert overlap_probability(20000, 1, 0.1) == pytest.approx(5.00e-5)
+
+
+def test_overlap_probability_certain_overlap():
+    assert overlap_probability(10, 6, 6) == 1.0
+
+
+def test_overlap_probability_degenerate():
+    assert overlap_probability(0, 1, 1) == 0.0
+    assert overlap_probability(10, 0, 5) == 0.0
+    assert overlap_probability(10, 5, 0) == 0.0
+
+
+def test_overlap_probability_single_elements():
+    # Two singletons from t objects meet with probability 1/t.
+    assert overlap_probability(100, 1, 1) == pytest.approx(0.01)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(1, 1000), st.integers(1, 1000), st.integers(1, 1000))
+def test_property_overlap_is_a_probability(t, x, y):
+    p = overlap_probability(t, x, y)
+    assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(10, 500), st.integers(1, 9), st.integers(1, 9))
+def test_property_overlap_monotone_in_cardinalities(t, x, y):
+    p1 = overlap_probability(t, x, y)
+    p2 = overlap_probability(t, x + 1, y)
+    p3 = overlap_probability(t, x, y + 1)
+    assert p2 >= p1 - 1e-12
+    assert p3 >= p1 - 1e-12

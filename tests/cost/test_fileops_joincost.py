@@ -1,0 +1,178 @@
+"""Tests for file-operation and implicit-join cost formulas (Sections 5-6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.paperdb import paper_statistics
+from repro.cost.fileops import indcost, rndcost, rngxcost, seqcost
+from repro.cost.joincost import (
+    JoinStrategy,
+    backward_traversal_cost,
+    best_join_strategy,
+    binary_join_index_cost,
+    forward_traversal_cost,
+    hash_partition_cost,
+    pages_hit,
+)
+from repro.storage.btree import BTreeParams
+from repro.storage.disk import DiskParams
+
+DISK = DiskParams(btt=1.0, ebt=2.0, r=3.0, s=4.0)
+INDEX = BTreeParams(v=50, level=3, leaves=400, keysize=8, unique=False)
+
+
+def test_seqcost_rndcost():
+    assert seqcost(DISK, 100) == pytest.approx(4 + 3 + 100 * 2)
+    assert rndcost(DISK, 100) == pytest.approx(100 * 8)
+    assert seqcost(DISK, 0) == 0
+    assert rndcost(DISK, 0) == 0
+
+
+def test_esm_mode():
+    esm = DiskParams(btt=1.0, ebt=2.0, r=3.0, s=4.0,
+                     esm_sequential_is_random=True)
+    assert seqcost(esm, 100) == rndcost(esm, 100)
+
+
+def test_indcost_single_key():
+    # One key descends one node per level.
+    assert indcost(DISK, INDEX, 1) == pytest.approx(3 * rndcost(DISK, 1))
+
+
+def test_indcost_grows_sublinearly():
+    one = indcost(DISK, INDEX, 1)
+    ten = indcost(DISK, INDEX, 10)
+    thousand = indcost(DISK, INDEX, 1000)
+    assert one < ten < thousand
+    # 1000 keys cost far less than 1000 independent descents.
+    assert thousand < 1000 * one
+
+
+def test_indcost_zero():
+    assert indcost(DISK, INDEX, 0) == 0.0
+
+
+def test_rngxcost():
+    assert rngxcost(DISK, INDEX, 0.25) == pytest.approx(0.25 * 400 * 8)
+    assert rngxcost(DISK, INDEX, 0) == 0
+    assert rngxcost(DISK, INDEX, 2.0) == pytest.approx(400 * 8)  # clamped
+
+
+def test_pages_hit():
+    assert pages_hit(100, 0) == 0
+    assert pages_hit(100, 1) == pytest.approx(1.0)
+    assert pages_hit(100, 10**6) == pytest.approx(100.0)
+    assert 0 < pages_hit(100, 50) < 50
+
+
+@pytest.fixture
+def stats():
+    return paper_statistics()
+
+
+def test_forward_traversal_cost_shape(stats):
+    # ftc for one starting object: one C page + fan pages of D.
+    one = forward_traversal_cost(DISK, stats, "Vehicle", "drivetrain", 1)
+    assert one == pytest.approx(rndcost(DISK, 1) + rndcost(DISK, 1))
+    many = forward_traversal_cost(DISK, stats, "Vehicle", "drivetrain", 1000)
+    assert many > one
+    # Monotone in k_c.
+    assert forward_traversal_cost(DISK, stats, "Vehicle", "drivetrain", 500) \
+        < many
+
+
+def test_backward_traversal_cost_includes_scans(stats):
+    base = backward_traversal_cost(
+        DISK, stats, "Vehicle", "drivetrain", 100, 100,
+        d_accessed_previously=True, cpu_cost=0.0,
+    )
+    assert base == pytest.approx(seqcost(DISK, stats.nbpages("Vehicle")))
+    with_d = backward_traversal_cost(
+        DISK, stats, "Vehicle", "drivetrain", 100, 100,
+        d_accessed_previously=False, cpu_cost=0.0,
+    )
+    assert with_d == pytest.approx(
+        base + seqcost(DISK, stats.nbpages("VehicleDriveTrain"))
+    )
+    with_cpu = backward_traversal_cost(
+        DISK, stats, "Vehicle", "drivetrain", 100, 100,
+        d_accessed_previously=True, cpu_cost=0.001,
+    )
+    assert with_cpu == pytest.approx(base + 100 * 1 * 100 * 0.001)
+
+
+def test_binary_join_index_cost_is_indcost():
+    assert binary_join_index_cost(DISK, INDEX, 10) == \
+        indcost(DISK, INDEX, 10)
+
+
+def test_hash_partition_cost_scales_with_kc(stats):
+    small = hash_partition_cost(DISK, stats, "Vehicle", "drivetrain", 100)
+    large = hash_partition_cost(DISK, stats, "Vehicle", "drivetrain", 20000)
+    assert 0 < small < large
+
+
+def test_best_join_strategy_returns_minimum(stats):
+    """best_join_strategy is exactly the arg-min of the four formulas."""
+    k_c, k_d = 1, 10000
+    estimate = best_join_strategy(
+        DISK, stats, "Vehicle", "drivetrain", k_c=k_c, k_d=k_d,
+    )
+    candidates = {
+        JoinStrategy.FORWARD: forward_traversal_cost(
+            DISK, stats, "Vehicle", "drivetrain", k_c),
+        JoinStrategy.BACKWARD: backward_traversal_cost(
+            DISK, stats, "Vehicle", "drivetrain", k_c, k_d),
+        JoinStrategy.HASH_PARTITION: hash_partition_cost(
+            DISK, stats, "Vehicle", "drivetrain", k_c),
+    }
+    best = min(candidates, key=candidates.get)
+    assert estimate.strategy == best
+    assert estimate.cost == pytest.approx(candidates[best])
+    # For one starting object both pointer strategies beat a full scan of C.
+    assert candidates[estimate.strategy] < candidates[JoinStrategy.BACKWARD]
+
+
+def test_best_join_strategy_avoids_forward_for_whole_extent(stats):
+    estimate = best_join_strategy(
+        DISK, stats, "Vehicle", "drivetrain", k_c=20000, k_d=10000,
+    )
+    # Chasing 20000 random pointers is the worst option.
+    assert estimate.strategy != JoinStrategy.FORWARD
+
+
+def test_best_join_strategy_considers_index(stats):
+    tiny_index = BTreeParams(v=100, level=2, leaves=50, keysize=8,
+                             unique=False)
+    with_index = best_join_strategy(
+        DISK, stats, "Vehicle", "drivetrain", k_c=3, k_d=3,
+        join_index=tiny_index,
+    )
+    without = best_join_strategy(
+        DISK, stats, "Vehicle", "drivetrain", k_c=3, k_d=3,
+    )
+    # Adding a candidate can only keep or lower the winning cost.
+    assert with_index.cost <= without.cost
+    assert binary_join_index_cost(DISK, tiny_index, 3) >= with_index.cost
+
+
+def test_best_join_strategy_respects_reference_constraint(stats):
+    """Hash partition 'can only be applied when constructor of A is
+    Reference'."""
+    estimate = best_join_strategy(
+        DISK, stats, "Vehicle", "drivetrain", k_c=20000, k_d=10000,
+        attr_is_reference=False,
+    )
+    assert estimate.strategy != JoinStrategy.HASH_PARTITION
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 20000))
+def test_property_costs_positive_and_monotone(k):
+    stats = paper_statistics()
+    ftc = forward_traversal_cost(DISK, stats, "Vehicle", "drivetrain", k)
+    hhc = hash_partition_cost(DISK, stats, "Vehicle", "drivetrain", k)
+    assert ftc > 0 and hhc > 0
+    ftc2 = forward_traversal_cost(DISK, stats, "Vehicle", "drivetrain", k + 1)
+    assert ftc2 >= ftc

@@ -1,0 +1,166 @@
+"""Tests for selectivity estimation, against the paper's own numbers."""
+
+import pytest
+
+from repro.bench.paperdb import paper_statistics
+from repro.core.errors import OptimizerError
+from repro.cost.params import DatabaseStats
+from repro.cost.selectivity import (
+    DEFAULT_RANGE_SELECTIVITY,
+    PathExpression,
+    atomic_selectivity,
+    expected_matches,
+    fref,
+    path_selectivity,
+)
+
+
+@pytest.fixture
+def stats():
+    return paper_statistics()
+
+
+# -- Table 8 derived parameters (Section 4) -----------------------------------
+
+def test_totlinks_formula(stats):
+    assert stats.totlinks("drivetrain", "Vehicle") == 20000
+    assert stats.totlinks("manufacturer", "Vehicle") == 20000
+    assert stats.totlinks("engine", "VehicleDriveTrain") == 10000
+
+
+def test_hitprb_formula(stats):
+    assert stats.hitprb("drivetrain", "Vehicle") == pytest.approx(1.0)
+    assert stats.hitprb("manufacturer", "Vehicle") == pytest.approx(0.1)
+    assert stats.hitprb("engine", "VehicleDriveTrain") == pytest.approx(1.0)
+
+
+def test_missing_stats_raise(stats):
+    with pytest.raises(OptimizerError):
+        stats.card("Spaceship")
+    with pytest.raises(OptimizerError):
+        stats.fan("nope", "Vehicle")
+
+
+# -- atomic selectivities (Section 4.1) ---------------------------------------
+
+def test_equality_selectivity(stats):
+    assert atomic_selectivity(stats, "VehicleEngine", "cylinders", "=", 2) \
+        == pytest.approx(1 / 16)
+    assert atomic_selectivity(stats, "Company", "name", "=", "BMW") \
+        == pytest.approx(1 / 200000)
+
+
+def test_inequality_selectivity(stats):
+    # (max - c) / (max - min) with max=32, min=2
+    assert atomic_selectivity(stats, "VehicleEngine", "cylinders", ">", 4) \
+        == pytest.approx((32 - 4) / (32 - 2))
+    assert atomic_selectivity(stats, "VehicleEngine", "cylinders", "<", 4) \
+        == pytest.approx((4 - 2) / (32 - 2))
+
+
+def test_between_selectivity(stats):
+    assert atomic_selectivity(
+        stats, "VehicleEngine", "cylinders", "BETWEEN", 8, 14
+    ) == pytest.approx((14 - 8) / (32 - 2))
+
+
+def test_not_equal_selectivity(stats):
+    assert atomic_selectivity(stats, "VehicleEngine", "cylinders", "<>", 2) \
+        == pytest.approx(1 - 1 / 16)
+
+
+def test_selectivity_clamped(stats):
+    assert atomic_selectivity(stats, "VehicleEngine", "cylinders", ">", 100) \
+        == 0.0
+    assert atomic_selectivity(stats, "VehicleEngine", "cylinders", ">", -100) \
+        == 1.0
+
+
+def test_string_range_falls_back(stats):
+    assert atomic_selectivity(stats, "Company", "name", ">", "BMW") \
+        == DEFAULT_RANGE_SELECTIVITY
+
+
+def test_unknown_attribute_falls_back(stats):
+    value = atomic_selectivity(stats, "Vehicle", "unknown_attr", "=", 1)
+    assert 0 < value < 1
+
+
+# -- path expressions (Section 4.1) ---------------------------------------------
+
+P1 = PathExpression(
+    classes=("Vehicle", "VehicleDriveTrain", "VehicleEngine"),
+    reference_attrs=("drivetrain", "engine"),
+    final_attr="cylinders",
+)
+P2 = PathExpression(
+    classes=("Vehicle", "Company"),
+    reference_attrs=("manufacturer",),
+    final_attr="name",
+)
+
+
+def test_path_expression_validation():
+    with pytest.raises(OptimizerError):
+        PathExpression(("A",), ("x",), "y")
+
+
+def test_path_text():
+    assert P1.text("v") == "v.drivetrain.engine.cylinders"
+    assert P2.text("v") == "v.manufacturer.name"
+
+
+def test_fref_single_start(stats):
+    # One vehicle reaches one drivetrain reaches one engine (fan = 1).
+    assert fref(stats, P1, 1) == pytest.approx(1.0)
+    assert fref(stats, P1, 1, upto=1) == pytest.approx(1.0)
+
+
+def test_fref_from_many(stats):
+    # 20000 vehicles over 10000 distinct drivetrains: the colour formula
+    # saturates at totref.
+    assert fref(stats, P1, 20000, upto=1) == pytest.approx(10000)
+
+
+def test_fref_zero(stats):
+    assert fref(stats, P1, 0) == 0.0
+
+
+def test_paper_table16_p1_selectivity(stats):
+    """Table 16: P1 (v.drivetrain.engine.cylinders = 2) -> 6.25e-2."""
+    assert path_selectivity(stats, P1, "=", 2) == pytest.approx(6.25e-2)
+
+
+def test_paper_table16_p2_selectivity(stats):
+    """Table 16: P2 (v.manufacturer.name = 'BMW') -> 5.00e-5."""
+    assert path_selectivity(stats, P2, "=", "BMW") == pytest.approx(5.00e-5)
+
+
+def test_degenerate_path_is_atomic(stats):
+    p = PathExpression(("VehicleEngine",), (), "cylinders")
+    assert path_selectivity(stats, p, "=", 2) == pytest.approx(1 / 16)
+
+
+def test_expected_matches(stats):
+    f = path_selectivity(stats, P1, "=", 2)
+    assert expected_matches(stats, "Vehicle", f) == pytest.approx(1250.0)
+
+
+def test_selectivity_monotone_in_constant(stats):
+    """Wider predicates on the tail attribute -> larger path selectivity."""
+    narrow = path_selectivity(stats, P1, "=", 2)
+    wide = path_selectivity(stats, P1, ">", 4)
+    assert wide > narrow
+
+
+def test_custom_stats_round_trip():
+    stats = DatabaseStats()
+    stats.set_class("A", 100, 10, 50)
+    stats.set_class("B", 50, 5, 50)
+    stats.set_attribute("B", "x", 10, 10, 1)
+    stats.set_reference("A", "b", "B", 2.0, 40)
+    p = PathExpression(("A", "B"), ("b",), "x")
+    selectivity = path_selectivity(stats, p, "=", 3)
+    assert 0 < selectivity <= 1
+    assert stats.totlinks("b", "A") == 200
+    assert stats.hitprb("b", "A") == pytest.approx(0.8)

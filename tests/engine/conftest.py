@@ -1,0 +1,18 @@
+"""Shared engine fixtures: a small live Vehicle database."""
+
+import pytest
+
+from repro.bench.paperdb import build_paper_database
+from repro.core.database import MoodDatabase
+
+
+@pytest.fixture
+def db():
+    database = MoodDatabase(buffer_capacity=256)
+    build_paper_database(database, scale=60, seed=7)
+    return database
+
+
+@pytest.fixture
+def kernel(db):
+    return db.kernel

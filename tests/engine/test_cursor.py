@@ -1,0 +1,80 @@
+"""Tests for the cursor protocol and run-time value description."""
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.engine.cursor import ObjectCursor, describe_value
+from repro.model.objects import MoodObject
+from repro.storage.oid import OID
+
+
+@pytest.fixture
+def cursor(db):
+    engines = db.extent("VehicleEngine")[:4]
+    return ObjectCursor(db.kernel.catalog, engines), engines
+
+
+def test_sequencing_back_and_forth(cursor):
+    cur, engines = cursor
+    assert len(cur) == 4
+    assert cur.position == -1
+    assert cur.next().oid == engines[0].oid
+    assert cur.next().oid == engines[1].oid
+    assert cur.prev().oid == engines[0].oid
+    assert cur.has_next()
+    assert not cur.has_prev()
+
+
+def test_bounds(cursor):
+    cur, engines = cursor
+    with pytest.raises(ExecutionError):
+        cur.prev()
+    with pytest.raises(ExecutionError):
+        cur.current()
+    for _ in range(4):
+        cur.next()
+    with pytest.raises(ExecutionError):
+        cur.next()
+    assert cur.current().oid == engines[-1].oid
+
+
+def test_rewind(cursor):
+    cur, engines = cursor
+    cur.next()
+    cur.next()
+    cur.rewind()
+    assert cur.position == -1
+    assert cur.next().oid == engines[0].oid
+
+
+def test_buffer_cells_follow_catalog_order(cursor):
+    cur, _ = cursor
+    cur.next()
+    cells = cur.buffer()
+    assert [c.name for c in cells] == ["size", "cylinders"]
+    assert all(c.type_name == "Integer" for c in cells)
+    assert "size : Integer = " in str(cells[0])
+
+
+def test_buffer_includes_inherited_attributes(db):
+    vehicle = db.extent("Vehicle")[0]
+    cur = ObjectCursor(db.kernel.catalog, [vehicle])
+    cur.next()
+    names = [c.name for c in cur.buffer()]
+    assert names == ["id", "weight", "drivetrain", "manufacturer"]
+
+
+def test_describe_value(db):
+    catalog = db.kernel.catalog
+    assert describe_value(catalog, None) == "NULL"
+    assert describe_value(catalog, True) == "Boolean"
+    assert describe_value(catalog, 42) == "Integer"
+    assert describe_value(catalog, 3.5) == "Float"
+    assert describe_value(catalog, "x") == "Char"
+    assert describe_value(catalog, "xy") == "String"
+    assert describe_value(catalog, OID(1, 2, 3)) == "Reference"
+    assert describe_value(catalog, {1, 2}) == "Set"
+    assert describe_value(catalog, [1]) == "List"
+    assert describe_value(catalog, {"a": 1}) == "Tuple"
+    obj = MoodObject(OID(1, 0, 0), "Vehicle", {})
+    assert describe_value(catalog, obj) == "Vehicle"

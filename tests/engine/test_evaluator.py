@@ -1,0 +1,126 @@
+"""Tests for run-time expression evaluation."""
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.engine.evaluator import ExpressionEvaluator
+from repro.sql.parser import parse_expression
+
+
+@pytest.fixture
+def ev(db):
+    return ExpressionEvaluator(db.kernel.objects, db.kernel.functions)
+
+
+@pytest.fixture
+def vehicle_row(db):
+    vehicles = db.extent("Vehicle")
+    return {"v": vehicles[0]}
+
+
+def test_literal_and_arithmetic(ev):
+    assert ev.value(parse_expression("1 + 2 * 3"), {}) == 7
+    assert ev.value(parse_expression("10 / 4"), {}) == 2  # C++ int division
+    assert ev.value(parse_expression("10.0 / 4"), {}) == pytest.approx(2.5)
+    assert ev.value(parse_expression("-(3)"), {}) == -3
+    assert ev.value(parse_expression("'a' + 'b'"), {}) == "ab"
+
+
+def test_attribute_access(ev, vehicle_row):
+    weight = vehicle_row["v"].state["weight"]
+    assert ev.value(parse_expression("v.weight"), vehicle_row) == weight
+
+
+def test_path_traversal_dereferences(ev, vehicle_row, db):
+    transmission = ev.value(
+        parse_expression("v.drivetrain.transmission"), vehicle_row
+    )
+    drivetrain = db.get(vehicle_row["v"].state["drivetrain"])
+    assert transmission == drivetrain.state["transmission"]
+
+
+def test_long_path(ev, vehicle_row):
+    cylinders = ev.value(
+        parse_expression("v.drivetrain.engine.cylinders"), vehicle_row
+    )
+    assert isinstance(cylinders, int)
+    assert cylinders >= 2
+
+
+def test_null_reference_prunes_path(ev, db):
+    lonely = db.new_object("Vehicle", {"id": 999, "weight": 1})
+    row = {"v": lonely}
+    assert ev.values(parse_expression("v.drivetrain.transmission"), row) == []
+    assert ev.predicate(
+        parse_expression("v.drivetrain.transmission = 'AUTOMATIC'"), row
+    ) is False
+
+
+def test_comparison_predicates(ev, vehicle_row):
+    weight = vehicle_row["v"].state["weight"]
+    assert ev.predicate(
+        parse_expression(f"v.weight = {weight}"), vehicle_row)
+    assert ev.predicate(
+        parse_expression(f"v.weight >= {weight}"), vehicle_row)
+    assert not ev.predicate(
+        parse_expression(f"v.weight > {weight}"), vehicle_row)
+
+
+def test_boolean_connectives(ev, vehicle_row):
+    true_pred = parse_expression("v.weight > 0 AND NOT v.weight < 0")
+    assert ev.predicate(true_pred, vehicle_row)
+    assert ev.predicate(
+        parse_expression("v.weight < 0 OR v.weight > 0"), vehicle_row)
+
+
+def test_between_and_in(ev, vehicle_row):
+    weight = vehicle_row["v"].state["weight"]
+    assert ev.predicate(
+        parse_expression(f"v.weight BETWEEN {weight - 1} AND {weight + 1}"),
+        vehicle_row,
+    )
+    assert ev.predicate(
+        parse_expression(f"v.weight IN ({weight}, -1)"), vehicle_row)
+    assert not ev.predicate(
+        parse_expression("v.weight IN (-1, -2)"), vehicle_row)
+
+
+def test_object_equality_by_reference(ev, db, vehicle_row):
+    drivetrain = db.get(vehicle_row["v"].state["drivetrain"])
+    row = {**vehicle_row, "d": drivetrain}
+    assert ev.predicate(parse_expression("v.drivetrain = d"), row)
+    assert not ev.predicate(parse_expression("v.drivetrain <> d"), row)
+    with pytest.raises(ExecutionError):
+        ev.predicate(parse_expression("v.drivetrain > d"), row)
+
+
+def test_method_invocation(ev, vehicle_row):
+    weight = vehicle_row["v"].state["weight"]
+    assert ev.value(parse_expression("v.lbweight()"), vehicle_row) == \
+        int(weight * 2.2075)
+    assert ev.predicate(parse_expression("v.lbweight() > 0"), vehicle_row)
+
+
+def test_unbound_variable(ev):
+    with pytest.raises(ExecutionError):
+        ev.value(parse_expression("ghost.x"), {})
+
+
+def test_null_comparisons_are_false(ev, db):
+    employee = db.new_object("Employee", {"ssno": 1, "name": "x"})  # age NULL
+    row = {"e": employee}
+    assert not ev.predicate(parse_expression("e.age = 0"), row)
+    assert not ev.predicate(parse_expression("e.age <> 0"), row)
+    assert ev.value(parse_expression("e.age + 1"), row) is None
+
+
+def test_set_valued_path_is_existential(ev, db):
+    db.execute("CREATE CLASS Fleet TUPLE (cars Set(Reference(Vehicle)))")
+    vehicles = db.extent("Vehicle")[:3]
+    fleet = db.new_object("Fleet", {"cars": {v.oid for v in vehicles}})
+    row = {"f": fleet}
+    weights = sorted(v.state["weight"] for v in vehicles)
+    assert ev.predicate(
+        parse_expression(f"f.cars.weight = {weights[0]}"), row)
+    values = ev.values(parse_expression("f.cars.weight"), row)
+    assert sorted(values) == weights

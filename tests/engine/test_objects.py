@@ -1,0 +1,111 @@
+"""Tests for the object manager."""
+
+import pytest
+
+from repro.core.errors import CatalogError, ExecutionError, TypeMismatchError
+from repro.model.objects import MoodObject
+from repro.storage.oid import NULL_OID, OID
+
+
+def test_new_object_validates_and_fills_nulls(db):
+    obj = db.new_object("Employee", {"ssno": 1, "name": "Ada"})
+    assert obj.state == {"ssno": 1, "name": "Ada", "age": None}
+    assert db.get(obj.oid).state == obj.state
+
+
+def test_new_object_rejects_bad_types(db):
+    with pytest.raises(TypeMismatchError):
+        db.new_object("Employee", {"ssno": "not an int"})
+    with pytest.raises(TypeMismatchError):
+        db.new_object("Employee", {"bogus": 1})
+
+
+def test_new_object_of_type_rejected(db):
+    db.execute("CREATE TYPE Pt TUPLE (x Integer)")
+    with pytest.raises(CatalogError):
+        db.new_object("Pt", {"x": 1})
+
+
+def test_object_references_stored_as_oids(db):
+    president = db.new_object("Employee", {"ssno": 9, "name": "P", "age": 50})
+    company = db.new_object("Company", {
+        "name": "Initech", "location": "Austin", "president": president,
+    })
+    stored = db.get(company.oid)
+    assert stored.state["president"] == president.oid
+
+
+def test_deref_unknown_oid(db):
+    with pytest.raises(ExecutionError):
+        db.get(OID(1, 99999, 0))
+
+
+def test_update_object(db):
+    obj = db.new_object("Employee", {"ssno": 2, "name": "B", "age": 30})
+    obj.set("age", 31)
+    db.save(obj)
+    assert db.get(obj.oid).state["age"] == 31
+
+
+def test_update_validates(db):
+    obj = db.new_object("Employee", {"ssno": 3, "name": "C", "age": 20})
+    obj.set("age", "not an int")
+    with pytest.raises(TypeMismatchError):
+        db.save(obj)
+
+
+def test_delete_object(db):
+    obj = db.new_object("Employee", {"ssno": 4, "name": "D"})
+    db.delete(obj.oid)
+    with pytest.raises(Exception):
+        db.get(obj.oid)
+
+
+def test_shallow_vs_deep_extent(db):
+    objects = db.kernel.objects
+    shallow = list(objects.iter_extent("Vehicle", deep=False))
+    deep = list(objects.iter_extent("Vehicle", deep=True))
+    assert len(deep) == 60
+    assert len(shallow) < len(deep)
+    assert {o.class_name for o in deep} == {
+        "Vehicle", "Automobile", "JapaneseAuto",
+    }
+
+
+def test_extent_include_filter(db):
+    objects = db.kernel.objects
+    only_autos = list(objects.iter_extent("Vehicle", include=("Automobile",)))
+    assert all(o.class_name == "Automobile" for o in only_autos)
+
+
+def test_counts_and_pages(db):
+    objects = db.kernel.objects
+    assert objects.count("Vehicle", deep=True) == 60
+    assert objects.count("Company") == 600
+    assert objects.nbpages("Company") >= 1
+
+
+def test_objectstore_protocol_for_algebra(db):
+    """ObjectManager satisfies the algebra's store protocol."""
+    from repro.algebra.collection_ops import select
+    from repro.algebra.collections import Extent
+
+    objects = db.kernel.objects
+    extent = Extent("VehicleEngine", objects.extent("VehicleEngine"))
+    result = select(extent, lambda o: o.state["cylinders"] == 2, objects)
+    assert all(o.state["cylinders"] == 2 for o in result)
+
+
+def test_io_charged_for_object_access(db):
+    db.kernel.storage.buffer.flush_all()
+    db.kernel.storage.buffer.drop_all()  # force real page reads
+    probe = db.io_probe()
+    engines = db.extent("VehicleEngine")
+    delta = db.io_since(probe)
+    assert delta.page_reads >= 1
+    db.kernel.storage.buffer.flush_all()
+    db.kernel.storage.buffer.drop_all()
+    probe = db.io_probe()
+    db.get(engines[0].oid)
+    delta = db.io_since(probe)
+    assert delta.random_reads >= 1

@@ -1,0 +1,147 @@
+"""Tests for path indexes (Section 3.2's third index family)."""
+
+import pytest
+
+from repro.core.errors import CatalogError
+
+
+@pytest.fixture
+def indexed_db(db):
+    db.execute(
+        "CREATE INDEX cyl_path ON Vehicle (drivetrain.engine.cylinders)"
+    )
+    return db
+
+
+def naive(db, cylinders):
+    result = []
+    for vehicle in db.extent("Vehicle"):
+        drivetrain = db.get(vehicle.state["drivetrain"])
+        engine = db.get(drivetrain.state["engine"])
+        if engine.state["cylinders"] == cylinders:
+            result.append(vehicle.oid)
+    return sorted(result)
+
+
+def test_create_via_sql_registers_path_kind(indexed_db):
+    info = indexed_db.kernel.catalog.index_info("cyl_path")
+    assert info.kind == "path"
+    assert info.attribute == "drivetrain.engine.cylinders"
+    path_index = indexed_db.kernel.indexes.path_indexes["cyl_path"]
+    assert path_index.path_attrs == ("drivetrain", "engine", "cylinders")
+    assert len(path_index.tree) == 60  # one entry per vehicle
+
+
+def test_probe_matches_naive(indexed_db):
+    path_index = indexed_db.kernel.indexes.path_indexes["cyl_path"]
+    assert sorted(path_index.tree.search(2)) == naive(indexed_db, 2)
+
+
+def test_planner_uses_path_index(indexed_db):
+    result = indexed_db.query(
+        "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
+    )
+    rendered = result.plan.render()
+    assert "INDSEL" in rendered
+    assert "cyl_path[path]" in rendered
+    assert "JOIN" not in rendered  # the whole chain collapsed
+    assert sorted(o.oid for (o,) in result.rows) == naive(indexed_db, 2)
+
+
+def test_path_index_range_probe(indexed_db):
+    result = indexed_db.query(
+        "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders > 28"
+    )
+    expected = sorted(
+        v.oid for v in indexed_db.extent("Vehicle")
+        if indexed_db.get(
+            indexed_db.get(v.state["drivetrain"]).state["engine"]
+        ).state["cylinders"] > 28
+    )
+    assert sorted(o.oid for (o,) in result.rows) == expected
+    assert "INDSEL" in result.plan.render()
+
+
+def test_without_index_plan_still_chains(db):
+    result = db.query(
+        "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
+    )
+    assert "JOIN" in result.plan.render()
+
+
+def test_head_maintenance_insert_update_delete(indexed_db):
+    db = indexed_db
+    path_index = db.kernel.indexes.path_indexes["cyl_path"]
+    drivetrains = db.extent("VehicleDriveTrain")
+    target_dt = next(
+        d for d in drivetrains
+        if db.get(d.state["engine"]).state["cylinders"] == 2
+    )
+    vehicle = db.new_object("Vehicle", {
+        "id": 7777, "weight": 999, "drivetrain": target_dt,
+    })
+    assert vehicle.oid in path_index.tree.search(2)
+    # Update the head's reference away.
+    other_dt = next(
+        d for d in drivetrains
+        if db.get(d.state["engine"]).state["cylinders"] != 2
+    )
+    vehicle.state["drivetrain"] = other_dt.oid
+    db.save(vehicle)
+    assert vehicle.oid not in path_index.tree.search(2)
+    db.delete(vehicle.oid)
+    new_cyl = db.get(other_dt.state["engine"]).state["cylinders"]
+    assert vehicle.oid not in path_index.tree.search(new_cyl)
+
+
+def test_interior_mutation_verified_and_rebuildable(indexed_db):
+    """Interior changes strand entries; the probe's verification filters
+    the false positive, and rebuild refreshes the structure."""
+    db = indexed_db
+    engines_with_2 = [
+        e for e in db.extent("VehicleEngine") if e.state["cylinders"] == 2
+    ]
+    victim = engines_with_2[0]
+    victim.state["cylinders"] = 30
+    db.save(victim)   # interior class: the path index is now stale
+    result = db.query(
+        "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
+    )
+    assert sorted(o.oid for (o,) in result.rows) == naive(db, 2)
+    db.kernel.indexes.rebuild_path_index("cyl_path")
+    path_index = db.kernel.indexes.path_indexes["cyl_path"]
+    assert sorted(path_index.tree.search(2)) == naive(db, 2)
+
+
+def test_invalid_path_rejected(db):
+    with pytest.raises(CatalogError):
+        db.execute("CREATE INDEX bad ON Vehicle (weight.engine)")
+    with pytest.raises(CatalogError):
+        db.execute("CREATE INDEX bad2 ON Vehicle (drivetrain.engine)")
+    with pytest.raises(CatalogError):
+        db.kernel.indexes.create_path_index("bad3", "Vehicle", ("weight",))
+
+
+def test_drop_path_index(indexed_db):
+    indexed_db.execute("DROP INDEX cyl_path")
+    assert "cyl_path" not in indexed_db.kernel.indexes.path_indexes
+    result = indexed_db.query(
+        "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
+    )
+    assert "INDSEL" not in result.plan.render()
+
+
+def test_subclass_heads_are_indexed(indexed_db):
+    """The index covers the deep extent: JapaneseAuto instances probe too."""
+    result = indexed_db.query(
+        "SELECT c FROM JapaneseAuto c "
+        "WHERE c.drivetrain.engine.cylinders = 2"
+    )
+    expected = sorted(
+        v.oid for v in indexed_db.kernel.objects.iter_extent(
+            "Vehicle", include=("JapaneseAuto",))
+        if indexed_db.get(
+            indexed_db.get(v.state["drivetrain"]).state["engine"]
+        ).state["cylinders"] == 2
+    )
+    assert sorted(o.oid for (o,) in result.rows) == expected

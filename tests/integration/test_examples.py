@@ -1,0 +1,29 @@
+"""Every shipped example runs to completion (subprocess smoke tests)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()  # every example narrates its run
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "vehicle_company", "dynamic_methods",
+            "spatial_fleet", "moodview_tour", "crash_recovery"} <= names

@@ -1,0 +1,113 @@
+"""Tests for MoodObject and deep equality."""
+
+from repro.model.objects import MoodObject, deep_equal, shallow_equal
+from repro.storage.oid import NULL_OID, OID
+
+
+def make_resolver(objects):
+    table = {obj.oid: obj for obj in objects}
+    return lambda oid: table[oid]
+
+
+def test_object_basics():
+    obj = MoodObject(OID(1, 0, 0), "Vehicle", {"id": 1, "weight": 900})
+    assert obj.get("weight") == 900
+    obj.set("weight", 950)
+    assert obj.get("weight") == 950
+    assert obj.get("missing") is None
+    assert str(obj) == "Vehicle[1.0.0]"
+
+
+def test_copy_value_is_deep():
+    obj = MoodObject(OID(1, 0, 0), "C", {"xs": [1, 2]})
+    value = obj.copy_value()
+    value["xs"].append(3)
+    assert obj.get("xs") == [1, 2]
+
+
+def test_shallow_equal():
+    a = MoodObject(OID(1, 0, 0), "C", {"x": 1})
+    b = MoodObject(OID(1, 0, 1), "C", {"x": 1})
+    c = MoodObject(OID(1, 0, 2), "C", {"x": 2})
+    assert shallow_equal(a, b)
+    assert not shallow_equal(a, c)
+    d = MoodObject(OID(1, 0, 3), "D", {"x": 1})
+    assert not shallow_equal(a, d)
+
+
+def test_deep_equal_follows_references():
+    engine1 = MoodObject(OID(1, 1, 0), "Engine", {"cyl": 6})
+    engine2 = MoodObject(OID(1, 1, 1), "Engine", {"cyl": 6})
+    car1 = MoodObject(OID(1, 2, 0), "Car", {"engine": engine1.oid})
+    car2 = MoodObject(OID(1, 2, 1), "Car", {"engine": engine2.oid})
+    resolve = make_resolver([engine1, engine2, car1, car2])
+    assert deep_equal(car1, car2, resolve)
+    engine2.set("cyl", 8)
+    assert not deep_equal(car1, car2, resolve)
+
+
+def test_deep_equal_same_reference_short_circuits():
+    engine = MoodObject(OID(1, 1, 0), "Engine", {"cyl": 6})
+    car1 = MoodObject(OID(1, 2, 0), "Car", {"engine": engine.oid})
+    car2 = MoodObject(OID(1, 2, 1), "Car", {"engine": engine.oid})
+    resolve = make_resolver([engine, car1, car2])
+    assert deep_equal(car1, car2, resolve)
+
+
+def test_deep_equal_null_references():
+    a = MoodObject(OID(1, 0, 0), "C", {"ref": NULL_OID})
+    b = MoodObject(OID(1, 0, 1), "C", {"ref": NULL_OID})
+    c = MoodObject(OID(1, 0, 2), "C", {"ref": OID(1, 9, 9)})
+    target = MoodObject(OID(1, 9, 9), "C", {"ref": NULL_OID})
+    resolve = make_resolver([a, b, c, target])
+    assert deep_equal(a, b, resolve)
+    assert not deep_equal(a, c, resolve)
+
+
+def test_deep_equal_cyclic_structures():
+    a1 = MoodObject(OID(1, 0, 0), "Node", {})
+    a2 = MoodObject(OID(1, 0, 1), "Node", {})
+    a1.set("next", a2.oid)
+    a2.set("next", a1.oid)
+    b1 = MoodObject(OID(1, 1, 0), "Node", {})
+    b2 = MoodObject(OID(1, 1, 1), "Node", {})
+    b1.set("next", b2.oid)
+    b2.set("next", b1.oid)
+    resolve = make_resolver([a1, a2, b1, b2])
+    assert deep_equal(a1, b1, resolve)
+
+
+def test_deep_equal_collections_of_references():
+    e1 = MoodObject(OID(1, 1, 0), "E", {"v": 1})
+    e2 = MoodObject(OID(1, 1, 1), "E", {"v": 2})
+    f1 = MoodObject(OID(1, 2, 0), "E", {"v": 1})
+    f2 = MoodObject(OID(1, 2, 1), "E", {"v": 2})
+    a = MoodObject(OID(1, 3, 0), "C", {"kids": {e1.oid, e2.oid}})
+    b = MoodObject(OID(1, 3, 1), "C", {"kids": {f2.oid, f1.oid}})
+    resolve = make_resolver([e1, e2, f1, f2, a, b])
+    assert deep_equal(a, b, resolve)
+    f2.set("v", 99)
+    assert not deep_equal(a, b, resolve)
+
+
+def test_deep_equal_lists_respect_order():
+    e1 = MoodObject(OID(1, 1, 0), "E", {"v": 1})
+    e2 = MoodObject(OID(1, 1, 1), "E", {"v": 2})
+    a = MoodObject(OID(1, 3, 0), "C", {"kids": [e1.oid, e2.oid]})
+    b = MoodObject(OID(1, 3, 1), "C", {"kids": [e2.oid, e1.oid]})
+    resolve = make_resolver([e1, e2, a, b])
+    assert not deep_equal(a, b, resolve)
+
+
+def test_deep_equal_numeric_tolerance_of_types():
+    a = MoodObject(OID(1, 0, 0), "C", {"x": 1})
+    b = MoodObject(OID(1, 0, 1), "C", {"x": 1.0})
+    resolve = make_resolver([a, b])
+    assert deep_equal(a, b, resolve)  # int/float compare by value
+
+
+def test_deep_equal_different_classes():
+    a = MoodObject(OID(1, 0, 0), "C", {})
+    b = MoodObject(OID(1, 0, 1), "D", {})
+    resolve = make_resolver([a, b])
+    assert not deep_equal(a, b, resolve)

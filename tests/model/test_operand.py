@@ -1,0 +1,183 @@
+"""Tests for OperandDataType: run-time typed expression interpretation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import TypeMismatchError
+from repro.model.operand import DType, OperandDataType
+
+
+def op(dtype, value):
+    return OperandDataType(dtype, value)
+
+
+def test_paper_example():
+    """Section 2: z = (x*3 + x%3) * (y/4*5) with x INT16=10, y INT32=13."""
+    x = op(DType.INT16, 10)
+    y = op(DType.INT32, 13)
+    z = ((x * 3 + x % 3) * (y / 4 * 5)).cast(DType.DOUBLE)
+    # (30 + 1) * (3*5) = 31*15 = 465, cast to double.
+    assert z.dtype is DType.DOUBLE
+    assert z.value == pytest.approx(465.0)
+
+
+def test_promotion_int16_plus_int32():
+    result = op(DType.INT16, 5) + op(DType.INT32, 7)
+    assert result.dtype is DType.INT32
+    assert result.value == 12
+
+
+def test_promotion_to_double():
+    result = op(DType.INT32, 3) * op(DType.DOUBLE, 0.5)
+    assert result.dtype is DType.DOUBLE
+    assert result.value == pytest.approx(1.5)
+
+
+def test_int16_wraps():
+    result = op(DType.INT16, 30000) + op(DType.INT16, 30000)
+    assert result.dtype is DType.INT16
+    assert result.value == 60000 - 65536
+
+
+def test_construction_wraps_out_of_range():
+    assert op(DType.INT16, 65536).value == 0
+    assert op(DType.INT16, 32768).value == -32768
+
+
+def test_integer_division_truncates_toward_zero():
+    assert (op(DType.INT32, 7) / op(DType.INT32, 2)).value == 3
+    assert (op(DType.INT32, -7) / op(DType.INT32, 2)).value == -3
+
+
+def test_float_division():
+    result = op(DType.INT32, 7) / op(DType.DOUBLE, 2.0)
+    assert result.value == pytest.approx(3.5)
+
+
+def test_mod_c_semantics():
+    assert (op(DType.INT32, 7) % op(DType.INT32, 3)).value == 1
+    assert (op(DType.INT32, -7) % op(DType.INT32, 3)).value == -1  # sign of dividend
+
+
+def test_mod_requires_integers():
+    with pytest.raises(TypeMismatchError):
+        op(DType.DOUBLE, 7.0) % op(DType.INT32, 3)
+
+
+def test_division_by_zero():
+    with pytest.raises(TypeMismatchError):
+        op(DType.INT32, 1) / op(DType.INT32, 0)
+    with pytest.raises(TypeMismatchError):
+        op(DType.INT32, 1) % op(DType.INT32, 0)
+
+
+def test_string_concatenation_only():
+    result = op(DType.STRING, "MOOD") + op(DType.STRING, "SQL")
+    assert result.value == "MOODSQL"
+    with pytest.raises(TypeMismatchError):
+        op(DType.STRING, "a") + op(DType.INT32, 1)
+    with pytest.raises(TypeMismatchError):
+        op(DType.STRING, "a") * op(DType.STRING, "b")
+
+
+def test_comparisons():
+    assert (op(DType.INT32, 4) < op(DType.INT32, 5)).value is True
+    assert (op(DType.INT16, 4) >= op(DType.DOUBLE, 4.0)).value is True
+    assert op(DType.STRING, "abc").eq(op(DType.STRING, "abc")).value is True
+    assert op(DType.STRING, "abc").ne(op(DType.STRING, "abd")).value is True
+    with pytest.raises(TypeMismatchError):
+        op(DType.STRING, "abc").eq(op(DType.INT32, 1))
+
+
+def test_boolean_connectives():
+    true = op(DType.BOOL, True)
+    false = op(DType.BOOL, False)
+    assert (true & false).value is False
+    assert (true | false).value is True
+    assert (~true).value is False
+    assert bool(true) is True
+    with pytest.raises(TypeMismatchError):
+        true & op(DType.INT32, 1)
+    with pytest.raises(TypeMismatchError):
+        bool(op(DType.INT32, 1))
+
+
+def test_cast_rules():
+    assert op(DType.DOUBLE, 3.7).cast(DType.INT32).value == 3
+    assert op(DType.INT32, 1).cast(DType.BOOL).value is True
+    with pytest.raises(TypeMismatchError):
+        op(DType.INT32, 1).cast(DType.STRING)
+    with pytest.raises(TypeMismatchError):
+        op(DType.STRING, "1").cast(DType.INT32)
+
+
+def test_of_inference():
+    assert OperandDataType.of(True).dtype is DType.BOOL
+    assert OperandDataType.of(5).dtype is DType.INT32
+    assert OperandDataType.of(2**40).dtype is DType.INT64
+    assert OperandDataType.of(1.5).dtype is DType.DOUBLE
+    assert OperandDataType.of("x").dtype is DType.STRING
+    with pytest.raises(TypeMismatchError):
+        OperandDataType.of(object())
+
+
+def test_construction_type_checks():
+    with pytest.raises(TypeMismatchError):
+        op(DType.INT32, "nope")
+    with pytest.raises(TypeMismatchError):
+        op(DType.BOOL, 1)
+    with pytest.raises(TypeMismatchError):
+        op(DType.STRING, 1)
+
+
+def test_mixing_plain_python_values():
+    result = op(DType.INT16, 10) * 3 + 1
+    assert result.value == 31
+    result = 2 + op(DType.INT16, 1)
+    assert result.value == 3
+
+
+def test_unary_minus():
+    assert (-op(DType.INT32, 5)).value == -5
+    assert (-op(DType.DOUBLE, 2.5)).value == pytest.approx(-2.5)
+    with pytest.raises(TypeMismatchError):
+        -op(DType.STRING, "x")
+
+
+def test_char_arithmetic_promotes():
+    result = op(DType.CHAR, 65) + op(DType.CHAR, 1)
+    assert result.dtype is DType.INT16
+    assert result.value == 66
+
+
+small_ints = st.integers(-(2**15), 2**15 - 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(small_ints, small_ints)
+def test_property_int32_arithmetic_matches_python(a, b):
+    """For in-range operands, INT32 +,-,* agree with Python ints."""
+    x, y = op(DType.INT32, a), op(DType.INT32, b)
+    assert (x + y).value == a + b
+    assert (x - y).value == a - b
+    assert (x * y).value == a * b
+
+
+@settings(max_examples=100, deadline=None)
+@given(small_ints, small_ints.filter(lambda v: v != 0))
+def test_property_div_mod_identity(a, b):
+    """C++ identity: (a/b)*b + a%b == a."""
+    x, y = op(DType.INT32, a), op(DType.INT32, b)
+    q = (x / y).value
+    r = (x % y).value
+    assert q * b + r == a
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(), st.sampled_from([DType.CHAR, DType.INT16, DType.INT32]))
+def test_property_wrapping_stays_in_range(value, dtype):
+    width = {DType.CHAR: 8, DType.INT16: 16, DType.INT32: 32}[dtype]
+    wrapped = op(dtype, value).value
+    assert -(2 ** (width - 1)) <= wrapped < 2 ** (width - 1)
+    assert (wrapped - value) % (2**width) == 0

@@ -1,0 +1,96 @@
+"""Tests for value serialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SerdeError
+from repro.model.serde import decode, encode
+from repro.storage.oid import OID
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**40,
+        -(2**40),
+        0.0,
+        3.1415,
+        -2.5e300,
+        "",
+        "x",
+        "a longer string with ünïcode",
+        OID(1, 2, 3),
+        {},
+        {"name": "BMW", "location": None},
+        {"nested": {"a": 1, "b": [1, 2, 3]}},
+        [],
+        [1, "two", 3.0, None],
+        set(),
+        {1, 2, 3},
+        {OID(1, 0, 0), OID(1, 0, 1)},
+        {"refs": [OID(1, 1, 1)], "tags": {"a", "b"}},
+    ],
+)
+def test_roundtrip(value):
+    assert decode(encode(value)) == value
+
+
+def test_char_is_distinguishable_roundtrip():
+    assert decode(encode("A")) == "A"
+
+
+def test_set_encoding_is_deterministic():
+    assert encode({3, 1, 2}) == encode({2, 3, 1})
+
+
+def test_unserialisable_rejected():
+    with pytest.raises(SerdeError):
+        encode(object())
+    with pytest.raises(SerdeError):
+        encode({1: "non-string key"})
+
+
+def test_integer_overflow_rejected():
+    with pytest.raises(SerdeError):
+        encode(2**64)
+
+
+def test_truncated_rejected():
+    data = encode({"a": 1})
+    with pytest.raises(SerdeError):
+        decode(data[:-1])
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SerdeError):
+        decode(encode(1) + b"\x00")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(SerdeError):
+        decode(b"\xfe")
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(2**63), 2**63 - 1)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.builds(OID, st.integers(0, 10), st.integers(0, 100), st.integers(0, 50)),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(json_like)
+def test_property_roundtrip(value):
+    assert decode(encode(value)) == value

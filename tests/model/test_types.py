@@ -1,0 +1,175 @@
+"""Tests for the MOOD type system and registry."""
+
+import pytest
+
+from repro.core.errors import TypeMismatchError, UnknownTypeError
+from repro.model.types import (
+    BOOLEAN,
+    CHAR,
+    FLOAT,
+    INTEGER,
+    LONGINTEGER,
+    STRING,
+    ListType,
+    RefType,
+    SetType,
+    StringType,
+    TupleType,
+    TypeRegistry,
+    is_atomic,
+    is_reference_like,
+    referenced_class,
+)
+from repro.storage.oid import NULL_OID, OID
+
+
+def test_basic_type_names():
+    assert INTEGER.name == "Integer"
+    assert LONGINTEGER.name == "LongInteger"
+    assert FLOAT.name == "Float"
+    assert STRING.name == "String"
+    assert CHAR.name == "Char"
+    assert BOOLEAN.name == "Boolean"
+
+
+def test_integer_validation():
+    assert INTEGER.validate(42) == 42
+    assert INTEGER.validate(None) is None
+    with pytest.raises(TypeMismatchError):
+        INTEGER.validate("42")
+    with pytest.raises(TypeMismatchError):
+        INTEGER.validate(True)  # Boolean is not an Integer
+    with pytest.raises(TypeMismatchError):
+        INTEGER.validate(2**31)
+
+
+def test_longinteger_accepts_wider_range():
+    assert LONGINTEGER.validate(2**40) == 2**40
+    with pytest.raises(TypeMismatchError):
+        LONGINTEGER.validate(2**63)
+
+
+def test_float_coerces_ints():
+    assert FLOAT.validate(3) == 3.0
+    assert isinstance(FLOAT.validate(3), float)
+    with pytest.raises(TypeMismatchError):
+        FLOAT.validate("3.0")
+
+
+def test_bounded_string():
+    bounded = StringType(5)
+    assert bounded.name == "String(5)"
+    assert bounded.validate("abcde") == "abcde"
+    with pytest.raises(TypeMismatchError):
+        bounded.validate("abcdef")
+
+
+def test_char_requires_single_character():
+    assert CHAR.validate("x") == "x"
+    with pytest.raises(TypeMismatchError):
+        CHAR.validate("xy")
+    with pytest.raises(TypeMismatchError):
+        CHAR.validate("")
+
+
+def test_boolean():
+    assert BOOLEAN.validate(True) is True
+    with pytest.raises(TypeMismatchError):
+        BOOLEAN.validate(1)
+
+
+def test_tuple_type():
+    vehicle = TupleType((("id", INTEGER), ("weight", INTEGER)))
+    assert vehicle.name == "Tuple(id Integer, weight Integer)"
+    value = vehicle.validate({"id": 1, "weight": 1200})
+    assert value == {"id": 1, "weight": 1200}
+    # Missing fields become null.
+    assert vehicle.validate({"id": 2}) == {"id": 2, "weight": None}
+    with pytest.raises(TypeMismatchError):
+        vehicle.validate({"id": 1, "bogus": 2})
+    with pytest.raises(TypeMismatchError):
+        vehicle.validate({"id": "not an int"})
+    assert vehicle.field_type("weight") is INTEGER
+    with pytest.raises(TypeMismatchError):
+        vehicle.field_type("nope")
+
+
+def test_tuple_duplicate_fields_rejected():
+    with pytest.raises(TypeMismatchError):
+        TupleType((("a", INTEGER), ("a", FLOAT)))
+
+
+def test_set_and_list_types():
+    ints = SetType(INTEGER)
+    assert ints.name == "Set(Integer)"
+    assert ints.validate([1, 2, 2, 3]) == {1, 2, 3}
+    seq = ListType(STRING)
+    assert seq.validate(("a", "b")) == ["a", "b"]
+    with pytest.raises(TypeMismatchError):
+        seq.validate(["a", 1])
+
+
+def test_reference_type():
+    ref = RefType("Company")
+    assert ref.name == "Reference(Company)"
+    oid = OID(1, 2, 3)
+    assert ref.validate(oid) == oid
+    assert ref.default() == NULL_OID
+    with pytest.raises(TypeMismatchError):
+        ref.validate(123)
+
+
+def test_recursive_construction():
+    """'A complex type may be created by ... recursive application'."""
+    nested = ListType(SetType(RefType("Employee")))
+    assert nested.name == "List(Set(Reference(Employee)))"
+    oid = OID(1, 1, 1)
+    assert nested.validate([[oid], []]) == [{oid}, set()]
+
+
+def test_atomic_and_reference_classification():
+    assert is_atomic(INTEGER)
+    assert is_atomic(StringType(32))
+    assert not is_atomic(RefType("X"))
+    assert not is_atomic(SetType(INTEGER))
+    assert is_reference_like(RefType("X"))
+    assert is_reference_like(SetType(RefType("X")))
+    assert not is_reference_like(SetType(INTEGER))
+    assert referenced_class(SetType(RefType("Engine"))) == "Engine"
+    assert referenced_class(INTEGER) is None
+
+
+def test_defaults():
+    assert INTEGER.default() == 0
+    assert STRING.default() == ""
+    assert SetType(INTEGER).default() == set()
+    tuple_type = TupleType((("x", INTEGER),))
+    assert tuple_type.default() == {"x": 0}
+
+
+def test_registry_basics():
+    registry = TypeRegistry()
+    int_id = registry.type_id("Integer")
+    assert registry.type_name(int_id) == "Integer"
+    assert registry.type_by_name("Integer") is INTEGER
+    with pytest.raises(UnknownTypeError):
+        registry.type_id("Nope")
+    with pytest.raises(UnknownTypeError):
+        registry.type_by_id(9999)
+
+
+def test_registry_assigns_fresh_ids():
+    registry = TypeRegistry()
+    set_id = registry.register(SetType(INTEGER))
+    assert registry.type_name(set_id) == "Set(Integer)"
+    # Registration is idempotent per name.
+    assert registry.register(SetType(INTEGER)) == set_id
+
+
+def test_registry_named_registration():
+    registry = TypeRegistry()
+    vehicle = TupleType((("id", INTEGER),))
+    vid = registry.register(vehicle, name="Vehicle")
+    assert registry.type_id("Vehicle") == vid
+    assert registry.type_by_name("Vehicle") is vehicle
+    assert registry.type_name(vid) == "Vehicle"

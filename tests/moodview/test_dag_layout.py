@@ -1,0 +1,107 @@
+"""Tests for the DAG placement algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moodview.dag_layout import (
+    assign_layers,
+    count_crossings,
+    layout,
+    minimize_crossings,
+    render,
+)
+
+
+def test_layering_by_longest_path():
+    nodes = ["A", "B", "C", "D"]
+    edges = [("A", "B"), ("B", "C"), ("A", "D"), ("C", "D")]
+    layers = assign_layers(nodes, edges)
+    assert layers == [["A"], ["B"], ["C"], ["D"]]  # D below its deepest parent
+
+
+def test_roots_share_layer_zero():
+    layers = assign_layers(["X", "Y", "Z"], [("X", "Z")])
+    assert layers[0] == ["X", "Y"]
+    assert layers[1] == ["Z"]
+
+
+def test_cycle_detected():
+    with pytest.raises(ValueError):
+        assign_layers(["A", "B"], [("A", "B"), ("B", "A")])
+
+
+def test_count_crossings():
+    # Two parallel edges: no crossing; swapped: one crossing.
+    layers = [["A", "B"], ["C", "D"]]
+    straight = [("A", "C"), ("B", "D")]
+    crossed = [("A", "D"), ("B", "C")]
+    assert count_crossings(layers, straight) == 0
+    assert count_crossings(layers, crossed) == 1
+
+
+def test_minimize_crossings_fixes_crossed_pair():
+    layers = [["A", "B"], ["D", "C"]]
+    edges = [("A", "C"), ("B", "D")]
+    assert count_crossings(layers, edges) == 1
+    improved = minimize_crossings(layers, edges)
+    assert count_crossings(improved, edges) == 0
+
+
+def test_layout_positions_consistent():
+    nodes = ["A", "B", "C"]
+    edges = [("A", "B"), ("A", "C")]
+    result = layout(nodes, edges)
+    assert set(result.positions) == set(nodes)
+    for node, (layer, column) in result.positions.items():
+        assert result.layers[layer][column] == node
+
+
+def test_render_contains_all_nodes():
+    nodes = ["Vehicle", "Automobile", "JapaneseAuto"]
+    edges = [("Vehicle", "Automobile"), ("Automobile", "JapaneseAuto")]
+    drawing = render(nodes, edges)
+    for node in nodes:
+        assert f"| {node} |" in drawing
+    edge_row = drawing.splitlines()[3]
+    assert any(glyph in edge_row for glyph in ("|", "/", "\\"))
+
+
+def test_render_empty():
+    assert render([], []) == "(empty schema)"
+
+
+def test_render_multiple_inheritance():
+    nodes = ["A", "B", "C"]
+    edges = [("A", "C"), ("B", "C")]
+    drawing = render(nodes, edges)
+    assert "| C |" in drawing
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 8), st.data())
+def test_property_minimization_never_hurts(num_nodes, data):
+    nodes = [f"N{i}" for i in range(num_nodes)]
+    edges = []
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if data.draw(st.booleans()):
+                edges.append((nodes[i], nodes[j]))
+    layers = assign_layers(nodes, edges)
+    before = count_crossings(layers, edges)
+    after = count_crossings(minimize_crossings(layers, edges), edges)
+    assert after <= before
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 7), st.data())
+def test_property_layers_respect_edges(num_nodes, data):
+    nodes = [f"N{i}" for i in range(num_nodes)]
+    edges = []
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if data.draw(st.booleans()):
+                edges.append((nodes[i], nodes[j]))
+    result = layout(nodes, edges)
+    for parent, child in edges:
+        assert result.positions[parent][0] < result.positions[child][0]

@@ -1,0 +1,266 @@
+"""Tests for the MoodView tools."""
+
+import pytest
+
+from repro.bench.paperdb import build_paper_database
+from repro.core.database import MoodDatabase
+from repro.core.errors import MoodError, TypeMismatchError
+from repro.moodview import MoodView
+from repro.storage.rtree import Rect
+
+
+@pytest.fixture
+def view():
+    db = MoodDatabase(buffer_capacity=256)
+    build_paper_database(db, scale=40, seed=3)
+    return db, MoodView(db.kernel)
+
+
+def test_initial_window_lists_tools(view):
+    _, mv = view
+    window = mv.initial_window()
+    for tool in ("Schema Browser", "Query Manager", "Spatial Tool"):
+        assert tool in window
+
+
+def test_hierarchy_drawing(view):
+    _, mv = view
+    drawing = mv.schema_browser.hierarchy_drawing()
+    assert "| Vehicle |" in drawing
+    assert "| JapaneseAuto |" in drawing
+    # Vehicle is drawn above its subclasses.
+    assert drawing.index("Vehicle") < drawing.index("JapaneseAuto")
+    assert mv.schema_browser.crossings() == 0
+
+
+def test_class_presentation(view):
+    _, mv = view
+    card = mv.schema_browser.class_presentation("JapaneseAuto")
+    assert "Type Name : JapaneseAuto" in card
+    assert "Superclasses: Automobile" in card
+    assert "(from Vehicle)" in card
+    assert "lbweight" in card
+
+
+def test_attribute_table(view):
+    _, mv = view
+    table = mv.schema_browser.attribute_table("Vehicle")
+    assert "FIELD NAME" in table
+    assert "drivetrain" in table
+
+
+def test_class_designer_issues_sql(view):
+    db, mv = view
+    mv.class_designer.create_class(
+        "Garage", [("capacity", "Integer")],
+    )
+    assert db.kernel.catalog.has_class("Garage")
+    mv.class_designer.add_attribute("Garage", "city", "String(16)")
+    mv.class_designer.rename_attribute("Garage", "city", "town")
+    assert db.kernel.catalog.hierarchy.has_attribute("Garage", "town")
+    mv.class_designer.drop_attribute("Garage", "town")
+    mv.class_designer.drop_class("Garage")
+    assert not db.kernel.catalog.has_class("Garage")
+    assert all(sql.startswith(("CREATE", "ALTER", "DROP"))
+               for sql in mv.class_designer.issued_sql)
+
+
+def test_method_tool_define_and_present(view):
+    db, mv = view
+    mv.method_tool.define_method(
+        "Vehicle", "tonweight", [], "Float",
+        "return self.weight / 1000.0",
+    )
+    card = mv.method_tool.method_presentation("JapaneseAuto", "tonweight")
+    assert "tonweight" in card
+    assert "Float" in card
+    assert "JapaneseAuto" in card  # applicable classes include subclasses
+    vehicle = db.extent("Vehicle")[0]
+    assert db.invoke(vehicle, "tonweight") == pytest.approx(
+        vehicle.state["weight"] / 1000.0
+    )
+    mv.method_tool.drop_method("Vehicle", "tonweight")
+
+
+def test_object_browser_presentation(view):
+    db, mv = view
+    vehicle = db.extent("Vehicle")[0]
+    text = mv.object_browser.present(vehicle)
+    assert f"oid={vehicle.oid}" in text
+    assert "drivetrain" in text
+    assert "[VehicleDriveTrain]" in text  # reference followed
+    assert "[VehicleEngine]" in text      # two levels deep
+
+
+def test_object_browser_depth_limit(view):
+    db, mv = view
+    vehicle = db.extent("Vehicle")[0]
+    shallow = mv.object_browser.present(vehicle, depth=0)
+    assert "[VehicleDriveTrain]" not in shallow
+    assert "->" in shallow
+
+
+def test_object_browser_cycle_guard(view):
+    db, mv = view
+    db.execute("CREATE CLASS Node TUPLE (next Reference(Node))")
+    a = db.new_object("Node", {})
+    b = db.new_object("Node", {"next": a.oid})
+    a.state["next"] = b.oid
+    db.save(a)
+    text = mv.object_browser.present(db.get(a.oid), depth=5)
+    assert "(already shown)" in text
+
+
+def test_object_browser_update_with_type_check(view):
+    db, mv = view
+    vehicle = db.extent("Vehicle")[0]
+    mv.object_browser.update_attribute(vehicle, "weight", 1234)
+    assert db.get(vehicle.oid).state["weight"] == 1234
+    with pytest.raises(TypeMismatchError):
+        mv.object_browser.update_attribute(vehicle, "weight", "heavy")
+
+
+def test_object_browser_copy_paste(view):
+    db, mv = view
+    first, second = db.extent("VehicleEngine")[:2]
+    mv.object_browser.copy_attribute(first, second, "cylinders")
+    assert db.get(second.oid).state["cylinders"] == \
+        first.state["cylinders"]
+
+
+def test_object_browser_method_activation(view):
+    db, mv = view
+    vehicle = db.extent("Vehicle")[0]
+    assert mv.object_browser.activate_method(vehicle, "lbweight") == \
+        int(vehicle.state["weight"] * 2.2075)
+
+
+def test_object_browser_cursor_presentation(view):
+    db, mv = view
+    result = mv.query_manager.run(
+        "SELECT e FROM VehicleEngine e WHERE e.cylinders = 2"
+    )
+    cursor = mv.object_browser.browse(result)
+    assert mv.object_browser.present_cursor(cursor) == \
+        "(cursor not positioned)"
+    cursor.next()
+    text = mv.object_browser.present_cursor(cursor)
+    assert "cylinders" in text
+    assert "Object 1 of" in text
+
+
+def test_query_manager_history(view):
+    _, mv = view
+    mv.query_manager.run("SELECT v FROM Vehicle v WHERE v.weight > 0")
+    mv.query_manager.run("SELECT e FROM VehicleEngine e")
+    assert mv.query_manager.previous(1).startswith("SELECT e")
+    assert mv.query_manager.previous(2).startswith("SELECT v")
+    rerun = mv.query_manager.rerun_previous(2)
+    assert len(rerun) == 40
+    listing = mv.query_manager.history_listing()
+    assert "SELECT e FROM VehicleEngine e" in listing
+    with pytest.raises(MoodError):
+        mv.query_manager.previous(99)
+
+
+def test_query_manager_records_failures(view):
+    _, mv = view
+    with pytest.raises(MoodError):
+        mv.query_manager.run("SELECT nonsense FROM Nowhere n")
+    assert mv.query_manager.history[-1].ok is False
+
+
+def test_query_manager_result_rendering(view):
+    _, mv = view
+    result = mv.query_manager.run(
+        "SELECT v.id, v.weight FROM Vehicle v ORDER BY v.id"
+    )
+    table = mv.query_manager.render_result(result, limit=5)
+    assert "v.id" in table
+    assert "... 35 more rows" in table
+    assert "(40 rows)" in table
+
+
+def test_admin_tool_reports(view):
+    db, mv = view
+    report = mv.admin_tool.full_report()
+    for section in ("EXTENTS", "INDEXES", "BUFFER", "I/O", "WAL",
+                    "NAMED OBJECTS"):
+        assert section in report
+    assert "Vehicle" in report
+    db.execute("CREATE INDEX vw ON Vehicle (weight)")
+    assert "vw" in mv.admin_tool.index_report()
+
+
+def test_spatial_tool(view):
+    db, mv = view
+    db.execute("CREATE CLASS City TUPLE (name String(16), x Integer, "
+               "y Integer)")
+    cities = [
+        ("Ankara", 32, 39), ("Istanbul", 29, 41), ("Izmir", 27, 38),
+        ("Antalya", 30, 36), ("Trabzon", 39, 41),
+    ]
+    for name, x, y in cities:
+        db.new_object("City", {"name": name, "x": x, "y": y})
+    mv.spatial_tool.create_spatial_index("map", "City", "x", "y")
+    west = mv.spatial_tool.window_query("map", 26, 35, 31, 42)
+    assert sorted(c.state["name"] for c in west) == [
+        "Antalya", "Istanbul", "Izmir",
+    ]
+    nearest = mv.spatial_tool.nearest("map", 33, 39, k=1)
+    assert nearest[0].state["name"] == "Ankara"
+    drawing = mv.spatial_tool.render_map("map", window=Rect(26, 35, 31, 42))
+    assert "*" in drawing
+    assert "R-tree" in drawing
+    assert "entries" in mv.spatial_tool.structure_report("map")
+
+
+def test_spatial_tool_insert_remove(view):
+    db, mv = view
+    db.execute("CREATE CLASS Pt TUPLE (x Integer, y Integer)")
+    a = db.new_object("Pt", {"x": 1, "y": 1})
+    mv.spatial_tool.create_spatial_index("pts", "Pt", "x", "y")
+    b = db.new_object("Pt", {"x": 2, "y": 2})
+    mv.spatial_tool.insert_object("pts", b)
+    assert len(mv.spatial_tool.window_query("pts", 0, 0, 3, 3)) == 2
+    assert mv.spatial_tool.remove_object("pts", a)
+    assert len(mv.spatial_tool.window_query("pts", 0, 0, 3, 3)) == 1
+
+
+def test_cpp_view_round_trip(view):
+    db, mv = view
+    source = """
+    class Depot {
+    public:
+        int capacity;
+        char city[16];
+        int free_slots();
+    };
+    int Depot::free_slots() { return self.capacity - 1 }
+    """
+    defined = mv.cpp_view.import_cpp(source)
+    assert defined == ["Depot"]
+    depot = db.new_object("Depot", {"capacity": 10, "city": "Ankara"})
+    assert db.invoke(depot, "free_slots") == 9
+    exported = mv.cpp_view.export_cpp(["Depot"])
+    assert "class Depot {" in exported
+    assert "char city[16];" in exported
+
+
+def test_text_editor(view):
+    _, mv = view
+    editor = mv.text_editor
+    editor.load("line one\nline two")
+    editor.append_line("line three")
+    editor.insert_line(1, "line zero")
+    assert editor.line(1) == "line zero"
+    assert editor.line_count() == 4
+    assert editor.search("two") == 3
+    assert editor.search("missing") is None
+    assert editor.replace_all("line", "LINE") == 4
+    editor.replace_line(4, "the end")
+    assert editor.delete_line(1) == "LINE zero"
+    screen = editor.screen()
+    assert "[modified]" in screen
+    with pytest.raises(MoodError):
+        editor.line(99)

@@ -1,0 +1,62 @@
+"""Shared fixtures: the paper's schema, statistics and a planner."""
+
+import pytest
+
+from repro.bench.paperdb import paper_statistics
+from repro.catalog.catalog import Catalog
+from repro.optimizer.planner import Planner
+from repro.storage.disk import DiskParams
+from repro.storage.manager import StorageManager
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog(StorageManager(buffer_capacity=64))
+    catalog.define_class("VehicleEngine", [
+        ("size", "Integer"), ("cylinders", "Integer"),
+    ])
+    catalog.define_class("VehicleDriveTrain", [
+        ("engine", "Reference(VehicleEngine)"),
+        ("transmission", "String(32)"),
+    ])
+    catalog.define_class("Employee", [
+        ("ssno", "Integer"), ("name", "String(32)"), ("age", "Integer"),
+    ])
+    catalog.define_class("Company", [
+        ("name", "String(32)"), ("location", "String(32)"),
+        ("president", "Reference(Employee)"),
+    ])
+    catalog.define_class("Vehicle", [
+        ("id", "Integer"), ("weight", "Integer"),
+        ("drivetrain", "Reference(VehicleDriveTrain)"),
+        ("manufacturer", "Reference(Company)"),
+    ])
+    catalog.define_class("Automobile", superclasses=["Vehicle"])
+    catalog.define_class("JapaneseAuto", superclasses=["Automobile"])
+    return catalog
+
+
+@pytest.fixture
+def stats():
+    stats = paper_statistics()
+    # Subclasses share the Vehicle statistics for planning purposes.
+    stats.set_class("Automobile", 20000, 2000, 400)
+    stats.set_class("JapaneseAuto", 4000, 400, 400)
+    for name in ("Automobile", "JapaneseAuto"):
+        stats.set_reference(name, "drivetrain", "VehicleDriveTrain",
+                            1.0, 10000)
+        stats.set_reference(name, "manufacturer", "Company", 1.0, 20000)
+    stats.set_attribute("Vehicle", "weight", 1400, 2199, 800)
+    stats.set_attribute("Vehicle", "id", 20000, 19999, 0)
+    stats.set_attribute("VehicleDriveTrain", "transmission", 4)
+    return stats
+
+
+@pytest.fixture
+def disk():
+    return DiskParams()
+
+
+@pytest.fixture
+def planner(catalog, stats, disk):
+    return Planner(catalog, stats, disk)

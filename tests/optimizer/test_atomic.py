@@ -1,0 +1,150 @@
+"""Tests for Section 8.1's atomic-selection planning (index choice)."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.cost.fileops import indcost, rndcost, seqcost
+from repro.cost.params import DatabaseStats
+from repro.optimizer.atomic import plan_atomic_selections
+from repro.optimizer.classify import ImmediatePredicate
+from repro.sql.parser import parse_expression
+from repro.storage.btree import BTreeParams
+from repro.storage.disk import DiskParams
+from repro.storage.manager import StorageManager
+
+DISK = DiskParams()
+INDEX = BTreeParams(v=64, level=3, leaves=800, keysize=8, unique=False)
+
+
+def make_catalog():
+    catalog = Catalog(StorageManager(buffer_capacity=64))
+    catalog.define_class("Reading", [
+        ("sensor", "Integer"), ("value", "Integer"), ("tag", "Integer"),
+    ])
+    return catalog
+
+
+def make_stats(card=100000, nbpages=10000):
+    stats = DatabaseStats()
+    stats.set_class("Reading", card, nbpages, 100)
+    stats.set_attribute("Reading", "sensor", 50000, 50000, 1)
+    stats.set_attribute("Reading", "value", 20000, 20000, 1)
+    stats.set_attribute("Reading", "tag", 4, 4, 1)
+    return stats
+
+
+def predicate(attr, op, constant):
+    return ImmediatePredicate(
+        "r", attr, op, constant,
+        expr=parse_expression(f"r.{attr} {op} {constant}"),
+    )
+
+
+def plan(predicates, catalog=None, stats=None):
+    return plan_atomic_selections(
+        predicates, "r", "Reading",
+        catalog or make_catalog(), stats or make_stats(), DISK,
+        btree_params_of=lambda name: INDEX,
+    )
+
+
+def test_no_predicates_means_no_access_decision():
+    result = plan([])
+    assert result.access_type == "none"
+    assert result.expected_cardinality == 100000
+
+
+def test_sequential_without_indexes():
+    result = plan([predicate("sensor", "=", 5)])
+    assert result.access_type == "sequential"
+    assert result.estimated_cost == pytest.approx(seqcost(DISK, 10000))
+    assert result.expected_cardinality == pytest.approx(100000 / 50000)
+
+
+def test_single_selective_index_chosen():
+    catalog = make_catalog()
+    catalog.define_index("r_sensor", "Reading", "sensor", "btree")
+    result = plan([predicate("sensor", "=", 5)], catalog)
+    assert result.access_type == "indexed"
+    assert len(result.chosen_indexes) == 1
+    expected = indcost(DISK, INDEX, 1) + rndcost(DISK, 2)
+    assert result.estimated_cost == pytest.approx(expected)
+
+
+def test_weak_indexed_predicate_rejected():
+    """tag has 4 distinct values: fetching a quarter of 100k objects via
+    the index loses to the sequential scan."""
+    catalog = make_catalog()
+    catalog.define_index("r_tag", "Reading", "tag", "btree")
+    result = plan([predicate("tag", "=", 1)], catalog)
+    assert result.access_type == "sequential"
+    assert result.chosen_indexes == []
+
+
+def test_multi_index_intersection_maximum_k():
+    """Section 8.1 chooses the *maximum* k satisfying the inequality:
+    with two selective indexed predicates, both probes are used and their
+    OID sets intersect."""
+    catalog = make_catalog()
+    catalog.define_index("r_sensor", "Reading", "sensor", "btree")
+    catalog.define_index("r_value", "Reading", "value", "btree")
+    result = plan([
+        predicate("sensor", "=", 5),
+        predicate("value", "=", 7),
+    ], catalog)
+    assert result.access_type == "indexed"
+    assert len(result.chosen_indexes) == 2
+    assert result.residual == []
+    assert result.combined_selectivity == pytest.approx(
+        (1 / 50000) * (1 / 20000)
+    )
+
+
+def test_residuals_sorted_by_ascending_selectivity():
+    result = plan([
+        predicate("tag", "=", 1),       # f = 1/4
+        predicate("sensor", "=", 5),    # f = 1/50000
+        predicate("value", "=", 9),     # f = 1/20000
+    ])
+    order = [p.attribute for p in result.residual]
+    assert order == ["sensor", "value", "tag"]
+
+
+def test_dictionary_entries_cover_all_predicates():
+    catalog = make_catalog()
+    catalog.define_index("r_sensor", "Reading", "sensor", "btree")
+    result = plan([
+        predicate("sensor", "=", 5),
+        predicate("tag", ">", 2),
+    ], catalog)
+    assert len(result.entries) == 2
+    by_attr = {e.predicate.left.attrs[0]: e for e in result.entries}
+    assert by_attr["sensor"].access_type == "indexed"
+    assert by_attr["tag"].access_type == "sequential"
+    assert by_attr["tag"].indexed_access_cost is None
+
+
+def test_multi_index_executes_correctly():
+    """End-to-end: the two-probe INDSEL intersects OID sets."""
+    from repro.core.database import MoodDatabase
+
+    db = MoodDatabase(buffer_capacity=64)
+    db.execute("CREATE CLASS Reading TUPLE (sensor Integer, value Integer, "
+               "padding String)")
+    pad = "x" * 150
+    for i in range(2500):
+        db.new_object("Reading", {"sensor": i % 500, "value": i % 400,
+                                  "padding": pad})
+    db.execute("CREATE INDEX rx_s ON Reading (sensor)")
+    db.execute("CREATE INDEX rx_v ON Reading (value)")
+    result = db.query(
+        "SELECT r FROM Reading r WHERE r.sensor = 123 AND r.value = 123"
+    )
+    expected = {
+        o.oid for o in db.extent("Reading")
+        if o.state["sensor"] == 123 and o.state["value"] == 123
+    }
+    assert {o.oid for (o,) in result.rows} == expected
+    rendered = result.plan.render()
+    if "INDSEL" in rendered and ";" in rendered:
+        assert "rx_s[btree]" in rendered and "rx_v[btree]" in rendered

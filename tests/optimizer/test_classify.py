@@ -1,0 +1,115 @@
+"""Tests for predicate classification (Section 7)."""
+
+from repro.optimizer.classify import classify_term, resolve_path
+from repro.sql.parser import parse_expression
+from repro.sql.rewrite import to_dnf
+
+VARS = {"v": "Vehicle", "c": "Automobile", "e": "VehicleEngine"}
+
+
+def classify(text, var_classes, catalog):
+    terms = to_dnf(parse_expression(text))
+    assert len(terms) == 1
+    return classify_term(terms[0], var_classes, catalog)
+
+
+def test_immediate_selection(catalog):
+    result = classify("v.weight > 1000", VARS, catalog)
+    assert len(result.immediate) == 1
+    predicate = result.immediate[0]
+    assert predicate.var == "v"
+    assert predicate.attribute == "weight"
+    assert predicate.op == ">"
+    assert predicate.constant == 1000
+
+
+def test_immediate_flipped_comparison(catalog):
+    result = classify("1000 < v.weight", VARS, catalog)
+    assert result.immediate[0].op == ">"
+    assert result.immediate[0].constant == 1000
+
+
+def test_between_is_immediate(catalog):
+    result = classify("v.weight BETWEEN 900 AND 1200", VARS, catalog)
+    assert result.immediate[0].op == "BETWEEN"
+    assert result.immediate[0].constant2 == 1200
+
+
+def test_parameterless_method_is_immediate(catalog):
+    """The paper: immediate = atomic attribute *or parameterless method*."""
+    result = classify("v.lbweight() > 2000", VARS, catalog)
+    assert len(result.immediate) == 1
+    assert result.immediate[0].is_method
+
+
+def test_path_selection(catalog):
+    result = classify("v.drivetrain.engine.cylinders = 2", VARS, catalog)
+    assert len(result.path) == 1
+    path = result.path[0].path
+    assert path.classes == ("Vehicle", "VehicleDriveTrain", "VehicleEngine")
+    assert path.reference_attrs == ("drivetrain", "engine")
+    assert path.final_attr == "cylinders"
+
+
+def test_path_on_subclass_uses_inherited_attributes(catalog):
+    result = classify("c.drivetrain.transmission = 'AUTOMATIC'", VARS, catalog)
+    assert len(result.path) == 1
+    assert result.path[0].path.classes == (
+        "Automobile", "VehicleDriveTrain",
+    )
+
+
+def test_method_with_args_is_other(catalog):
+    result = classify("v.heavier_than(10) = TRUE", VARS, catalog)
+    assert len(result.other) == 1
+
+
+def test_unresolvable_path_is_other(catalog):
+    result = classify("v.nonexistent.x = 1", VARS, catalog)
+    assert len(result.other) == 1
+
+
+def test_arithmetic_on_attribute_is_other(catalog):
+    result = classify("v.weight * 2 > 100", VARS, catalog)
+    assert len(result.other) == 1
+
+
+def test_explicit_join(catalog):
+    result = classify("c.drivetrain.engine = e", VARS, catalog)
+    assert len(result.joins) == 1
+    join = result.joins[0]
+    assert join.left_var == "c"
+    assert join.left_attrs == ("drivetrain", "engine")
+    assert join.right_var == "e"
+    assert join.right_attrs == ()
+
+
+def test_multi_var_non_equijoin_is_other(catalog):
+    result = classify("v.weight > e.size + 1", VARS, catalog)
+    assert len(result.other) == 1
+    assert not result.joins
+
+
+def test_paper_example_query_classification(catalog):
+    """Section 3.1's query: one path selection, one explicit join, one
+    immediate selection."""
+    result = classify(
+        "c.drivetrain.transmission = 'AUTOMATIC' AND "
+        "c.drivetrain.engine = e AND e.cylinders > 4",
+        VARS, catalog,
+    )
+    assert len(result.path) == 1
+    assert len(result.joins) == 1
+    assert len(result.immediate) == 1
+    assert result.immediate[0].var == "e"
+
+
+def test_resolve_path_helpers(catalog):
+    path = resolve_path(catalog, "Vehicle", ("drivetrain", "engine", "size"))
+    assert path is not None
+    assert path.classes[-1] == "VehicleEngine"
+    # Non-reference middle step fails.
+    assert resolve_path(catalog, "Vehicle", ("weight", "size")) is None
+    # Reference tail (not atomic) fails.
+    assert resolve_path(catalog, "Vehicle", ("drivetrain", "engine")) is None
+    assert resolve_path(catalog, "Vehicle", ()) is None

@@ -1,0 +1,116 @@
+"""Tests for Algorithm 8.2 (greedy implicit join ordering)."""
+
+import pytest
+
+from repro.optimizer.joins import ChainLeaf, order_implicit_joins
+from repro.optimizer.plan import BindNode, JoinNode, SelectNode
+from repro.sql.parser import parse_expression
+
+
+def leaf(class_name, var, card, with_select=None):
+    bind = BindNode(class_name, var, (class_name,))
+    if with_select is not None:
+        return ChainLeaf(class_name, var, card,
+                         SelectNode(bind, (parse_expression(with_select),)))
+    return ChainLeaf(class_name, var, card, bind)
+
+
+def example_82_chain(stats):
+    """Example 8.2: Select v From Vehicle v
+    Where v.drivetrain.engine.cylinders = 2."""
+    k_engine = stats.card("VehicleEngine") * (1 / 16)  # cylinders = 2
+    leaves = [
+        leaf("Vehicle", "v", stats.card("Vehicle")),
+        leaf("VehicleDriveTrain", "d", stats.card("VehicleDriveTrain")),
+        leaf("VehicleEngine", "e", k_engine, with_select="e.cylinders = 2"),
+    ]
+    return leaves, ["drivetrain", "engine"]
+
+
+def test_example_82_first_merge_is_selective_end(stats, disk):
+    """The paper's Example 8.2 merges (VehicleDriveTrain, VehicleEngine)
+    first -- the pair adjacent to the selective predicate -- because the
+    (Vehicle, VehicleDriveTrain) pair filters nothing (js = 1)."""
+    leaves, attrs = example_82_chain(stats)
+    result = order_implicit_joins(leaves, attrs, stats, disk)
+    assert len(result.steps) == 2
+    first = result.steps[0]
+    assert first.left_classes == ("VehicleDriveTrain",)
+    assert first.right_classes == ("VehicleEngine",)
+    second = result.steps[1]
+    assert second.left_classes == ("Vehicle",)
+    assert second.right_classes == ("VehicleDriveTrain", "VehicleEngine")
+
+
+def test_example_82_plan_shape(stats, disk):
+    """Final plan: JOIN(BIND(Vehicle, v), T1-shaped join, method,
+    v.drivetrain = d.self)."""
+    leaves, attrs = example_82_chain(stats)
+    result = order_implicit_joins(leaves, attrs, stats, disk)
+    root = result.plan
+    assert isinstance(root, JoinNode)
+    assert isinstance(root.left, BindNode)
+    assert root.left.class_name == "Vehicle"
+    assert root.predicate_text == "v.drivetrain = d.self"
+    inner = root.right
+    assert isinstance(inner, JoinNode)
+    assert inner.predicate_text == "d.engine = e.self"
+
+
+def test_unfiltered_pair_ranks_infinite(stats, disk):
+    """js = 1 for a join that keeps every referencing object: its rank is
+    infinite, so any filtering pair beats it."""
+    leaves, attrs = example_82_chain(stats)
+    result = order_implicit_joins(leaves, attrs, stats, disk)
+    estimates = {e.left_classes[-1]: e for e in result.initial_estimates}
+    assert estimates["Vehicle"].js == pytest.approx(1.0)
+    assert estimates["Vehicle"].rank == float("inf")
+    assert estimates["VehicleDriveTrain"].js == pytest.approx(0.0625)
+    assert estimates["VehicleDriveTrain"].rank < float("inf")
+
+
+def test_initial_estimates_cover_all_adjacent_pairs(stats, disk):
+    leaves, attrs = example_82_chain(stats)
+    result = order_implicit_joins(leaves, attrs, stats, disk)
+    assert len(result.initial_estimates) == 2  # (V,DT) and (DT,E)
+
+
+def test_result_cardinality_tracks_selection(stats, disk):
+    leaves, attrs = example_82_chain(stats)
+    result = order_implicit_joins(leaves, attrs, stats, disk)
+    # 625 engines -> 625 drivetrains -> 1250 vehicles (2 vehicles per DT).
+    assert result.steps[0].result_cardinality == pytest.approx(625.0)
+    assert result.cardinality == pytest.approx(1250.0)
+
+
+def test_single_class_chain_passthrough(stats, disk):
+    only = leaf("Vehicle", "v", 100)
+    result = order_implicit_joins([only], [], stats, disk)
+    assert result.plan is only.plan
+    assert result.cardinality == 100
+
+
+def test_two_class_chain(stats, disk):
+    leaves = [
+        leaf("Vehicle", "v", stats.card("Vehicle")),
+        leaf("Company", "c", 1.0, with_select="c.name = 'BMW'"),
+    ]
+    result = order_implicit_joins(leaves, ["manufacturer"], stats, disk)
+    assert isinstance(result.plan, JoinNode)
+    assert result.plan.predicate_text == "v.manufacturer = c.self"
+    assert len(result.steps) == 1
+    # 20000 vehicles x fan 1 x (1/200000 companies selected).
+    assert result.steps[0].result_cardinality == pytest.approx(0.1)
+
+
+def test_chain_length_mismatch_rejected(stats, disk):
+    with pytest.raises(ValueError):
+        order_implicit_joins([leaf("Vehicle", "v", 10)], ["drivetrain"],
+                             stats, disk)
+
+
+def test_every_step_picks_minimum_rank(stats, disk):
+    leaves, attrs = example_82_chain(stats)
+    result = order_implicit_joins(leaves, attrs, stats, disk)
+    ranks = [e.rank for e in result.initial_estimates]
+    assert result.steps[0].rank == pytest.approx(min(ranks))

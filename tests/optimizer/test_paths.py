@@ -1,0 +1,143 @@
+"""Tests for Algorithm 8.1 and the Appendix lemma."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.classify import classify_term
+from repro.optimizer.dictionaries import PathSelEntry, format_pathselinfo
+from repro.optimizer.paths import (
+    brute_force_order,
+    forward_path_cost,
+    objective,
+    order_by_rank,
+    rank_order,
+    rank_path_predicates,
+)
+from repro.sql.parser import parse_expression
+from repro.sql.rewrite import to_dnf
+
+EXAMPLE_81 = (
+    "v.manufacturer.name = 'BMW' AND v.drivetrain.engine.cylinders = 2"
+)
+
+
+def example_81_entries(catalog, stats, disk):
+    (term,) = to_dnf(parse_expression(EXAMPLE_81))
+    classified = classify_term(term, {"v": "Vehicle"}, catalog)
+    assert len(classified.path) == 2
+    return rank_path_predicates(classified.path, stats, disk)
+
+
+def test_example_81_selectivities(catalog, stats, disk):
+    """Table 16's selectivity column: P1 = 6.25e-2, P2 = 5.00e-5."""
+    entries = example_81_entries(catalog, stats, disk)
+    by_text = {str(e.predicate): e for e in entries}
+    p2 = by_text["(v.manufacturer.name = 'BMW')"]
+    p1 = by_text["(v.drivetrain.engine.cylinders = 2)"]
+    assert p1.selectivity == pytest.approx(6.25e-2)
+    assert p2.selectivity == pytest.approx(5.00e-5)
+
+
+def test_example_81_ordering(catalog, stats, disk):
+    """Table 16's decision: P2 (the company path) evaluated before P1."""
+    entries = example_81_entries(catalog, stats, disk)
+    ordered = order_by_rank(entries)
+    assert "manufacturer" in str(ordered[0].predicate)
+    assert "cylinders" in str(ordered[1].predicate)
+    # The rank column is F/(1-s), the identity Table 16 exhibits.
+    for entry in entries:
+        assert entry.rank == pytest.approx(
+            entry.forward_traversal_cost / (1 - entry.selectivity)
+        )
+
+
+def test_forward_cost_grows_with_path_length(catalog, stats, disk):
+    entries = example_81_entries(catalog, stats, disk)
+    by_text = {str(e.predicate): e for e in entries}
+    p2 = by_text["(v.manufacturer.name = 'BMW')"]          # 1 hop
+    p1 = by_text["(v.drivetrain.engine.cylinders = 2)"]    # 2 hops
+    assert p1.forward_traversal_cost > p2.forward_traversal_cost
+
+
+def test_forward_cost_scales_with_k0(catalog, stats, disk):
+    (term,) = to_dnf(parse_expression(EXAMPLE_81))
+    classified = classify_term(term, {"v": "Vehicle"}, catalog)
+    path = classified.path[0].path
+    assert forward_path_cost(stats, disk, path, 1) \
+        < forward_path_cost(stats, disk, path, 1000)
+
+
+def test_objective_definition():
+    # f = F1 + s1*F2 + s1*s2*F3
+    costs = [10.0, 20.0, 30.0]
+    sels = [0.5, 0.1, 0.9]
+    assert objective(costs, sels, [0, 1, 2]) == pytest.approx(
+        10 + 0.5 * 20 + 0.5 * 0.1 * 30
+    )
+    assert objective(costs, sels, [2, 1, 0]) == pytest.approx(
+        30 + 0.9 * 20 + 0.9 * 0.1 * 10
+    )
+
+
+def test_appendix_two_path_base_case():
+    """F1 + s1 F2 < F2 + s2 F1 iff F1/(1-s1) < F2/(1-s2)."""
+    cases = [
+        ((10.0, 0.5), (20.0, 0.1)),
+        ((5.0, 0.9), (100.0, 0.01)),
+        ((1.0, 0.0), (1.0, 0.99)),
+    ]
+    for (f1, s1), (f2, s2) in cases:
+        direct = objective([f1, f2], [s1, s2], [0, 1]) \
+            < objective([f1, f2], [s1, s2], [1, 0])
+        ranked = f1 / (1 - s1) < f2 / (1 - s2)
+        assert direct == ranked
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0.1, 1000.0),
+            st.floats(0.0, 0.99),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_property_appendix_lemma(path_params):
+    """Algorithm 8.1's F/(1-s) order achieves the brute-force optimum."""
+    costs = [cost for cost, _ in path_params]
+    sels = [sel for _, sel in path_params]
+    ranked = rank_order(costs, sels)
+    _, best_value = brute_force_order(costs, sels)
+    assert objective(costs, sels, ranked) == pytest.approx(
+        best_value, rel=1e-9
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0.1, 100.0), st.floats(0.0, 1.0)),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_rank_order_is_permutation(path_params):
+    costs = [c for c, _ in path_params]
+    sels = [s for _, s in path_params]
+    order = rank_order(costs, sels)
+    assert sorted(order) == list(range(len(costs)))
+
+
+def test_pathselinfo_rendering():
+    entries = [
+        PathSelEntry("v", parse_expression("v.a.b = 1"), 0.0625, 771.825),
+        PathSelEntry("v", parse_expression("v.c.d = 'X'"), 5e-5, 520.825),
+    ]
+    text = format_pathselinfo(entries)
+    assert "Range Variable" in text
+    assert "6.25e-02" in text
+    assert "823.280" in text   # 771.825 / (1 - 0.0625), the Table 16 value
+    assert "520.825" in text

@@ -1,0 +1,99 @@
+"""Tests for plan-node rendering in the paper's notation."""
+
+from repro.optimizer.plan import (
+    BindNode,
+    DupElimNode,
+    IndexProbe,
+    IndSelNode,
+    JoinNode,
+    NamedRef,
+    PartitionNode,
+    ProjectNode,
+    SelectNode,
+    SortNode,
+    UnionNode,
+    render_plan,
+)
+from repro.sql.ast import OrderItem, Path
+from repro.sql.parser import parse_expression
+
+
+def test_bind_rendering():
+    assert BindNode("Vehicle", "v").render() == "BIND(Vehicle, v)"
+
+
+def test_select_rendering_inline_and_nested():
+    pred = parse_expression("c.name = 'BMW'")
+    select = SelectNode(BindNode("Company", "c"), (pred,))
+    assert select.render() == "SELECT(BIND(Company, c), c.name = 'BMW')"
+    join = JoinNode(BindNode("A", "a"), BindNode("B", "b"),
+                    "FORWARD_TRAVERSAL", "a.x = b.self")
+    nested = SelectNode(join, (pred,))
+    text = nested.render()
+    assert text.startswith("SELECT(\n")
+    assert "c.name = 'BMW')" in text
+
+
+def test_join_rendering_matches_paper_shape():
+    """The Example 8.1 output format, verbatim structure."""
+    t1 = JoinNode(
+        BindNode("Vehicle", "v"),
+        SelectNode(BindNode("Company", "c"),
+                   (parse_expression("c.name = 'BMW'"),)),
+        "HASH_PARTITION",
+        "v.manufacturer = c.self",
+    )
+    expected = (
+        "JOIN(\n"
+        "    BIND(Vehicle, v),\n"
+        "    SELECT(BIND(Company, c), c.name = 'BMW'),\n"
+        "    HASH_PARTITION,\n"
+        "    v.manufacturer = c.self)"
+    )
+    assert t1.render() == expected
+
+
+def test_indsel_rendering():
+    node = IndSelNode("Vehicle", "v", (
+        IndexProbe("vw", "btree", parse_expression("v.weight = 1")),
+        IndexProbe("vid", "hash", parse_expression("v.id = 2")),
+    ))
+    text = node.render()
+    assert "vw[btree]: v.weight = 1" in text
+    assert "vid[hash]: v.id = 2" in text
+
+
+def test_tall_operators_render():
+    base = BindNode("Vehicle", "v")
+    union = UnionNode((base, BindNode("Vehicle", "w")), key_vars=("v",))
+    assert "UNION(" in union.render()
+    sort = SortNode(base, (OrderItem(Path("v", ("weight",)), False),))
+    assert "HEAP_SORT_WITH_MERGING" in sort.render()
+    assert "v.weight DESC" in sort.render()
+    partition = PartitionNode(base, (Path("v", ("weight",)),),
+                              parse_expression("v.weight > 1"))
+    assert "PARTITION(" in partition.render()
+    assert "HAVING" in partition.render()
+    assert "DUPELIM(" in DupElimNode(base).render()
+    project = ProjectNode(base, ())
+    assert "[*]" in project.render()
+
+
+def test_render_plan_with_temporaries():
+    t1 = JoinNode(BindNode("A", "a"), BindNode("B", "b"), "HASH_PARTITION",
+                  "a.x = b.self")
+    root = JoinNode(NamedRef("T1", t1), BindNode("C", "c"),
+                    "FORWARD_TRAVERSAL", "b.y = c.self")
+    text = render_plan(root, [("T1", t1)])
+    assert text.index("T1 :") < text.index("FORWARD_TRAVERSAL")
+    assert "\n\n" in text  # temporary section separated from the root
+
+
+def test_total_estimated_cost_sums_children():
+    left = BindNode("A", "a")
+    left.estimated_cost = 10
+    right = BindNode("B", "b")
+    right.estimated_cost = 5
+    join = JoinNode(left, right, "NESTED_LOOP", "TRUE")
+    join.estimated_cost = 2
+    assert join.total_estimated_cost() == 17

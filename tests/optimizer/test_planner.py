@@ -1,0 +1,222 @@
+"""Tests for whole-query planning, including the paper's Examples 8.1/8.2."""
+
+import pytest
+
+from repro.core.errors import OptimizerError
+from repro.optimizer.plan import (
+    BindNode,
+    DupElimNode,
+    IndSelNode,
+    JoinNode,
+    NamedRef,
+    PartitionNode,
+    ProjectNode,
+    SelectNode,
+    SortNode,
+    UnionNode,
+)
+from repro.sql.parser import parse
+
+
+def plan_of(planner, sql):
+    return planner.plan_query(parse(sql))
+
+
+def find_nodes(node, node_type, acc=None):
+    if acc is None:
+        acc = []
+    if isinstance(node, node_type):
+        acc.append(node)
+    for child in node.children():
+        find_nodes(child, node_type, acc)
+    if isinstance(node, NamedRef) and node.plan is not None:
+        find_nodes(node.plan, node_type, acc)
+    return acc
+
+
+def test_trivial_scan(planner):
+    plan = plan_of(planner, "SELECT v FROM Vehicle v")
+    assert isinstance(plan.root, ProjectNode)
+    assert isinstance(plan.root.input, BindNode)
+    assert plan.root.input.include_classes == (
+        "Automobile", "JapaneseAuto", "Vehicle",
+    )
+
+
+def test_minus_operator_resolution(planner):
+    plan = plan_of(planner,
+                   "SELECT c FROM EVERY Automobile - JapaneseAuto c")
+    bind = find_nodes(plan.root, BindNode)[0]
+    assert bind.include_classes == ("Automobile",)
+
+
+def test_immediate_selection_sequential(planner):
+    plan = plan_of(planner, "SELECT v FROM Vehicle v WHERE v.weight > 1000")
+    selects = find_nodes(plan.root, SelectNode)
+    assert selects
+    (term,) = plan.terms
+    assert len(term.dictionaries.imm) == 1
+    assert term.dictionaries.imm[0].access_type == "sequential"
+
+
+def test_immediate_selection_indexed(catalog, stats, disk):
+    from repro.optimizer.planner import Planner
+
+    catalog.define_index("vw", "Vehicle", "weight", "btree")
+    planner = Planner(catalog, stats, disk)
+    plan = plan_of(planner, "SELECT v FROM Vehicle v WHERE v.weight = 1000")
+    indsel = find_nodes(plan.root, IndSelNode)
+    assert len(indsel) == 1
+    assert indsel[0].probes[0].index_name == "vw"
+    (term,) = plan.terms
+    assert term.dictionaries.imm[0].access_type == "indexed"
+
+
+def test_example_81_full_plan(planner):
+    """Example 8.1: paths ordered P2 then P1; P2's join tree becomes T1 and
+    heads P1's chain."""
+    plan = plan_of(
+        planner,
+        "SELECT v FROM Vehicle v "
+        "WHERE v.manufacturer.name = 'BMW' "
+        "AND v.drivetrain.engine.cylinders = 2",
+    )
+    # One temporary (T1) holding the manufacturer join.
+    assert len(plan.temporaries) == 1
+    name, t1 = plan.temporaries[0]
+    assert name == "T1"
+    assert isinstance(t1, JoinNode)
+    assert "manufacturer" in t1.predicate_text
+    select_in_t1 = find_nodes(t1, SelectNode)
+    assert any("BMW" in str(s.predicates) for s in select_in_t1)
+    # The root term plan joins T1 through drivetrain then engine.
+    joins = find_nodes(plan.root, JoinNode)
+    predicate_texts = [j.predicate_text for j in joins]
+    assert any("drivetrain" in text for text in predicate_texts)
+    assert any("engine" in text for text in predicate_texts)
+    refs = find_nodes(plan.root, NamedRef)
+    assert refs and refs[0].name == "T1"
+    # Rendering shows the T1 : JOIN(...) section first.
+    rendered = plan.render()
+    assert rendered.index("T1 :") < rendered.index("drivetrain")
+
+
+def test_example_81_path_order_in_dictionary(planner):
+    plan = plan_of(
+        planner,
+        "SELECT v FROM Vehicle v "
+        "WHERE v.manufacturer.name = 'BMW' "
+        "AND v.drivetrain.engine.cylinders = 2",
+    )
+    (term,) = plan.terms
+    entries = term.dictionaries.path
+    assert len(entries) == 2
+    by_text = {str(e.predicate): e for e in entries}
+    p1 = by_text["(v.drivetrain.engine.cylinders = 2)"]
+    p2 = by_text["(v.manufacturer.name = 'BMW')"]
+    assert p1.selectivity == pytest.approx(6.25e-2)
+    assert p2.selectivity == pytest.approx(5.00e-5)
+    assert p2.rank < p1.rank
+
+
+def test_example_82_plan(planner):
+    plan = plan_of(
+        planner,
+        "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2",
+    )
+    (term,) = plan.terms
+    assert len(term.join_steps) == 2
+    assert term.join_steps[0].left_classes == ("VehicleDriveTrain",)
+    root_join = find_nodes(plan.root, JoinNode)[0]
+    assert isinstance(root_join.left, BindNode)
+    assert root_join.left.class_name == "Vehicle"
+
+
+def test_paper_section31_query(planner):
+    """The Section 3.1 example: path selection + explicit join +
+    immediate selection across two range variables."""
+    plan = plan_of(
+        planner,
+        "SELECT c FROM EVERY Automobile - JapaneseAuto c, VehicleEngine e "
+        "WHERE c.drivetrain.transmission = 'AUTOMATIC' "
+        "AND c.drivetrain.engine = e AND e.cylinders > 4",
+    )
+    (term,) = plan.terms
+    assert len(term.dictionaries.path) == 1
+    assert len(term.dictionaries.imm) == 1
+    assert len(term.classified.joins) == 1
+    joins = find_nodes(plan.root, JoinNode)
+    assert any("engine" in j.predicate_text for j in joins)
+    # No cartesian products: every join has a real predicate.
+    assert all(j.predicate_text != "TRUE" for j in joins)
+
+
+def test_or_produces_union(planner):
+    plan = plan_of(
+        planner,
+        "SELECT v FROM Vehicle v WHERE v.weight > 2000 OR v.weight < 900",
+    )
+    assert isinstance(plan.root, UnionNode)
+    assert len(plan.terms) == 2
+
+
+def test_group_by_having_order_by_distinct(planner):
+    plan = plan_of(
+        planner,
+        "SELECT DISTINCT v.weight FROM Vehicle v "
+        "GROUP BY v.weight HAVING v.weight > 10 "
+        "WHERE v.id > 0 ORDER BY v.weight DESC",
+    )
+    assert isinstance(plan.root, SortNode)
+    assert isinstance(plan.root.input, DupElimNode)
+    project = plan.root.input.input
+    assert isinstance(project, ProjectNode)
+    assert isinstance(project.input, PartitionNode)
+    assert project.input.having is not None
+
+
+def test_cartesian_fallback(planner):
+    plan = plan_of(planner, "SELECT v FROM Vehicle v, Company c")
+    joins = find_nodes(plan.root, JoinNode)
+    assert len(joins) == 1
+    assert joins[0].method == "NESTED_LOOP"
+    assert joins[0].predicate_text == "TRUE"
+
+
+def test_other_predicates_become_filters(planner):
+    plan = plan_of(
+        planner,
+        "SELECT v FROM Vehicle v WHERE v.weight * 2 > v.id + 1",
+    )
+    selects = find_nodes(plan.root, SelectNode)
+    assert selects
+    (term,) = plan.terms
+    assert len(term.dictionaries.other) == 1
+
+
+def test_unbound_projection_rejected(planner):
+    with pytest.raises(OptimizerError):
+        plan_of(planner, "SELECT w FROM Vehicle v")
+
+
+def test_duplicate_range_var_rejected(planner):
+    with pytest.raises(OptimizerError):
+        plan_of(planner, "SELECT v FROM Vehicle v, Company v")
+
+
+def test_false_where_yields_empty_plan(planner):
+    plan = plan_of(planner, "SELECT v FROM Vehicle v WHERE 1 = 2")
+    selects = find_nodes(plan.root, SelectNode)
+    assert any(str(p) == "FALSE" for s in selects for p in s.predicates)
+
+
+def test_plan_renders_in_paper_notation(planner):
+    plan = plan_of(
+        planner,
+        "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2",
+    )
+    rendered = plan.render()
+    assert "JOIN(" in rendered
+    assert "BIND(Vehicle, v)" in rendered
+    assert "d.engine = e.self" in rendered
+    assert "v.drivetrain = d.self" in rendered

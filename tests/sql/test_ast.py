@@ -1,0 +1,68 @@
+"""Tests for AST node rendering (the textual forms plans print)."""
+
+from repro.sql.ast import (
+    Between,
+    BinOp,
+    BoolOp,
+    InList,
+    Literal,
+    MethodCall,
+    Not,
+    Path,
+    RangeVar,
+    UnaryMinus,
+)
+
+
+def test_literal_rendering():
+    assert str(Literal(5)) == "5"
+    assert str(Literal("BMW")) == "'BMW'"
+    assert str(Literal(True)) == "TRUE"
+    assert str(Literal(False)) == "FALSE"
+    assert str(Literal(None)) == "NULL"
+    assert str(Literal(2.5)) == "2.5"
+
+
+def test_path_rendering():
+    assert str(Path("v")) == "v"
+    assert str(Path("v", ("drivetrain", "engine"))) == "v.drivetrain.engine"
+    assert Path("v").is_variable
+    assert not Path("v", ("x",)).is_variable
+
+
+def test_method_call_rendering():
+    call = MethodCall(Path("v"), "lbweight", ())
+    assert str(call) == "v.lbweight()"
+    call = MethodCall(Path("v", ("drivetrain",)), "cost",
+                      (Literal(2), Literal("EUR")))
+    assert str(call) == "v.drivetrain.cost(2, 'EUR')"
+
+
+def test_operator_rendering():
+    assert str(BinOp("=", Path("v", ("x",)), Literal(1))) == "(v.x = 1)"
+    assert str(UnaryMinus(Literal(5))) == "(-5)"
+    assert str(Not(Path("p"))) == "(NOT p)"
+    both = BoolOp("AND", (Path("p"), Path("q")))
+    assert str(both) == "(p AND q)"
+    either = BoolOp("OR", (Path("p"), Path("q"), Path("r")))
+    assert str(either) == "(p OR q OR r)"
+
+
+def test_between_and_in_rendering():
+    between = Between(Path("v", ("w",)), Literal(1), Literal(2))
+    assert str(between) == "(v.w BETWEEN 1 AND 2)"
+    inlist = InList(Path("v", ("w",)), (Literal(1), Literal(2)))
+    assert str(inlist) == "(v.w IN (1, 2))"
+
+
+def test_range_var_rendering():
+    assert str(RangeVar("Vehicle", "v")) == "Vehicle v"
+    assert str(RangeVar("Automobile", "c", minus=("JapaneseAuto",),
+                        every=True)) == "EVERY Automobile - JapaneseAuto c"
+
+
+def test_nodes_are_hashable_and_equal_by_value():
+    assert Path("v", ("x",)) == Path("v", ("x",))
+    assert len({Path("v"), Path("v"), Path("w")}) == 2
+    assert BinOp("=", Path("v"), Literal(1)) == \
+        BinOp("=", Path("v"), Literal(1))

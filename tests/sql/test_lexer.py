@@ -1,0 +1,107 @@
+"""Tests for the MOODSQL lexer."""
+
+import pytest
+
+from repro.core.errors import LexerError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+def test_simple_query_tokens():
+    tokens = kinds("SELECT c FROM Automobile c")
+    assert tokens == [
+        (TokenType.KEYWORD, "SELECT"),
+        (TokenType.IDENT, "c"),
+        (TokenType.KEYWORD, "FROM"),
+        (TokenType.IDENT, "Automobile"),
+        (TokenType.IDENT, "c"),
+    ]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select")[0] == (TokenType.KEYWORD, "SELECT")
+    assert kinds("SeLeCt")[0] == (TokenType.KEYWORD, "SELECT")
+
+
+def test_numbers():
+    assert kinds("42")[0] == (TokenType.INTEGER, "42")
+    assert kinds("3.25")[0] == (TokenType.FLOAT, "3.25")
+    assert kinds("1e5")[0] == (TokenType.FLOAT, "1e5")
+    assert kinds("2.5e-3")[0] == (TokenType.FLOAT, "2.5e-3")
+
+
+def test_dot_after_integer_is_path_punct():
+    # '1.' followed by a non-digit stays INTEGER + PUNCT.
+    tokens = kinds("v.weight")
+    assert tokens == [
+        (TokenType.IDENT, "v"),
+        (TokenType.PUNCT, "."),
+        (TokenType.IDENT, "weight"),
+    ]
+
+
+def test_strings_single_and_double_quotes():
+    assert kinds("'AUTOMATIC'")[0] == (TokenType.STRING, "AUTOMATIC")
+    assert kinds('"Budak Arpinar"')[0] == (TokenType.STRING, "Budak Arpinar")
+
+
+def test_string_escape_by_doubling():
+    assert kinds("'it''s'")[0] == (TokenType.STRING, "it's")
+
+
+def test_unterminated_string():
+    with pytest.raises(LexerError):
+        tokenize("'oops")
+    with pytest.raises(LexerError):
+        tokenize("'new\nline'")
+
+
+def test_operators():
+    text = "= <> < <= > >= + - * / % ::"
+    values = [v for _, v in kinds(text)]
+    assert values == ["=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/",
+                      "%", "::"]
+
+
+def test_comments_skipped():
+    tokens = kinds("SELECT -- a comment\n c")
+    assert [v for _, v in tokens] == ["SELECT", "c"]
+
+
+def test_body_token_balanced():
+    tokens = kinds("foo { return self.weight * 2.2075 } bar")
+    assert tokens[1][0] == TokenType.BODY
+    assert "2.2075" in tokens[1][1]
+    assert tokens[2] == (TokenType.IDENT, "bar")
+
+
+def test_body_nested_braces_and_strings():
+    body = "{ d = {'a': 1}\nreturn d['}'] }"
+    tokens = kinds(body)
+    assert tokens[0][0] == TokenType.BODY
+    assert "d['}']" in tokens[0][1]
+
+
+def test_unterminated_body():
+    with pytest.raises(LexerError):
+        tokenize("{ never closed")
+
+
+def test_illegal_character():
+    with pytest.raises(LexerError) as info:
+        tokenize("SELECT @")
+    assert info.value.line == 1
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("SELECT\n  c")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+    assert tokens[1].column == 3
+
+
+def test_eof_token():
+    assert tokenize("")[-1].type is TokenType.EOF

@@ -1,0 +1,275 @@
+"""Tests for the MOODSQL parser."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.sql.ast import (
+    Between,
+    BinOp,
+    BoolOp,
+    CreateClass,
+    CreateIndex,
+    CreateMethod,
+    DeleteStmt,
+    DropClass,
+    DropIndex,
+    DropMethod,
+    InList,
+    Literal,
+    MethodCall,
+    NewObject,
+    Not,
+    Path,
+    SelectQuery,
+    UpdateStmt,
+)
+from repro.sql.parser import parse, parse_expression, parse_script
+
+PAPER_QUERY = """
+SELECT c
+FROM EVERY Automobile - JapaneseAuto c, VehicleEngine v
+WHERE c.drivetrain.transmission = 'AUTOMATIC'
+  AND c.drivetrain.engine = v
+  AND v.cylinders > 4
+"""
+
+
+def test_paper_example_query():
+    query = parse(PAPER_QUERY)
+    assert isinstance(query, SelectQuery)
+    assert query.projections == (Path("c"),)
+    first, second = query.ranges
+    assert first.class_name == "Automobile"
+    assert first.minus == ("JapaneseAuto",)
+    assert first.every is True
+    assert first.var == "c"
+    assert second.class_name == "VehicleEngine"
+    assert isinstance(query.where, BoolOp)
+    assert query.where.op == "AND"
+    assert len(query.where.items) == 3
+    path_pred = query.where.items[0]
+    assert path_pred == BinOp(
+        "=", Path("c", ("drivetrain", "transmission")), Literal("AUTOMATIC")
+    )
+
+
+def test_select_star():
+    query = parse("SELECT * FROM Vehicle v")
+    assert query.projections == ()
+
+
+def test_select_distinct_and_multiple_projections():
+    query = parse("SELECT DISTINCT v.id, v.weight FROM Vehicle v")
+    assert query.distinct
+    assert query.projections == (Path("v", ("id",)), Path("v", ("weight",)))
+
+
+def test_group_by_having_before_where():
+    """The paper's grammar literally puts WHERE after GROUP BY."""
+    query = parse(
+        "SELECT v FROM Vehicle v "
+        "GROUP BY v.weight HAVING v.weight > 10 "
+        "WHERE v.id > 0 ORDER BY v.weight DESC"
+    )
+    assert query.group_by == (Path("v", ("weight",)),)
+    assert query.having is not None
+    assert query.where is not None
+    assert query.order_by[0].ascending is False
+
+
+def test_order_by_defaults_ascending():
+    query = parse("SELECT v FROM Vehicle v ORDER BY v.weight, v.id DESC")
+    assert query.order_by[0].ascending is True
+    assert query.order_by[1].ascending is False
+
+
+def test_having_without_group_by_rejected():
+    with pytest.raises(ParseError):
+        parse("SELECT v FROM Vehicle v HAVING v.x > 1")
+
+
+def test_duplicate_clause_rejected():
+    with pytest.raises(ParseError):
+        parse("SELECT v FROM Vehicle v WHERE v.x = 1 WHERE v.y = 2")
+
+
+def test_method_call_in_query():
+    query = parse("SELECT v FROM Vehicle v WHERE v.lbweight() > 2000")
+    call = query.where.left
+    assert call == MethodCall(Path("v"), "lbweight", ())
+
+
+def test_method_call_with_args_and_path_receiver():
+    expr = parse_expression("c.drivetrain.cost(2, 'EUR')")
+    assert expr == MethodCall(
+        Path("c", ("drivetrain",)), "cost", (Literal(2), Literal("EUR"))
+    )
+
+
+def test_expression_precedence():
+    expr = parse_expression("1 + 2 * 3")
+    assert expr == BinOp("+", Literal(1), BinOp("*", Literal(2), Literal(3)))
+    expr = parse_expression("(1 + 2) * 3")
+    assert expr == BinOp("*", BinOp("+", Literal(1), Literal(2)), Literal(3))
+
+
+def test_boolean_precedence():
+    expr = parse_expression("a.x = 1 OR b.y = 2 AND c.z = 3")
+    assert isinstance(expr, BoolOp) and expr.op == "OR"
+    assert isinstance(expr.items[1], BoolOp) and expr.items[1].op == "AND"
+
+
+def test_not_between_in():
+    expr = parse_expression("NOT v.x BETWEEN 1 AND 2")
+    assert isinstance(expr, Not)
+    assert isinstance(expr.operand, Between)
+    expr = parse_expression("v.x IN (1, 2, 3)")
+    assert isinstance(expr, InList)
+    assert len(expr.items) == 3
+
+
+def test_literals():
+    assert parse_expression("TRUE") == Literal(True)
+    assert parse_expression("NULL") == Literal(None)
+    assert parse_expression("-5") .operand == Literal(5)
+    assert parse_expression("3.5") == Literal(3.5)
+
+
+def test_create_class_paper_style():
+    statement = parse("""
+        CREATE CLASS Vehicle
+        TUPLE (
+            id Integer,
+            weight Integer,
+            drivetrain REFERENCE (VehicleDriveTrain),
+            manufacturer REFERENCE (Company)
+        )
+        METHODS:
+            lbweight () Integer,
+            curbweight () Integer
+    """)
+    assert isinstance(statement, CreateClass)
+    assert statement.name == "Vehicle"
+    assert statement.attributes[2] == (
+        "drivetrain", "REFERENCE ( VehicleDriveTrain )"
+    )
+    assert [m.name for m in statement.methods] == ["lbweight", "curbweight"]
+    assert statement.methods[0].return_type == "Integer"
+    assert statement.is_class
+
+
+def test_create_class_with_inline_bodies():
+    statement = parse("""
+        CREATE CLASS Vehicle TUPLE (weight Integer) METHODS (
+            lbweight () Integer { return self.weight * 2.2075 }
+        )
+    """)
+    assert statement.methods[0].body.strip() == "return self.weight * 2.2075"
+
+
+def test_create_class_inherits():
+    statement = parse("CREATE CLASS JapaneseAuto INHERITS FROM Automobile")
+    assert statement.superclasses == ("Automobile",)
+    statement = parse("CREATE CLASS C INHERITS FROM A, B")
+    assert statement.superclasses == ("A", "B")
+
+
+def test_create_type():
+    statement = parse("CREATE TYPE Point TUPLE (x Integer, y Integer)")
+    assert not statement.is_class
+
+
+def test_method_with_parameters():
+    statement = parse(
+        "CREATE CLASS C TUPLE (x Integer) METHODS ("
+        "scale (factor Float, label String(8)) Float)"
+    )
+    method = statement.methods[0]
+    assert method.parameters == (
+        ("factor", "Float"), ("label", "String ( 8 )"),
+    )
+
+
+def test_create_and_drop_index():
+    statement = parse("CREATE INDEX vw ON Vehicle (weight) USING btree")
+    assert statement == CreateIndex("vw", "Vehicle", "weight", "btree", False)
+    statement = parse("CREATE UNIQUE INDEX vid ON Vehicle (id) USING hash")
+    assert statement.unique and statement.kind == "hash"
+    assert parse("DROP INDEX vw") == DropIndex("vw")
+
+
+def test_create_method_statement():
+    statement = parse(
+        "CREATE METHOD Vehicle::lbweight() Integer "
+        "{ return self.weight * 2.2075 }"
+    )
+    assert isinstance(statement, CreateMethod)
+    assert statement.class_name == "Vehicle"
+    assert statement.decl.name == "lbweight"
+    assert "2.2075" in statement.decl.body
+
+
+def test_drop_method():
+    statement = parse("DROP METHOD Vehicle::lbweight()")
+    assert statement == DropMethod("Vehicle", "lbweight", ())
+    statement = parse("DROP METHOD Vehicle::scale(Float)")
+    assert statement.parameter_types == ("Float",)
+
+
+def test_drop_class():
+    assert parse("DROP CLASS Vehicle") == DropClass("Vehicle")
+
+
+def test_new_object_paper_style():
+    statement = parse(
+        'new Employee < "Budak Arpinar", "Computer Engineer", 1969 >'
+    )
+    assert isinstance(statement, NewObject)
+    assert statement.class_name == "Employee"
+    assert statement.values == (
+        Literal("Budak Arpinar"), Literal("Computer Engineer"), Literal(1969),
+    )
+
+
+def test_new_object_bound_name():
+    statement = parse("NEW Company <'BMW', 'Munich', NULL> AS bmw")
+    assert statement.bind_name == "bmw"
+
+
+def test_new_object_empty():
+    assert parse("NEW Marker <>").values == ()
+
+
+def test_delete():
+    statement = parse("DELETE FROM Vehicle v WHERE v.id = 3")
+    assert isinstance(statement, DeleteStmt)
+    assert statement.range_var.class_name == "Vehicle"
+    assert statement.where is not None
+
+
+def test_update():
+    statement = parse(
+        "UPDATE Vehicle v SET weight = v.weight + 10, id = 5 WHERE v.id = 1"
+    )
+    assert isinstance(statement, UpdateStmt)
+    assert statement.assignments[0][0] == "weight"
+    assert statement.assignments[1] == ("id", Literal(5))
+
+
+def test_parse_script():
+    statements = parse_script(
+        "CREATE CLASS A TUPLE (x Integer); "
+        "NEW A <1>; SELECT a FROM A a;"
+    )
+    assert len(statements) == 3
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse("SELECT v FROM Vehicle v extra stuff")
+
+
+def test_helpful_error_positions():
+    with pytest.raises(ParseError) as info:
+        parse("SELECT FROM")
+    assert "line 1" in str(info.value)

@@ -1,0 +1,185 @@
+"""Tests for simplification and DNF transformation (Section 7)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import OptimizerError
+from repro.sql.ast import BinOp, BoolOp, Literal, Not, Path
+from repro.sql.parser import parse_expression
+from repro.sql.rewrite import (
+    dnf_to_expr,
+    referenced_variables,
+    simplify,
+    to_dnf,
+)
+
+
+def expr(text):
+    return parse_expression(text)
+
+
+def test_constant_folding_arithmetic():
+    assert simplify(expr("1 + 2 * 3")) == Literal(7)
+    assert simplify(expr("(10 - 4) / 2")) == Literal(3)
+    assert simplify(expr("7 % 3")) == Literal(1)
+    assert simplify(expr("-(2 + 3)")) == Literal(-5)
+    assert simplify(expr("'a' + 'b'")) == Literal("ab")
+
+
+def test_constant_folding_comparisons():
+    assert simplify(expr("1 < 2")) == Literal(True)
+    assert simplify(expr("'a' = 'b'")) == Literal(False)
+
+
+def test_division_by_zero_not_folded():
+    folded = simplify(expr("1 / 0"))
+    assert isinstance(folded, BinOp)
+
+
+def test_true_false_absorption():
+    assert simplify(expr("v.x = 1 AND TRUE")) == expr("v.x = 1")
+    assert simplify(expr("v.x = 1 AND FALSE")) == Literal(False)
+    assert simplify(expr("v.x = 1 OR TRUE")) == Literal(True)
+    assert simplify(expr("v.x = 1 OR FALSE")) == expr("v.x = 1")
+
+
+def test_double_negation():
+    assert simplify(expr("NOT NOT v.x = 1")) == expr("v.x = 1")
+
+
+def test_not_pushes_into_comparisons():
+    assert simplify(expr("NOT v.x = 1")) == expr("v.x <> 1")
+    assert simplify(expr("NOT v.x < 1")) == expr("v.x >= 1")
+
+
+def test_de_morgan():
+    simplified = simplify(expr("NOT (v.x = 1 AND v.y = 2)"))
+    assert simplified == BoolOp(
+        "OR", (expr("v.x <> 1"), expr("v.y <> 2"))
+    )
+
+
+def test_opaque_not_preserved():
+    simplified = simplify(expr("NOT v.flag()"))
+    assert isinstance(simplified, Not)
+
+
+def test_flattening():
+    simplified = simplify(expr("(a.x = 1 AND b.y = 2) AND c.z = 3"))
+    assert isinstance(simplified, BoolOp)
+    assert len(simplified.items) == 3
+
+
+def test_idempotence():
+    assert simplify(expr("v.x = 1 AND v.x = 1")) == expr("v.x = 1")
+
+
+def test_dnf_single_predicate():
+    assert to_dnf(expr("v.x = 1")) == [[expr("v.x = 1")]]
+
+
+def test_dnf_conjunction():
+    terms = to_dnf(expr("v.x = 1 AND v.y = 2"))
+    assert terms == [[expr("v.x = 1"), expr("v.y = 2")]]
+
+
+def test_dnf_disjunction():
+    terms = to_dnf(expr("v.x = 1 OR v.y = 2"))
+    assert terms == [[expr("v.x = 1")], [expr("v.y = 2")]]
+
+
+def test_dnf_distribution():
+    terms = to_dnf(expr("v.a = 1 AND (v.b = 2 OR v.c = 3)"))
+    assert terms == [
+        [expr("v.a = 1"), expr("v.b = 2")],
+        [expr("v.a = 1"), expr("v.c = 3")],
+    ]
+
+
+def test_dnf_nested_distribution():
+    terms = to_dnf(expr("(v.a = 1 OR v.b = 2) AND (v.c = 3 OR v.d = 4)"))
+    assert len(terms) == 4
+
+
+def test_dnf_of_constants():
+    assert to_dnf(expr("TRUE")) == [[]]
+    assert to_dnf(expr("FALSE")) == []
+    assert to_dnf(expr("v.x = 1 AND FALSE")) == []
+
+
+def test_dnf_explosion_guarded():
+    clauses = " AND ".join(
+        f"(v.a{i} = 1 OR v.b{i} = 2)" for i in range(10)
+    )
+    with pytest.raises(OptimizerError):
+        to_dnf(expr(clauses))
+
+
+def test_referenced_variables():
+    assert referenced_variables(expr("v.x = c.y + 1")) == {"v", "c"}
+    assert referenced_variables(expr("v.m(w.z)")) == {"v", "w"}
+    assert referenced_variables(None) == set()
+    assert referenced_variables(expr("1 + 2")) == set()
+
+
+# -- semantic equivalence of the DNF rewrite ------------------------------------
+
+VARS = ["p", "q", "r"]
+
+
+def _eval(node, env):
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, Path):
+        return env[node.var]
+    if isinstance(node, Not):
+        return not _eval(node.operand, env)
+    if isinstance(node, BoolOp):
+        values = [_eval(item, env) for item in node.items]
+        return all(values) if node.op == "AND" else any(values)
+    raise AssertionError(f"unexpected node {node!r}")
+
+
+@st.composite
+def boolean_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 3:
+            return Literal(draw(st.booleans()))
+        return Path(VARS[choice % len(VARS)])
+    kind = draw(st.sampled_from(["AND", "OR", "NOT"]))
+    if kind == "NOT":
+        return Not(draw(boolean_exprs(depth + 1)))
+    size = draw(st.integers(2, 3))
+    items = tuple(draw(boolean_exprs(depth + 1)) for _ in range(size))
+    return BoolOp(kind, items)
+
+
+@settings(max_examples=100, deadline=None)
+@given(boolean_exprs())
+def test_property_dnf_preserves_semantics(node):
+    """to_dnf + dnf_to_expr computes the same Boolean function.
+
+    NOTs over bare variables stay opaque (they model methods); they are
+    still evaluated faithfully by the little interpreter above.
+    """
+    try:
+        terms = to_dnf(node)
+    except OptimizerError:
+        return  # explosion guard tripped; nothing to compare
+    rebuilt = dnf_to_expr(terms)
+    for values in itertools.product([False, True], repeat=len(VARS)):
+        env = dict(zip(VARS, values))
+        assert _eval(rebuilt, env) == _eval(node, env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(boolean_exprs())
+def test_property_simplify_preserves_semantics(node):
+    simplified = simplify(node)
+    for values in itertools.product([False, True], repeat=len(VARS)):
+        env = dict(zip(VARS, values))
+        assert _eval(simplified, env) == _eval(node, env)

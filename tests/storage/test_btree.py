@@ -1,0 +1,199 @@
+"""Tests for the B+-tree: correctness, Table 9 parameters, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexStructureError
+from repro.storage.btree import BPlusTree
+
+
+def test_empty_tree():
+    tree = BPlusTree(order=2)
+    assert len(tree) == 0
+    assert tree.search(5) == []
+    assert list(tree.items()) == []
+    assert tree.min_key() is None
+    assert tree.max_key() is None
+
+
+def test_insert_and_search():
+    tree = BPlusTree(order=2)
+    for key in [5, 3, 8, 1, 9, 7]:
+        tree.insert(key, f"v{key}")
+    assert tree.search(8) == ["v8"]
+    assert tree.search(4) == []
+
+
+def test_duplicates_in_nonunique_index():
+    tree = BPlusTree(order=2, unique=False)
+    tree.insert(5, "a")
+    tree.insert(5, "b")
+    tree.insert(5, "c")
+    assert sorted(tree.search(5)) == ["a", "b", "c"]
+
+
+def test_unique_index_rejects_duplicates():
+    tree = BPlusTree(order=2, unique=True)
+    tree.insert(5, "a")
+    with pytest.raises(IndexStructureError):
+        tree.insert(5, "b")
+
+
+def test_exact_duplicate_entry_rejected():
+    tree = BPlusTree(order=2)
+    tree.insert(5, "a")
+    with pytest.raises(IndexStructureError):
+        tree.insert(5, "a")
+
+
+def test_range_scan_inclusive():
+    tree = BPlusTree(order=2)
+    for key in range(20):
+        tree.insert(key, key * 10)
+    result = [k for k, _ in tree.range_scan(5, 9)]
+    assert result == [5, 6, 7, 8, 9]
+
+
+def test_range_scan_exclusive_bounds():
+    tree = BPlusTree(order=2)
+    for key in range(10):
+        tree.insert(key, None)
+    assert [k for k, _ in tree.range_scan(2, 6, lo_inclusive=False)] == [3, 4, 5, 6]
+    assert [k for k, _ in tree.range_scan(2, 6, hi_inclusive=False)] == [2, 3, 4, 5]
+
+
+def test_range_scan_open_ends():
+    tree = BPlusTree(order=2)
+    for key in range(10):
+        tree.insert(key, None)
+    assert [k for k, _ in tree.range_scan(None, 3)] == [0, 1, 2, 3]
+    assert [k for k, _ in tree.range_scan(7, None)] == [7, 8, 9]
+    assert len(list(tree.range_scan())) == 10
+
+
+def test_min_max_keys():
+    tree = BPlusTree(order=2)
+    for key in [42, 7, 99, 13]:
+        tree.insert(key, None)
+    assert tree.min_key() == 7
+    assert tree.max_key() == 99
+
+
+def test_string_keys():
+    tree = BPlusTree(order=2)
+    for word in ["mood", "esm", "sql", "catalog", "kernel"]:
+        tree.insert(word, word.upper())
+    assert tree.search("sql") == ["SQL"]
+    assert [k for k, _ in tree.range_scan("c", "f")] == ["catalog", "esm"]
+
+
+def test_params_reflect_growth():
+    tree = BPlusTree(order=2, keysize=8, unique=True)
+    params0 = tree.params()
+    assert params0.level == 1
+    assert params0.leaves == 1
+    for key in range(200):
+        tree.insert(key, key)
+    params = tree.params()
+    assert params.v == 2
+    assert params.level > 1
+    assert params.leaves > 1
+    assert params.unique is True
+    # Leaves hold between v and 2v entries: bound the leaf count.
+    assert 200 / 4 <= params.leaves <= 200 / 2 + 1
+
+
+def test_delete_simple():
+    tree = BPlusTree(order=2)
+    for key in range(10):
+        tree.insert(key, key)
+    assert tree.delete(4, 4)
+    assert tree.search(4) == []
+    assert not tree.delete(4, 4)
+    assert len(tree) == 9
+
+
+def test_delete_everything_both_directions():
+    tree = BPlusTree(order=2)
+    keys = list(range(100))
+    for key in keys:
+        tree.insert(key, key)
+    for key in keys[:50]:
+        assert tree.delete(key, key)
+        tree.check_invariants()
+    for key in reversed(keys[50:]):
+        assert tree.delete(key, key)
+        tree.check_invariants()
+    assert len(tree) == 0
+    assert tree.params().level == 1
+
+
+def test_node_access_accounting():
+    calls = []
+    tree = BPlusTree(order=2, on_node_access=lambda: calls.append(1))
+    for key in range(50):
+        tree.insert(key, key)
+    calls.clear()
+    tree.search(25)
+    # One node per level; the leaf-chain scan may peek one extra leaf.
+    assert tree.params().level <= len(calls) <= tree.params().level + 1
+
+
+def test_invariants_after_bulk_insert():
+    tree = BPlusTree(order=3)
+    import random
+
+    rng = random.Random(7)
+    keys = list(range(500))
+    rng.shuffle(keys)
+    for key in keys:
+        tree.insert(key, key)
+    tree.check_invariants()
+    assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), max_size=120))
+def test_property_sorted_iteration(keys):
+    tree = BPlusTree(order=2)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    assert [k for k, _ in tree.items()] == sorted(keys)
+    tree.check_invariants()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(0, 60), min_size=1, max_size=80),
+    st.data(),
+)
+def test_property_insert_delete_matches_multiset(keys, data):
+    tree = BPlusTree(order=2)
+    model: list[tuple[int, int]] = []
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+        model.append((key, i))
+    to_delete = data.draw(
+        st.lists(st.sampled_from(model), unique=True, max_size=len(model))
+    )
+    for key, value in to_delete:
+        assert tree.delete(key, value)
+        model.remove((key, value))
+        tree.check_invariants()
+    assert sorted(model) == list(tree.items())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 100), max_size=80),
+    st.integers(0, 100),
+    st.integers(0, 100),
+)
+def test_property_range_scan_matches_filter(keys, a, b):
+    lo, hi = min(a, b), max(a, b)
+    tree = BPlusTree(order=2)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    expected = sorted((k, i) for i, k in enumerate(keys) if lo <= k <= hi)
+    assert list(tree.range_scan(lo, hi)) == expected

@@ -1,0 +1,140 @@
+"""Tests for the simulated disk and its Table 10 cost accounting."""
+
+import pytest
+
+from repro.core.errors import StorageError, VolumeError
+from repro.storage.disk import DiskParams, IOStats, SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(DiskParams(block_size=256))
+
+
+def test_mount_and_allocate(disk):
+    vol = disk.mount_volume()
+    first = disk.allocate_page(vol)
+    second = disk.allocate_page(vol)
+    assert first == 0
+    assert second == 1
+    assert disk.num_pages(vol) == 2
+
+
+def test_read_back_written_page(disk):
+    vol = disk.mount_volume()
+    page = disk.allocate_page(vol)
+    image = bytes(range(256))
+    disk.write_page(vol, page, image)
+    assert disk.read_page(vol, page) == image
+
+
+def test_write_wrong_size_rejected(disk):
+    vol = disk.mount_volume()
+    page = disk.allocate_page(vol)
+    with pytest.raises(StorageError):
+        disk.write_page(vol, page, b"short")
+
+
+def test_unknown_volume_rejected(disk):
+    with pytest.raises(VolumeError):
+        disk.read_page(99, 0)
+
+
+def test_page_out_of_range_rejected(disk):
+    vol = disk.mount_volume()
+    with pytest.raises(StorageError):
+        disk.read_page(vol, 5)
+
+
+def test_free_page_reuse(disk):
+    vol = disk.mount_volume()
+    first = disk.allocate_page(vol)
+    disk.allocate_page(vol)
+    disk.free_page(vol, first)
+    assert disk.num_pages(vol) == 1
+    reused = disk.allocate_page(vol)
+    assert reused == first
+    # Freed-then-reused pages come back zeroed.
+    assert disk.peek_page(vol, reused) == bytes(256)
+
+
+def test_sequential_vs_random_classification(disk):
+    vol = disk.mount_volume()
+    for _ in range(4):
+        disk.allocate_page(vol)
+    disk.stats.reset()
+    disk.read_page(vol, 0)  # random (first access)
+    disk.read_page(vol, 1)  # sequential
+    disk.read_page(vol, 2)  # sequential
+    disk.read_page(vol, 0)  # random (backwards)
+    assert disk.stats.random_reads == 2
+    assert disk.stats.sequential_reads == 2
+
+
+def test_elapsed_time_matches_formulas():
+    params = DiskParams(block_size=64)
+    disk = SimulatedDisk(params)
+    vol = disk.mount_volume()
+    for _ in range(3):
+        disk.allocate_page(vol)
+    disk.stats.reset()
+    disk.read_page(vol, 0)
+    disk.read_page(vol, 1)
+    disk.read_page(vol, 2)
+    expected = params.rnd_cost(1) + 2 * params.ebt
+    assert disk.stats.elapsed_ms == pytest.approx(expected)
+
+
+def test_seqcost_and_rndcost_formulas():
+    params = DiskParams(btt=1.0, ebt=2.0, r=3.0, s=4.0)
+    assert params.seq_cost(10) == pytest.approx(4.0 + 3.0 + 10 * 2.0)
+    assert params.rnd_cost(10) == pytest.approx(10 * (4.0 + 3.0 + 1.0))
+    assert params.seq_cost(0) == 0.0
+    assert params.rnd_cost(0) == 0.0
+
+
+def test_esm_mode_sequential_equals_random():
+    """The paper: in ESM a file is a B+-tree, so SEQCOST == RNDCOST."""
+    params = DiskParams(esm_sequential_is_random=True)
+    assert params.seq_cost(7) == pytest.approx(params.rnd_cost(7))
+    disk = SimulatedDisk(params)
+    vol = disk.mount_volume()
+    disk.allocate_page(vol)
+    disk.allocate_page(vol)
+    disk.stats.reset()
+    disk.read_page(vol, 0)
+    disk.read_page(vol, 1)  # physically sequential, still charged random
+    assert disk.stats.random_reads == 2
+    assert disk.stats.sequential_reads == 0
+
+
+def test_iostats_snapshot_and_delta():
+    params = DiskParams()
+    stats = IOStats()
+    stats.charge_random_read(params, 3)
+    snap = stats.snapshot()
+    stats.charge_sequential_read(params, 2)
+    delta = stats.since(snap)
+    assert delta.random_reads == 0
+    assert delta.sequential_reads == 2
+    assert delta.elapsed_ms == pytest.approx(2 * params.ebt)
+
+
+def test_crash_resets_access_history(disk):
+    vol = disk.mount_volume()
+    disk.allocate_page(vol)
+    disk.allocate_page(vol)
+    disk.read_page(vol, 0)
+    disk.crash()
+    disk.stats.reset()
+    disk.read_page(vol, 1)  # would have been sequential before the crash
+    assert disk.stats.random_reads == 1
+
+
+def test_peek_and_poke_do_not_charge(disk):
+    vol = disk.mount_volume()
+    page = disk.allocate_page(vol)
+    disk.stats.reset()
+    disk.poke_page(vol, page, bytes(256))
+    disk.peek_page(vol, page)
+    assert disk.stats.page_ios == 0

@@ -1,0 +1,122 @@
+"""Tests for the extendible hash index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexStructureError
+from repro.storage.hashindex import ExtendibleHashIndex, _stable_hash
+
+
+def test_insert_and_search():
+    index = ExtendibleHashIndex(bucket_capacity=2)
+    index.insert("alpha", 1)
+    index.insert("beta", 2)
+    assert index.search("alpha") == [1]
+    assert index.search("gamma") == []
+
+
+def test_duplicate_keys_nonunique():
+    index = ExtendibleHashIndex(bucket_capacity=2)
+    index.insert("k", 1)
+    index.insert("k", 2)
+    assert sorted(index.search("k")) == [1, 2]
+
+
+def test_unique_index_rejects_duplicates():
+    index = ExtendibleHashIndex(bucket_capacity=2, unique=True)
+    index.insert("k", 1)
+    with pytest.raises(IndexStructureError):
+        index.insert("k", 2)
+
+
+def test_directory_doubles_under_load():
+    index = ExtendibleHashIndex(bucket_capacity=2)
+    for i in range(64):
+        index.insert(i, i)
+    assert index.global_depth > 0
+    assert index.directory_size == 1 << index.global_depth
+    assert index.stats.directory_doublings > 0
+    index.check_invariants()
+
+
+def test_all_entries_findable_after_splits():
+    index = ExtendibleHashIndex(bucket_capacity=2)
+    for i in range(200):
+        index.insert(i, i * 10)
+    for i in range(200):
+        assert index.search(i) == [i * 10]
+
+
+def test_delete():
+    index = ExtendibleHashIndex(bucket_capacity=4)
+    index.insert("x", 1)
+    index.insert("x", 2)
+    assert index.delete("x", 1)
+    assert index.search("x") == [2]
+    assert not index.delete("x", 99)
+    assert len(index) == 1
+
+
+def test_items_covers_everything_once():
+    index = ExtendibleHashIndex(bucket_capacity=2)
+    entries = [(i, str(i)) for i in range(50)]
+    for key, value in entries:
+        index.insert(key, value)
+    assert sorted(index.items()) == sorted(entries)
+
+
+def test_stable_hash_is_deterministic():
+    assert _stable_hash("mood") == _stable_hash("mood")
+    assert _stable_hash(42) == _stable_hash(42)
+    assert _stable_hash(3.5) == _stable_hash(3.5)
+    assert _stable_hash(True) == _stable_hash(1)
+
+
+def test_bucket_access_accounting():
+    calls = []
+    index = ExtendibleHashIndex(bucket_capacity=4, on_bucket_access=lambda: calls.append(1))
+    index.insert("a", 1)
+    calls.clear()
+    index.search("a")
+    assert len(calls) == 1  # equality probe reads exactly one bucket
+
+
+def test_float_and_mixed_keys():
+    index = ExtendibleHashIndex(bucket_capacity=2)
+    index.insert(1.5, "f")
+    index.insert("1.5", "s")
+    assert index.search(1.5) == ["f"]
+    assert index.search("1.5") == ["s"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 40), st.integers()), max_size=100))
+def test_property_matches_dict_of_lists(entries):
+    index = ExtendibleHashIndex(bucket_capacity=3)
+    model: dict[int, list[int]] = {}
+    for key, value in entries:
+        index.insert(key, value)
+        model.setdefault(key, []).append(value)
+    for key, values in model.items():
+        assert sorted(index.search(key)) == sorted(values)
+    index.check_invariants()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 20), st.integers(0, 5)), max_size=60),
+    st.data(),
+)
+def test_property_delete_consistency(entries, data):
+    index = ExtendibleHashIndex(bucket_capacity=2)
+    model = []
+    for key, value in entries:
+        index.insert(key, value)
+        model.append((key, value))
+    num_deletes = data.draw(st.integers(0, len(model)))
+    for _ in range(num_deletes):
+        key, value = model.pop()
+        assert index.delete(key, value)
+    assert sorted(index.items()) == sorted(model)
+    index.check_invariants()

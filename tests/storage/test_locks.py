@@ -1,0 +1,131 @@
+"""Tests for the S/X lock manager and deadlock detection."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import DeadlockError, LockError, LockTimeoutError
+from repro.storage.locks import LockManager, LockMode
+
+
+def test_shared_locks_compatible():
+    lm = LockManager()
+    lm.acquire("t1", "r", LockMode.S)
+    lm.acquire("t2", "r", LockMode.S)
+    assert set(lm.holders("r")) == {"t1", "t2"}
+
+
+def test_exclusive_blocks_shared():
+    lm = LockManager(timeout=0.05)
+    lm.acquire("t1", "r", LockMode.X)
+    with pytest.raises(LockTimeoutError):
+        lm.acquire("t2", "r", LockMode.S, timeout=0.05)
+
+
+def test_reacquire_is_idempotent():
+    lm = LockManager()
+    lm.acquire("t1", "r", LockMode.S)
+    lm.acquire("t1", "r", LockMode.S)
+    lm.acquire("t1", "r2", LockMode.X)
+    lm.acquire("t1", "r2", LockMode.X)
+    assert lm.held_by("t1") == {"r", "r2"}
+
+
+def test_x_holder_may_take_s():
+    lm = LockManager()
+    lm.acquire("t1", "r", LockMode.X)
+    lm.acquire("t1", "r", LockMode.S)  # no-op: X covers S
+    assert lm.holders("r") == {"t1": LockMode.X}
+
+
+def test_upgrade_when_sole_holder():
+    lm = LockManager()
+    lm.acquire("t1", "r", LockMode.S)
+    lm.acquire("t1", "r", LockMode.X)
+    assert lm.holders("r") == {"t1": LockMode.X}
+
+
+def test_release_unheld_rejected():
+    lm = LockManager()
+    with pytest.raises(LockError):
+        lm.release("t1", "r")
+
+
+def test_release_wakes_waiter():
+    lm = LockManager(timeout=2.0)
+    lm.acquire("t1", "r", LockMode.X)
+    acquired = threading.Event()
+
+    def waiter():
+        lm.acquire("t2", "r", LockMode.X)
+        acquired.set()
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    assert not acquired.wait(timeout=0.1)
+    lm.release("t1", "r")
+    assert acquired.wait(timeout=2.0)
+    thread.join()
+
+
+def test_release_all():
+    lm = LockManager()
+    lm.acquire("t1", "a", LockMode.S)
+    lm.acquire("t1", "b", LockMode.X)
+    lm.release_all("t1")
+    assert lm.held_by("t1") == set()
+    lm.acquire("t2", "b", LockMode.X)  # immediately grantable
+
+
+def test_deadlock_detected():
+    lm = LockManager(timeout=2.0)
+    lm.acquire("t1", "a", LockMode.X)
+    lm.acquire("t2", "b", LockMode.X)
+
+    results = {}
+
+    def t1_wants_b():
+        try:
+            lm.acquire("t1", "b", LockMode.X, timeout=1.0)
+            results["t1"] = "got"
+        except (DeadlockError, LockTimeoutError) as exc:
+            results["t1"] = type(exc).__name__
+
+    thread = threading.Thread(target=t1_wants_b)
+    thread.start()
+    import time
+
+    time.sleep(0.05)  # let t1 enqueue its wait
+    # t2 requesting a closes the cycle t2 -> t1 -> t2.
+    with pytest.raises(DeadlockError):
+        lm.acquire("t2", "a", LockMode.X, timeout=1.0)
+    # Resolve: t2 aborts and releases, t1 proceeds.
+    lm.release_all("t2")
+    thread.join()
+    assert results["t1"] == "got"
+
+
+def test_upgrade_deadlock_between_two_s_holders():
+    lm = LockManager(timeout=0.5)
+    lm.acquire("t1", "r", LockMode.S)
+    lm.acquire("t2", "r", LockMode.S)
+
+    outcome = {}
+
+    def t1_upgrade():
+        try:
+            lm.acquire("t1", "r", LockMode.X, timeout=0.5)
+            outcome["t1"] = "got"
+        except (DeadlockError, LockTimeoutError) as exc:
+            outcome["t1"] = type(exc).__name__
+
+    thread = threading.Thread(target=t1_upgrade)
+    thread.start()
+    import time
+
+    time.sleep(0.05)
+    with pytest.raises(DeadlockError):
+        lm.acquire("t2", "r", LockMode.X, timeout=0.5)
+    lm.release_all("t2")
+    thread.join()
+    assert outcome["t1"] == "got"

@@ -1,0 +1,163 @@
+"""Tests for the slotted-page layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import PageFullError, RecordNotFoundError
+from repro.storage.page import HEADER_SIZE, SLOT_SIZE, SlottedPage, max_record_size
+
+PAGE_SIZE = 256
+
+
+@pytest.fixture
+def page():
+    return SlottedPage.format(bytearray(PAGE_SIZE))
+
+
+def test_empty_page_has_no_slots(page):
+    assert page.num_slots == 0
+    assert page.live_slots() == []
+    assert page.free_space() == PAGE_SIZE - HEADER_SIZE
+
+
+def test_insert_and_read(page):
+    slot = page.insert(b"hello")
+    assert page.read(slot) == b"hello"
+    assert page.num_slots == 1
+
+
+def test_multiple_records_kept_distinct(page):
+    slots = [page.insert(bytes([i]) * (i + 1)) for i in range(5)]
+    for i, slot in enumerate(slots):
+        assert page.read(slot) == bytes([i]) * (i + 1)
+
+
+def test_delete_leaves_tombstone(page):
+    slot = page.insert(b"doomed")
+    page.delete(slot)
+    assert not page.slot_is_live(slot)
+    with pytest.raises(RecordNotFoundError):
+        page.read(slot)
+    # Slot numbers of other records are stable.
+    other = page.insert(b"new")
+    assert other == slot  # tombstone reused
+    assert page.read(other) == b"new"
+
+
+def test_double_delete_rejected(page):
+    slot = page.insert(b"x")
+    page.delete(slot)
+    with pytest.raises(RecordNotFoundError):
+        page.delete(slot)
+
+
+def test_read_bad_slot_rejected(page):
+    with pytest.raises(RecordNotFoundError):
+        page.read(0)
+
+
+def test_update_in_place_shrink(page):
+    slot = page.insert(b"abcdef")
+    page.update(slot, b"ab")
+    assert page.read(slot) == b"ab"
+
+
+def test_update_grow_within_page(page):
+    slot = page.insert(b"ab")
+    page.update(slot, b"abcdefgh")
+    assert page.read(slot) == b"abcdefgh"
+
+
+def test_update_too_large_raises_and_preserves(page):
+    slot = page.insert(b"keepme")
+    big = b"x" * (PAGE_SIZE - HEADER_SIZE)
+    with pytest.raises(PageFullError):
+        page.update(slot, big)
+    assert page.read(slot) == b"keepme"
+
+
+def test_page_full_raises(page):
+    record = b"r" * 40
+    inserted = 0
+    with pytest.raises(PageFullError):
+        for _ in range(100):
+            page.insert(record)
+            inserted += 1
+    assert inserted >= 4  # 256-byte page holds several 40-byte records
+    # Existing records survive the failed insert.
+    assert len(page.live_slots()) == inserted
+
+
+def test_oversized_record_rejected(page):
+    with pytest.raises(PageFullError):
+        page.insert(b"x" * (max_record_size(PAGE_SIZE) + 1))
+
+
+def test_compaction_reclaims_dead_space(page):
+    slots = [page.insert(b"a" * 30) for _ in range(5)]
+    for slot in slots[:-1]:
+        page.delete(slot)
+    # After deleting 4 of 5, a record that only fits post-compaction works.
+    big = b"b" * (page.free_space() + 100)
+    assert page.has_room_for(big)
+    new_slot = page.insert(big)
+    assert page.read(new_slot) == big
+    assert page.read(slots[-1]) == b"a" * 30
+
+
+def test_records_enumerates_live_only(page):
+    keep = page.insert(b"keep")
+    kill = page.insert(b"kill")
+    page.delete(kill)
+    assert page.records() == [(keep, b"keep")]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.binary(min_size=0, max_size=24),
+        min_size=0,
+        max_size=12,
+    )
+)
+def test_property_insert_read_roundtrip(payloads):
+    page = SlottedPage.format(bytearray(512))
+    slots = []
+    for payload in payloads:
+        slots.append(page.insert(payload))
+    for slot, payload in zip(slots, payloads):
+        assert page.read(slot) == payload
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "delete", "update"]),
+                  st.binary(min_size=0, max_size=20)),
+        max_size=30,
+    )
+)
+def test_property_mixed_operations_consistent(ops):
+    """A shadow dict model agrees with the page under random operations."""
+    page = SlottedPage.format(bytearray(512))
+    model: dict[int, bytes] = {}
+    for op, payload in ops:
+        if op == "insert":
+            try:
+                slot = page.insert(payload)
+            except PageFullError:
+                continue
+            model[slot] = payload
+        elif op == "delete" and model:
+            slot = sorted(model)[0]
+            page.delete(slot)
+            del model[slot]
+        elif op == "update" and model:
+            slot = sorted(model)[-1]
+            try:
+                page.update(slot, payload)
+            except PageFullError:
+                continue
+            model[slot] = payload
+    assert dict(page.records()) == model

@@ -1,0 +1,150 @@
+"""Tests for the Guttman R-tree (MoodView's spatial indexing tool)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexStructureError
+from repro.storage.rtree import Rect, RTree
+
+
+def test_rect_validation():
+    with pytest.raises(IndexStructureError):
+        Rect(5, 0, 1, 1)
+
+
+def test_rect_geometry():
+    a = Rect(0, 0, 2, 2)
+    b = Rect(1, 1, 3, 3)
+    assert a.intersects(b)
+    assert a.union(b) == Rect(0, 0, 3, 3)
+    assert a.area() == 4
+    assert a.enlargement(b) == pytest.approx(9 - 4)
+    assert Rect(0, 0, 4, 4).contains(a)
+    assert not a.contains(Rect(0, 0, 4, 4))
+
+
+def test_disjoint_rects_do_not_intersect():
+    assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+    # Touching edges intersect.
+    assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+
+
+def test_min_distance():
+    rect = Rect(2, 2, 4, 4)
+    assert rect.min_distance_to(3, 3) == 0.0
+    assert rect.min_distance_to(0, 3) == pytest.approx(2.0)
+    assert rect.min_distance_to(0, 0) == pytest.approx(8 ** 0.5)
+
+
+def test_insert_and_window_search():
+    tree = RTree(max_entries=4)
+    for i in range(10):
+        tree.insert(Rect.point(i, i), f"p{i}")
+    hits = tree.search(Rect(2.5, 2.5, 6.5, 6.5))
+    assert sorted(v for _, v in hits) == ["p3", "p4", "p5", "p6"]
+
+
+def test_split_keeps_everything_findable():
+    tree = RTree(max_entries=3)
+    points = [(i % 10, i // 10) for i in range(100)]
+    for i, (x, y) in enumerate(points):
+        tree.insert(Rect.point(x, y), i)
+    tree.check_invariants()
+    hits = tree.search(Rect(-1, -1, 11, 11))
+    assert sorted(v for _, v in hits) == list(range(100))
+    assert tree.height > 1
+
+
+def test_nearest_neighbour():
+    tree = RTree(max_entries=4)
+    for i in range(20):
+        tree.insert(Rect.point(i, 0), i)
+    nearest = tree.nearest(7.3, 0, k=2)
+    values = [v for _, v in nearest]
+    assert values[0] == 7
+    assert values[1] == 8
+
+
+def test_nearest_empty_and_zero_k():
+    tree = RTree(max_entries=4)
+    assert tree.nearest(0, 0, k=0) == []
+    tree.insert(Rect.point(1, 1), "only")
+    assert [v for _, v in tree.nearest(0, 0, k=5)] == ["only"]
+
+
+def test_delete_and_condense():
+    tree = RTree(max_entries=3)
+    entries = [(Rect.point(i, i), i) for i in range(50)]
+    for rect, value in entries:
+        tree.insert(rect, value)
+    for rect, value in entries[:40]:
+        assert tree.delete(rect, value)
+        tree.check_invariants()
+    remaining = sorted(v for _, v in tree.search(Rect(-1, -1, 60, 60)))
+    assert remaining == list(range(40, 50))
+    assert not tree.delete(Rect.point(0, 0), 0)
+
+
+def test_delete_to_empty():
+    tree = RTree(max_entries=3)
+    for i in range(10):
+        tree.insert(Rect.point(i, 0), i)
+    for i in range(10):
+        assert tree.delete(Rect.point(i, 0), i)
+    assert len(tree) == 0
+    assert tree.height == 1
+    tree.check_invariants()
+
+
+def test_overlapping_rectangles():
+    tree = RTree(max_entries=4)
+    tree.insert(Rect(0, 0, 10, 10), "big")
+    tree.insert(Rect(2, 2, 3, 3), "small")
+    hits = tree.search(Rect(2.5, 2.5, 2.6, 2.6))
+    assert sorted(v for _, v in hits) == ["big", "small"]
+
+
+coords = st.integers(0, 50)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(coords, coords), min_size=1, max_size=80))
+def test_property_window_query_matches_filter(points):
+    tree = RTree(max_entries=4)
+    for i, (x, y) in enumerate(points):
+        tree.insert(Rect.point(x, y), i)
+    tree.check_invariants()
+    window = Rect(10, 10, 30, 30)
+    expected = sorted(
+        i for i, (x, y) in enumerate(points) if 10 <= x <= 30 and 10 <= y <= 30
+    )
+    assert sorted(v for _, v in tree.search(window)) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(coords, coords), min_size=2, max_size=40), st.data())
+def test_property_delete_keeps_invariants(points, data):
+    tree = RTree(max_entries=3)
+    entries = [(Rect.point(x, y), i) for i, (x, y) in enumerate(points)]
+    for rect, value in entries:
+        tree.insert(rect, value)
+    removed = data.draw(st.lists(st.sampled_from(entries), unique=True))
+    for rect, value in removed:
+        assert tree.delete(rect, value)
+        tree.check_invariants()
+    kept = {v for _, v in entries} - {v for _, v in removed}
+    assert {v for _, v in tree.search(Rect(-1, -1, 60, 60))} == kept
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(coords, coords), min_size=1, max_size=40),
+       st.tuples(coords, coords))
+def test_property_nearest_is_truly_nearest(points, query):
+    tree = RTree(max_entries=4)
+    for i, (x, y) in enumerate(points):
+        tree.insert(Rect.point(x, y), i)
+    qx, qy = query
+    (rect, value), = tree.nearest(qx, qy, k=1)
+    best = min(((px - qx) ** 2 + (py - qy) ** 2) ** 0.5 for px, py in points)
+    assert rect.min_distance_to(qx, qy) == pytest.approx(best)
