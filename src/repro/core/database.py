@@ -8,9 +8,14 @@ experiments.
 
 from __future__ import annotations
 
-from repro.core.kernel import MoodKernel, QueryResult, StatementResult
+from repro.core.kernel import (
+    ExplainResult,
+    MoodKernel,
+    QueryResult,
+    StatementResult,
+)
 from repro.model.objects import MoodObject
-from repro.sql.ast import SelectQuery
+from repro.sql.ast import ExplainStmt, SelectQuery
 from repro.sql.parser import parse_script
 from repro.storage.disk import DiskParams, IOStats
 from repro.storage.oid import OID
@@ -42,10 +47,11 @@ class MoodDatabase:
         statements = parse_script(sql)
         results = []
         for statement in statements:
-            if isinstance(statement, SelectQuery):
+            read_only = isinstance(statement, (SelectQuery, ExplainStmt))
+            if read_only:
                 self._ensure_statistics()
             result = self.kernel.execute_statement(statement)
-            if not isinstance(statement, SelectQuery):
+            if not read_only:
                 self._schema_version += 1
             results.append(result)
         return results
@@ -54,6 +60,16 @@ class MoodDatabase:
         result = self.execute(sql)
         if not isinstance(result, QueryResult):
             raise TypeError("query() is for SELECT statements")
+        return result
+
+    def explain(self, sql: str, analyze: bool = True) -> ExplainResult:
+        """``EXPLAIN [ANALYZE]`` a query; a bare SELECT is prefixed."""
+        text = sql.strip().rstrip(";")
+        if not text.upper().startswith("EXPLAIN"):
+            text = ("EXPLAIN ANALYZE " if analyze else "EXPLAIN ") + text
+        result = self.execute(text)
+        if not isinstance(result, ExplainResult):
+            raise TypeError("explain() is for SELECT statements")
         return result
 
     def _ensure_statistics(self) -> None:

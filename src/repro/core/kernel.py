@@ -29,6 +29,12 @@ from repro.engine.indexes import IndexManager
 from repro.engine.objects import ObjectManager
 from repro.functions.manager import FunctionManager
 from repro.model.objects import MoodObject
+from repro.obs.explain import (
+    ExplainReport,
+    analyze_query_plan,
+    explain_query_plan,
+)
+from repro.obs.spans import Span, SpanRecorder
 from repro.optimizer.planner import Planner, QueryPlan
 from repro.sql.ast import (
     AlterClass,
@@ -40,12 +46,14 @@ from repro.sql.ast import (
     DropClass,
     DropIndex,
     DropMethod,
+    ExplainStmt,
     NewObject,
     SelectQuery,
     Statement,
     UpdateStmt,
 )
 from repro.sql.parser import parse as parse_sql
+from repro.sql.rewrite import describe_rewrite
 from repro.storage.disk import DiskParams
 from repro.storage.manager import StorageManager
 
@@ -69,6 +77,23 @@ class QueryResult:
     def scalars(self) -> list:
         """First-column values (convenient for single-projection queries)."""
         return [row[0] for row in self.rows]
+
+
+@dataclass
+class ExplainResult:
+    """Result of ``EXPLAIN [ANALYZE]``: the report, the plan, the spans,
+    and (for ANALYZE) the executed query's full :class:`QueryResult`."""
+
+    report: ExplainReport
+    plan: QueryPlan
+    spans: list[Span]
+    result: QueryResult | None = None
+
+    def render(self) -> str:
+        return self.report.render()
+
+    def __str__(self) -> str:
+        return self.render()
 
 
 @dataclass
@@ -141,6 +166,8 @@ class MoodKernel:
         self.trace = [TraceEvent("PARSE")]
         if isinstance(statement, SelectQuery):
             return self._execute_select(statement)
+        if isinstance(statement, ExplainStmt):
+            return self._execute_explain(statement)
         if isinstance(statement, CreateClass):
             return self._execute_create_class(statement)
         if isinstance(statement, DropClass):
@@ -180,7 +207,9 @@ class MoodKernel:
 
     # -- SELECT -----------------------------------------------------------------
 
-    def _execute_select(self, query: SelectQuery) -> QueryResult:
+    def _execute_select(
+        self, query: SelectQuery, spans: SpanRecorder | None = None
+    ) -> QueryResult:
         self.trace.append(TraceEvent("SIMPLIFY"))
         self.trace.append(TraceEvent("DNF"))
         self.trace.append(TraceEvent("OPTIMIZE"))
@@ -192,6 +221,7 @@ class MoodKernel:
             catalog=self.catalog,
             index_manager=self.indexes,
             trace=self.trace,
+            spans=spans,
         )
         binding_rows = executor.execute_plan(plan)
         columns, rows = self._project(query, binding_rows)
@@ -204,6 +234,55 @@ class MoodKernel:
             binding_rows=binding_rows,
             plan=plan,
             trace=list(self.trace),
+        )
+
+    # -- EXPLAIN [ANALYZE] --------------------------------------------------
+
+    def _execute_explain(self, statement: ExplainStmt) -> ExplainResult:
+        pipeline = describe_rewrite(statement.query)
+        if not statement.analyze:
+            self.trace.append(TraceEvent("SIMPLIFY"))
+            self.trace.append(TraceEvent("DNF"))
+            self.trace.append(TraceEvent("OPTIMIZE"))
+            plan = self.planner().plan_query(statement.query)
+            self.last_plan = plan
+            report = explain_query_plan(plan, pipeline)
+            return ExplainResult(report=report, plan=plan, spans=[])
+        spans = SpanRecorder(io_probe=self.storage.io_snapshot)
+        result = self._execute_select(statement.query, spans=spans)
+        report = analyze_query_plan(result.plan, spans.roots, pipeline)
+        return ExplainResult(
+            report=report, plan=result.plan, spans=spans.roots, result=result
+        )
+
+    def analyze_plan(self, plan: QueryPlan) -> ExplainResult:
+        """Execute an arbitrary plan under span recording and build its
+        ANALYZE report.  The entry point tests and benchmarks use to
+        validate hand-built plans (e.g. the paper's own Example 8.1 plan)
+        against the simulated disk."""
+        spans = SpanRecorder(io_probe=self.storage.io_snapshot)
+        executor = Executor(
+            objects=self.objects,
+            evaluator=self.evaluator,
+            catalog=self.catalog,
+            index_manager=self.indexes,
+            trace=self.trace,
+            spans=spans,
+        )
+        binding_rows = executor.execute_plan(plan)
+        report = analyze_query_plan(plan, spans.roots)
+        result = QueryResult(
+            columns=list(plan.output_vars),
+            rows=[
+                tuple(row[var] for var in plan.output_vars if var in row)
+                for row in binding_rows
+            ],
+            binding_rows=binding_rows,
+            plan=plan,
+            trace=list(self.trace),
+        )
+        return ExplainResult(
+            report=report, plan=plan, spans=spans.roots, result=result
         )
 
     def _project(self, query: SelectQuery, binding_rows: list[Row]):

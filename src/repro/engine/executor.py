@@ -5,6 +5,11 @@ all I/O to the simulated disk so estimated and measured costs can be
 compared.  Emits a trace of operator events in execution order -- SELECT
 before JOIN before PROJECT before UNION, the Figure 7.2 discipline -- which
 the F71/F72 benchmarks print.
+
+When a :class:`~repro.obs.spans.SpanRecorder` is attached, every plan node
+additionally opens a structured span (rows out, charged I/O, wall time)
+nested to mirror the plan tree; the flat trace is kept as-is, and each
+trace event is also attached to the span open at emission time.
 """
 
 from __future__ import annotations
@@ -59,6 +64,7 @@ class Executor:
     catalog: Catalog
     index_manager: IndexManager | None = None
     trace: list[TraceEvent] = field(default_factory=list)
+    spans: Any = None    # optional repro.obs.spans.SpanRecorder
     _temp_cache: dict[str, list[Row]] = field(default_factory=dict)
 
     def execute_plan(self, plan: QueryPlan) -> list[Row]:
@@ -66,11 +72,25 @@ class Executor:
         return self._exec(plan.root)
 
     def _emit(self, operator: str, detail: str = "") -> None:
-        self.trace.append(TraceEvent(operator, detail))
+        event = TraceEvent(operator, detail)
+        self.trace.append(event)
+        if self.spans is not None:
+            self.spans.event(str(event))
 
     # -- dispatch ------------------------------------------------------------
 
     def _exec(self, node: PlanNode) -> list[Row]:
+        if self.spans is None:
+            return self._dispatch(node)
+        from repro.obs.spans import describe_node
+
+        operator, detail = describe_node(node)
+        with self.spans.span(operator, detail, node) as span:
+            rows = self._dispatch(node)
+            span.rows_out = len(rows)
+            return rows
+
+    def _dispatch(self, node: PlanNode) -> list[Row]:
         if isinstance(node, BindNode):
             return self._exec_bind(node)
         if isinstance(node, IndSelNode):

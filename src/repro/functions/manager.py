@@ -132,6 +132,20 @@ class FunctionManagerStats:
         self.invocations = 0
 
 
+class _FunctionCounters:
+    """Pre-resolved registry counters (``functions.*``): ``binds`` counts
+    late-binding signature resolutions, ``dispatches`` compiled-code calls."""
+
+    __slots__ = ("binds", "dispatches", "compiles", "loads", "cache_hits")
+
+    def __init__(self, component):
+        self.binds = component.counter("binds")
+        self.dispatches = component.counter("dispatches")
+        self.compiles = component.counter("compiles")
+        self.loads = component.counter("loads")
+        self.cache_hits = component.counter("cache_hits")
+
+
 class FunctionManager:
     """Adds, updates, deletes and invokes the member functions of classes."""
 
@@ -142,6 +156,10 @@ class FunctionManager:
         self._shared: dict[str, _SharedObject] = {}
         # Shared objects currently loaded "into memory" for this scope.
         self._loaded: set[str] = set()
+        self._metrics = None
+        registry = getattr(getattr(catalog, "storage", None), "metrics", None)
+        if registry is not None:
+            self._metrics = _FunctionCounters(registry.component("functions"))
 
     # -- compilation ------------------------------------------------------
 
@@ -163,6 +181,8 @@ class FunctionManager:
         namespace: dict[str, Any] = {}
         exec(code, namespace)
         self.stats.compiles += 1
+        if self._metrics is not None:
+            self._metrics.compiles.inc()
         return namespace[function.name]
 
     def _rebuild_shared_object(self, class_name: str) -> None:
@@ -210,6 +230,8 @@ class FunctionManager:
                 arguments: list[Any]) -> MoodsFunction:
         """Find the function row: exact signature first, then a
         compatible-arity overload, walking the hierarchy."""
+        if self._metrics is not None:
+            self._metrics.binds.inc()
         signature = signature_for_call(class_name, function_name, arguments)
         try:
             return self.catalog.function_by_signature(signature)
@@ -239,6 +261,8 @@ class FunctionManager:
             self._rebuild_shared_object(class_name)
         if class_name in self._loaded:
             self.stats.cache_hits += 1
+            if self._metrics is not None:
+                self._metrics.cache_hits.inc()
         else:
             # Opening the shared object requires it not being rewritten.
             locks = self.catalog.storage.locks
@@ -247,6 +271,8 @@ class FunctionManager:
             try:
                 self._loaded.add(class_name)
                 self.stats.loads += 1
+                if self._metrics is not None:
+                    self._metrics.loads.inc()
             finally:
                 locks.release(owner, self._lock_name(class_name))
         return self._shared[class_name]
@@ -261,6 +287,8 @@ class FunctionManager:
         """
         arguments = arguments or []
         self.stats.invocations += 1
+        if self._metrics is not None:
+            self._metrics.dispatches.inc()
         function = self._locate(obj.class_name, function_name, arguments)
         shared = self._ensure_loaded(function.owner)
         callable_ = shared.functions.get(function.name)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.errors import MoodError
-from repro.core.kernel import MoodKernel, QueryResult
+from repro.core.kernel import ExplainResult, MoodKernel, QueryResult
 from repro.model.objects import MoodObject
 
 
@@ -39,6 +39,23 @@ class QueryManager:
         if not isinstance(result, QueryResult):
             raise MoodError("the query manager runs SELECT statements")
         return result
+
+    def explain(self, sql: str, analyze: bool = True) -> str:
+        """``EXPLAIN [ANALYZE]`` a query and return the rendered report
+        (a bare SELECT is prefixed); recorded in the session history."""
+        text = sql.strip().rstrip(";")
+        if not text.upper().startswith("EXPLAIN"):
+            text = ("EXPLAIN ANALYZE " if analyze else "EXPLAIN ") + text
+        try:
+            result = self.kernel.execute(text)
+        except MoodError as exc:
+            self.history.append(HistoryEntry(text, ok=False, error=str(exc)))
+            raise
+        if not isinstance(result, ExplainResult):
+            raise MoodError("explain runs SELECT statements")
+        rows = len(result.result) if result.result is not None else 0
+        self.history.append(HistoryEntry(text, ok=True, rows=rows))
+        return result.render()
 
     def previous(self, offset: int = 1) -> str:
         """Access a previous query of the session (1 = most recent)."""

@@ -1,0 +1,47 @@
+"""repro.obs: the unified observability layer.
+
+Three cooperating pieces turn the reproduction's analytic cost model into a
+measurable, regression-testable contract:
+
+* :mod:`repro.obs.metrics` -- a process-wide :class:`MetricsRegistry` of
+  named counters/histograms with cheap per-component handles, wired into the
+  simulated disk, the buffer manager, the lock manager, the WAL and the
+  function manager;
+* :mod:`repro.obs.spans` -- structured trace spans that mirror the plan
+  tree: every executed plan operator records rows out, charged page I/O and
+  wall/simulated time;
+* :mod:`repro.obs.explain` / :mod:`repro.obs.validate` -- the
+  ``EXPLAIN ANALYZE`` report builder (estimated cost per node side-by-side
+  with actual charged I/O) and the :class:`CostValidator` that tests and
+  benchmarks use to assert estimate/actual agreement within a tolerance.
+
+Attribute access is lazy (PEP 562): the storage layer imports
+:mod:`repro.obs.metrics` while ``repro.storage`` is still initialising, and
+an eager import of :mod:`repro.obs.spans` here would close a cycle through
+the optimizer and catalog packages.
+"""
+
+_EXPORTS = {
+    "ComponentMetrics": "repro.obs.metrics",
+    "Counter": "repro.obs.metrics",
+    "Histogram": "repro.obs.metrics",
+    "MetricsRegistry": "repro.obs.metrics",
+    "Span": "repro.obs.spans",
+    "SpanRecorder": "repro.obs.spans",
+    "ExplainLine": "repro.obs.explain",
+    "ExplainReport": "repro.obs.explain",
+    "CostCheck": "repro.obs.validate",
+    "CostValidationError": "repro.obs.validate",
+    "CostValidator": "repro.obs.validate",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,278 @@
+"""The ``EXPLAIN [ANALYZE]`` report.
+
+``EXPLAIN`` renders the optimizer's chosen plan with per-node estimated
+cost (milliseconds of the Section 5 SEQCOST/RNDCOST model) and estimated
+cardinality.  ``EXPLAIN ANALYZE`` additionally executes the plan under a
+:class:`~repro.obs.spans.SpanRecorder` and reports, side-by-side and per
+node, the actual charged page I/O, actual simulated milliseconds, actual
+row counts and the prediction-error ratio ``act/est``.
+
+Estimated totals are computed over the *span* tree, not the plan tree, so
+that a temporary (the paper's T1) executed inline under its first
+``NamedRef`` is charged to the same node on both sides of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.spans import Span, describe_node
+from repro.optimizer.plan import NamedRef, PlanNode, render_plan
+
+
+@dataclass
+class ExplainLine:
+    """One plan operator's estimated and (optionally) actual figures.
+
+    ``est_total_ms``/``act_*`` figures cover the operator's subtree;
+    ``est_self_ms``/``act_self_*`` subtract the children.
+    """
+
+    depth: int
+    operator: str
+    detail: str
+    est_self_ms: float
+    est_total_ms: float
+    est_rows: float
+    act_rows: int | None = None
+    act_pages: int | None = None        # subtree page I/O
+    act_sim_ms: float | None = None     # subtree simulated ms
+    act_wall_ms: float | None = None    # subtree host wall-clock ms
+    act_self_pages: int | None = None
+    act_self_ms: float | None = None
+    span: Span | None = None
+
+    @property
+    def ratio(self) -> float | None:
+        """Prediction-error ratio act/est over the subtree, or None."""
+        if self.act_sim_ms is None or self.est_total_ms <= 0.0:
+            return None
+        return self.act_sim_ms / self.est_total_ms
+
+    @property
+    def label(self) -> str:
+        return f"{self.operator}({self.detail})" if self.detail \
+            else self.operator
+
+
+@dataclass
+class ExplainReport:
+    """The rendered product of ``EXPLAIN [ANALYZE]``."""
+
+    plan_text: str
+    lines: list[ExplainLine]
+    analyzed: bool
+    pipeline: list[str] = field(default_factory=list)
+    total_estimated_ms: float = 0.0
+    total_actual_ms: float | None = None
+    total_actual_pages: int | None = None
+
+    @property
+    def error_ratio(self) -> float | None:
+        """Whole-plan act/est ratio (None without ANALYZE or estimates)."""
+        if self.total_actual_ms is None or self.total_estimated_ms <= 0.0:
+            return None
+        return self.total_actual_ms / self.total_estimated_ms
+
+    def find(self, operator: str, detail_contains: str = "") -> ExplainLine:
+        for line in self.lines:
+            if line.operator == operator and detail_contains in line.detail:
+                return line
+        raise KeyError(f"no {operator} line matching {detail_contains!r}")
+
+    def render(self) -> str:
+        title = "EXPLAIN ANALYZE" if self.analyzed else "EXPLAIN"
+        out = [title, "=" * len(title)]
+        out.extend(self.pipeline)
+        if self.pipeline:
+            out.append("")
+        out.append(self.plan_text)
+        out.append("")
+        header = (
+            f"{'operator':<52} {'est.ms':>12} {'est.rows':>10} "
+            f"{'act.ms':>12} {'act.pages':>9} {'act.rows':>8} {'act/est':>8}"
+        )
+        out.append(header)
+        out.append("-" * len(header))
+        for line in self.lines:
+            label = "  " * line.depth + line.label
+            if len(label) > 52:
+                label = label[:49] + "..."
+            act_ms = f"{line.act_sim_ms:.3f}" if line.act_sim_ms is not None \
+                else "-"
+            act_pages = str(line.act_pages) if line.act_pages is not None \
+                else "-"
+            act_rows = str(line.act_rows) if line.act_rows is not None \
+                else "-"
+            ratio = f"{line.ratio:.2f}" if line.ratio is not None else "-"
+            out.append(
+                f"{label:<52} {line.est_total_ms:>12.3f} "
+                f"{line.est_rows:>10.1f} {act_ms:>12} {act_pages:>9} "
+                f"{act_rows:>8} {ratio:>8}"
+            )
+        out.append("-" * len(header))
+        summary = f"estimated total: {self.total_estimated_ms:.3f} ms"
+        if self.total_actual_ms is not None:
+            summary += (
+                f" | actual total: {self.total_actual_ms:.3f} ms "
+                f"({self.total_actual_pages} pages)"
+            )
+            if self.error_ratio is not None:
+                summary += f" | act/est: {self.error_ratio:.2f}"
+        out.append(summary)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+# --------------------------------------------------------------------------
+# Report construction
+# --------------------------------------------------------------------------
+
+def _span_est_self(span: Span) -> float:
+    node = span.node
+    return float(node.estimated_cost) if isinstance(node, PlanNode) else 0.0
+
+
+def _span_est_total(span: Span) -> float:
+    """Estimated cost of a span subtree, following execution structure.
+
+    A ``NamedRef`` span with children executed its temporary inline, so the
+    temporary's estimate lands here -- mirroring where the actual I/O was
+    charged.  A childless ``NamedRef`` span served cached rows: estimate 0.
+    """
+    return _span_est_self(span) + sum(
+        _span_est_total(child) for child in span.children
+    )
+
+
+def _span_est_rows(span: Span) -> float:
+    node = span.node
+    if isinstance(node, NamedRef) and node.plan is not None:
+        return float(node.plan.estimated_cardinality)
+    return float(node.estimated_cardinality) if isinstance(node, PlanNode) \
+        else 0.0
+
+
+def report_from_spans(
+    plan_root: PlanNode,
+    roots: list[Span],
+    temporaries: list[tuple[str, PlanNode]] | None = None,
+    pipeline: list[str] | None = None,
+) -> ExplainReport:
+    """Build the ANALYZE report from a recorded span tree."""
+    lines: list[ExplainLine] = []
+
+    def add(span: Span, depth: int) -> None:
+        io = span.io
+        self_io = span.self_io()
+        lines.append(ExplainLine(
+            depth=depth,
+            operator=span.operator,
+            detail=span.detail,
+            est_self_ms=_span_est_self(span),
+            est_total_ms=_span_est_total(span),
+            est_rows=_span_est_rows(span),
+            act_rows=span.rows_out,
+            act_pages=io.page_ios if io is not None else None,
+            act_sim_ms=io.elapsed_ms if io is not None else None,
+            act_wall_ms=span.wall_ms,
+            act_self_pages=self_io.page_ios,
+            act_self_ms=self_io.elapsed_ms,
+            span=span,
+        ))
+        for child in span.children:
+            add(child, depth + 1)
+
+    for root in roots:
+        add(root, 0)
+    total_est = sum(_span_est_total(root) for root in roots)
+    total_ms = sum(
+        root.io.elapsed_ms for root in roots if root.io is not None
+    )
+    total_pages = sum(
+        root.io.page_ios for root in roots if root.io is not None
+    )
+    return ExplainReport(
+        plan_text=render_plan(plan_root, temporaries),
+        lines=lines,
+        analyzed=True,
+        pipeline=list(pipeline or []),
+        total_estimated_ms=total_est,
+        total_actual_ms=total_ms,
+        total_actual_pages=total_pages,
+    )
+
+
+def report_from_plan(
+    plan_root: PlanNode,
+    temporaries: list[tuple[str, PlanNode]] | None = None,
+    pipeline: list[str] | None = None,
+) -> ExplainReport:
+    """Build the estimate-only report (``EXPLAIN`` without ``ANALYZE``)."""
+    lines: list[ExplainLine] = []
+
+    def add(node: PlanNode, depth: int) -> None:
+        operator, detail = describe_node(node)
+        total = node.estimated_cost if isinstance(node, NamedRef) \
+            else node.total_estimated_cost()
+        est_rows = node.plan.estimated_cardinality \
+            if isinstance(node, NamedRef) and node.plan is not None \
+            else node.estimated_cardinality
+        lines.append(ExplainLine(
+            depth=depth,
+            operator=operator,
+            detail=detail,
+            est_self_ms=float(node.estimated_cost),
+            est_total_ms=float(total),
+            est_rows=float(est_rows),
+        ))
+        for child in node.children():
+            add(child, depth + 1)
+
+    total_est = 0.0
+    for name, temp_plan in temporaries or []:
+        lines.append(ExplainLine(
+            depth=0,
+            operator="TEMP",
+            detail=name,
+            est_self_ms=0.0,
+            est_total_ms=float(temp_plan.total_estimated_cost()),
+            est_rows=float(temp_plan.estimated_cardinality),
+        ))
+        add(temp_plan, 1)
+        total_est += temp_plan.total_estimated_cost()
+    add(plan_root, 0)
+    total_est += plan_root.total_estimated_cost()
+    return ExplainReport(
+        plan_text=render_plan(plan_root, temporaries),
+        lines=lines,
+        analyzed=False,
+        pipeline=list(pipeline or []),
+        total_estimated_ms=total_est,
+    )
+
+
+def _plan_of(query_plan: Any) -> tuple[PlanNode, list[tuple[str, PlanNode]]]:
+    return query_plan.root, list(getattr(query_plan, "temporaries", []) or [])
+
+
+def explain_query_plan(query_plan: Any,
+                       pipeline: list[str] | None = None) -> ExplainReport:
+    """Estimate-only report for an optimizer
+    :class:`~repro.optimizer.planner.QueryPlan`."""
+    root, temporaries = _plan_of(query_plan)
+    return report_from_plan(root, temporaries, pipeline)
+
+
+def analyze_query_plan(
+    query_plan: Any,
+    roots: list[Span],
+    pipeline: list[str] | None = None,
+) -> ExplainReport:
+    """ANALYZE report for an executed
+    :class:`~repro.optimizer.planner.QueryPlan`."""
+    root, temporaries = _plan_of(query_plan)
+    return report_from_spans(root, roots, temporaries, pipeline)

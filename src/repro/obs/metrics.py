@@ -1,0 +1,155 @@
+"""A registry of named counters and histograms.
+
+Every storage and engine component exposes its operational counts through
+one shared :class:`MetricsRegistry` owned by the storage manager.  Names
+are dotted (``disk.random_reads``, ``buffer.hits``, ``locks.deadlocks``,
+``wal.records``, ``functions.dispatches``); a component obtains a
+:class:`ComponentMetrics` handle bound to its prefix once and resolves its
+counters up front, so the hot-path cost of being observed is one attribute
+increment.
+
+The registry is deliberately simulation-friendly: counters accept float
+increments (simulated milliseconds as well as page counts), and
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.since` allow
+windowed measurements without resetting the underlying components.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing named value (int or float increments)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Histogram:
+    """Streaming summary (count/total/min/max/mean) of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.reset()
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count} mean={self.mean:g} "
+            f"min={self.min} max={self.max})"
+        )
+
+
+class ComponentMetrics:
+    """A cheap handle binding a registry to one component's name prefix."""
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str):
+        self.registry = registry
+        self.prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(f"{self.prefix}.{name}")
+
+    def histogram(self, name: str) -> Histogram:
+        return self.registry.histogram(f"{self.prefix}.{name}")
+
+
+class MetricsRegistry:
+    """Process-wide registry of named :class:`Counter`/:class:`Histogram`."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access ------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def component(self, prefix: str) -> ComponentMetrics:
+        return ComponentMetrics(self, prefix)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter (0.0 if it was never touched)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0.0
+
+    def counters(self) -> dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def names(self) -> list[str]:
+        return sorted([*self._counters, *self._histograms])
+
+    # -- windows -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Counter values at this instant (histograms are not windowed)."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def since(self, earlier: dict[str, float]) -> dict[str, float]:
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        return {
+            name: counter.value - earlier.get(name, 0.0)
+            for name, counter in self._counters.items()
+            if counter.value != earlier.get(name, 0.0)
+        }
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    # -- reporting ---------------------------------------------------------
+
+    def render(self) -> str:
+        """A sorted plain-text table of every metric."""
+        lines = []
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"{name:<40} {counter.value:g}")
+        for name, histogram in sorted(self._histograms.items()):
+            lines.append(
+                f"{name:<40} n={histogram.count} mean={histogram.mean:g}"
+            )
+        return "\n".join(lines)

@@ -41,6 +41,13 @@ class PlanNode:
             child.total_estimated_cost() for child in self.children()
         )
 
+    def walk(self):
+        """Pre-order traversal of the subtree (temporaries excluded, like
+        :meth:`children`)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
 
 def _pad(indent: int) -> str:
     return "    " * indent

@@ -257,7 +257,18 @@ class AnalyzeStmt:
     pass
 
 
+@dataclass(frozen=True)
+class ExplainStmt:
+    """``EXPLAIN [ANALYZE] SELECT ...``: show the optimizer's plan with
+    per-node estimated cost; with ANALYZE, execute it and report actual
+    charged I/O side-by-side."""
+
+    query: SelectQuery
+    analyze: bool = False
+
+
 Statement = Union[
     SelectQuery, CreateClass, DropClass, AlterClass, CreateIndex, DropIndex,
     CreateMethod, DropMethod, NewObject, DeleteStmt, UpdateStmt, AnalyzeStmt,
+    ExplainStmt,
 ]

@@ -22,7 +22,7 @@ KEYWORDS = {
     "TYPE", "TUPLE", "METHODS", "METHOD", "INHERITS", "INDEX", "ON", "USING",
     "UNIQUE", "DROP", "DELETE", "UPDATE", "SET", "NEW", "AS", "TRUE",
     "FALSE", "NULL", "ANALYZE", "DISTINCT", "ATTRIBUTE", "RENAME", "TO",
-    "ALTER", "ADD",
+    "ALTER", "ADD", "EXPLAIN",
 }
 
 

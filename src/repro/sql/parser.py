@@ -32,6 +32,7 @@ from repro.sql.ast import (
     DropClass,
     DropIndex,
     DropMethod,
+    ExplainStmt,
     Expr,
     InList,
     Literal,
@@ -156,7 +157,16 @@ class Parser:
         if token.is_keyword("ANALYZE"):
             self.advance()
             return AnalyzeStmt()
+        if token.is_keyword("EXPLAIN"):
+            return self._explain()
         raise self.error("expected a statement")
+
+    def _explain(self) -> ExplainStmt:
+        self.expect_keyword("EXPLAIN")
+        analyze = self.accept_keyword("ANALYZE")
+        if not self.peek().is_keyword("SELECT"):
+            raise self.error("EXPLAIN expects a SELECT statement")
+        return ExplainStmt(query=self._select(), analyze=analyze)
 
     def _select(self) -> SelectQuery:
         self.expect_keyword("SELECT")

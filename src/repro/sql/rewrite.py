@@ -250,3 +250,32 @@ def _collect_vars(expr: Expr | None, result: set[str]) -> None:
         _collect_vars(expr.expr, result)
         for item in expr.items:
             _collect_vars(item, result)
+
+
+# --------------------------------------------------------------------------
+# Rewrite-pipeline description (EXPLAIN header)
+# --------------------------------------------------------------------------
+
+def describe_rewrite(query) -> list[str]:
+    """One line per rewrite step the query processor applied to a
+    :class:`~repro.sql.ast.SelectQuery` -- parse summary, simplification,
+    DNF shape -- rendered in the ``EXPLAIN`` report header."""
+    steps = [
+        f"PARSE: {len(query.ranges)} range variable(s), "
+        f"{len(query.projections) or '*'} projection(s)"
+    ]
+    if query.where is None:
+        steps.append("SIMPLIFY: no WHERE clause (TRUE)")
+        steps.append("DNF: 1 AND-term")
+        return steps
+    simplified = simplify(query.where)
+    steps.append(f"SIMPLIFY: {simplified}")
+    terms = to_dnf(simplified)
+    if not terms:
+        steps.append("DNF: constant FALSE (empty result)")
+    else:
+        sizes = ", ".join(str(len(term)) for term in terms)
+        steps.append(
+            f"DNF: {len(terms)} AND-term(s) with [{sizes}] predicate(s)"
+        )
+    return steps

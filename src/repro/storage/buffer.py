@@ -12,7 +12,7 @@ which models losing volatile memory in a crash.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.errors import StorageError
 from repro.storage.disk import SimulatedDisk
@@ -35,6 +35,14 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     flushes: int = 0
+    pins: int = 0
+    unpins: int = 0
+    capture_windows: int = 0   # capture windows ever opened
+    peak_resident: int = 0     # high-water mark of resident frames
+
+    @property
+    def fetches(self) -> int:
+        return self.hits + self.misses
 
     @property
     def hit_ratio(self) -> float:
@@ -46,6 +54,30 @@ class BufferStats:
         self.misses = 0
         self.evictions = 0
         self.flushes = 0
+        self.pins = 0
+        self.unpins = 0
+        self.capture_windows = 0
+        self.peak_resident = 0
+
+
+@dataclass
+class _CaptureWindow:
+    """One open before-image capture window (they nest, LIFO)."""
+
+    before: dict[PageId, bytes] = field(default_factory=dict)
+    dirty: set[PageId] = field(default_factory=set)
+
+
+class _BufferCounters:
+    """Pre-resolved registry counters for the pool's hot paths."""
+
+    __slots__ = ("hits", "misses", "evictions", "flushes")
+
+    def __init__(self, component):
+        self.hits = component.counter("hits")
+        self.misses = component.counter("misses")
+        self.evictions = component.counter("evictions")
+        self.flushes = component.counter("flushes")
 
 
 class BufferManager:
@@ -59,8 +91,12 @@ class BufferManager:
         self.stats = BufferStats()
         self._frames: dict[PageId, _Frame] = {}
         self._tick = 0
-        self._capture_before: dict[PageId, bytes] | None = None
-        self._capture_dirty: set[PageId] = set()
+        self._captures: list[_CaptureWindow] = []
+        self._metrics = None
+
+    def attach_metrics(self, component) -> None:
+        """Mirror pool activity into registry counters (``buffer.*``)."""
+        self._metrics = _BufferCounters(component)
 
     # -- core protocol -------------------------------------------------------
 
@@ -70,14 +106,22 @@ class BufferManager:
         frame = self._frames.get(page_id)
         if frame is None:
             self.stats.misses += 1
+            if self._metrics is not None:
+                self._metrics.misses.inc()
             self._ensure_room()
             frame = _Frame(page_id, bytearray(self.disk.read_page(volume, page_no)))
             self._frames[page_id] = frame
+            if len(self._frames) > self.stats.peak_resident:
+                self.stats.peak_resident = len(self._frames)
         else:
             self.stats.hits += 1
-        if self._capture_before is not None and page_id not in self._capture_before:
-            self._capture_before[page_id] = bytes(frame.data)
+            if self._metrics is not None:
+                self._metrics.hits.inc()
+        for window in self._captures:
+            if page_id not in window.before:
+                window.before[page_id] = bytes(frame.data)
         frame.pin_count += 1
+        self.stats.pins += 1
         self._tick += 1
         frame.last_used = self._tick
         return frame.data
@@ -87,9 +131,14 @@ class BufferManager:
         if frame is None or frame.pin_count == 0:
             raise StorageError(f"unpin of unpinned page {volume}.{page_no}")
         frame.pin_count -= 1
+        self.stats.unpins += 1
         frame.dirty = frame.dirty or dirty
-        if dirty and self._capture_before is not None:
-            self._capture_dirty.add((volume, page_no))
+        if dirty:
+            for window in self._captures:
+                # A window only reports pages it saw fetched: the before-
+                # image must predate the window's own start.
+                if (volume, page_no) in window.before:
+                    window.dirty.add((volume, page_no))
 
     def _ensure_room(self) -> None:
         if len(self._frames) < self.capacity:
@@ -104,34 +153,52 @@ class BufferManager:
         if frame.dirty:
             self.disk.write_page(*frame.page_id, bytes(frame.data))
             self.stats.flushes += 1
+            if self._metrics is not None:
+                self._metrics.flushes.inc()
         del self._frames[frame.page_id]
         self.stats.evictions += 1
+        if self._metrics is not None:
+            self._metrics.evictions.inc()
 
     # -- page-image capture (write-ahead logging support) --------------------
 
     def start_capture(self) -> None:
-        """Begin recording before-images of pages touched from now on."""
-        if self._capture_before is not None:
-            raise StorageError("page capture already in progress")
-        self._capture_before = {}
-        self._capture_dirty = set()
+        """Begin recording before-images of pages touched from now on.
+
+        Windows nest: each ``start_capture`` pushes a fresh window and each
+        ``end_capture`` pops the innermost one, so WAL before-image capture
+        and an observability measurement window can coexist.  Every open
+        window records the before-image of each page fetched while it is
+        open, independently of the others.
+        """
+        self._captures.append(_CaptureWindow())
+        self.stats.capture_windows += 1
 
     def end_capture(self) -> list[tuple[PageId, bytes, bytes]]:
-        """Stop capturing; return ``(page_id, before, after)`` per dirtied page."""
-        if self._capture_before is None:
+        """Close the innermost window; return ``(page_id, before, after)``
+        per page dirtied inside it."""
+        if not self._captures:
             raise StorageError("no page capture in progress")
+        window = self._captures.pop()
         changes: list[tuple[PageId, bytes, bytes]] = []
-        for page_id in sorted(self._capture_dirty):
-            before = self._capture_before[page_id]
+        for page_id in sorted(window.dirty):
+            before = window.before[page_id]
             frame = self._frames.get(page_id)
             if frame is not None:
                 after = bytes(frame.data)
             else:  # evicted mid-operation; the disk holds the after-image
                 after = self.disk.peek_page(*page_id)
             changes.append((page_id, before, after))
-        self._capture_before = None
-        self._capture_dirty = set()
+        # Outer windows must also report pages dirtied by the inner one.
+        for outer in self._captures:
+            outer.dirty.update(
+                page_id for page_id in window.dirty if page_id in outer.before
+            )
         return changes
+
+    @property
+    def capture_depth(self) -> int:
+        return len(self._captures)
 
     # -- durability --------------------------------------------------------
 
@@ -141,6 +208,8 @@ class BufferManager:
             self.disk.write_page(volume, page_no, bytes(frame.data))
             frame.dirty = False
             self.stats.flushes += 1
+            if self._metrics is not None:
+                self._metrics.flushes.inc()
 
     def flush_all(self) -> None:
         for page_id in sorted(self._frames):

@@ -78,6 +78,10 @@ class IOStats:
     charges ``ebt`` versus ``s + r + btt`` accordingly, matching the
     SEQCOST/RNDCOST derivations.  A sequential chain pays its ``s + r``
     start-up once, on the first (random) access.
+
+    ``on_charge(kind, pages, cost_ms)`` is an optional observer the
+    metrics registry attaches; it fires once per charge with the access
+    kind (``random_read`` etc.) and is excluded from snapshots and deltas.
     """
 
     random_reads: int = 0
@@ -85,6 +89,7 @@ class IOStats:
     random_writes: int = 0
     sequential_writes: int = 0
     elapsed_ms: float = 0.0
+    on_charge: object = field(default=None, repr=False, compare=False)
 
     @property
     def page_reads(self) -> int:
@@ -99,26 +104,38 @@ class IOStats:
         return self.page_reads + self.page_writes
 
     def charge_random_read(self, params: DiskParams, pages: int = 1) -> None:
+        cost = params.rnd_cost(pages)
         self.random_reads += pages
-        self.elapsed_ms += params.rnd_cost(pages)
+        self.elapsed_ms += cost
+        if self.on_charge is not None:
+            self.on_charge("random_read", pages, cost)
 
     def charge_sequential_read(self, params: DiskParams, pages: int = 1) -> None:
         if params.esm_sequential_is_random:
             self.charge_random_read(params, pages)
             return
+        cost = pages * params.ebt
         self.sequential_reads += pages
-        self.elapsed_ms += pages * params.ebt
+        self.elapsed_ms += cost
+        if self.on_charge is not None:
+            self.on_charge("sequential_read", pages, cost)
 
     def charge_random_write(self, params: DiskParams, pages: int = 1) -> None:
+        cost = params.rnd_cost(pages)
         self.random_writes += pages
-        self.elapsed_ms += params.rnd_cost(pages)
+        self.elapsed_ms += cost
+        if self.on_charge is not None:
+            self.on_charge("random_write", pages, cost)
 
     def charge_sequential_write(self, params: DiskParams, pages: int = 1) -> None:
         if params.esm_sequential_is_random:
             self.charge_random_write(params, pages)
             return
+        cost = pages * params.ebt
         self.sequential_writes += pages
-        self.elapsed_ms += pages * params.ebt
+        self.elapsed_ms += cost
+        if self.on_charge is not None:
+            self.on_charge("sequential_write", pages, cost)
 
     def reset(self) -> None:
         self.random_reads = 0
@@ -254,6 +271,37 @@ class SimulatedDisk:
                 self.stats.charge_sequential_read(self.params)
             else:
                 self.stats.charge_random_read(self.params)
+
+    # -- observability -------------------------------------------------------
+
+    def attach_metrics(self, component) -> None:
+        """Mirror every charge into named counters on a
+        :class:`~repro.obs.metrics.ComponentMetrics` handle.
+
+        A random access is one seek + one rotation + one block transfer per
+        page; a sequential access is a transfer only (its chain start-up is
+        charged on the preceding random access), so the counters decompose
+        ``elapsed_ms`` exactly the way Table 10 does.
+        """
+        seeks = component.counter("seeks")
+        rotations = component.counter("rotations")
+        transfers = component.counter("transfers")
+        elapsed = component.counter("elapsed_ms")
+        reads = component.counter("page_reads")
+        writes = component.counter("page_writes")
+
+        def observe(kind: str, pages: int, cost_ms: float) -> None:
+            transfers.inc(pages)
+            elapsed.inc(cost_ms)
+            if kind.startswith("random"):
+                seeks.inc(pages)
+                rotations.inc(pages)
+            if kind.endswith("read"):
+                reads.inc(pages)
+            else:
+                writes.inc(pages)
+
+        self.stats.on_charge = observe
 
     def peek_page(self, volume_id: int, page_no: int) -> bytes:
         """Read a page without I/O accounting (infrastructure use only)."""

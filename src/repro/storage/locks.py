@@ -34,16 +34,45 @@ class _ResourceLocks:
     waiting: list[tuple[Any, LockMode]] = field(default_factory=list)
 
 
+@dataclass
+class LockStats:
+    """Operational counts: grants, blocking waits and their outcomes."""
+
+    acquisitions: int = 0
+    waits: int = 0
+    deadlocks: int = 0
+    timeouts: int = 0
+    releases: int = 0
+
+    def reset(self) -> None:
+        self.acquisitions = 0
+        self.waits = 0
+        self.deadlocks = 0
+        self.timeouts = 0
+        self.releases = 0
+
+
 class LockManager:
     """S/X lock table with wait-for-graph deadlock detection."""
 
     def __init__(self, timeout: float = 10.0):
         self.timeout = timeout
+        self.stats = LockStats()
         self._lock = threading.Lock()
         self._condition = threading.Condition(self._lock)
         self._table: dict[Hashable, _ResourceLocks] = {}
         # owner -> set of resources (for release_all)
         self._held: dict[Any, set[Hashable]] = {}
+        self._metrics = None
+
+    def attach_metrics(self, component) -> None:
+        """Mirror lock activity into registry counters (``locks.*``)."""
+        self._metrics = component
+
+    def _count(self, name: str) -> None:
+        setattr(self.stats, name, getattr(self.stats, name) + 1)
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
 
     # -- acquisition ------------------------------------------------------
 
@@ -64,10 +93,13 @@ class LockManager:
         with self._condition:
             entry = self._table.setdefault(resource, _ResourceLocks())
             if self._try_grant(entry, owner, resource, mode):
+                self._count("acquisitions")
                 return
             entry.waiting.append((owner, mode))
+            self._count("waits")
             try:
                 if self._would_deadlock(owner):
+                    self._count("deadlocks")
                     raise DeadlockError(
                         f"lock {mode.value} on {resource!r} by {owner!r} "
                         "would deadlock"
@@ -77,9 +109,11 @@ class LockManager:
                     timeout=deadline_timeout,
                 )
                 if not granted:
+                    self._count("timeouts")
                     raise LockTimeoutError(
                         f"timed out waiting for {mode.value} on {resource!r}"
                     )
+                self._count("acquisitions")
             finally:
                 if (owner, mode) in entry.waiting:
                     entry.waiting.remove((owner, mode))
@@ -139,6 +173,7 @@ class LockManager:
                 raise LockError(f"{owner!r} holds no lock on {resource!r}")
             del entry.granted[owner]
             self._held.get(owner, set()).discard(resource)
+            self._count("releases")
             if not entry.granted and not entry.waiting:
                 del self._table[resource]
             self._condition.notify_all()
@@ -149,6 +184,7 @@ class LockManager:
                 entry = self._table.get(resource)
                 if entry and owner in entry.granted:
                     del entry.granted[owner]
+                    self._count("releases")
                     if not entry.granted and not entry.waiting:
                         del self._table[resource]
             self._held.pop(owner, None)

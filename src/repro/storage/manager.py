@@ -21,6 +21,7 @@ from repro.core.errors import (
     FileNotFoundStorageError,
     StorageError,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.btree import BPlusTree
 from repro.storage.buffer import BufferManager
 from repro.storage.disk import DiskParams, IOStats, SimulatedDisk
@@ -42,11 +43,16 @@ class StorageManager:
         params: DiskParams | None = None,
         buffer_capacity: int = 256,
     ):
+        self.metrics = MetricsRegistry()
         self.disk = SimulatedDisk(params)
+        self.disk.attach_metrics(self.metrics.component("disk"))
         self.volume = self.disk.mount_volume()
         self.buffer = BufferManager(self.disk, buffer_capacity)
+        self.buffer.attach_metrics(self.metrics.component("buffer"))
         self.wal = WriteAheadLog(self.disk.params)
+        self.wal.attach_metrics(self.metrics.component("wal"))
         self.locks = LockManager()
+        self.locks.attach_metrics(self.metrics.component("locks"))
         self.txns = TransactionManager(self.wal, self.locks, self._apply_page_image)
         self.txns.on_abort = self._refresh_after_abort
         self._files: dict[int, StorageFile] = {}
@@ -194,6 +200,7 @@ class StorageManager:
         self.disk.crash()
         self.txns.active.clear()
         self.locks = LockManager()
+        self.locks.attach_metrics(self.metrics.component("locks"))
         self.txns.locks = self.locks
 
     def restart(self) -> RecoveryReport:

@@ -48,6 +48,17 @@ class LogRecord:
         return f"<{self.lsn} {self.kind.value} txn={self.txn_id}>"
 
 
+class _WalCounters:
+    """Pre-resolved registry counters for the log's hot paths."""
+
+    __slots__ = ("records", "forces", "pages_written")
+
+    def __init__(self, component):
+        self.records = component.counter("records")
+        self.forces = component.counter("forces")
+        self.pages_written = component.counter("pages_written")
+
+
 class WriteAheadLog:
     """Append-only log of :class:`LogRecord`, with I/O accounting."""
 
@@ -58,6 +69,12 @@ class WriteAheadLog:
         self._next_lsn = 1
         self._forced_lsn = 0
         self._unforced_bytes = 0
+        self._metrics = None
+
+    def attach_metrics(self, component) -> None:
+        """Mirror log activity into registry counters (``wal.*``):
+        appended records, fsync-equivalent forces, log pages written."""
+        self._metrics = _WalCounters(component)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -83,6 +100,8 @@ class WriteAheadLog:
         self._records.append(record)
         self._next_lsn += 1
         self._unforced_bytes += 32 + len(before or b"") + len(after or b"")
+        if self._metrics is not None:
+            self._metrics.records.inc()
         return record.lsn
 
     def force(self) -> None:
@@ -91,6 +110,9 @@ class WriteAheadLog:
             return
         pages = max(1, -(-self._unforced_bytes // self.params.block_size))
         self.stats.charge_sequential_write(self.params, pages)
+        if self._metrics is not None:
+            self._metrics.forces.inc()
+            self._metrics.pages_written.inc(pages)
         self._forced_lsn = self.last_lsn
         self._unforced_bytes = 0
 

@@ -146,10 +146,55 @@ def test_capture_with_eviction_reads_after_image_from_disk():
     assert changes[0][2][0] == 7  # after-image recovered from disk
 
 
-def test_nested_capture_rejected():
+def test_nested_capture_windows():
+    """Capture windows nest: each window reports the pages dirtied while it
+    was open, and an inner window's changes propagate to the outer one."""
+    disk, vol = make_disk()
+    pool = BufferManager(disk, capacity=4)
+
+    pool.start_capture()                  # outer
+    frame = pool.fetch(vol, 0)
+    frame[0] = 11
+    pool.unpin(vol, 0, dirty=True)
+
+    pool.start_capture()                  # inner
+    assert pool.capture_depth == 2
+    frame = pool.fetch(vol, 1)
+    frame[0] = 22
+    pool.unpin(vol, 1, dirty=True)
+    inner = pool.end_capture()
+
+    # Inner window saw only page 1 (page 0 was dirtied before it opened).
+    assert [c[0] for c in inner] == [(vol, 1)]
+    assert inner[0][1][0] == 0 and inner[0][2][0] == 22
+
+    outer = pool.end_capture()
+    outer_pages = {c[0] for c in outer}
+    # Outer window saw both its own change and the inner window's.
+    assert outer_pages == {(vol, 0), (vol, 1)}
+    assert pool.capture_depth == 0
+    assert pool.stats.capture_windows == 2
+
+
+def test_nested_capture_inner_window_ignores_outer_only_pages():
+    disk, vol = make_disk()
+    pool = BufferManager(disk, capacity=4)
+    pool.start_capture()                  # outer
+    frame = pool.fetch(vol, 0)
+    pool.start_capture()                  # inner: page 0 already resident
+    frame[0] = 33
+    pool.unpin(vol, 0, dirty=True)
+    inner = pool.end_capture()
+    outer = pool.end_capture()
+    # The inner window never fetched page 0, so it reports nothing; the
+    # outer window (which fetched it) reports the change.
+    assert inner == []
+    assert [c[0] for c in outer] == [(vol, 0)]
+    assert outer[0][2][0] == 33
+
+
+def test_unbalanced_end_capture_rejected():
     disk, vol = make_disk()
     pool = BufferManager(disk, capacity=2)
-    pool.start_capture()
     with pytest.raises(StorageError):
-        pool.start_capture()
-    pool.end_capture()
+        pool.end_capture()
