@@ -171,13 +171,18 @@ class JoinResult:
 
 
 def _reference_oids(value: Any) -> list[OID]:
-    """OIDs reachable through a reference-valued attribute (Ref/Set/List)."""
+    """*Distinct* OIDs reachable through a reference-valued attribute
+    (Ref/Set/List).  List-valued attributes may repeat an OID; each one is
+    chased (and joined) once, so duplicate entries cannot multiply probe
+    rows in the traversal joins."""
     if isinstance(value, OID):
         return [] if value.is_null else [value]
     if isinstance(value, (set, frozenset)):
         return [oid for oid in sorted(value) if isinstance(oid, OID)]
     if isinstance(value, list):
-        return [oid for oid in value if isinstance(oid, OID)]
+        return list(dict.fromkeys(
+            oid for oid in value if isinstance(oid, OID)
+        ))
     return []
 
 

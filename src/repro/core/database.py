@@ -29,8 +29,13 @@ class MoodDatabase:
         disk_params: DiskParams | None = None,
         buffer_capacity: int = 512,
         auto_analyze: bool = True,
+        cache_enabled: bool = True,
+        cache_capacity: int = 4096,
     ):
-        self.kernel = MoodKernel(disk_params, buffer_capacity)
+        self.kernel = MoodKernel(
+            disk_params, buffer_capacity,
+            cache_enabled=cache_enabled, cache_capacity=cache_capacity,
+        )
         self.auto_analyze = auto_analyze
         self._schema_version = 0
         self._analyzed_version = -1
@@ -113,6 +118,16 @@ class MoodDatabase:
         )
 
     # -- accounting -------------------------------------------------------------
+
+    @property
+    def object_cache(self):
+        """The deref cache (``None`` when disabled); its ``.stats`` carries
+        hits/misses/invalidations for experiments."""
+        return self.kernel.objects.cache
+
+    def set_cache_enabled(self, enabled: bool) -> None:
+        """Toggle the deref fast path (off = paper-faithful I/O charging)."""
+        self.kernel.objects.set_cache_enabled(enabled)
 
     @property
     def io_stats(self) -> IOStats:

@@ -114,11 +114,16 @@ class MoodKernel:
         self,
         disk_params: DiskParams | None = None,
         buffer_capacity: int = 512,
+        cache_enabled: bool = True,
+        cache_capacity: int = 4096,
     ):
         self.storage = StorageManager(disk_params, buffer_capacity)
         self.catalog = Catalog(self.storage)
         self.functions = FunctionManager(self.catalog)
-        self.objects = ObjectManager(self.storage, self.catalog)
+        self.objects = ObjectManager(
+            self.storage, self.catalog,
+            cache_enabled=cache_enabled, cache_capacity=cache_capacity,
+        )
         self.indexes = IndexManager(self.storage, self.catalog, self.objects)
         self.evaluator = ExpressionEvaluator(self.objects, self.functions)
         self.stats = DatabaseStats()
@@ -249,8 +254,12 @@ class MoodKernel:
             report = explain_query_plan(plan, pipeline)
             return ExplainResult(report=report, plan=plan, spans=[])
         spans = SpanRecorder(io_probe=self.storage.io_snapshot)
+        before = self.storage.metrics.snapshot()
         result = self._execute_select(statement.query, spans=spans)
-        report = analyze_query_plan(result.plan, spans.roots, pipeline)
+        report = analyze_query_plan(
+            result.plan, spans.roots, pipeline,
+            cache_stats=self._cache_stats_since(before),
+        )
         return ExplainResult(
             report=report, plan=result.plan, spans=spans.roots, result=result
         )
@@ -261,6 +270,7 @@ class MoodKernel:
         validate hand-built plans (e.g. the paper's own Example 8.1 plan)
         against the simulated disk."""
         spans = SpanRecorder(io_probe=self.storage.io_snapshot)
+        before = self.storage.metrics.snapshot()
         executor = Executor(
             objects=self.objects,
             evaluator=self.evaluator,
@@ -270,7 +280,10 @@ class MoodKernel:
             spans=spans,
         )
         binding_rows = executor.execute_plan(plan)
-        report = analyze_query_plan(plan, spans.roots)
+        report = analyze_query_plan(
+            plan, spans.roots,
+            cache_stats=self._cache_stats_since(before),
+        )
         result = QueryResult(
             columns=list(plan.output_vars),
             rows=[
@@ -284,6 +297,23 @@ class MoodKernel:
         return ExplainResult(
             report=report, plan=plan, spans=spans.roots, result=result
         )
+
+    def _cache_stats_since(self, before: dict[str, float]) -> dict[str, float]:
+        """Object-cache counter deltas over one statement, for the
+        EXPLAIN ANALYZE report's cache line."""
+        after = self.storage.metrics.snapshot()
+        stats = {
+            name.split(".", 1)[1]: after.get(name, 0.0) - value
+            for name, value in before.items()
+            if name.startswith("objcache.")
+        }
+        for name, value in after.items():
+            if name.startswith("objcache."):
+                stats.setdefault(name.split(".", 1)[1], value)
+        for key in ("hits", "misses", "invalidations", "batches"):
+            stats.setdefault(key, 0.0)
+        stats["enabled"] = 1.0 if self.objects.cache_enabled else 0.0
+        return stats
 
     def _project(self, query: SelectQuery, binding_rows: list[Row]):
         if query.projections:
@@ -363,6 +393,9 @@ class MoodKernel:
                 else:
                     state.pop(old)
                 self.storage.update(extent, oid, encode(state))
+                # The rewrite bypasses the object manager; keep its deref
+                # cache honest.
+                self.objects.invalidate_cache(oid)
 
     def _execute_create_method(self, statement: CreateMethod) -> StatementResult:
         function = MoodsFunction(

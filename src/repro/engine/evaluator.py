@@ -124,9 +124,10 @@ class ExpressionEvaluator:
             raise ExecutionError(f"unbound range variable {path.var!r}")
         current: list[Any] = [row[path.var]]
         for attribute in path.attrs:
+            resolved = self._resolve_references(current)
             next_values: list[Any] = []
             for value in current:
-                obj = self._as_object(value)
+                obj = self._as_object(value, resolved)
                 if obj is None:
                     continue
                 attr_value = obj.state.get(attribute)
@@ -139,12 +140,26 @@ class ExpressionEvaluator:
             current = next_values
         return current
 
-    def _as_object(self, value: Any) -> MoodObject | None:
+    def _resolve_references(self, values: list[Any]) -> dict | None:
+        """Batch-dereference one path step's OIDs (page-clustered) when the
+        object manager's deref fast path is on; ``None`` means chase one at
+        a time, each a separately charged random read."""
+        if not getattr(self.objects, "cache_enabled", False):
+            return None
+        oids = [v for v in values if isinstance(v, OID) and not v.is_null]
+        if len(oids) < 2:
+            return None
+        return self.objects.deref_many(oids)
+
+    def _as_object(self, value: Any,
+                   resolved: dict | None = None) -> MoodObject | None:
         if isinstance(value, MoodObject):
             return value
         if isinstance(value, OID):
             if value.is_null:
                 return None
+            if resolved is not None:
+                return resolved[value]
             return self.objects.deref(value)
         if value is None:
             return None

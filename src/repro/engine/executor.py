@@ -144,9 +144,14 @@ class Executor:
             probe for probe in node.probes
             if self.index_manager.needs_verification(probe.index_name)
         ]
+        hits = sorted(oids)
+        if getattr(self.objects, "cache_enabled", False):
+            fetched = self.objects.deref_many(hits)
+            probes = [fetched[oid] for oid in hits]
+        else:
+            probes = [self.objects.deref(oid) for oid in hits]
         rows = []
-        for oid in sorted(oids):
-            obj = self.objects.deref(oid)
+        for obj in probes:
             if node.include_classes and \
                     obj.class_name not in node.include_classes:
                 continue

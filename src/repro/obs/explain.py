@@ -67,6 +67,9 @@ class ExplainReport:
     total_estimated_ms: float = 0.0
     total_actual_ms: float | None = None
     total_actual_pages: int | None = None
+    #: Object-cache counter deltas over the analyzed statement (``hits``,
+    #: ``misses``, ``invalidations``, ``batches``, ... plus ``enabled``).
+    cache_stats: dict[str, float] | None = None
 
     @property
     def error_ratio(self) -> float | None:
@@ -121,6 +124,21 @@ class ExplainReport:
             if self.error_ratio is not None:
                 summary += f" | act/est: {self.error_ratio:.2f}"
         out.append(summary)
+        if self.cache_stats is not None:
+            stats = self.cache_stats
+            hits = stats.get("hits", 0.0)
+            misses = stats.get("misses", 0.0)
+            total = hits + misses
+            ratio = f"{hits / total:.1%}" if total else "-"
+            line = (
+                f"object cache: hits={hits:g} misses={misses:g} "
+                f"hit-ratio={ratio} "
+                f"invalidations={stats.get('invalidations', 0.0):g} "
+                f"batches={stats.get('batches', 0.0):g}"
+            )
+            if not stats.get("enabled", 1.0):
+                line += " (disabled)"
+            out.append(line)
         return "\n".join(out)
 
     def __str__(self) -> str:
@@ -161,6 +179,7 @@ def report_from_spans(
     roots: list[Span],
     temporaries: list[tuple[str, PlanNode]] | None = None,
     pipeline: list[str] | None = None,
+    cache_stats: dict[str, float] | None = None,
 ) -> ExplainReport:
     """Build the ANALYZE report from a recorded span tree."""
     lines: list[ExplainLine] = []
@@ -203,6 +222,7 @@ def report_from_spans(
         total_estimated_ms=total_est,
         total_actual_ms=total_ms,
         total_actual_pages=total_pages,
+        cache_stats=cache_stats,
     )
 
 
@@ -271,8 +291,9 @@ def analyze_query_plan(
     query_plan: Any,
     roots: list[Span],
     pipeline: list[str] | None = None,
+    cache_stats: dict[str, float] | None = None,
 ) -> ExplainReport:
     """ANALYZE report for an executed
     :class:`~repro.optimizer.planner.QueryPlan`."""
     root, temporaries = _plan_of(query_plan)
-    return report_from_spans(root, roots, temporaries, pipeline)
+    return report_from_spans(root, roots, temporaries, pipeline, cache_stats)

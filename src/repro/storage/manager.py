@@ -62,6 +62,17 @@ class StorageManager:
         self._hashes: dict[str, ExtendibleHashIndex] = {}
         self._rtrees: dict[str, RTree] = {}
         self._named_roots: dict[str, OID] = {}
+        #: Callbacks run when volatile state is lost (crash) or rebuilt
+        #: (restart recovery) -- caches layered above register here.
+        self._reset_hooks: list = []
+
+    def add_reset_hook(self, hook) -> None:
+        """Register ``hook()`` to run on :meth:`crash` and :meth:`restart`."""
+        self._reset_hooks.append(hook)
+
+    def _run_reset_hooks(self) -> None:
+        for hook in self._reset_hooks:
+            hook()
 
     # -- I/O accounting ------------------------------------------------------
 
@@ -202,12 +213,14 @@ class StorageManager:
         self.locks = LockManager()
         self.locks.attach_metrics(self.metrics.component("locks"))
         self.txns.locks = self.locks
+        self._run_reset_hooks()
 
     def restart(self) -> RecoveryReport:
         """Run restart recovery and refresh per-file record counts."""
         report = recover(self.wal, self._apply_page_image)
         for storage_file in self._files.values():
             self._recount(storage_file)
+        self._run_reset_hooks()
         return report
 
     def _apply_page_image(self, volume: int, page_no: int, image: bytes) -> None:

@@ -72,6 +72,9 @@ class TransactionManager:
         #: Optional hook called after an abort's undo, before lock release
         #: (the storage manager uses it to refresh derived per-file state).
         self.on_abort = None
+        #: Additional abort callbacks ``fn(txn)``, run after ``on_abort``
+        #: (the object manager registers its cache invalidation here).
+        self.abort_listeners: list = []
 
     def begin(self) -> Transaction:
         txn = Transaction(self._next_txn_id, self)
@@ -131,6 +134,8 @@ class TransactionManager:
         txn.state = TxnState.ABORTED
         if self.on_abort is not None:
             self.on_abort(txn)
+        for listener in self.abort_listeners:
+            listener(txn)
         self._finish(txn)
 
     def _finish(self, txn: Transaction) -> None:

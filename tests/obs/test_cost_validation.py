@@ -44,8 +44,14 @@ EXAMPLE_82 = "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
 
 @pytest.fixture(scope="module")
 def slim_db():
-    """The Section 3.1 schema at measurement scale (|Vehicle| = 20,000)."""
-    db = MoodDatabase(buffer_capacity=4)
+    """The Section 3.1 schema at measurement scale (|Vehicle| = 20,000).
+
+    The deref cache is disabled: these tests validate the *paper's* cost
+    model, which charges one random I/O per pointer chase -- the fast path
+    would legitimately collapse those charges (see
+    ``tests/engine/test_object_cache.py`` for the cached counterpart).
+    """
+    db = MoodDatabase(buffer_capacity=4, cache_enabled=False)
     for ddl in PAPER_SCHEMA_DDL:
         db.execute(ddl)
     employees = [

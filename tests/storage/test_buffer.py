@@ -94,6 +94,23 @@ def test_lru_chooses_least_recently_used():
     assert (vol, 1) not in pool.resident_pages
 
 
+def test_lru_skips_pinned_head_evicts_next_unpinned():
+    """The recency queue's head may be pinned; the victim is the oldest
+    *unpinned* frame, not merely the oldest."""
+    disk, vol = make_disk(pages=6)
+    pool = BufferManager(disk, capacity=3)
+    pool.fetch(vol, 0)  # oldest, stays pinned
+    pool.fetch(vol, 1)
+    pool.unpin(vol, 1)
+    pool.fetch(vol, 2)
+    pool.unpin(vol, 2)
+    pool.fetch(vol, 3)  # must evict page 1 (oldest unpinned)
+    pool.unpin(vol, 3)
+    assert (vol, 0) in pool.resident_pages
+    assert (vol, 1) not in pool.resident_pages
+    assert (vol, 2) in pool.resident_pages
+
+
 def test_flush_all_writes_dirty_frames():
     disk, vol = make_disk()
     pool = BufferManager(disk, capacity=4)
