@@ -1,0 +1,109 @@
+"""Multi-client server throughput over real TCP (smoke: 4 clients).
+
+VOODB-style measurement of the concurrent MOOD server: a
+:class:`~repro.server.server.MoodServer` serves the Section 3.1
+vehicle/company database, and the :mod:`repro.bench.driver` fans N client
+connections at it with a mixed read / path-query / update workload, every
+transaction riding BEGIN..COMMIT with deadlock-retry backoff.
+
+The 4-client smoke run executes in tier-1 and writes ``BENCH_pr3.json``
+at the repo root with schema ``{clients, txns, throughput_tps, p50_ms,
+p99_ms, abort_rate}``.  The 32-client saturation run (admission queue
+deeper than the worker pool, so SERVER_BUSY shedding and queueing both
+engage) is opt-in via ``-m serverload``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.driver import WorkloadConfig, run_workload
+from repro.bench.paperdb import build_paper_database
+from repro.core.database import MoodDatabase
+from repro.server import MoodServer, ServerConfig
+
+from conftest import emit
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SMOKE_SCALE = 80
+
+
+def _serve(scale: int, max_workers: int = 8, max_queue: int = 64):
+    db = MoodDatabase(buffer_capacity=512)
+    build_paper_database(db, scale=scale, seed=7)
+    db.analyze()
+    server = MoodServer(db, ServerConfig(
+        port=0, max_workers=max_workers, max_queue=max_queue,
+    ))
+    server.start()
+    return server
+
+
+def _format(report) -> str:
+    lines = [
+        "Multi-client server throughput (VOODB-style mixed workload)",
+        f"  clients        : {report.clients}",
+        f"  transactions   : {report.txns} "
+        f"({report.committed} committed, {report.aborted} aborted)",
+        f"  retries        : {report.retries}",
+        f"  elapsed        : {report.elapsed_s:.2f}s",
+        f"  throughput     : {report.throughput_tps:.1f} txn/s",
+        f"  latency p50    : {report.p50_ms:.1f} ms",
+        f"  latency p99    : {report.p99_ms:.1f} ms",
+        f"  abort rate     : {report.abort_rate:.1%}",
+    ]
+    return "\n".join(lines)
+
+
+@pytest.mark.smoke
+def test_server_throughput_smoke():
+    """4 clients, mixed workload, real TCP; persists BENCH_pr3.json."""
+    server = _serve(SMOKE_SCALE)
+    try:
+        host, port = server.address
+        report = run_workload(host, port, WorkloadConfig(
+            clients=4,
+            transactions_per_client=12,
+            scale=SMOKE_SCALE,
+            seed=11,
+        ))
+    finally:
+        server.stop()
+
+    emit("server_throughput_smoke", _format(report))
+    (REPO_ROOT / "BENCH_pr3.json").write_text(
+        json.dumps(report.summary(), indent=2) + "\n"
+    )
+
+    assert report.txns == 4 * 12
+    # Retryable aborts are expected under contention; every transaction
+    # must still eventually commit within the driver's retry budget.
+    assert report.committed == report.txns, report.errors
+    assert report.throughput_tps > 0
+    assert report.p50_ms <= report.p99_ms
+
+
+@pytest.mark.serverload
+def test_server_throughput_saturation():
+    """32 clients against 8 workers: admission control under pressure."""
+    server = _serve(scale=200, max_workers=8, max_queue=128)
+    try:
+        host, port = server.address
+        report = run_workload(host, port, WorkloadConfig(
+            clients=32,
+            transactions_per_client=10,
+            scale=200,
+            seed=23,
+            retries=12,
+        ))
+    finally:
+        server.stop()
+
+    emit("server_throughput_saturation", _format(report))
+    assert report.txns == 32 * 10
+    assert report.committed == report.txns, report.errors[:10]
+    assert report.throughput_tps > 0

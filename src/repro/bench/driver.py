@@ -1,0 +1,197 @@
+"""A VOODB-style multi-client workload driver for the MOOD server.
+
+VOODB (Darmont's generic object-oriented benchmarking framework) shapes
+an OODB workload as N concurrent clients issuing a parameterised mix of
+transaction kinds against a shared object base.  This driver does the
+same against a running :class:`~repro.server.server.MoodServer` over real
+TCP, using the paper's Section 3.1 vehicle/company database:
+
+* **read** -- a selection over the ``Vehicle`` extent hierarchy;
+* **path** -- a pointer-chasing query (``v.drivetrain.engine...``,
+  ``v.manufacturer.name``), the paper's signature access pattern;
+* **write** -- an ``UPDATE`` against one vehicle (X-locks the extent),
+  optionally multi-statement to stretch lock hold times.
+
+Each transaction runs through
+:meth:`~repro.server.client.MoodClient.run_transaction`, so deadlock
+victimisation and lock timeouts surface as retries exactly as a
+well-behaved interactive client would experience them.  The report
+carries throughput, latency percentiles and the abort rate.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.errors import MoodError
+from repro.server.client import MoodClient
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of one driver run (VOODB's workload parameters, reduced)."""
+
+    clients: int = 4
+    transactions_per_client: int = 25
+    #: Relative weights of the transaction kinds.
+    read_weight: float = 5.0
+    path_weight: float = 3.0
+    write_weight: float = 2.0
+    #: Number of Vehicle instances in the object base (drives key ranges).
+    scale: int = 100
+    seed: int = 42
+    retries: int = 8
+    statement_timeout: float = 30.0
+
+
+@dataclass
+class WorkloadReport:
+    """What came back: the numbers the paper's Section 7 tables report
+    per workload, plus the concurrency-specific ones."""
+
+    clients: int
+    txns: int
+    committed: int
+    aborted: int
+    retries: int
+    elapsed_s: float
+    throughput_tps: float
+    p50_ms: float
+    p99_ms: float
+    abort_rate: float
+    errors: list = field(default_factory=list)
+
+    def summary(self) -> dict:
+        """The stable JSON shape bench artifacts persist."""
+        return {
+            "clients": self.clients,
+            "txns": self.txns,
+            "throughput_tps": round(self.throughput_tps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "abort_rate": round(self.abort_rate, 4),
+        }
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample set."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+class _ClientWorker(threading.Thread):
+    """One driver client: a connection plus a seeded transaction stream."""
+
+    def __init__(self, host: str, port: int, config: WorkloadConfig,
+                 index: int):
+        super().__init__(name=f"driver-client-{index}", daemon=True)
+        self.host = host
+        self.port = port
+        self.config = config
+        self.rng = random.Random(config.seed * 1009 + index)
+        self.latencies_ms: list[float] = []
+        self.committed = 0
+        self.aborted = 0
+        self.retries = 0
+        self.errors: list[str] = []
+
+    def run(self) -> None:
+        config = self.config
+        kinds = ["read", "path", "write"]
+        weights = [
+            config.read_weight, config.path_weight, config.write_weight,
+        ]
+        try:
+            client = MoodClient(self.host, self.port)
+        except OSError as exc:
+            self.errors.append(f"connect: {exc}")
+            return
+        with client:
+            for _ in range(config.transactions_per_client):
+                kind = self.rng.choices(kinds, weights=weights)[0]
+                statements = self._statements(kind)
+                started = time.monotonic()
+                try:
+                    _, attempts = client.run_transaction(
+                        lambda c: [c.execute(sql) for sql in statements],
+                        retries=config.retries,
+                        rng=self.rng,
+                    )
+                    self.committed += 1
+                    self.retries += attempts - 1
+                    self.latencies_ms.append(
+                        (time.monotonic() - started) * 1e3
+                    )
+                except MoodError as exc:
+                    self.aborted += 1
+                    self.errors.append(
+                        f"{kind}: {getattr(exc, 'code', '?')}: {exc}"
+                    )
+                except OSError as exc:
+                    self.aborted += 1
+                    self.errors.append(f"{kind}: connection: {exc}")
+                    return
+
+    def _statements(self, kind: str) -> list[str]:
+        vehicle_id = self.rng.randrange(self.config.scale)
+        if kind == "read":
+            low = self.rng.randrange(500, 2500)
+            return [
+                "SELECT v.id, v.weight FROM Vehicle v "
+                f"WHERE v.weight > {low} AND v.id < {vehicle_id + 10}"
+            ]
+        if kind == "path":
+            return [
+                "SELECT v.id, v.manufacturer.name FROM Vehicle v "
+                f"WHERE v.id = {vehicle_id}",
+                "SELECT v.drivetrain.engine.cylinders FROM Vehicle v "
+                f"WHERE v.id = {(vehicle_id + 1) % self.config.scale}",
+            ]
+        second = (vehicle_id + self.config.scale // 2) % self.config.scale
+        return [
+            "UPDATE Vehicle v SET weight = v.weight + 1 "
+            f"WHERE v.id = {vehicle_id}",
+            "SELECT v.weight FROM Vehicle v "
+            f"WHERE v.id = {second}",
+        ]
+
+
+def run_workload(
+    host: str, port: int, config: WorkloadConfig | None = None
+) -> WorkloadReport:
+    """Drive a running server with ``config.clients`` concurrent clients."""
+    config = config or WorkloadConfig()
+    workers = [
+        _ClientWorker(host, port, config, index)
+        for index in range(config.clients)
+    ]
+    started = time.monotonic()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    elapsed = max(time.monotonic() - started, 1e-9)
+
+    latencies = [ms for worker in workers for ms in worker.latencies_ms]
+    committed = sum(worker.committed for worker in workers)
+    aborted = sum(worker.aborted for worker in workers)
+    attempts = committed + aborted
+    return WorkloadReport(
+        clients=config.clients,
+        txns=attempts,
+        committed=committed,
+        aborted=aborted,
+        retries=sum(worker.retries for worker in workers),
+        elapsed_s=elapsed,
+        throughput_tps=committed / elapsed,
+        p50_ms=percentile(latencies, 0.50),
+        p99_ms=percentile(latencies, 0.99),
+        abort_rate=aborted / attempts if attempts else 0.0,
+        errors=[msg for worker in workers for msg in worker.errors],
+    )

@@ -105,6 +105,10 @@ class StatementResult:
     obj: MoodObject | None = None
     count: int = 0
     header: str | None = None    # generated C++ header for CREATE CLASS
+    #: Stable error code (``repro.core.errors``) when the statement's
+    #: outcome was a *handled* failure -- e.g. the server reports a
+    #: deadlock-victim rollback as kind="ROLLBACK", code="DEADLOCK".
+    code: str | None = None
 
 
 class MoodKernel:

@@ -20,6 +20,7 @@ update itself invalidates the entry.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.model.objects import MoodObject
@@ -78,6 +79,9 @@ class ObjectCache:
         self.stats = ObjectCacheStats()
         self._entries: "OrderedDict[OID, tuple[str, dict]]" = OrderedDict()
         self._metrics: _CacheCounters | None = None
+        # The cache is shared by every server session; the OrderedDict's
+        # move_to_end/popitem pair is not safe under concurrent mutation.
+        self._mutex = threading.RLock()
 
     def attach_metrics(self, component) -> None:
         """Mirror cache activity into registry counters (``objcache.*``)."""
@@ -94,18 +98,19 @@ class ObjectCache:
     def get(self, oid: OID) -> MoodObject | None:
         """The cached object (a fresh wrapper over a copied state dict),
         or ``None``; counts the hit/miss either way."""
-        entry = self._entries.get(oid)
-        if entry is None:
-            self.stats.misses += 1
+        with self._mutex:
+            entry = self._entries.get(oid)
+            if entry is None:
+                self.stats.misses += 1
+                if self._metrics is not None:
+                    self._metrics.misses.inc()
+                return None
+            self._entries.move_to_end(oid)
+            self.stats.hits += 1
             if self._metrics is not None:
-                self._metrics.misses.inc()
-            return None
-        self._entries.move_to_end(oid)
-        self.stats.hits += 1
-        if self._metrics is not None:
-            self._metrics.hits.inc()
-        class_name, state = entry
-        return MoodObject(oid, class_name, dict(state))
+                self._metrics.hits.inc()
+            class_name, state = entry
+            return MoodObject(oid, class_name, dict(state))
 
     def put(self, oid: OID, class_name: str, state: dict) -> None:
         """Remember the committed state just read for ``oid``.
@@ -113,38 +118,42 @@ class ObjectCache:
         The cache keeps its own shallow copy of ``state`` so later caller
         mutations of the returned object cannot leak in.
         """
-        if oid in self._entries:
-            self._entries.move_to_end(oid)
-        self._entries[oid] = (class_name, dict(state))
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            if self._metrics is not None:
-                self._metrics.evictions.inc()
+        with self._mutex:
+            if oid in self._entries:
+                self._entries.move_to_end(oid)
+            self._entries[oid] = (class_name, dict(state))
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                if self._metrics is not None:
+                    self._metrics.evictions.inc()
 
     # -- invalidation --------------------------------------------------------
 
     def invalidate(self, oid: OID) -> None:
-        if self._entries.pop(oid, None) is not None:
-            self.stats.invalidations += 1
-            if self._metrics is not None:
-                self._metrics.invalidations.inc()
+        with self._mutex:
+            if self._entries.pop(oid, None) is not None:
+                self.stats.invalidations += 1
+                if self._metrics is not None:
+                    self._metrics.invalidations.inc()
 
     def clear(self) -> None:
         """Drop everything (transaction abort, crash, restart recovery)."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        if dropped:
-            self.stats.invalidations += dropped
-            if self._metrics is not None:
-                self._metrics.invalidations.inc(dropped)
+        with self._mutex:
+            dropped = len(self._entries)
+            self._entries.clear()
+            if dropped:
+                self.stats.invalidations += dropped
+                if self._metrics is not None:
+                    self._metrics.invalidations.inc(dropped)
 
     # -- batch accounting ----------------------------------------------------
 
     def note_batch(self, size: int) -> None:
         """Record one ``deref_many`` batch of ``size`` distinct OIDs."""
-        self.stats.batches += 1
-        self.stats.batched_oids += size
+        with self._mutex:
+            self.stats.batches += 1
+            self.stats.batched_oids += size
         if self._metrics is not None:
             self._metrics.batches.inc()
             self._metrics.batched_oids.inc(size)
@@ -154,4 +163,5 @@ class ObjectCache:
 
     def resident_oids(self) -> list[OID]:
         """OIDs currently cached, least- to most-recently used."""
-        return list(self._entries)
+        with self._mutex:
+            return list(self._entries)

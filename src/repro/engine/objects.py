@@ -26,6 +26,17 @@ Dereferencing has a *fast path* (on by default, ``cache_enabled``):
 With ``cache_enabled=False`` every ``deref`` is a charged read + decode
 again, restoring the exact paper-faithful I/O accounting the Table 16/17
 cost validation measures.
+
+Multi-session service (``repro.server``) threads a *current transaction*
+through the manager: while :attr:`current_txn` is set, every read takes an
+S lock and every write an X lock on the touched extent file (strict 2PL
+via the storage manager), and the shared object cache follows two
+visibility rules so sessions never see each other's uncommitted state:
+
+* a deref by a transaction that holds an X lock on the extent skips the
+  ``put`` (its reads may be of its own uncommitted writes);
+* cache hits still require the S lock first, so a reader blocks behind a
+  writer exactly as an uncached read would.
 """
 
 from __future__ import annotations
@@ -59,6 +70,11 @@ class ObjectManager(ObjectStore):
         self._page_class: dict[int, str] = {}
         #: observers notified as (event, obj, old_state) for index upkeep
         self.observers: list = []
+        #: The session transaction all CRUD/deref calls implicitly run
+        #: under (set by the server while it holds the engine latch, so at
+        #: most one statement consults it at a time).  ``None`` keeps the
+        #: embedded single-caller behaviour: no locks, no WAL.
+        self.current_txn: Transaction | None = None
         self._cache_capacity = cache_capacity
         self.cache: ObjectCache | None = None
         if cache_enabled:
@@ -145,6 +161,8 @@ class ObjectManager(ObjectStore):
         state: dict,
         txn: Transaction | None = None,
     ) -> MoodObject:
+        if txn is None:
+            txn = self.current_txn
         definition = self.catalog.class_def(class_name)
         if not definition.is_class:
             raise CatalogError(
@@ -165,17 +183,40 @@ class ObjectManager(ObjectStore):
         return obj
 
     def deref(self, oid: OID) -> MoodObject:
-        if self.cache is not None:
+        txn = self.current_txn
+        if txn is None and self.cache is not None:
             cached = self.cache.get(oid)
             if cached is not None:
                 return cached
         class_name = self._class_of(oid)
         extent = self.catalog.extent_file(class_name)
-        payload = self.storage.read(extent, oid)
+        if txn is not None:
+            # Visibility rule 1: the S lock comes before the cache lookup,
+            # so a cache hit cannot bypass a writer's X lock.
+            self.storage.txns.lock_shared(txn, ("file", extent.file_id))
+            if self.cache is not None:
+                cached = self.cache.get(oid)
+                if cached is not None:
+                    return cached
+        payload = self.storage.read(extent, oid, txn)
         state = decode(payload)
-        if self.cache is not None:
+        if self.cache is not None and not self._writes_extent(txn, extent):
+            # Visibility rule 2: an extent the transaction itself writes
+            # may serve it uncommitted state -- correct for the writer,
+            # poison for the shared cache.
             self.cache.put(oid, class_name, state)
         return MoodObject(oid, class_name, state)
+
+    def _writes_extent(self, txn: Transaction | None, extent) -> bool:
+        """True when ``txn`` holds the X lock on ``extent``'s file."""
+        if txn is None:
+            return False
+        from repro.storage.locks import LockMode
+
+        mode = self.storage.locks.mode_held(
+            txn.txn_id, ("file", extent.file_id)
+        )
+        return mode is LockMode.X
 
     def deref_many(self, oids: Iterable[OID]) -> dict[OID, MoodObject]:
         """Dereference a batch of OIDs, page-clustered.
@@ -188,7 +229,11 @@ class ObjectManager(ObjectStore):
         charging).
         """
         distinct = list(dict.fromkeys(oids))
-        if self.cache is None:
+        if self.cache is None or self.current_txn is not None:
+            # Under a session transaction, plain deref per OID keeps the
+            # locking and cache-visibility rules in one place (batching
+            # matters less there: the engine latch already serialises the
+            # statement).
             return {oid: self.deref(oid) for oid in distinct}
         result: dict[OID, MoodObject] = {}
         misses: dict[str, list[OID]] = {}
@@ -215,6 +260,8 @@ class ObjectManager(ObjectStore):
         txn: Transaction | None = None,
     ) -> None:
         """Persist an object's (modified) state."""
+        if txn is None:
+            txn = self.current_txn
         validator = self.catalog.validator_for(obj.class_name)
         extent = self.catalog.extent_file(obj.class_name)
         # The before-image is only materialised when an observer (index
@@ -225,7 +272,7 @@ class ObjectManager(ObjectStore):
             cached = self.cache.get(obj.oid) if self.cache is not None \
                 else None
             old_state = cached.state if cached is not None \
-                else decode(self.storage.read(extent, obj.oid))
+                else decode(self.storage.read(extent, obj.oid, txn))
         canonical = validator.validate(obj.state) or {}
         obj.state = canonical
         self.storage.update(extent, obj.oid, encode(canonical), txn)
@@ -238,6 +285,8 @@ class ObjectManager(ObjectStore):
     def delete_object(self, oid: OID, txn: Transaction | None = None) -> None:
         # Resolving the extent needs only the page map, not a full deref;
         # the old object is materialised solely for observers.
+        if txn is None:
+            txn = self.current_txn
         class_name = self._class_of(oid)
         extent = self.catalog.extent_file(class_name)
         obj = self.deref(oid) if self.observers else None
@@ -265,7 +314,7 @@ class ObjectManager(ObjectStore):
             classes = [class_name]
         for member in classes:
             extent = self.catalog.extent_file(member)
-            for oid, payload in self.storage.scan(extent):
+            for oid, payload in self.storage.scan(extent, self.current_txn):
                 yield MoodObject(oid, member, decode(payload))
 
     def extent(self, class_name: str) -> list[MoodObject]:

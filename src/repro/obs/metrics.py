@@ -12,25 +12,36 @@ The registry is deliberately simulation-friendly: counters accept float
 increments (simulated milliseconds as well as page counts), and
 :meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.since` allow
 windowed measurements without resetting the underlying components.
+
+The registry and its instruments are thread-safe: server worker threads
+increment shared counters concurrently, so :meth:`Counter.inc` and
+:meth:`Histogram.observe` take a small per-instrument mutex (an
+uncontended CPython lock costs tens of nanoseconds; the single-threaded
+embedded paths are unaffected beyond that).
 """
 
 from __future__ import annotations
+
+import threading
 
 
 class Counter:
     """A monotonically increasing named value (int or float increments)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_mutex")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._mutex = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._mutex:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._mutex:
+            self.value = 0.0
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value:g})"
@@ -39,29 +50,32 @@ class Counter:
 class Histogram:
     """Streaming summary (count/total/min/max/mean) of observed values."""
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_mutex")
 
     def __init__(self, name: str):
         self.name = name
+        self._mutex = threading.Lock()
         self.reset()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._mutex:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = None
-        self.max = None
+        with self._mutex:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
 
     def __repr__(self) -> str:
         return (
@@ -92,19 +106,26 @@ class MetricsRegistry:
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._mutex = threading.Lock()
 
     # -- access ------------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
+            with self._mutex:
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter(name)
         return counter
 
     def histogram(self, name: str) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name)
+            with self._mutex:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram(name)
         return histogram
 
     def component(self, prefix: str) -> ComponentMetrics:
@@ -115,40 +136,49 @@ class MetricsRegistry:
         counter = self._counters.get(name)
         return counter.value if counter is not None else 0.0
 
+    def _counter_items(self) -> list[tuple[str, Counter]]:
+        with self._mutex:
+            return list(self._counters.items())
+
     def counters(self) -> dict[str, float]:
-        return {name: c.value for name, c in sorted(self._counters.items())}
+        return {name: c.value for name, c in sorted(self._counter_items())}
 
     def names(self) -> list[str]:
-        return sorted([*self._counters, *self._histograms])
+        with self._mutex:
+            return sorted([*self._counters, *self._histograms])
 
     # -- windows -----------------------------------------------------------
 
     def snapshot(self) -> dict[str, float]:
         """Counter values at this instant (histograms are not windowed)."""
-        return {name: c.value for name, c in self._counters.items()}
+        return {name: c.value for name, c in self._counter_items()}
 
     def since(self, earlier: dict[str, float]) -> dict[str, float]:
         """Counter deltas relative to an earlier :meth:`snapshot`."""
         return {
             name: counter.value - earlier.get(name, 0.0)
-            for name, counter in self._counters.items()
+            for name, counter in self._counter_items()
             if counter.value != earlier.get(name, 0.0)
         }
 
     def reset(self) -> None:
-        for counter in self._counters.values():
-            counter.reset()
-        for histogram in self._histograms.values():
-            histogram.reset()
+        with self._mutex:
+            instruments = [*self._counters.values(),
+                           *self._histograms.values()]
+        for instrument in instruments:
+            instrument.reset()
 
     # -- reporting ---------------------------------------------------------
 
     def render(self) -> str:
         """A sorted plain-text table of every metric."""
+        with self._mutex:
+            counters = sorted(self._counters.items())
+            histograms = sorted(self._histograms.items())
         lines = []
-        for name, counter in sorted(self._counters.items()):
+        for name, counter in counters:
             lines.append(f"{name:<40} {counter.value:g}")
-        for name, histogram in sorted(self._histograms.items()):
+        for name, histogram in histograms:
             lines.append(
                 f"{name:<40} n={histogram.count} mean={histogram.mean:g}"
             )

@@ -1,0 +1,37 @@
+"""repro.server: the MOOD kernel served to concurrent clients over TCP.
+
+The paper runs MOOD's interfaces (MoodView, MoodSQL shells) as client
+processes of one kernel built on the Exodus Storage Manager.  This package
+reproduces that process boundary:
+
+* :mod:`~repro.server.protocol` -- length-prefixed JSON frames;
+* :mod:`~repro.server.session` -- per-client transactions over the shared
+  kernel (conservative 2PL closure first, engine latch second);
+* :mod:`~repro.server.admission` -- bounded statement gate (load shedding);
+* :mod:`~repro.server.server` -- the TCP server and graceful shutdown;
+* :mod:`~repro.server.client` -- ``MoodClient`` with retryable-error
+  backoff.
+
+Run one with ``python -m repro.server`` and talk to it with
+:class:`MoodClient`.
+"""
+
+from repro.server.client import (
+    MoodClient,
+    MoodServerError,
+    QueryRows,
+    StatementOutcome,
+)
+from repro.server.server import MoodServer, ServerConfig
+from repro.server.session import Session, SessionManager
+
+__all__ = [
+    "MoodClient",
+    "MoodServer",
+    "MoodServerError",
+    "QueryRows",
+    "ServerConfig",
+    "Session",
+    "SessionManager",
+    "StatementOutcome",
+]

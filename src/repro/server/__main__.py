@@ -1,0 +1,72 @@
+"""``python -m repro.server``: stand up a MOOD server on a TCP port.
+
+By default serves an empty database; ``--demo`` loads the paper's
+vehicle/company schema and instances (scaled) so a fresh checkout can be
+queried immediately:
+
+    python -m repro.server --port 7207 --demo &
+    python - <<'PY'
+    from repro.server import MoodClient
+    with MoodClient("127.0.0.1", 7207) as client:
+        print(client.query(
+            "SELECT v.id, v.manufacturer.name FROM Vehicle v"
+        ).rows[:5])
+    PY
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+
+from repro.core.database import MoodDatabase
+from repro.server.server import MoodServer, ServerConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a MOOD database over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7207)
+    parser.add_argument("--workers", type=int, default=8,
+                        help="max concurrent statements in the kernel")
+    parser.add_argument("--queue", type=int, default=16,
+                        help="max statements queued for admission")
+    parser.add_argument("--statement-timeout", type=float, default=30.0)
+    parser.add_argument("--demo", action="store_true",
+                        help="preload the paper's vehicle/company data")
+    parser.add_argument("--demo-scale", type=int, default=100)
+    args = parser.parse_args(argv)
+
+    db = MoodDatabase()
+    if args.demo:
+        from repro.bench.paperdb import build_paper_database
+
+        build_paper_database(db, scale=args.demo_scale)
+        print(f"demo data loaded (scale {args.demo_scale})")
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        max_queue=args.queue,
+        statement_timeout=args.statement_timeout,
+    )
+    server = MoodServer(db, config)
+    host, port = server.start()
+    print(f"MOOD server listening on {host}:{port}")
+
+    done = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: done.set())
+    signal.signal(signal.SIGTERM, lambda *_: done.set())
+    done.wait()
+    print("shutting down...")
+    server.stop(graceful=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

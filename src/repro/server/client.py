@@ -1,0 +1,225 @@
+"""MoodClient: the connection handle a MOOD interface process would hold.
+
+Wraps one TCP connection to a :class:`~repro.server.server.MoodServer`
+in a blocking request/response API:
+
+* ``execute`` / ``query`` / ``explain`` send SQL and decode results into
+  plain client-side values (:class:`~repro.server.protocol.RemoteObject`
+  stand-ins, never live kernel objects);
+* ``begin`` / ``commit`` / ``rollback`` manage the session transaction;
+* server-side failures re-raise as :class:`MoodServerError` carrying the
+  stable ``code`` / ``errno`` / ``retryable`` identity from the wire;
+* ``run_transaction`` retries a whole transaction body on *retryable*
+  errors (deadlock victim, lock timeout, server busy) with exponential
+  backoff plus jitter -- the client half of the server's load shedding.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.core.errors import MoodError, ProtocolError, error_class_for
+from repro.server.protocol import decode_value, recv_frame, send_frame
+
+#: Retry schedule defaults for :meth:`MoodClient.run_transaction`.
+DEFAULT_RETRIES = 5
+DEFAULT_BACKOFF = 0.02   # seconds; doubles per attempt, +/- 50% jitter
+
+
+class MoodServerError(MoodError):
+    """A server-reported failure, carrying its wire identity."""
+
+    def __init__(self, code: str, errno: int, retryable: bool, message: str):
+        super().__init__(message)
+        self.code = code
+        self.errno = errno
+        self.retryable = retryable
+
+    def __repr__(self) -> str:
+        return f"MoodServerError({self.code}, {self.args[0]!r})"
+
+
+@dataclass
+class QueryRows:
+    """A decoded query result: column names plus row tuples."""
+
+    columns: list
+    rows: list
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalars(self) -> list:
+        return [row[0] for row in self.rows]
+
+
+@dataclass
+class StatementOutcome:
+    """A decoded non-SELECT result."""
+
+    kind: str
+    detail: str = ""
+    count: int = 0
+    code: str | None = None
+    obj: object | None = None
+
+
+class MoodClient:
+    """One session against a MOOD server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        io_timeout: float | None = 60.0,
+    ):
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._sock.settimeout(io_timeout)
+        self._closed = False
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _call(self, op: str, **fields) -> dict:
+        if self._closed:
+            raise ProtocolError("client is closed")
+        request = {"op": op, **fields}
+        send_frame(self._sock, request)
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        raise self._rebuild_error(error)
+
+    @staticmethod
+    def _rebuild_error(error: dict) -> MoodServerError:
+        cls = error_class_for(error.get("code", "MOOD"))
+        return MoodServerError(
+            code=error.get("code", cls.code),
+            errno=int(error.get("errno", cls.errno)),
+            retryable=bool(error.get("retryable", cls.retryable)),
+            message=error.get("message", "server error"),
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self._call("CLOSE")
+        except (MoodError, OSError):
+            pass
+        finally:
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "MoodClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- verbs ---------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._call("PING").get("pong"))
+
+    def stats(self) -> dict:
+        return self._call("STATS")["stats"]
+
+    def execute(self, sql: str, timeout: float | None = None) -> list:
+        """Run a script; returns one decoded result per statement."""
+        fields = {"sql": sql}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        response = self._call("EXECUTE", **fields)
+        return [_decode_result(item) for item in response["results"]]
+
+    def query(self, sql: str, timeout: float | None = None) -> QueryRows:
+        """Run one SELECT; returns its rows."""
+        results = self.execute(sql, timeout=timeout)
+        for result in reversed(results):
+            if isinstance(result, QueryRows):
+                return result
+        raise ProtocolError("statement did not produce rows")
+
+    def explain(self, sql: str) -> str:
+        response = self._call("EXPLAIN", sql=sql)
+        return response["results"][-1]["report"]
+
+    def begin(self) -> None:
+        self._call("BEGIN")
+
+    def commit(self) -> None:
+        self._call("COMMIT")
+
+    def rollback(self) -> None:
+        self._call("ROLLBACK")
+
+    # -- retry loop ----------------------------------------------------------
+
+    def run_transaction(
+        self,
+        body,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        rng: random.Random | None = None,
+    ):
+        """Run ``body(client)`` inside BEGIN/COMMIT, retrying on retryable
+        errors (deadlock victimisation, lock/statement timeouts, admission
+        rejection) with exponential backoff plus jitter.
+
+        Returns ``(result, attempts)``; raises the last error once the
+        retry budget is spent or on any non-retryable failure.
+        """
+        rng = rng or random
+        delay = backoff
+        for attempt in range(1, retries + 2):
+            try:
+                self.begin()
+                result = body(self)
+                self.commit()
+                return result, attempt
+            except MoodServerError as exc:
+                self._quiet_rollback()
+                if not exc.retryable or attempt > retries:
+                    raise
+                # Full jitter keeps N backed-off clients from re-colliding.
+                time.sleep(delay * (0.5 + rng.random()))
+                delay *= 2
+
+    def _quiet_rollback(self) -> None:
+        try:
+            self.rollback()
+        except (MoodError, OSError):
+            pass  # no open transaction (autocommit abort already ran)
+
+
+def _decode_result(item: dict):
+    kind = item.get("type")
+    if kind == "query":
+        return QueryRows(
+            columns=item["columns"],
+            rows=[tuple(decode_value(row)) for row in item["rows"]],
+        )
+    if kind == "explain":
+        return item["report"]
+    if kind == "statement":
+        return StatementOutcome(
+            kind=item["kind"],
+            detail=item.get("detail", ""),
+            count=item.get("count", 0),
+            code=item.get("code"),
+            obj=decode_value(item["object"])
+            if item.get("object") is not None else None,
+        )
+    return item

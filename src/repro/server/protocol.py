@@ -1,0 +1,178 @@
+"""The MOOD wire protocol: length-prefixed JSON frames over a byte stream.
+
+MoodView talks to the MOOD kernel over a client/server boundary (the paper
+runs the interfaces as clients of a shared kernel on ESM); this module is
+that boundary's wire format for the reproduction:
+
+* a frame is a 4-byte big-endian payload length followed by a UTF-8 JSON
+  document -- trivially debuggable with ``nc`` plus a hex dump, and
+  framing survives any TCP segmentation;
+* requests carry ``op`` (``EXECUTE``/``QUERY``/``EXPLAIN``/``BEGIN``/
+  ``COMMIT``/``ROLLBACK``/``PING``/``CLOSE``) and op-specific fields;
+* responses carry ``ok`` plus either a result payload or an ``error``
+  object holding the stable ``code``/``errno``/``retryable``/``message``
+  identity from :mod:`repro.core.errors`.
+
+Values that cross the wire are encoded structurally: an OID becomes
+``{"$oid": "v.p.s"}``, a :class:`~repro.model.objects.MoodObject` becomes
+``{"$object": {...}}``, and sets become ``{"$set": [...]}`` (JSON has no
+set).  :func:`decode_value` restores them as :class:`RemoteObject` /
+:class:`RemoteOID` client-side stand-ins -- the client deliberately does
+*not* rebuild live kernel objects.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.errors import ProtocolError
+
+_LENGTH = struct.Struct("!I")
+
+#: Upper bound on one frame's JSON payload; a longer length prefix means a
+#: desynchronised or hostile peer, not a big result.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Operations a server understands; anything else is a PROTOCOL error.
+REQUEST_OPS = frozenset({
+    "EXECUTE", "QUERY", "EXPLAIN", "BEGIN", "COMMIT", "ROLLBACK",
+    "PING", "STATS", "CLOSE",
+})
+
+
+# --------------------------------------------------------------------------
+# Framing
+# --------------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Encode ``message`` as one length-prefixed JSON frame and send it."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """``count`` bytes off the socket, or ``None`` on EOF before byte one."""
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            return None if not chunks else _raise_truncated()
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def _raise_truncated() -> bytes:
+    raise ProtocolError("connection closed mid-frame")
+
+
+# --------------------------------------------------------------------------
+# Value encoding
+# --------------------------------------------------------------------------
+
+def encode_value(value):
+    """A JSON-ready rendering of any value a statement can produce."""
+    from repro.model.objects import MoodObject
+    from repro.storage.oid import OID
+
+    if isinstance(value, MoodObject):
+        return {"$object": {
+            "oid": str(value.oid),
+            "class": value.class_name,
+            "state": {k: encode_value(v) for k, v in value.state.items()},
+        }}
+    if isinstance(value, OID):
+        return {"$oid": str(value)}
+    if isinstance(value, (set, frozenset)):
+        return {"$set": [encode_value(v) for v in value]}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: encode_value(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class RemoteOID:
+    """Client-side stand-in for an OID (``volume.page.slot`` text)."""
+
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass
+class RemoteObject:
+    """Client-side stand-in for a MoodObject: identity + state, no kernel."""
+
+    oid: RemoteOID
+    class_name: str
+    state: dict = field(default_factory=dict)
+
+    def __getitem__(self, attribute: str):
+        return self.state[attribute]
+
+
+def decode_value(value):
+    """Invert :func:`encode_value` into client-side stand-ins."""
+    if isinstance(value, dict):
+        if "$object" in value and len(value) == 1:
+            body = value["$object"]
+            return RemoteObject(
+                oid=RemoteOID(body["oid"]),
+                class_name=body["class"],
+                state={k: decode_value(v) for k, v in body["state"].items()},
+            )
+        if "$oid" in value and len(value) == 1:
+            return RemoteOID(value["$oid"])
+        if "$set" in value and len(value) == 1:
+            return [decode_value(v) for v in value["$set"]]
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+# --------------------------------------------------------------------------
+# Result envelopes
+# --------------------------------------------------------------------------
+
+def ok_response(payload: dict | None = None) -> dict:
+    message = {"ok": True}
+    if payload:
+        message.update(payload)
+    return message
+
+
+def error_response(error: dict) -> dict:
+    """``error`` is :func:`repro.core.errors.describe_error` output."""
+    return {"ok": False, "error": error}

@@ -1,0 +1,324 @@
+"""The MOOD server: sessions over TCP, with admission control.
+
+One process owns the :class:`~repro.core.database.MoodDatabase`; clients
+connect over TCP and speak the frame protocol of
+:mod:`repro.server.protocol`.  Each connection gets a dedicated handler
+thread (``socketserver.ThreadingTCPServer``) and one
+:class:`~repro.server.session.Session`; statements pass through the
+:class:`~repro.server.admission.AdmissionController` before touching the
+kernel, so a client burst sheds load with retryable ``SERVER_BUSY``
+errors instead of convoying on the engine latch.
+
+Graceful shutdown (:meth:`MoodServer.stop`) runs in order: stop
+accepting connections, refuse new statements (``SHUTTING_DOWN``), wait
+for in-flight statements to drain, roll back every session's open
+transaction, cut a checkpoint, and close the listener.  The store is
+then cold-restartable: recovery finds only committed work.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.database import MoodDatabase
+from repro.core.errors import (
+    MoodError,
+    ProtocolError,
+    describe_error,
+)
+from repro.server.admission import AdmissionController
+from repro.server.protocol import (
+    REQUEST_OPS,
+    encode_value,
+    error_response,
+    ok_response,
+    recv_frame,
+    send_frame,
+)
+from repro.server.session import (
+    DEFAULT_STATEMENT_TIMEOUT,
+    Session,
+    SessionManager,
+)
+
+
+@dataclass
+class ServerConfig:
+    """Knobs for one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                     # 0 = ephemeral, read back after start()
+    max_workers: int = 8              # statements inside the kernel at once
+    max_queue: int = 16               # statements parked awaiting admission
+    admission_timeout: float = 5.0    # seconds a statement may queue
+    statement_timeout: float = DEFAULT_STATEMENT_TIMEOUT
+    shutdown_drain: float = 10.0      # seconds to wait for in-flight work
+
+
+class MoodServer:
+    """Serves one MoodDatabase to many TCP clients."""
+
+    def __init__(self, db: MoodDatabase, config: ServerConfig | None = None):
+        self.db = db
+        self.config = config or ServerConfig()
+        self.sessions = SessionManager(
+            db, statement_timeout=self.config.statement_timeout
+        )
+        component = db.kernel.storage.metrics.component("server")
+        self.admission = AdmissionController(
+            self.config.max_workers,
+            self.config.max_queue,
+            metrics_component=db.kernel.storage.metrics.component(
+                "server.admission"
+            ),
+        )
+        self._m_connections = component.counter("connections")
+        self._m_frames = component.counter("frames")
+        self._m_errors = component.counter("errors")
+        self._tcp: _FrameTCPServer | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._inflight = 0
+        self._inflight_mutex = threading.Lock()
+        self._drained = threading.Condition(self._inflight_mutex)
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, start accepting, and return the bound ``(host, port)``."""
+        if self._tcp is not None:
+            raise MoodError("server already started")
+        self._tcp = _FrameTCPServer(
+            (self.config.host, self.config.port), _ConnectionHandler, self
+        )
+        self._accept_thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="mood-server-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._tcp is None:
+            raise MoodError("server not started")
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def stop(self, graceful: bool = True) -> None:
+        """Shut down; with ``graceful`` drain in-flight statements first."""
+        if self._tcp is None or self._stopped:
+            return
+        self._stopped = True
+        # 1. No new statements (frames already mid-execution keep going).
+        self.sessions.begin_shutdown()
+        # 2. No new connections.
+        self._tcp.shutdown()
+        if graceful:
+            # 3. Drain: wait for every admitted statement to finish.
+            deadline = time.monotonic() + self.config.shutdown_drain
+            with self._drained:
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._drained.wait(remaining)
+            # 4. Roll back whatever transactions sessions still hold open.
+            self.sessions.close_all()
+            # 5. Leave a clean, replayable store behind.
+            self.db.kernel.storage.checkpoint()
+        else:
+            self.sessions.close_all()
+        # 6. Release the listener socket; handler threads are daemonic and
+        #    exit as their clients hang up or their next statement is
+        #    refused with SHUTTING_DOWN.
+        self._tcp.server_close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "MoodServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- in-flight accounting -------------------------------------------------
+
+    def _statement_started(self) -> None:
+        with self._inflight_mutex:
+            self._inflight += 1
+
+    def _statement_finished(self) -> None:
+        with self._drained:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drained.notify_all()
+
+    # -- request dispatch -----------------------------------------------------
+
+    def handle_request(self, session: Session, request: dict) -> dict:
+        """One request frame in, one response frame out."""
+        self._m_frames.inc()
+        op = request.get("op")
+        if op not in REQUEST_OPS:
+            raise ProtocolError(f"unknown op {op!r}")
+        try:
+            return self._dispatch(session, op, request)
+        except MoodError as exc:
+            self._m_errors.inc()
+            return error_response(describe_error(exc))
+        finally:
+            self._reconcile_ticket(session)
+
+    def _ensure_ticket(self, session: Session) -> None:
+        """Admission is per *transaction*, not per statement: a session
+        already holding a slot (its explicit transaction is admitted) runs
+        its next statement ungated.  Gating mid-transaction statements
+        would let a lock-holding transaction park in the admission queue
+        while every admitted slot waits on its locks -- a deadlock between
+        the two layers that neither one's detector can see."""
+        if not session.admitted:
+            self.admission.admit(timeout=self.config.admission_timeout)
+            session.admitted = True
+
+    def _reconcile_ticket(self, session: Session) -> None:
+        """Release the slot once the session is back in autocommit."""
+        if session.admitted and not session.in_transaction:
+            session.admitted = False
+            self.admission.release()
+
+    def _dispatch(self, session: Session, op: str, request: dict) -> dict:
+        if op == "PING":
+            return ok_response({"pong": True})
+        if op == "STATS":
+            return ok_response({"stats": self._stats(session)})
+        if op == "BEGIN":
+            self._ensure_ticket(session)
+            return _statement_payload(self.sessions.begin(session))
+        if op == "COMMIT":
+            return _statement_payload(self.sessions.commit(session))
+        if op == "ROLLBACK":
+            return _statement_payload(self.sessions.rollback(session))
+        # EXECUTE / QUERY / EXPLAIN enter the kernel: gate them.
+        sql = request.get("sql")
+        if not isinstance(sql, str):
+            raise ProtocolError(f"{op} needs a string 'sql' field")
+        if op == "EXPLAIN" and not sql.lstrip().upper().startswith("EXPLAIN"):
+            sql = "EXPLAIN " + sql
+        timeout = request.get("timeout")
+        self._ensure_ticket(session)
+        self._statement_started()
+        try:
+            results = self.sessions.execute(session, sql, timeout=timeout)
+        finally:
+            self._statement_finished()
+        return ok_response(
+            {"results": [_encode_result(result) for result in results]}
+        )
+
+    def _stats(self, session: Session) -> dict:
+        return {
+            "session_id": session.session_id,
+            "in_transaction": session.in_transaction,
+            "sessions": len(self.sessions.sessions()),
+            "admission_active": self.admission.active(),
+            "admission_queued": self.admission.queue_depth(),
+            "metrics": {
+                name: value
+                for name, value in
+                self.db.kernel.storage.metrics.snapshot().items()
+                if name.startswith("server.") or name.startswith("locks.")
+            },
+        }
+
+
+# --------------------------------------------------------------------------
+# Result encoding
+# --------------------------------------------------------------------------
+
+def _encode_result(result) -> dict:
+    from repro.core.kernel import ExplainResult, QueryResult, StatementResult
+
+    if isinstance(result, QueryResult):
+        return {
+            "type": "query",
+            "columns": list(result.columns),
+            "rows": [encode_value(list(row)) for row in result.rows],
+        }
+    if isinstance(result, ExplainResult):
+        payload = {"type": "explain", "report": result.render()}
+        if result.result is not None:
+            payload["columns"] = list(result.result.columns)
+            payload["rows"] = [
+                encode_value(list(row)) for row in result.result.rows
+            ]
+        return payload
+    if isinstance(result, StatementResult):
+        return {
+            "type": "statement",
+            "kind": result.kind,
+            "detail": result.detail,
+            "count": result.count,
+            "code": result.code,
+            "object": encode_value(result.obj)
+            if result.obj is not None else None,
+        }
+    return {"type": "opaque", "repr": repr(result)}
+
+
+def _statement_payload(result) -> dict:
+    return ok_response({"results": [_encode_result(result)]})
+
+
+# --------------------------------------------------------------------------
+# socketserver plumbing
+# --------------------------------------------------------------------------
+
+class _FrameTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, handler, mood_server: MoodServer):
+        self.mood_server = mood_server
+        super().__init__(address, handler)
+
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    """One thread per connection: a session plus a frame loop."""
+
+    def handle(self) -> None:
+        server: MoodServer = self.server.mood_server
+        server._m_connections.inc()
+        try:
+            session = server.sessions.open_session()
+        except MoodError as exc:
+            send_frame(self.request, error_response(describe_error(exc)))
+            return
+        try:
+            while True:
+                try:
+                    request = recv_frame(self.request)
+                except ProtocolError as exc:
+                    # Framing is gone; answer once and hang up.
+                    send_frame(
+                        self.request, error_response(describe_error(exc))
+                    )
+                    return
+                if request is None or request.get("op") == "CLOSE":
+                    if request is not None:
+                        send_frame(self.request, ok_response({"bye": True}))
+                    return
+                response = server.handle_request(session, request)
+                send_frame(self.request, response)
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass  # client vanished; the finally still rolls its txn back
+        finally:
+            server.sessions.close_session(session)
+            # A connection that died mid-transaction still holds a slot.
+            server._reconcile_ticket(session)

@@ -1,0 +1,471 @@
+"""Sessions: per-client transaction context over one shared MOOD kernel.
+
+The paper's architecture runs MoodView/MoodSQL interfaces as *processes*
+against one kernel on ESM; this module is the kernel-side half of that
+contract.  Each connected client owns a :class:`Session`; the
+:class:`SessionManager` executes its statements against the shared
+:class:`~repro.core.database.MoodDatabase` under a two-level scheme:
+
+**Locks first.**  Before a statement runs, its *lock closure* is computed
+from the AST: S on every extent the FROM ranges (plus everything
+reachable through reference-typed attributes -- path expressions chase
+those) can touch, X on extents it writes, X on the ``("catalog",)``
+resource for DDL and S for everything else.  The closure is acquired in
+sorted resource order -- conservative (static) 2PL, so two predeclaring
+statements cannot deadlock against each other; deadlocks can still arise
+across *multi-statement* transactions whose closures interleave, and the
+lock manager's wait-for graph catches those.
+
+**Latch second.**  The statement then executes holding the *engine latch*
+(one RLock shared with the storage and transaction managers), because the
+kernel's buffer pool, capture windows and trace state are single-caller.
+While latched, ``txn.lock_timeout`` is pinned to 0: any lock the
+predeclared closure missed (e.g. a path through a freshly-named object)
+degrades to a no-wait probe, so the latch is *never* held across a lock
+wait and the latch/lock hierarchy stays deadlock-free.  A failed probe
+surfaces as a retryable ``LOCK_TIMEOUT``.
+
+Timeouts bound the waiting phases (lock closure, engine latch); a
+statement already executing inside the engine cannot be preempted in
+Python and runs to completion.  Externally aborting a session's
+transaction (shutdown, deadlock victimisation) wakes its lock waits via
+:class:`~repro.core.errors.LockCancelledError`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.database import MoodDatabase
+from repro.core.errors import (
+    DeadlockError,
+    LockCancelledError,
+    LockTimeoutError,
+    MoodError,
+    ServerShuttingDownError,
+    SessionClosedError,
+    StatementTimeoutError,
+    TransactionAbortedError,
+    TransactionError,
+)
+from repro.core.kernel import StatementResult
+from repro.catalog.typeparse import parse_type
+from repro.model.types import referenced_class
+from repro.sql.ast import (
+    AlterClass,
+    AnalyzeStmt,
+    CreateClass,
+    CreateIndex,
+    CreateMethod,
+    DeleteStmt,
+    DropClass,
+    DropIndex,
+    DropMethod,
+    ExplainStmt,
+    NewObject,
+    SelectQuery,
+    UpdateStmt,
+)
+from repro.sql.parser import parse_script
+from repro.storage.locks import LockMode
+from repro.storage.transactions import Transaction, TxnState
+
+#: Resource representing the schema itself: S for any statement that
+#: relies on it (all of them), X for DDL.
+CATALOG_RESOURCE = ("catalog",)
+
+#: Default per-statement budget for the waiting phases, seconds.
+DEFAULT_STATEMENT_TIMEOUT = 30.0
+
+_DDL_STATEMENTS = (
+    CreateClass, DropClass, AlterClass,
+    CreateIndex, DropIndex, CreateMethod, DropMethod,
+)
+
+
+class Session:
+    """One client's state: an id, an optional open transaction, a flag."""
+
+    def __init__(self, session_id: int, manager: "SessionManager"):
+        self.session_id = session_id
+        self.manager = manager
+        self.txn: Transaction | None = None
+        self.closed = False
+        #: Serialises statements *within* the session: one client pipelining
+        #: frames must not interleave its own statements.
+        self.mutex = threading.Lock()
+        self.statements = 0
+        #: True while this session holds an admission slot.  A slot is
+        #: taken per autocommit statement OR per explicit transaction
+        #: (BEGIN..COMMIT) -- never per mid-transaction statement, because
+        #: a lock-holding transaction parked in the admission queue while
+        #: admitted statements wait on its locks would deadlock the two
+        #: layers against each other.
+        self.admitted = False
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.txn is not None and self.txn.state is TxnState.ACTIVE
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.session_id}, "
+            f"{'txn' if self.in_transaction else 'autocommit'})"
+        )
+
+
+class SessionManager:
+    """Executes sessions' statements against one shared database."""
+
+    def __init__(
+        self,
+        db: MoodDatabase,
+        statement_timeout: float = DEFAULT_STATEMENT_TIMEOUT,
+    ):
+        self.db = db
+        self.kernel = db.kernel
+        self.statement_timeout = statement_timeout
+        #: The engine latch (== storage latch == txn-manager latch).
+        self.latch = self.kernel.storage.latch
+        self._mutex = threading.Lock()
+        self._sessions: dict[int, Session] = {}
+        self._next_id = 1
+        self._shutting_down = False
+        component = self.kernel.storage.metrics.component("server")
+        self._m_sessions = component.counter("sessions_opened")
+        self._m_statements = component.counter("statements")
+        self._m_statement_ms = component.histogram("statement_ms")
+        self._m_deadlocks = component.counter("deadlock_aborts")
+        self._m_lock_timeouts = component.counter("lock_timeouts")
+        self._m_stmt_timeouts = component.counter("statement_timeouts")
+        self._m_commits = component.counter("commits")
+        self._m_rollbacks = component.counter("rollbacks")
+
+    # -- session lifecycle ----------------------------------------------------
+
+    def open_session(self) -> Session:
+        with self._mutex:
+            if self._shutting_down:
+                raise ServerShuttingDownError("server is shutting down")
+            session = Session(self._next_id, self)
+            self._next_id += 1
+            self._sessions[session.session_id] = session
+            self._m_sessions.inc()
+            return session
+
+    def close_session(self, session: Session) -> None:
+        """Roll back any open transaction and retire the session."""
+        with self._mutex:
+            self._sessions.pop(session.session_id, None)
+        session.closed = True
+        self._rollback_if_open(session)
+
+    def sessions(self) -> list[Session]:
+        with self._mutex:
+            return list(self._sessions.values())
+
+    def begin_shutdown(self) -> None:
+        """Refuse new sessions and new statements from here on."""
+        with self._mutex:
+            self._shutting_down = True
+
+    def close_all(self) -> None:
+        """Shutdown tail: roll back every session still in a transaction."""
+        for session in self.sessions():
+            self.close_session(session)
+
+    def _rollback_if_open(self, session: Session) -> None:
+        txn, session.txn = session.txn, None
+        if txn is not None and txn.state is TxnState.ACTIVE:
+            try:
+                txn.abort()
+            except TransactionError:
+                pass  # a racing external abort already finished it
+            self._m_rollbacks.inc()
+
+    # -- transaction verbs ----------------------------------------------------
+
+    def begin(self, session: Session) -> StatementResult:
+        self._check_open(session)
+        with session.mutex:
+            if session.in_transaction:
+                raise TransactionError(
+                    f"session {session.session_id} already has an open "
+                    "transaction"
+                )
+            session.txn = self.kernel.storage.begin()
+            return StatementResult(
+                kind="BEGIN", detail=f"transaction {session.txn.txn_id}"
+            )
+
+    def commit(self, session: Session) -> StatementResult:
+        self._check_open(session)
+        with session.mutex:
+            txn, session.txn = session.txn, None
+            if txn is None:
+                raise TransactionError("no open transaction to commit")
+            if txn.state is not TxnState.ACTIVE:
+                # Externally aborted (victimised) underneath the client.
+                raise TransactionAbortedError(
+                    f"transaction {txn.txn_id} was already rolled back"
+                )
+            txn.commit()
+            self._m_commits.inc()
+            return StatementResult(
+                kind="COMMIT", detail=f"transaction {txn.txn_id}"
+            )
+
+    def rollback(self, session: Session) -> StatementResult:
+        self._check_open(session)
+        with session.mutex:
+            txn, session.txn = session.txn, None
+            if txn is None:
+                raise TransactionError("no open transaction to roll back")
+            txn_id = txn.txn_id
+            if txn.state is TxnState.ACTIVE:
+                txn.abort()
+            self._m_rollbacks.inc()
+            return StatementResult(
+                kind="ROLLBACK", detail=f"transaction {txn_id}"
+            )
+
+    # -- statement execution --------------------------------------------------
+
+    def execute(
+        self,
+        session: Session,
+        sql: str,
+        timeout: float | None = None,
+    ) -> list:
+        """Run a ';'-separated script; one result per statement.
+
+        Statements run under the session's open transaction, or each under
+        its own autocommit transaction.  The first failing statement stops
+        the script; under an explicit transaction, a failure also rolls the
+        whole transaction back (strictness keeps the abort path simple: no
+        statement-level undo exists at page-image granularity).
+        """
+        self._check_open(session)
+        budget = self.statement_timeout if timeout is None else timeout
+        statements = parse_script(sql)
+        results = []
+        with session.mutex:
+            for statement in statements:
+                results.append(
+                    self._execute_one(session, statement, budget)
+                )
+        return results
+
+    def _check_open(self, session: Session) -> None:
+        if session.closed:
+            raise SessionClosedError(
+                f"session {session.session_id} is closed"
+            )
+        if self._shutting_down:
+            raise ServerShuttingDownError("server is shutting down")
+
+    def _execute_one(self, session: Session, statement, budget: float):
+        deadline = time.monotonic() + budget
+        started = time.monotonic()
+        autocommit = not session.in_transaction
+        if isinstance(statement, _DDL_STATEMENTS) and not autocommit:
+            # DDL writes the catalog's system files outside the WAL: it
+            # cannot be rolled back, so it may not join a transaction.
+            raise TransactionError(
+                "DDL statements are autocommit-only; COMMIT or ROLLBACK "
+                "first"
+            )
+        txn = self.kernel.storage.begin() if autocommit else session.txn
+        try:
+            self._acquire_closure(txn, statement, deadline)
+            result = self._run_latched(txn, statement, deadline)
+            if autocommit:
+                txn.commit()
+            self._m_statements.inc()
+            session.statements += 1
+            return result
+        except (DeadlockError, LockTimeoutError, LockCancelledError,
+                StatementTimeoutError) as exc:
+            self._count_concurrency_error(exc)
+            self._surrender(session, txn, autocommit)
+            raise
+        except MoodError:
+            self._surrender(session, txn, autocommit)
+            raise
+        finally:
+            self._m_statement_ms.observe(
+                (time.monotonic() - started) * 1e3
+            )
+
+    def _count_concurrency_error(self, exc: MoodError) -> None:
+        if isinstance(exc, DeadlockError):
+            self._m_deadlocks.inc()
+        elif isinstance(exc, StatementTimeoutError):
+            self._m_stmt_timeouts.inc()
+        else:
+            self._m_lock_timeouts.inc()
+
+    def _surrender(
+        self, session: Session, txn: Transaction, autocommit: bool
+    ) -> None:
+        """Abort ``txn`` after a failed statement (strict: a failure inside
+        an explicit transaction rolls the whole transaction back)."""
+        if not autocommit:
+            session.txn = None
+            self._m_rollbacks.inc()
+        if txn.state is TxnState.ACTIVE:
+            try:
+                txn.abort()
+            except TransactionError:
+                pass  # lost the completion race to an external abort
+
+    # -- phase 1: the lock closure -------------------------------------------
+
+    def _acquire_closure(
+        self, txn: Transaction, statement, deadline: float
+    ) -> None:
+        plan = self._lock_plan(statement)
+        for resource, mode in sorted(plan.items()):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise StatementTimeoutError(
+                    "statement timed out acquiring its lock closure"
+                )
+            if txn.state is not TxnState.ACTIVE:
+                raise TransactionAbortedError(
+                    f"transaction {txn.txn_id} was rolled back"
+                )
+            self.kernel.storage.locks.acquire(
+                txn.txn_id, resource, mode, timeout=remaining
+            )
+
+    def _lock_plan(self, statement) -> dict[tuple, LockMode]:
+        """``resource -> strongest needed mode`` for one statement."""
+        plan: dict[tuple, LockMode] = {}
+
+        def need(resource: tuple, mode: LockMode) -> None:
+            if mode is LockMode.X or resource not in plan:
+                plan[resource] = mode
+
+        def extent_files(classes, mode: LockMode) -> None:
+            for name in classes:
+                extent = self.kernel.catalog.extent_file(name)
+                need(("file", extent.file_id), mode)
+
+        if isinstance(statement, _DDL_STATEMENTS):
+            need(CATALOG_RESOURCE, LockMode.X)
+            target = getattr(statement, "name", None) or getattr(
+                statement, "class_name", None
+            )
+            if isinstance(statement, CreateMethod):
+                target = statement.class_name
+            if target and self.kernel.catalog.has_class(target):
+                # ALTER migrates instances, DROP destroys the extent,
+                # CREATE INDEX scans and back-fills: X the data too.
+                extent_files(
+                    self.kernel.catalog.hierarchy.extent_classes(target),
+                    LockMode.X,
+                )
+            return plan
+
+        need(CATALOG_RESOURCE, LockMode.S)
+        if isinstance(statement, AnalyzeStmt):
+            extent_files(
+                [
+                    name
+                    for name in self.kernel.catalog.class_names()
+                    if self.kernel.catalog.class_def(name).is_class
+                ],
+                LockMode.S,
+            )
+        elif isinstance(statement, (SelectQuery, ExplainStmt)):
+            query = statement.query if isinstance(statement, ExplainStmt) \
+                else statement
+            seeds = self._range_classes(query.ranges)
+            extent_files(self._reference_closure(seeds), LockMode.S)
+        elif isinstance(statement, NewObject):
+            if self.kernel.catalog.has_class(statement.class_name):
+                extent_files([statement.class_name], LockMode.X)
+                # Positional values may embed paths through references.
+                extent_files(
+                    self._reference_closure({statement.class_name}),
+                    LockMode.S,
+                )
+        elif isinstance(statement, (UpdateStmt, DeleteStmt)):
+            seeds = self._range_classes([statement.range_var])
+            extent_files(seeds, LockMode.X)
+            extent_files(self._reference_closure(seeds), LockMode.S)
+        return plan
+
+    def _range_classes(self, ranges) -> set[str]:
+        hierarchy = self.kernel.catalog.hierarchy
+        seeds: set[str] = set()
+        for range_var in ranges:
+            if not self.kernel.catalog.has_class(range_var.class_name):
+                continue  # the kernel will raise the proper schema error
+            try:
+                seeds.update(
+                    hierarchy.extent_classes(
+                        range_var.class_name, list(range_var.minus)
+                    )
+                )
+            except MoodError:
+                continue
+        return seeds
+
+    def _reference_closure(self, seeds: set[str]) -> set[str]:
+        """Seeds plus every class reachable through reference-typed
+        attributes (path expressions dereference along exactly those)."""
+        hierarchy = self.kernel.catalog.hierarchy
+        closure: set[str] = set()
+        frontier = list(seeds)
+        while frontier:
+            name = frontier.pop()
+            if name in closure or not self.kernel.catalog.has_class(name):
+                continue
+            for member in hierarchy.extent_classes(name):
+                if member in closure:
+                    continue
+                closure.add(member)
+                for attribute in hierarchy.all_attributes(member):
+                    try:
+                        target = referenced_class(
+                            parse_type(attribute.type_name)
+                        )
+                    except MoodError:
+                        continue
+                    if target is not None and target not in closure:
+                        frontier.append(target)
+        return closure
+
+    # -- phase 2: the latched execution --------------------------------------
+
+    def _run_latched(self, txn: Transaction, statement, deadline: float):
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not self.latch.acquire(timeout=max(remaining, 0)):
+            raise StatementTimeoutError(
+                "statement timed out waiting for the engine latch"
+            )
+        objects = self.kernel.objects
+        try:
+            if txn.state is not TxnState.ACTIVE:
+                raise TransactionAbortedError(
+                    f"transaction {txn.txn_id} was rolled back"
+                )
+            read_only = isinstance(statement, (SelectQuery, ExplainStmt))
+            if read_only:
+                # Statistics refresh scans extents *outside* the session
+                # transaction: physically safe under the latch, and stats
+                # are advisory so strict isolation buys nothing here.
+                self.db._ensure_statistics()
+            objects.current_txn = txn
+            txn.lock_timeout = 0  # no-wait probes only while latched
+            result = self.kernel.execute_statement(statement)
+            if not read_only:
+                self.db._schema_version += 1
+            return result
+        finally:
+            objects.current_txn = None
+            txn.lock_timeout = None
+            self.latch.release()

@@ -16,7 +16,12 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Hashable
 
-from repro.core.errors import DeadlockError, LockError, LockTimeoutError
+from repro.core.errors import (
+    DeadlockError,
+    LockCancelledError,
+    LockError,
+    LockTimeoutError,
+)
 
 
 class LockMode(Enum):
@@ -43,6 +48,7 @@ class LockStats:
     deadlocks: int = 0
     timeouts: int = 0
     releases: int = 0
+    cancels: int = 0
 
     def reset(self) -> None:
         self.acquisitions = 0
@@ -50,6 +56,7 @@ class LockStats:
         self.deadlocks = 0
         self.timeouts = 0
         self.releases = 0
+        self.cancels = 0
 
 
 class LockManager:
@@ -63,6 +70,9 @@ class LockManager:
         self._table: dict[Hashable, _ResourceLocks] = {}
         # owner -> set of resources (for release_all)
         self._held: dict[Any, set[Hashable]] = {}
+        # owners whose in-flight waits were cancelled externally; the
+        # parked thread consumes (and clears) its own flag on wake-up.
+        self._cancelled: set[Any] = set()
         self._metrics = None
 
     def attach_metrics(self, component) -> None:
@@ -91,10 +101,20 @@ class LockManager:
         """
         deadline_timeout = self.timeout if timeout is None else timeout
         with self._condition:
+            self._cancelled.discard(owner)  # stale flag from a past abort
             entry = self._table.setdefault(resource, _ResourceLocks())
             if self._try_grant(entry, owner, resource, mode):
                 self._count("acquisitions")
                 return
+            if deadline_timeout == 0:
+                # No-wait probe (the server uses this while holding the
+                # engine latch, where parking would stall every session).
+                self._count("timeouts")
+                self._drop_empty(resource)
+                raise LockTimeoutError(
+                    f"{mode.value} on {resource!r} is not available "
+                    "(no-wait)"
+                )
             entry.waiting.append((owner, mode))
             self._count("waits")
             try:
@@ -105,9 +125,17 @@ class LockManager:
                         "would deadlock"
                     )
                 granted = self._condition.wait_for(
-                    lambda: self._try_grant(entry, owner, resource, mode),
+                    lambda: owner in self._cancelled
+                    or self._try_grant(entry, owner, resource, mode),
                     timeout=deadline_timeout,
                 )
+                if owner in self._cancelled:
+                    self._cancelled.discard(owner)
+                    self._count("cancels")
+                    raise LockCancelledError(
+                        f"wait for {mode.value} on {resource!r} by "
+                        f"{owner!r} was cancelled"
+                    )
                 if not granted:
                     self._count("timeouts")
                     raise LockTimeoutError(
@@ -117,6 +145,12 @@ class LockManager:
             finally:
                 if (owner, mode) in entry.waiting:
                     entry.waiting.remove((owner, mode))
+                self._drop_empty(resource)
+
+    def _drop_empty(self, resource: Hashable) -> None:
+        entry = self._table.get(resource)
+        if entry is not None and not entry.granted and not entry.waiting:
+            del self._table[resource]
 
     def _try_grant(
         self, entry: _ResourceLocks, owner: Any, resource: Hashable, mode: LockMode
@@ -125,27 +159,58 @@ class LockManager:
         if held is LockMode.X or held is mode:
             return True  # already held (idempotent)
         others = {o: m for o, m in entry.granted.items() if o != owner}
-        if mode is LockMode.S:
-            grantable = all(_compatible(m, mode) for m in others.values())
-        else:
+        if held is LockMode.S and mode is LockMode.X:
+            # Upgrade: granted the moment the owner is the sole holder.
+            # Upgrades jump the wait queue -- parking an upgrader behind
+            # queued S requests that can never be granted past its own S
+            # would deadlock the queue itself.
             grantable = not others
+        elif mode is LockMode.S:
+            # Fair (FIFO) grant: requests queued ahead count as if they
+            # were already granted, so a steady stream of readers cannot
+            # starve a waiting writer indefinitely.
+            ahead = self._queued_ahead(entry, owner)
+            grantable = (
+                all(_compatible(m, mode) for m in others.values())
+                and all(m is LockMode.S for m in ahead)
+            )
+        else:
+            grantable = not others and not self._queued_ahead(entry, owner)
         if grantable:
             entry.granted[owner] = mode
             self._held.setdefault(owner, set()).add(resource)
             return True
         return False
 
+    @staticmethod
+    def _queued_ahead(entry: _ResourceLocks, owner: Any) -> list[LockMode]:
+        """Modes of requests queued ahead of ``owner`` (all of them when
+        ``owner`` has not queued yet)."""
+        ahead: list[LockMode] = []
+        for waiter, waiter_mode in entry.waiting:
+            if waiter == owner:
+                break
+            ahead.append(waiter_mode)
+        return ahead
+
     # -- deadlock detection ---------------------------------------------------
 
     def _wait_for_edges(self) -> dict[Any, set[Any]]:
         edges: dict[Any, set[Any]] = {}
         for entry in self._table.values():
-            for waiter, mode in entry.waiting:
+            for position, (waiter, mode) in enumerate(entry.waiting):
                 blockers = {
                     holder
                     for holder, held in entry.granted.items()
                     if holder != waiter and not _compatible(held, mode)
                 }
+                # Fair queueing also makes a waiter wait for incompatible
+                # requests queued ahead of it.
+                for earlier, earlier_mode in entry.waiting[:position]:
+                    if earlier != waiter and not (
+                        earlier_mode is LockMode.S and mode is LockMode.S
+                    ):
+                        blockers.add(earlier)
                 if blockers:
                     edges.setdefault(waiter, set()).update(blockers)
         return edges
@@ -179,16 +244,51 @@ class LockManager:
             self._condition.notify_all()
 
     def release_all(self, owner: Any) -> None:
+        """Release every lock ``owner`` holds *and* retract any waits it
+        has queued.
+
+        The retraction matters when the owner is aborted externally (a
+        timeout watchdog, the server's shutdown path): its thread may be
+        parked inside :meth:`acquire`, and without cleanup the stale
+        ``waiting`` entries would keep contributing wait-for edges --
+        phantom edges that make *other* transactions' cycle checks report
+        deadlocks that do not exist.  A parked waiter whose entry was
+        retracted wakes up and raises :class:`LockCancelledError`.
+        """
         with self._condition:
             for resource in list(self._held.get(owner, ())):
                 entry = self._table.get(resource)
                 if entry and owner in entry.granted:
                     del entry.granted[owner]
                     self._count("releases")
-                    if not entry.granted and not entry.waiting:
-                        del self._table[resource]
+                    self._drop_empty(resource)
             self._held.pop(owner, None)
+            self._retract_waits(owner)
             self._condition.notify_all()
+
+    def cancel_waits(self, owner: Any) -> None:
+        """Retract ``owner``'s queued waits without touching held locks.
+
+        Used on external abort paths before the owner's thread has been
+        unwound; the parked thread wakes and raises
+        :class:`LockCancelledError`.
+        """
+        with self._condition:
+            if self._retract_waits(owner):
+                self._condition.notify_all()
+
+    def _retract_waits(self, owner: Any) -> bool:
+        """Drop owner's waiting entries everywhere; flag it cancelled if
+        any existed.  Caller holds the condition lock."""
+        retracted = False
+        for resource, entry in list(self._table.items()):
+            before = len(entry.waiting)
+            entry.waiting = [(o, m) for (o, m) in entry.waiting if o != owner]
+            retracted = retracted or len(entry.waiting) != before
+            self._drop_empty(resource)
+        if retracted:
+            self._cancelled.add(owner)
+        return retracted
 
     # -- introspection --------------------------------------------------------
 
@@ -200,3 +300,14 @@ class LockManager:
     def held_by(self, owner: Any) -> set[Hashable]:
         with self._lock:
             return set(self._held.get(owner, ()))
+
+    def mode_held(self, owner: Any, resource: Hashable) -> LockMode | None:
+        """The mode ``owner`` currently holds on ``resource`` (or None)."""
+        with self._lock:
+            entry = self._table.get(resource)
+            return entry.granted.get(owner) if entry else None
+
+    def waiter_count(self) -> int:
+        """Number of queued waits across all resources (introspection)."""
+        with self._lock:
+            return sum(len(entry.waiting) for entry in self._table.values())

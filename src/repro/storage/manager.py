@@ -55,6 +55,11 @@ class StorageManager:
         self.locks.attach_metrics(self.metrics.component("locks"))
         self.txns = TransactionManager(self.wal, self.locks, self._apply_page_image)
         self.txns.on_abort = self._refresh_after_abort
+        #: The storage latch (shared with the transaction manager and used
+        #: by the server as its engine latch): whoever holds it may touch
+        #: pages, the buffer pool, and capture windows.  Reentrant, so
+        #: nested storage calls under a session's statement are free.
+        self.latch = self.txns.latch
         self._files: dict[int, StorageFile] = {}
         self._file_names: dict[str, int] = {}
         self._next_file_id = 1
@@ -134,12 +139,15 @@ class StorageManager:
         if txn is None:
             return storage_file.insert(payload)
         self.txns.lock_exclusive(txn, ("file", storage_file.file_id))
-        self.buffer.start_capture()
-        try:
-            oid = storage_file.insert(payload)
-        finally:
-            changes = self.buffer.end_capture()
-        self._log_changes(txn, changes)
+        # The latch keeps the capture window (a global LIFO on the buffer
+        # pool) paired with exactly this operation's page writes.
+        with self.latch:
+            self.buffer.start_capture()
+            try:
+                oid = storage_file.insert(payload)
+            finally:
+                changes = self.buffer.end_capture()
+            self._log_changes(txn, changes)
         return oid
 
     def read(
@@ -160,12 +168,13 @@ class StorageManager:
             storage_file.update(oid, payload)
             return
         self.txns.lock_exclusive(txn, ("file", storage_file.file_id))
-        self.buffer.start_capture()
-        try:
-            storage_file.update(oid, payload)
-        finally:
-            changes = self.buffer.end_capture()
-        self._log_changes(txn, changes)
+        with self.latch:
+            self.buffer.start_capture()
+            try:
+                storage_file.update(oid, payload)
+            finally:
+                changes = self.buffer.end_capture()
+            self._log_changes(txn, changes)
 
     def delete(
         self, storage_file: StorageFile, oid: OID, txn: Transaction | None = None
@@ -174,12 +183,13 @@ class StorageManager:
             storage_file.delete(oid)
             return
         self.txns.lock_exclusive(txn, ("file", storage_file.file_id))
-        self.buffer.start_capture()
-        try:
-            storage_file.delete(oid)
-        finally:
-            changes = self.buffer.end_capture()
-        self._log_changes(txn, changes)
+        with self.latch:
+            self.buffer.start_capture()
+            try:
+                storage_file.delete(oid)
+            finally:
+                changes = self.buffer.end_capture()
+            self._log_changes(txn, changes)
 
     def scan(
         self, storage_file: StorageFile, txn: Transaction | None = None

@@ -9,6 +9,7 @@ reverse LSN order from the before-images; commit forces the log first
 
 from __future__ import annotations
 
+import threading
 from enum import Enum
 
 from repro.core.errors import TransactionError
@@ -30,6 +31,15 @@ class Transaction:
         self.state = TxnState.ACTIVE
         self._manager = manager
         self.update_lsns: list[int] = []
+        #: Per-transaction lock-wait budget in seconds. ``None`` uses the
+        #: lock manager's default; ``0`` turns waits into no-wait probes
+        #: (the server sets this while holding its engine latch).
+        self.lock_timeout: float | None = None
+        # Guards the ACTIVE -> finishing transition: the server may abort
+        # a session's transaction from another thread (timeout, shutdown)
+        # while the owner is still running.
+        self._state_mutex = threading.Lock()
+        self._completing = False
 
     def _require_active(self) -> None:
         if self.state is not TxnState.ACTIVE:
@@ -68,6 +78,14 @@ class TransactionManager:
         self.locks = locks
         self._apply_page_image = apply_page_image
         self._next_txn_id = 1
+        self._id_mutex = threading.Lock()
+        #: The storage latch: serialises physical page work (statement
+        #: execution, abort undo, post-abort recounts) across threads.  The
+        #: storage manager shares this object as its own latch and the
+        #: server's engine latch, so the three can never interleave.  It is
+        #: an RLock: a session committing while it already holds the
+        #: engine latch must not self-deadlock.
+        self.latch = threading.RLock()
         self.active: dict[int, Transaction] = {}
         #: Optional hook called after an abort's undo, before lock release
         #: (the storage manager uses it to refresh derived per-file state).
@@ -77,19 +95,22 @@ class TransactionManager:
         self.abort_listeners: list = []
 
     def begin(self) -> Transaction:
-        txn = Transaction(self._next_txn_id, self)
-        self._next_txn_id += 1
+        with self._id_mutex:
+            txn = Transaction(self._next_txn_id, self)
+            self._next_txn_id += 1
+            self.active[txn.txn_id] = txn
         self.wal.append(LogKind.BEGIN, txn.txn_id)
-        self.active[txn.txn_id] = txn
         return txn
 
     def lock_shared(self, txn: Transaction, resource) -> None:
         txn._require_active()
-        self.locks.acquire(txn.txn_id, resource, LockMode.S)
+        self.locks.acquire(txn.txn_id, resource, LockMode.S,
+                           timeout=txn.lock_timeout)
 
     def lock_exclusive(self, txn: Transaction, resource) -> None:
         txn._require_active()
-        self.locks.acquire(txn.txn_id, resource, LockMode.X)
+        self.locks.acquire(txn.txn_id, resource, LockMode.X,
+                           timeout=txn.lock_timeout)
 
     def log_page_update(
         self, txn: Transaction, volume: int, page_no: int,
@@ -101,42 +122,63 @@ class TransactionManager:
         )
         txn.update_lsns.append(lsn)
 
+    def _claim_completion(self, txn: Transaction) -> None:
+        """Atomically claim the right to finish ``txn`` (commit or abort);
+        exactly one caller wins when two threads race."""
+        with txn._state_mutex:
+            txn._require_active()
+            if txn._completing:
+                raise TransactionError(
+                    f"transaction {txn.txn_id} is already completing"
+                )
+            txn._completing = True
+
     def commit(self, txn: Transaction) -> None:
-        txn._require_active()
+        self._claim_completion(txn)
         self.wal.append(LogKind.COMMIT, txn.txn_id)
         self.wal.force()  # write-ahead: log hits stable storage first
         txn.state = TxnState.COMMITTED
         self._finish(txn)
 
     def abort(self, txn: Transaction) -> None:
-        txn._require_active()
+        self._claim_completion(txn)
+        # If the owner's thread is parked in a lock wait (external abort),
+        # retract its waits so it wakes -- and so its queued entries stop
+        # contributing phantom wait-for edges.
+        self.locks.cancel_waits(txn.txn_id)
         # Undo this transaction's page updates in reverse order, logging a
         # compensation update for each so that restart redo-all replays the
         # undo as well (the classic CLR idea, at page-image granularity).
-        updates = set(txn.update_lsns)
-        undo_list = [
-            record
-            for record in self.wal.records_reversed()
-            if record.lsn in updates and record.before is not None
-        ]
-        for record in undo_list:
-            self._apply_page_image(record.volume, record.page_no, record.before)
-            self.wal.append(
-                LogKind.UPDATE,
-                txn.txn_id,
-                record.volume,
-                record.page_no,
-                before=record.after,
-                after=record.before,
-            )
-        self.wal.append(LogKind.ABORT, txn.txn_id)
-        self.wal.force()
-        txn.state = TxnState.ABORTED
-        if self.on_abort is not None:
-            self.on_abort(txn)
-        for listener in self.abort_listeners:
-            listener(txn)
-        self._finish(txn)
+        # The latch keeps the page restores (and the recounts/invalidation
+        # the hooks below do) from interleaving with a statement another
+        # session is executing.
+        with self.latch:
+            updates = set(txn.update_lsns)
+            undo_list = [
+                record
+                for record in self.wal.records_reversed()
+                if record.lsn in updates and record.before is not None
+            ]
+            for record in undo_list:
+                self._apply_page_image(
+                    record.volume, record.page_no, record.before
+                )
+                self.wal.append(
+                    LogKind.UPDATE,
+                    txn.txn_id,
+                    record.volume,
+                    record.page_no,
+                    before=record.after,
+                    after=record.before,
+                )
+            self.wal.append(LogKind.ABORT, txn.txn_id)
+            self.wal.force()
+            txn.state = TxnState.ABORTED
+            if self.on_abort is not None:
+                self.on_abort(txn)
+            for listener in self.abort_listeners:
+                listener(txn)
+            self._finish(txn)
 
     def _finish(self, txn: Transaction) -> None:
         self.locks.release_all(txn.txn_id)

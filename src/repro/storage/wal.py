@@ -14,6 +14,7 @@ separate stable device; ``force`` accounts the sequential log write.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 from dataclasses import dataclass
 from enum import Enum
@@ -70,6 +71,9 @@ class WriteAheadLog:
         self._forced_lsn = 0
         self._unforced_bytes = 0
         self._metrics = None
+        # Serialises appends and forces: concurrent server sessions commit
+        # through one shared log, and LSN allocation must stay gap-free.
+        self._mutex = threading.RLock()
 
     def attach_metrics(self, component) -> None:
         """Mirror log activity into registry counters (``wal.*``):
@@ -96,33 +100,41 @@ class WriteAheadLog:
         before: bytes | None = None,
         after: bytes | None = None,
     ) -> int:
-        record = LogRecord(self._next_lsn, kind, txn_id, volume, page_no, before, after)
-        self._records.append(record)
-        self._next_lsn += 1
-        self._unforced_bytes += 32 + len(before or b"") + len(after or b"")
-        if self._metrics is not None:
-            self._metrics.records.inc()
-        return record.lsn
+        with self._mutex:
+            record = LogRecord(
+                self._next_lsn, kind, txn_id, volume, page_no, before, after
+            )
+            self._records.append(record)
+            self._next_lsn += 1
+            self._unforced_bytes += 32 + len(before or b"") + len(after or b"")
+            if self._metrics is not None:
+                self._metrics.records.inc()
+            return record.lsn
 
     def force(self) -> None:
         """Flush the log tail to stable storage (accounted sequentially)."""
-        if self._forced_lsn == self.last_lsn:
-            return
-        pages = max(1, -(-self._unforced_bytes // self.params.block_size))
-        self.stats.charge_sequential_write(self.params, pages)
-        if self._metrics is not None:
-            self._metrics.forces.inc()
-            self._metrics.pages_written.inc(pages)
-        self._forced_lsn = self.last_lsn
-        self._unforced_bytes = 0
+        with self._mutex:
+            if self._forced_lsn == self.last_lsn:
+                return
+            pages = max(1, -(-self._unforced_bytes // self.params.block_size))
+            self.stats.charge_sequential_write(self.params, pages)
+            if self._metrics is not None:
+                self._metrics.forces.inc()
+                self._metrics.pages_written.inc(pages)
+            self._forced_lsn = self.last_lsn
+            self._unforced_bytes = 0
 
     def records(self, from_lsn: int = 1) -> Iterator[LogRecord]:
-        for record in self._records:
+        with self._mutex:
+            snapshot = list(self._records)
+        for record in snapshot:
             if record.lsn >= from_lsn:
                 yield record
 
     def records_reversed(self) -> Iterator[LogRecord]:
-        yield from reversed(self._records)
+        with self._mutex:
+            snapshot = list(self._records)
+        yield from reversed(snapshot)
 
     def last_checkpoint_lsn(self) -> int:
         """LSN of the newest checkpoint record, or 0 when none exists."""

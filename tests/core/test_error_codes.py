@@ -1,0 +1,69 @@
+"""Stable error identities: every MoodError class carries a unique code."""
+
+from __future__ import annotations
+
+from repro.core import errors
+from repro.core.errors import (
+    DeadlockError,
+    MoodError,
+    ServerBusyError,
+    describe_error,
+    error_class_for,
+    error_classes,
+)
+
+
+def test_every_error_class_has_identity():
+    for cls in error_classes():
+        assert isinstance(cls.code, str) and cls.code, cls
+        assert isinstance(cls.errno, int) and cls.errno >= 1000, cls
+        assert isinstance(cls.retryable, bool), cls
+
+
+def test_codes_and_errnos_are_unique():
+    classes = error_classes()
+    codes = [cls.code for cls in classes]
+    errnos = [cls.errno for cls in classes]
+    assert len(set(codes)) == len(codes)
+    assert len(set(errnos)) == len(errnos)
+
+
+def test_errno_blocks_follow_subsystems():
+    """The hundreds digit namespaces the subsystem, as documented."""
+    assert 1200 <= errors.LockError.errno < 1300
+    assert 1200 <= errors.DeadlockError.errno < 1300
+    assert 1800 <= errors.ParseError.errno < 1900
+    assert 2000 <= errors.ServerBusyError.errno < 2100
+
+
+def test_retryable_set_is_exactly_the_transient_failures():
+    retryable = {cls.code for cls in error_classes() if cls.retryable}
+    assert retryable == {
+        "DEADLOCK", "LOCK_TIMEOUT", "LOCK_CANCELLED",
+        "SERVER_BUSY", "STATEMENT_TIMEOUT", "SHUTTING_DOWN", "TXN_ABORTED",
+    }
+
+
+def test_error_class_for_resolves_code_and_errno():
+    assert error_class_for("DEADLOCK") is DeadlockError
+    assert error_class_for(2001) is ServerBusyError
+    assert error_class_for("NO_SUCH_CODE") is MoodError
+    assert error_class_for(424242) is MoodError
+
+
+def test_describe_error_round_trip():
+    description = describe_error(DeadlockError("txn 3 chose as victim"))
+    assert description == {
+        "code": "DEADLOCK",
+        "errno": 1201,
+        "retryable": True,
+        "message": "txn 3 chose as victim",
+    }
+    assert error_class_for(description["code"]) is DeadlockError
+
+
+def test_describe_error_handles_foreign_exceptions():
+    description = describe_error(ValueError("not ours"))
+    assert description["code"] == "MOOD"
+    assert description["errno"] == 1000
+    assert description["retryable"] is False

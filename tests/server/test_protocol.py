@@ -1,0 +1,123 @@
+"""Wire protocol: framing, value encoding, error envelopes."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.errors import DeadlockError, ProtocolError, describe_error
+from repro.model.objects import MoodObject
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    RemoteObject,
+    RemoteOID,
+    decode_value,
+    encode_value,
+    error_response,
+    ok_response,
+    recv_frame,
+    send_frame,
+)
+from repro.storage.oid import OID
+
+
+def _socket_pair():
+    left, right = socket.socketpair()
+    left.settimeout(5)
+    right.settimeout(5)
+    return left, right
+
+
+def test_frame_round_trip():
+    left, right = _socket_pair()
+    message = {"op": "EXECUTE", "sql": "SELECT v FROM Vehicle v", "n": 3}
+    send_frame(left, message)
+    assert recv_frame(right) == message
+    left.close()
+    right.close()
+
+
+def test_frame_survives_byte_at_a_time_delivery():
+    """TCP may fragment arbitrarily; the reader must reassemble."""
+    left, right = _socket_pair()
+    done = threading.Thread(
+        target=lambda: send_frame(left, {"payload": "x" * 5000})
+    )
+    done.start()
+    frame = recv_frame(right)
+    done.join()
+    assert frame == {"payload": "x" * 5000}
+    left.close()
+    right.close()
+
+
+def test_eof_at_frame_boundary_is_none():
+    left, right = _socket_pair()
+    left.close()
+    assert recv_frame(right) is None
+    right.close()
+
+
+def test_eof_mid_frame_is_protocol_error():
+    left, right = _socket_pair()
+    left.sendall(b"\x00\x00\x10\x00partial")
+    left.close()
+    with pytest.raises(ProtocolError):
+        recv_frame(right)
+    right.close()
+
+
+def test_oversized_length_prefix_rejected():
+    left, right = _socket_pair()
+    left.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+    with pytest.raises(ProtocolError):
+        recv_frame(right)
+    left.close()
+    right.close()
+
+
+def test_non_object_payload_rejected():
+    left, right = _socket_pair()
+    left.sendall(b"\x00\x00\x00\x02[]")
+    with pytest.raises(ProtocolError):
+        recv_frame(right)
+    left.close()
+    right.close()
+
+
+def test_value_round_trip_objects_oids_sets():
+    obj = MoodObject(OID(1, 7, 3), "Vehicle", {
+        "id": 5,
+        "manufacturer": OID(1, 9, 0),
+        "tags": {"fast", "red"},
+        "nested": [1, {"a": OID(1, 2, 1)}],
+    })
+    decoded = decode_value(encode_value(obj))
+    assert isinstance(decoded, RemoteObject)
+    assert decoded.class_name == "Vehicle"
+    assert str(decoded.oid) == str(obj.oid)
+    assert decoded["id"] == 5
+    assert isinstance(decoded["manufacturer"], RemoteOID)
+    assert sorted(decoded["tags"]) == ["fast", "red"]
+    assert isinstance(decoded["nested"][1]["a"], RemoteOID)
+
+
+def test_unencodable_values_degrade_to_repr():
+    assert isinstance(encode_value(object()), str)
+
+
+def test_error_envelope_carries_stable_identity():
+    envelope = error_response(describe_error(DeadlockError("victim")))
+    assert envelope["ok"] is False
+    error = envelope["error"]
+    assert error["code"] == "DEADLOCK"
+    assert error["errno"] == 1201
+    assert error["retryable"] is True
+    assert "victim" in error["message"]
+
+
+def test_ok_envelope():
+    assert ok_response() == {"ok": True}
+    assert ok_response({"rows": []}) == {"ok": True, "rows": []}

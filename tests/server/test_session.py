@@ -1,0 +1,194 @@
+"""SessionManager: transaction context, lock closures, error surfacing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import MoodDatabase
+from repro.core.errors import (
+    SessionClosedError,
+    TransactionAbortedError,
+    TransactionError,
+    UnknownClassError,
+)
+from repro.core.kernel import QueryResult, StatementResult
+from repro.server.session import CATALOG_RESOURCE, SessionManager
+from repro.sql.parser import parse
+from repro.storage.locks import LockMode
+from repro.storage.transactions import TxnState
+
+
+@pytest.fixture()
+def db():
+    database = MoodDatabase(buffer_capacity=128)
+    database.execute_script(
+        "CREATE CLASS Engine TUPLE (cylinders Integer);"
+        "CREATE CLASS Car TUPLE (id Integer, engine REFERENCE (Engine));"
+    )
+    for i in range(4):
+        database.execute(f"new Engine <{2 * i}>")
+        database.execute(f"new Car <{i}, NULL>")
+    return database
+
+
+@pytest.fixture()
+def manager(db):
+    return SessionManager(db)
+
+
+def test_autocommit_statement_leaves_no_transaction(manager):
+    session = manager.open_session()
+    results = manager.execute(session, "new Car <99, NULL>")
+    assert results[0].kind == "NEW"
+    assert not session.in_transaction
+    assert manager.kernel.storage.txns.active == {}
+    assert manager.kernel.storage.locks.waiter_count() == 0
+
+
+def test_explicit_transaction_spans_statements(manager):
+    session = manager.open_session()
+    manager.begin(session)
+    manager.execute(session, "new Car <50, NULL>")
+    txn = session.txn
+    # Strict 2PL: the X lock on Car's extent is still held mid-txn.
+    extent = manager.kernel.catalog.extent_file("Car")
+    held = manager.kernel.storage.locks.mode_held(
+        txn.txn_id, ("file", extent.file_id)
+    )
+    assert held is LockMode.X
+    manager.commit(session)
+    assert manager.kernel.storage.locks.mode_held(
+        txn.txn_id, ("file", extent.file_id)
+    ) is None
+
+
+def test_rollback_undoes_inserts(manager):
+    session = manager.open_session()
+    manager.begin(session)
+    manager.execute(session, "new Car <77, NULL>")
+    manager.rollback(session)
+    rows = manager.execute(
+        session, "SELECT c.id FROM Car c WHERE c.id = 77"
+    )[0]
+    assert isinstance(rows, QueryResult)
+    assert rows.rows == []
+
+
+def test_statement_error_rolls_back_explicit_transaction(manager):
+    session = manager.open_session()
+    manager.begin(session)
+    manager.execute(session, "new Car <60, NULL>")
+    with pytest.raises(UnknownClassError):
+        manager.execute(session, "new Ghost <1>")
+    # Strictness: the whole transaction is gone, including statement one.
+    assert not session.in_transaction
+    with pytest.raises(TransactionError):
+        manager.commit(session)
+    rows = manager.execute(
+        session, "SELECT c.id FROM Car c WHERE c.id = 60"
+    )[0]
+    assert rows.rows == []
+
+
+def test_ddl_refused_inside_transaction(manager):
+    session = manager.open_session()
+    manager.begin(session)
+    with pytest.raises(TransactionError):
+        manager.execute(session, "CREATE CLASS Nope TUPLE (x Integer)")
+    # The refusal is pre-execution validation (like a parse error): the
+    # open transaction survives untouched.
+    assert session.in_transaction
+    manager.rollback(session)
+
+
+def test_commit_of_externally_aborted_transaction_reports_txn_aborted(
+    manager,
+):
+    session = manager.open_session()
+    manager.begin(session)
+    manager.execute(session, "new Car <61, NULL>")
+    session.txn.abort()  # e.g. shutdown or a watchdog victimised it
+    with pytest.raises(TransactionAbortedError):
+        manager.commit(session)
+    assert not session.in_transaction
+
+
+def test_closed_session_refuses_work(manager):
+    session = manager.open_session()
+    manager.close_session(session)
+    with pytest.raises(SessionClosedError):
+        manager.execute(session, "SELECT c.id FROM Car c")
+
+
+def test_close_session_rolls_back_open_transaction(manager):
+    session = manager.open_session()
+    manager.begin(session)
+    manager.execute(session, "new Car <88, NULL>")
+    txn = session.txn
+    manager.close_session(session)
+    assert txn.state is TxnState.ABORTED
+    survivor = manager.open_session()
+    rows = manager.execute(
+        survivor, "SELECT c.id FROM Car c WHERE c.id = 88"
+    )[0]
+    assert rows.rows == []
+
+
+def test_shutdown_refuses_new_statements(manager):
+    session = manager.open_session()
+    manager.begin_shutdown()
+    from repro.core.errors import ServerShuttingDownError
+
+    with pytest.raises(ServerShuttingDownError):
+        manager.execute(session, "SELECT c.id FROM Car c")
+    with pytest.raises(ServerShuttingDownError):
+        manager.open_session()
+
+
+# -- lock plans ---------------------------------------------------------------
+
+def test_select_plan_covers_reference_closure(manager):
+    plan = manager._lock_plan(parse("SELECT c.id FROM Car c"))
+    catalog = manager.kernel.catalog
+    car = ("file", catalog.extent_file("Car").file_id)
+    engine = ("file", catalog.extent_file("Engine").file_id)
+    assert plan[car] is LockMode.S
+    assert plan[engine] is LockMode.S    # reachable via c.engine
+    assert plan[CATALOG_RESOURCE] is LockMode.S
+
+
+def test_update_plan_takes_x_on_target_s_on_references(manager):
+    plan = manager._lock_plan(
+        parse("UPDATE Car c SET id = c.id + 1 WHERE c.id = 1")
+    )
+    catalog = manager.kernel.catalog
+    car = ("file", catalog.extent_file("Car").file_id)
+    engine = ("file", catalog.extent_file("Engine").file_id)
+    assert plan[car] is LockMode.X
+    assert plan[engine] is LockMode.S
+
+
+def test_ddl_plan_takes_x_on_catalog(manager):
+    plan = manager._lock_plan(parse("CREATE CLASS Fresh TUPLE (x Integer)"))
+    assert plan[CATALOG_RESOURCE] is LockMode.X
+
+    plan = manager._lock_plan(parse("DROP CLASS Car"))
+    catalog = manager.kernel.catalog
+    car = ("file", catalog.extent_file("Car").file_id)
+    assert plan[CATALOG_RESOURCE] is LockMode.X
+    assert plan[car] is LockMode.X
+
+
+def test_unknown_class_plan_defers_to_kernel_error(manager):
+    # The planner must not raise; the kernel produces the real error.
+    plan = manager._lock_plan(parse("SELECT g.x FROM Ghost g"))
+    assert plan[CATALOG_RESOURCE] is LockMode.S
+    session = manager.open_session()
+    with pytest.raises(UnknownClassError):
+        manager.execute(session, "SELECT g.x FROM Ghost g")
+
+
+def test_statement_result_carries_code_field():
+    result = StatementResult(kind="ROLLBACK", code="DEADLOCK")
+    assert result.code == "DEADLOCK"
+    assert StatementResult(kind="NEW").code is None
