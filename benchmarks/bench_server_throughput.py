@@ -6,11 +6,14 @@ vehicle/company database, and the :mod:`repro.bench.driver` fans N client
 connections at it with a mixed read / path-query / update workload, every
 transaction riding BEGIN..COMMIT with deadlock-retry backoff.
 
-The 4-client smoke run executes in tier-1 and writes ``BENCH_pr3.json``
-at the repo root with schema ``{clients, txns, throughput_tps, p50_ms,
-p99_ms, abort_rate}``.  The 32-client saturation run (admission queue
-deeper than the worker pool, so SERVER_BUSY shedding and queueing both
-engage) is opt-in via ``-m serverload``.
+The 4-client smoke run executes in tier-1 and writes ``BENCH_pr4.json``
+at the repo root: the client-observed transaction percentiles
+(``{clients, txns, throughput_tps, p50_ms, p95_ms, p99_ms, abort_rate}``)
+plus the *server-side* telemetry the PR 4 observability layer records --
+``statement_ms`` and admission ``queue_wait_ms`` histogram percentiles,
+read back over the wire via STATS.  The 32-client saturation run
+(admission queue deeper than the worker pool, so SERVER_BUSY shedding and
+queueing both engage) is opt-in via ``-m serverload``.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ import pytest
 from repro.bench.driver import WorkloadConfig, run_workload
 from repro.bench.paperdb import build_paper_database
 from repro.core.database import MoodDatabase
-from repro.server import MoodServer, ServerConfig
+from repro.server import MoodClient, MoodServer, ServerConfig
 
 from conftest import emit
 
@@ -59,9 +62,30 @@ def _format(report) -> str:
     return "\n".join(lines)
 
 
+def _server_percentiles(host: str, port: int) -> dict:
+    """Pull the server-side latency decomposition over the wire: the
+    ``statement_ms`` and admission ``queue_wait_ms`` histogram
+    percentiles STATS now reports."""
+    with MoodClient(host, port) as probe:
+        histograms = probe.stats().get("histograms", {})
+    out = {}
+    for key, name in (
+        ("statement_ms", "server.statement_ms"),
+        ("queue_wait_ms", "server.admission.queue_wait_ms"),
+    ):
+        summary = histograms.get(name, {})
+        out[key] = {
+            "count": int(summary.get("count", 0)),
+            "p50": round(summary.get("p50", 0.0), 3),
+            "p95": round(summary.get("p95", 0.0), 3),
+            "p99": round(summary.get("p99", 0.0), 3),
+        }
+    return out
+
+
 @pytest.mark.smoke
 def test_server_throughput_smoke():
-    """4 clients, mixed workload, real TCP; persists BENCH_pr3.json."""
+    """4 clients, mixed workload, real TCP; persists BENCH_pr4.json."""
     server = _serve(SMOKE_SCALE)
     try:
         host, port = server.address
@@ -71,12 +95,15 @@ def test_server_throughput_smoke():
             scale=SMOKE_SCALE,
             seed=11,
         ))
+        server_side = _server_percentiles(host, port)
     finally:
         server.stop()
 
     emit("server_throughput_smoke", _format(report))
-    (REPO_ROOT / "BENCH_pr3.json").write_text(
-        json.dumps(report.summary(), indent=2) + "\n"
+    payload = report.summary()
+    payload["server"] = server_side
+    (REPO_ROOT / "BENCH_pr4.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
     )
 
     assert report.txns == 4 * 12
@@ -85,6 +112,10 @@ def test_server_throughput_smoke():
     assert report.committed == report.txns, report.errors
     assert report.throughput_tps > 0
     assert report.p50_ms <= report.p99_ms
+    # The server observed every statement the workload sent.
+    assert server_side["statement_ms"]["count"] > 0
+    assert (server_side["statement_ms"]["p50"]
+            <= server_side["statement_ms"]["p99"])
 
 
 @pytest.mark.serverload

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Lint: every metric registered in ``src/`` must be documented.
+
+Scans ``src/**/*.py`` for literal ``.counter("name")`` and
+``.histogram("name")`` registrations, then checks that each name appears
+in a code span (backticks) inside DESIGN.md's "Metrics" section.  New
+telemetry without documentation fails tier-1
+(``tests/obs/test_metrics_doc.py`` wraps this script), which keeps the
+DESIGN.md metrics table the authoritative inventory.
+
+Dynamically-named metrics (f-strings, e.g. the per-error-code
+``server.errors.<CODE>`` counters) are invisible to this scan; document
+those by their pattern.
+
+Usage: ``python scripts/check_metrics_doc.py [--repo ROOT]``
+Exit status 0 when every name is documented, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REGISTRATION = re.compile(r'\.(?:counter|histogram)\(\s*"([^"]+)"\s*\)')
+CODE_SPAN = re.compile(r"`([^`]+)`")
+
+
+def registered_metrics(src: Path) -> dict[str, list[str]]:
+    """``name -> [file:line, ...]`` of every literal registration."""
+    found: dict[str, list[str]] = {}
+    for path in sorted(src.rglob("*.py")):
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in REGISTRATION.finditer(line):
+                where = f"{path.relative_to(src.parent)}:{lineno}"
+                found.setdefault(match.group(1), []).append(where)
+    return found
+
+
+def metrics_section(design: Path) -> str:
+    """DESIGN.md from its '### Metrics' heading to the next same-level
+    heading (falls back to the whole file if the heading moves)."""
+    text = design.read_text(encoding="utf-8")
+    match = re.search(r"^### Metrics$(.*?)(?=^### )", text,
+                      re.MULTILINE | re.DOTALL)
+    return match.group(1) if match else text
+
+
+def documented_names(section: str) -> set[str]:
+    """Every identifier mentioned in a backtick span, split on the
+    separators the table uses (commas, spaces, ``*`` wildcards, dots)."""
+    names: set[str] = set()
+    for span in CODE_SPAN.findall(section):
+        for token in re.split(r"[,\s]+", span):
+            token = token.strip("`*.")
+            if token:
+                names.add(token)
+                # `server.admission.queue_wait_ms` documents both the
+                # dotted name and its leaf.
+                names.add(token.rsplit(".", 1)[-1])
+    return names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repo", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (defaults to this script's grandparent)",
+    )
+    args = parser.parse_args(argv)
+    src = args.repo / "src"
+    design = args.repo / "DESIGN.md"
+    if not src.is_dir() or not design.is_file():
+        print(f"check_metrics_doc: missing {src} or {design}",
+              file=sys.stderr)
+        return 1
+    registered = registered_metrics(src)
+    documented = documented_names(metrics_section(design))
+    missing = {
+        name: sites for name, sites in registered.items()
+        if name not in documented
+    }
+    if missing:
+        print("metrics registered in src/ but absent from DESIGN.md's "
+              "Metrics section:", file=sys.stderr)
+        for name in sorted(missing):
+            sites = ", ".join(missing[name][:3])
+            print(f"  {name}  ({sites})", file=sys.stderr)
+        return 1
+    print(f"check_metrics_doc: {len(registered)} metric names documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

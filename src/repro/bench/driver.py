@@ -62,6 +62,7 @@ class WorkloadReport:
     p50_ms: float
     p99_ms: float
     abort_rate: float
+    p95_ms: float = 0.0
     errors: list = field(default_factory=list)
 
     def summary(self) -> dict:
@@ -71,6 +72,7 @@ class WorkloadReport:
             "txns": self.txns,
             "throughput_tps": round(self.throughput_tps, 2),
             "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
             "abort_rate": round(self.abort_rate, 4),
         }
@@ -191,6 +193,7 @@ def run_workload(
         elapsed_s=elapsed,
         throughput_tps=committed / elapsed,
         p50_ms=percentile(latencies, 0.50),
+        p95_ms=percentile(latencies, 0.95),
         p99_ms=percentile(latencies, 0.99),
         abort_rate=aborted / attempts if attempts else 0.0,
         errors=[msg for worker in workers for msg in worker.errors],

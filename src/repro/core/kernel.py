@@ -35,6 +35,8 @@ from repro.obs.explain import (
     explain_query_plan,
 )
 from repro.obs.spans import Span, SpanRecorder
+from repro.obs.trace import SlowQueryLog, StatementLog
+from repro.obs.views import SystemViewRegistry, register_kernel_views
 from repro.optimizer.planner import Planner, QueryPlan
 from repro.sql.ast import (
     AlterClass,
@@ -56,6 +58,7 @@ from repro.sql.parser import parse as parse_sql
 from repro.sql.rewrite import describe_rewrite
 from repro.storage.disk import DiskParams
 from repro.storage.manager import StorageManager
+from repro.storage.oid import NULL_OID
 
 
 @dataclass
@@ -65,7 +68,7 @@ class QueryResult:
     columns: list[str]
     rows: list[tuple]
     binding_rows: list[Row]
-    plan: QueryPlan
+    plan: QueryPlan | None       # None for SYS$ system-view selects
     trace: list[TraceEvent]
 
     def __len__(self) -> int:
@@ -133,6 +136,11 @@ class MoodKernel:
         self.stats = DatabaseStats()
         self.trace: list[TraceEvent] = []
         self.last_plan: QueryPlan | None = None
+        #: Telemetry rings the sessions feed and the SYS$ views read.
+        self.statement_log = StatementLog()
+        self.slow_log = SlowQueryLog()
+        self.system_views = SystemViewRegistry(self.catalog)
+        register_kernel_views(self)
 
     # -- statistics and planning -------------------------------------------------
 
@@ -169,12 +177,22 @@ class MoodKernel:
         statement = parse_sql(sql)
         return self.execute_statement(statement)
 
+    def is_system_select(self, statement: Statement) -> bool:
+        """True when the statement is a SELECT whose every range is a
+        registered SYS$ view (those run without plans or statistics)."""
+        return isinstance(statement, SelectQuery) and bool(
+            statement.ranges
+        ) and all(self.system_views.has(r.class_name) for r in statement.ranges)
+
     def execute_statement(
-        self, statement: Statement
+        self, statement: Statement, spans: SpanRecorder | None = None
     ) -> QueryResult | StatementResult:
         self.trace = [TraceEvent("PARSE")]
         if isinstance(statement, SelectQuery):
-            return self._execute_select(statement)
+            if any(self.system_views.has(r.class_name)
+                   for r in statement.ranges):
+                return self._execute_system_select(statement, spans=spans)
+            return self._execute_select(statement, spans=spans)
         if isinstance(statement, ExplainStmt):
             return self._execute_explain(statement)
         if isinstance(statement, CreateClass):
@@ -245,9 +263,79 @@ class MoodKernel:
             trace=list(self.trace),
         )
 
+    # -- SYS$ monitor views --------------------------------------------------
+
+    def _execute_system_select(
+        self, query: SelectQuery, spans: SpanRecorder | None = None
+    ) -> QueryResult:
+        """Evaluate a SELECT over SYS$ monitor views.
+
+        The rows are live supplier snapshots wrapped as transient objects,
+        so WHERE / projection / ORDER BY / DISTINCT go through the standard
+        evaluator; there is no plan, no statistics, and no locking.
+        """
+        for range_var in query.ranges:
+            if not self.system_views.has(range_var.class_name):
+                raise MoodSqlError(
+                    "system views cannot be joined with stored classes "
+                    f"(range {range_var.class_name!r})"
+                )
+            if range_var.every or range_var.minus:
+                raise MoodSqlError(
+                    "EVERY / class subtraction does not apply to system "
+                    f"view {range_var.class_name}"
+                )
+        if len(query.ranges) != 1:
+            raise MoodSqlError("system view queries take exactly one range")
+        if query.group_by or query.having is not None:
+            raise MoodSqlError("GROUP BY is not supported over system views")
+        range_var = query.ranges[0]
+        view = self.system_views.get(range_var.class_name)
+        self.trace.append(TraceEvent("SYSVIEW", view.name))
+
+        def scan() -> list[Row]:
+            binding_rows = [
+                {range_var.var: MoodObject(NULL_OID, view.name, dict(values))}
+                for values in view.supplier()
+            ]
+            if query.where is not None:
+                binding_rows = [
+                    row for row in binding_rows
+                    if self.evaluator.predicate(query.where, row)
+                ]
+            return binding_rows
+
+        if spans is not None:
+            with spans.span("SYSVIEW", view.name) as span:
+                binding_rows = scan()
+                span.rows_out = len(binding_rows)
+        else:
+            binding_rows = scan()
+        for item in reversed(query.order_by):
+            binding_rows.sort(
+                key=lambda row: self.evaluator.value(item.expr, row),
+                reverse=not item.ascending,
+            )
+        columns, rows = self._project(query, binding_rows)
+        if query.distinct:
+            rows = _dedup_tuples(rows)
+        return QueryResult(
+            columns=columns,
+            rows=rows,
+            binding_rows=binding_rows,
+            plan=None,
+            trace=list(self.trace),
+        )
+
     # -- EXPLAIN [ANALYZE] --------------------------------------------------
 
     def _execute_explain(self, statement: ExplainStmt) -> ExplainResult:
+        if any(self.system_views.has(r.class_name)
+               for r in statement.query.ranges):
+            raise MoodSqlError(
+                "EXPLAIN over system views is not supported: monitor rows "
+                "have no statistics for the cost model"
+            )
         pipeline = describe_rewrite(statement.query)
         if not statement.analyze:
             self.trace.append(TraceEvent("SIMPLIFY"))

@@ -137,8 +137,10 @@ class ObjectCache:
                 if self._metrics is not None:
                     self._metrics.invalidations.inc()
 
-    def clear(self) -> None:
-        """Drop everything (transaction abort, crash, restart recovery)."""
+    def clear(self) -> int:
+        """Drop everything (transaction abort, crash, restart recovery);
+        returns the number of entries dropped so callers can journal
+        invalidation storms."""
         with self._mutex:
             dropped = len(self._entries)
             self._entries.clear()
@@ -146,6 +148,7 @@ class ObjectCache:
                 self.stats.invalidations += dropped
                 if self._metrics is not None:
                     self._metrics.invalidations.inc(dropped)
+            return dropped
 
     # -- batch accounting ----------------------------------------------------
 

@@ -114,17 +114,28 @@ class ObjectManager(ObjectStore):
         if self.cache is None:
             return
         if oid is None:
-            self.cache.clear()
+            self._flush_cache("explicit")
         else:
             self.cache.invalidate(oid)
 
+    #: A wholesale flush dropping at least this many entries is journaled
+    #: as an invalidation storm (warm-cache work thrown away at once).
+    STORM_THRESHOLD = 64
+
+    def _flush_cache(self, reason: str) -> None:
+        if self.cache is None:
+            return
+        dropped = self.cache.clear()
+        if dropped >= self.STORM_THRESHOLD:
+            self.storage.events.emit(
+                "objcache.storm", reason=reason, invalidated=dropped
+            )
+
     def _on_abort(self, txn: Transaction) -> None:
-        if self.cache is not None:
-            self.cache.clear()
+        self._flush_cache("txn_abort")
 
     def _on_storage_reset(self) -> None:
-        if self.cache is not None:
-            self.cache.clear()
+        self._flush_cache("storage_reset")
 
     # -- page map ------------------------------------------------------------
 
@@ -146,8 +157,7 @@ class ObjectManager(ObjectStore):
         self._page_class.clear()
         # Extents may have been dropped and their pages recycled; any
         # cached objects addressed through them are no longer trustworthy.
-        if self.cache is not None:
-            self.cache.clear()
+        self._flush_cache("page_map_rebuild")
         for class_name in self.catalog.class_names(include_system=True):
             definition = self.catalog.class_def(class_name)
             if definition.is_class:

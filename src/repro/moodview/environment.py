@@ -10,6 +10,7 @@ from repro.core.kernel import MoodKernel
 from repro.moodview.admin_tool import AdminTool
 from repro.moodview.class_designer import ClassDesigner, MethodTool
 from repro.moodview.cpp_view import CppView
+from repro.moodview.monitor import MonitorPanel
 from repro.moodview.object_browser import ObjectBrowser
 from repro.moodview.query_manager import QueryManager
 from repro.moodview.schema_browser import SchemaBrowser, initial_window
@@ -28,6 +29,7 @@ class MoodView:
         self.object_browser = ObjectBrowser(kernel)
         self.query_manager = QueryManager(kernel)
         self.admin_tool = AdminTool(kernel)
+        self.monitor = MonitorPanel(kernel)
         self.spatial_tool = SpatialTool(kernel)
         self.cpp_view = CppView(kernel)
         self.text_editor = TextEditor()

@@ -1,0 +1,89 @@
+"""The server monitor panel: MoodView's window onto the telemetry layer.
+
+Where :class:`~repro.moodview.admin_tool.AdminTool` reports on *storage*
+state (extents, buffer, WAL), the monitor panel reports on *server*
+state: the SYS$ monitor views, rendered as text tables.  It reads the
+views through :attr:`MoodKernel.system_views`, so what it shows is
+exactly what a remote client sees via ``SELECT ... FROM SYS$...``.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel import MoodKernel
+
+
+class MonitorPanel:
+    def __init__(self, kernel: MoodKernel):
+        self.kernel = kernel
+
+    # -- one report per SYS$ view -------------------------------------------
+
+    def view_report(self, name: str, limit: int | None = None) -> str:
+        """One SYS$ view as an aligned ``col | col`` text table."""
+        view = self.kernel.system_views.get(name)
+        columns = [column for column, _ in view.columns]
+        rows = view.supplier()
+        if limit is not None:
+            rows = rows[:limit]
+        lines = [" | ".join(columns)]
+        for row in rows:
+            lines.append(" | ".join(
+                _render_cell(row.get(column)) for column in columns
+            ))
+        if not rows:
+            lines.append("(empty)")
+        return "\n".join(lines)
+
+    def sessions_report(self) -> str:
+        return self.view_report("SYS$SESSIONS")
+
+    def statements_report(self, limit: int = 20) -> str:
+        return self.view_report("SYS$STATEMENTS", limit=limit)
+
+    def locks_report(self) -> str:
+        return self.view_report("SYS$LOCKS")
+
+    def counters_report(self) -> str:
+        return self.view_report("SYS$COUNTERS")
+
+    def events_report(self, limit: int = 20) -> str:
+        return self.view_report("SYS$EVENTS", limit=limit)
+
+    def slow_query_report(self, limit: int = 10) -> str:
+        traces = self.kernel.slow_log.top(limit)
+        if not traces:
+            return (
+                f"(no statements over "
+                f"{self.kernel.slow_log.threshold_ms:.0f} ms)"
+            )
+        blocks = []
+        for trace in traces:
+            header = (
+                f"{trace.trace_id} [{trace.kind}] total={trace.total_ms:.1f}ms "
+                f"lock={trace.lock_wait_ms:.1f}ms queue={trace.queue_wait_ms:.1f}ms "
+                f"io_pages={trace.io_pages} :: {trace.statement}"
+            )
+            plan = trace.span_report()
+            blocks.append(header if not plan else f"{header}\n{plan}")
+        return "\n".join(blocks)
+
+    def render(self) -> str:
+        sections = [
+            ("SESSIONS", self.sessions_report()),
+            ("STATEMENTS", self.statements_report()),
+            ("LOCKS", self.locks_report()),
+            ("EVENTS", self.events_report()),
+            ("SLOW QUERIES", self.slow_query_report()),
+            ("COUNTERS", self.counters_report()),
+        ]
+        return "\n\n".join(
+            f"== {title} ==\n{body}" for title, body in sections
+        )
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)

@@ -15,6 +15,19 @@ measurable, regression-testable contract:
   with actual charged I/O) and the :class:`CostValidator` that tests and
   benchmarks use to assert estimate/actual agreement within a tolerance.
 
+PR 4 adds the server-facing telemetry half:
+
+* :mod:`repro.obs.trace` -- end-to-end statement traces (one id minted by
+  the client, threaded through admission, locks, latch and spans) in
+  bounded statement / slow-query rings;
+* :mod:`repro.obs.events` -- the bounded operational event journal
+  (lock waits, deadlocks, checkpoints, recovery, cache storms, admission
+  rejections);
+* :mod:`repro.obs.views` -- the ``SYS$`` monitor views, queryable with
+  ordinary MOODSQL;
+* :mod:`repro.obs.promtext` -- Prometheus text exposition of the whole
+  registry, percentiles included.
+
 Attribute access is lazy (PEP 562): the storage layer imports
 :mod:`repro.obs.metrics` while ``repro.storage`` is still initialising, and
 an eager import of :mod:`repro.obs.spans` here would close a cycle through
@@ -33,6 +46,16 @@ _EXPORTS = {
     "CostCheck": "repro.obs.validate",
     "CostValidationError": "repro.obs.validate",
     "CostValidator": "repro.obs.validate",
+    "Event": "repro.obs.events",
+    "EventJournal": "repro.obs.events",
+    "StatementTrace": "repro.obs.trace",
+    "StatementLog": "repro.obs.trace",
+    "SlowQueryLog": "repro.obs.trace",
+    "new_trace_id": "repro.obs.trace",
+    "SystemView": "repro.obs.views",
+    "SystemViewRegistry": "repro.obs.views",
+    "render_prometheus": "repro.obs.promtext",
+    "parse_prometheus": "repro.obs.promtext",
 }
 
 __all__ = sorted(_EXPORTS)

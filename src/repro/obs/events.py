@@ -1,0 +1,82 @@
+"""A bounded, server-wide journal of notable operational events.
+
+VOODB-style OODB performance evaluation needs more than counters: to
+attribute latency you must know *when* the discrete events happened --
+lock waits that crossed a threshold, deadlock victimisations, WAL
+checkpoints, recovery replays, object-cache invalidation storms, and
+admission rejections.  The :class:`EventJournal` is a thread-safe ring
+buffer of typed :class:`Event` records; producers call :meth:`emit`
+(cheap: one lock, one deque append), and consumers read it through the
+``SYS$EVENTS`` monitor view or :meth:`recent`.
+
+The ring is bounded: once ``capacity`` events are held, each new event
+evicts the oldest and ``dropped`` counts the loss -- observability must
+never become the memory leak it is meant to find.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Default number of events kept resident.
+DEFAULT_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class Event:
+    """One journal entry: a sequence number, a wall-clock stamp, a dotted
+    kind (``lock.wait``, ``wal.checkpoint``, ...) and free-form fields."""
+
+    seq: int
+    ts: float                      # epoch seconds
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+    def detail(self) -> str:
+        """The fields as a stable ``k=v`` rendering for views and logs."""
+        return " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+
+    def __str__(self) -> str:
+        return f"[{self.seq}] {self.kind} {self.detail()}"
+
+
+class EventJournal:
+    """Bounded ring of :class:`Event` with a monotonically growing seq."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("event journal needs capacity >= 1")
+        self.capacity = capacity
+        self._mutex = threading.Lock()
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._next_seq = 1
+        self.dropped = 0
+
+    def emit(self, kind: str, **fields) -> Event:
+        with self._mutex:
+            event = Event(self._next_seq, time.time(), kind, fields)
+            self._next_seq += 1
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+            return event
+
+    def recent(self, count: int | None = None) -> list[Event]:
+        """Newest-last snapshot of the ring (all of it by default)."""
+        with self._mutex:
+            events = list(self._events)
+        return events if count is None else events[-count:]
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.recent() if e.kind == kind]
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._events)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._events.clear()

@@ -47,13 +47,34 @@ class Counter:
         return f"Counter({self.name}={self.value:g})"
 
 
+#: Default bucket upper bounds: roughly logarithmic (1-2.5-5 per decade)
+#: from 50 microseconds to one minute, wide enough for both simulated-
+#: millisecond latencies and small cardinalities (batch sizes).  The last
+#: implicit bucket is +Inf.
+DEFAULT_BUCKETS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+    30000.0, 60000.0,
+)
+
+
 class Histogram:
-    """Streaming summary (count/total/min/max/mean) of observed values."""
+    """Bucketed summary of observed values with percentile estimation.
 
-    __slots__ = ("name", "count", "total", "min", "max", "_mutex")
+    Keeps the streaming count/total/min/max plus a fixed array of
+    logarithmically spaced bucket counts, so :meth:`percentile` answers
+    p50/p95/p99 in O(buckets) without retaining samples.  Estimates
+    interpolate linearly within the containing bucket and are clamped to
+    the observed min/max, so they are exact at the extremes and never
+    invent values outside the observed range.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "count", "total", "min", "max", "bounds",
+                 "bucket_counts", "_mutex")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
         self.name = name
+        self.bounds = bounds
         self._mutex = threading.Lock()
         self.reset()
 
@@ -65,10 +86,65 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            self.bucket_counts[self._bucket_index(value)] += 1
+
+    def _bucket_index(self, value: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo  # len(bounds) == the +Inf bucket
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated value at ``fraction`` (0.0-1.0) of the distribution."""
+        with self._mutex:
+            if not self.count:
+                return 0.0
+            target = fraction * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self.bucket_counts):
+                if not bucket_count:
+                    continue
+                if cumulative + bucket_count >= target:
+                    lower = self.bounds[index - 1] if index else 0.0
+                    upper = (
+                        self.bounds[index]
+                        if index < len(self.bounds) else self.max
+                    )
+                    fill = (target - cumulative) / bucket_count
+                    estimate = lower + (upper - lower) * fill
+                    return max(self.min, min(self.max, estimate))
+                cumulative += bucket_count
+            return self.max
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard reporting set: p50/p95/p99 plus count and mean."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf --
+        the shape Prometheus histogram exposition wants."""
+        with self._mutex:
+            pairs: list[tuple[float, int]] = []
+            cumulative = 0
+            for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+                cumulative += bucket_count
+                pairs.append((bound, cumulative))
+            pairs.append((float("inf"), self.count))
+            return pairs
 
     def reset(self) -> None:
         with self._mutex:
@@ -76,6 +152,7 @@ class Histogram:
             self.total = 0.0
             self.min = None
             self.max = None
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
 
     def __repr__(self) -> str:
         return (
@@ -142,6 +219,17 @@ class MetricsRegistry:
 
     def counters(self) -> dict[str, float]:
         return {name: c.value for name, c in sorted(self._counter_items())}
+
+    def _histogram_items(self) -> list[tuple[str, Histogram]]:
+        with self._mutex:
+            return list(self._histograms.items())
+
+    def histograms(self) -> dict[str, dict[str, float]]:
+        """Percentile summaries of every histogram, sorted by name."""
+        return {
+            name: histogram.percentiles()
+            for name, histogram in sorted(self._histogram_items())
+        }
 
     def names(self) -> list[str]:
         with self._mutex:

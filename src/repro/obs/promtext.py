@@ -1,0 +1,73 @@
+"""Prometheus text exposition of the metrics registry.
+
+The ``METRICS`` wire op answers with this rendering, so any Prometheus-
+compatible scraper (or a human with ``nc``) can read the server's
+counters and latency distributions.  Counters become ``counter`` samples;
+histograms become ``summary`` families with ``quantile`` labels
+(p50/p95/p99 from the bucketed estimator) plus ``_sum``/``_count`` --
+the exposition-format shape scrapers already know how to ingest.
+
+Names are sanitised to the Prometheus grammar: the registry's dotted
+names (``server.statement_ms``) turn into ``<prefix>_server_statement_ms``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantiles every histogram summary exposes.
+QUANTILES = ((0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99"))
+
+
+def metric_name(dotted: str, prefix: str = "mood") -> str:
+    """``server.statement_ms`` -> ``mood_server_statement_ms``."""
+    name = _NAME_OK.sub("_", f"{prefix}_{dotted}".replace(".", "_"))
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "mood") -> str:
+    """The whole registry in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for dotted, value in registry.counters().items():
+        name = metric_name(dotted, prefix)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(value)}")
+    for dotted, histogram in sorted(registry._histogram_items()):
+        name = metric_name(dotted, prefix)
+        lines.append(f"# TYPE {name} summary")
+        for fraction, label in QUANTILES:
+            lines.append(
+                f'{name}{{quantile="{label}"}} '
+                f"{_format_value(histogram.percentile(fraction))}"
+            )
+        lines.append(f"{name}_sum {_format_value(histogram.total)}")
+        lines.append(f"{name}_count {_format_value(histogram.count)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse an exposition back into ``{sample_name_with_labels: value}``.
+
+    Round-trip helper for tests and the MoodView monitor panel; it
+    understands exactly what :func:`render_prometheus` emits.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        samples[key] = float(value)
+    return samples

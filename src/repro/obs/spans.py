@@ -70,6 +70,7 @@ class Span:
     wall_ms: float = 0.0              # host wall-clock of the whole subtree
     children: list["Span"] = field(default_factory=list)
     events: list[str] = field(default_factory=list)  # flat trace events
+    trace_id: str | None = None       # the statement trace this belongs to
 
     # -- subtree vs self ---------------------------------------------------
 
@@ -125,14 +126,19 @@ class SpanRecorder:
     ``io`` is the delta across its lifetime.
     """
 
-    def __init__(self, io_probe: Callable[[], IOStats] | None = None):
+    def __init__(
+        self,
+        io_probe: Callable[[], IOStats] | None = None,
+        trace_id: str | None = None,
+    ):
         self.io_probe = io_probe
+        self.trace_id = trace_id
         self.roots: list[Span] = []
         self._stack: list[Span] = []
 
     @contextmanager
     def span(self, operator: str, detail: str = "", node: Any = None):
-        span = Span(operator, detail, node)
+        span = Span(operator, detail, node, trace_id=self.trace_id)
         if self._stack:
             self._stack[-1].children.append(span)
         else:

@@ -1,0 +1,157 @@
+"""End-to-end statement traces: one id stitches a statement's phases.
+
+A trace id is minted by :class:`~repro.server.client.MoodClient` (or by
+the server for clients that do not supply one), carried in the wire frame,
+and threaded through admission, the session's lock closure, the engine
+latch and the plan-tree spans.  The resulting :class:`StatementTrace`
+decomposes one statement's latency the way the paper's MoodView decomposes
+a plan: queue wait, lock wait, latch wait, execution -- plus the charged
+simulated I/O and the span tree for SELECTs.
+
+Records land in bounded rings: :class:`StatementLog` keeps the last N
+statements (the ``SYS$STATEMENTS`` view), :class:`SlowQueryLog` keeps
+statements whose total latency crossed a threshold together with their
+rendered span trees (the ``SYS$SLOW_QUERIES`` view and the slow-query
+export).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Statement text is truncated to this many characters in trace records.
+MAX_STATEMENT_CHARS = 200
+
+#: Default ring capacities.
+STATEMENT_LOG_CAPACITY = 256
+SLOW_LOG_CAPACITY = 64
+
+#: Default slow-statement threshold, wall-clock milliseconds.
+DEFAULT_SLOW_MS = 250.0
+
+_server_seq = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A compact client-minted trace id (128 bits folded to 16 hex)."""
+    return uuid.uuid4().hex[:16]
+
+
+def server_trace_id() -> str:
+    """Fallback id for statements that arrived without one."""
+    return f"srv-{next(_server_seq)}"
+
+
+@dataclass
+class StatementTrace:
+    """One executed (or failed) statement, fully decomposed."""
+
+    trace_id: str
+    session_id: int
+    statement: str
+    kind: str = ""                 # SELECT / NEW / UPDATE / ...
+    txn_id: int = 0
+    started_at: float = 0.0        # epoch seconds
+    status: str = "OK"             # "OK" or the stable error code
+    queue_wait_ms: float = 0.0     # admission queue
+    lock_wait_ms: float = 0.0      # conservative-2PL closure acquisition
+    latch_wait_ms: float = 0.0     # engine latch
+    exec_ms: float = 0.0           # inside the engine
+    total_ms: float = 0.0          # end to end (locks + latch + exec)
+    io_pages: int = 0              # charged page I/Os while latched
+    io_ms: float = 0.0             # simulated disk ms while latched
+    rows: int = 0
+    spans: list = field(default_factory=list)   # Span roots (SELECT only)
+
+    def span_report(self) -> str:
+        """The recorded plan-tree spans, rendered (empty for non-SELECT)."""
+        return "\n".join(span.render() for span in self.spans)
+
+    def row(self) -> dict:
+        """The flat, scalar-only shape the SYS$ views expose."""
+        return {
+            "trace_id": self.trace_id,
+            "session_id": self.session_id,
+            "txn_id": self.txn_id,
+            "statement": self.statement,
+            "kind": self.kind,
+            "status": self.status,
+            "started_at": self.started_at,
+            "queue_wait_ms": round(self.queue_wait_ms, 3),
+            "lock_wait_ms": round(self.lock_wait_ms, 3),
+            "latch_wait_ms": round(self.latch_wait_ms, 3),
+            "exec_ms": round(self.exec_ms, 3),
+            "total_ms": round(self.total_ms, 3),
+            "io_pages": self.io_pages,
+            "io_ms": round(self.io_ms, 3),
+            "rows": self.rows,
+        }
+
+
+def truncate_statement(sql: str) -> str:
+    text = " ".join(str(sql).split())
+    if len(text) > MAX_STATEMENT_CHARS:
+        return text[: MAX_STATEMENT_CHARS - 3] + "..."
+    return text
+
+
+class StatementLog:
+    """Bounded ring of the most recent :class:`StatementTrace` records."""
+
+    def __init__(self, capacity: int = STATEMENT_LOG_CAPACITY):
+        if capacity < 1:
+            raise ValueError("statement log needs capacity >= 1")
+        self.capacity = capacity
+        self._mutex = threading.Lock()
+        self._traces: deque[StatementTrace] = deque(maxlen=capacity)
+
+    def record(self, trace: StatementTrace) -> None:
+        with self._mutex:
+            self._traces.append(trace)
+
+    def recent(self, count: int | None = None) -> list[StatementTrace]:
+        """Newest-first snapshot (the order a monitor wants)."""
+        with self._mutex:
+            traces = list(self._traces)
+        traces.reverse()
+        return traces if count is None else traces[:count]
+
+    def find(self, trace_id: str) -> StatementTrace | None:
+        for trace in self.recent():
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._traces)
+
+
+class SlowQueryLog(StatementLog):
+    """Statement log restricted to traces over a latency threshold; each
+    entry additionally keeps its rendered plan/span report."""
+
+    def __init__(
+        self,
+        threshold_ms: float = DEFAULT_SLOW_MS,
+        capacity: int = SLOW_LOG_CAPACITY,
+    ):
+        super().__init__(capacity)
+        self.threshold_ms = threshold_ms
+
+    def consider(self, trace: StatementTrace) -> bool:
+        """Record ``trace`` iff it crossed the threshold."""
+        if trace.total_ms >= self.threshold_ms:
+            self.record(trace)
+            return True
+        return False
+
+    def top(self, count: int = 10) -> list[StatementTrace]:
+        """The slowest retained statements, slowest first."""
+        return sorted(
+            self.recent(), key=lambda t: t.total_ms, reverse=True
+        )[:count]

@@ -29,6 +29,7 @@ class AdmissionController:
         max_active: int,
         max_queue: int,
         metrics_component=None,
+        events=None,
     ):
         if max_active < 1:
             raise ValueError("admission control needs max_active >= 1")
@@ -36,6 +37,7 @@ class AdmissionController:
             raise ValueError("admission control needs max_queue >= 0")
         self.max_active = max_active
         self.max_queue = max_queue
+        self._events = events
         self._mutex = threading.Lock()
         self._slot_freed = threading.Condition(self._mutex)
         self._active = 0
@@ -59,9 +61,11 @@ class AdmissionController:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.release()
 
-    def admit(self, timeout: float | None = None) -> None:
+    def admit(self, timeout: float | None = None) -> float:
         """Take a statement slot, queueing up to ``timeout`` seconds.
 
+        Returns the milliseconds spent queued (0.0 on immediate entry) so
+        the caller can attribute queue wait in the statement's trace.
         Raises :class:`ServerBusyError` (retryable) when the wait queue is
         already full or the queue wait exceeds the timeout.
         """
@@ -70,10 +74,11 @@ class AdmissionController:
             if self._active < self.max_active:
                 self._active += 1
                 self._note_admitted(started)
-                return
+                return 0.0
             if self._queued >= self.max_queue:
                 if self._rejected is not None:
                     self._rejected.inc()
+                self._note_rejected("queue_full")
                 raise ServerBusyError(
                     f"server at capacity ({self.max_active} active, "
                     f"{self._queued} queued)"
@@ -89,6 +94,7 @@ class AdmissionController:
                     if remaining is not None and remaining <= 0:
                         if self._timeouts is not None:
                             self._timeouts.inc()
+                        self._note_rejected("queue_timeout")
                         raise ServerBusyError(
                             f"queued {timeout:.1f}s without an execution "
                             "slot freeing up"
@@ -98,6 +104,14 @@ class AdmissionController:
                 self._note_admitted(started)
             finally:
                 self._queued -= 1
+            return (time.monotonic() - started) * 1e3
+
+    def _note_rejected(self, reason: str) -> None:
+        if self._events is not None:
+            self._events.emit(
+                "admission.rejected",
+                reason=reason, active=self._active, queued=self._queued,
+            )
 
     def release(self) -> None:
         """Return a slot; wakes one queued statement."""

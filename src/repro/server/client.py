@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass
 
 from repro.core.errors import MoodError, ProtocolError, error_class_for
+from repro.obs.trace import new_trace_id
 from repro.server.protocol import decode_value, recv_frame, send_frame
 
 #: Retry schedule defaults for :meth:`MoodClient.run_transaction`.
@@ -85,6 +86,10 @@ class MoodClient:
         )
         self._sock.settimeout(io_timeout)
         self._closed = False
+        #: Trace id the client attached to its most recent statement; join
+        #: it against SYS$STATEMENTS.trace_id to find that statement's
+        #: server-side trace.
+        self.last_trace_id: str | None = None
 
     # -- plumbing ------------------------------------------------------------
 
@@ -136,24 +141,50 @@ class MoodClient:
     def stats(self) -> dict:
         return self._call("STATS")["stats"]
 
-    def execute(self, sql: str, timeout: float | None = None) -> list:
-        """Run a script; returns one decoded result per statement."""
-        fields = {"sql": sql}
+    def metrics(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return self._call("METRICS")["metrics"]
+
+    def execute(
+        self,
+        sql: str,
+        timeout: float | None = None,
+        trace_id: str | None = None,
+    ) -> list:
+        """Run a script; returns one decoded result per statement.
+
+        Every call carries a trace id (minted here unless supplied) that
+        the server threads through the statement's whole execution; it is
+        kept on :attr:`last_trace_id` for joining against the server's
+        ``SYS$STATEMENTS`` view.
+        """
+        if trace_id is None:
+            trace_id = new_trace_id()
+        self.last_trace_id = trace_id
+        fields = {"sql": sql, "trace": trace_id}
         if timeout is not None:
             fields["timeout"] = timeout
         response = self._call("EXECUTE", **fields)
         return [_decode_result(item) for item in response["results"]]
 
-    def query(self, sql: str, timeout: float | None = None) -> QueryRows:
+    def query(
+        self,
+        sql: str,
+        timeout: float | None = None,
+        trace_id: str | None = None,
+    ) -> QueryRows:
         """Run one SELECT; returns its rows."""
-        results = self.execute(sql, timeout=timeout)
+        results = self.execute(sql, timeout=timeout, trace_id=trace_id)
         for result in reversed(results):
             if isinstance(result, QueryRows):
                 return result
         raise ProtocolError("statement did not produce rows")
 
-    def explain(self, sql: str) -> str:
-        response = self._call("EXPLAIN", sql=sql)
+    def explain(self, sql: str, trace_id: str | None = None) -> str:
+        if trace_id is None:
+            trace_id = new_trace_id()
+        self.last_trace_id = trace_id
+        response = self._call("EXPLAIN", sql=sql, trace=trace_id)
         return response["results"][-1]["report"]
 
     def begin(self) -> None:

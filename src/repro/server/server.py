@@ -29,6 +29,8 @@ from repro.core.errors import (
     ProtocolError,
     describe_error,
 )
+from repro.obs.promtext import render_prometheus
+from repro.obs.trace import DEFAULT_SLOW_MS
 from repro.server.admission import AdmissionController
 from repro.server.protocol import (
     REQUEST_OPS,
@@ -56,6 +58,8 @@ class ServerConfig:
     admission_timeout: float = 5.0    # seconds a statement may queue
     statement_timeout: float = DEFAULT_STATEMENT_TIMEOUT
     shutdown_drain: float = 10.0      # seconds to wait for in-flight work
+    slow_query_ms: float = DEFAULT_SLOW_MS   # slow-query log threshold
+    stats_top_slow: int = 5           # slow queries reported by STATS
 
 
 class MoodServer:
@@ -65,7 +69,8 @@ class MoodServer:
         self.db = db
         self.config = config or ServerConfig()
         self.sessions = SessionManager(
-            db, statement_timeout=self.config.statement_timeout
+            db, statement_timeout=self.config.statement_timeout,
+            slow_query_ms=self.config.slow_query_ms,
         )
         component = db.kernel.storage.metrics.component("server")
         self.admission = AdmissionController(
@@ -74,6 +79,7 @@ class MoodServer:
             metrics_component=db.kernel.storage.metrics.component(
                 "server.admission"
             ),
+            events=db.kernel.storage.events,
         )
         self._m_connections = component.counter("connections")
         self._m_frames = component.counter("frames")
@@ -176,16 +182,23 @@ class MoodServer:
         finally:
             self._reconcile_ticket(session)
 
-    def _ensure_ticket(self, session: Session) -> None:
+    def _ensure_ticket(self, session: Session) -> float:
         """Admission is per *transaction*, not per statement: a session
         already holding a slot (its explicit transaction is admitted) runs
         its next statement ungated.  Gating mid-transaction statements
         would let a lock-holding transaction park in the admission queue
         while every admitted slot waits on its locks -- a deadlock between
-        the two layers that neither one's detector can see."""
-        if not session.admitted:
-            self.admission.admit(timeout=self.config.admission_timeout)
-            session.admitted = True
+        the two layers that neither one's detector can see.
+
+        Returns the milliseconds spent in the admission queue so the
+        statement's trace can attribute its queue wait."""
+        if session.admitted:
+            return 0.0
+        waited_ms = self.admission.admit(
+            timeout=self.config.admission_timeout
+        )
+        session.admitted = True
+        return waited_ms
 
     def _reconcile_ticket(self, session: Session) -> None:
         """Release the slot once the session is back in autocommit."""
@@ -198,6 +211,10 @@ class MoodServer:
             return ok_response({"pong": True})
         if op == "STATS":
             return ok_response({"stats": self._stats(session)})
+        if op == "METRICS":
+            return ok_response({"metrics": render_prometheus(
+                self.db.kernel.storage.metrics
+            )})
         if op == "BEGIN":
             self._ensure_ticket(session)
             return _statement_payload(self.sessions.begin(session))
@@ -212,17 +229,25 @@ class MoodServer:
         if op == "EXPLAIN" and not sql.lstrip().upper().startswith("EXPLAIN"):
             sql = "EXPLAIN " + sql
         timeout = request.get("timeout")
-        self._ensure_ticket(session)
+        trace_id = request.get("trace")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise ProtocolError(f"{op} 'trace' field must be a string")
+        queue_wait_ms = self._ensure_ticket(session)
         self._statement_started()
         try:
-            results = self.sessions.execute(session, sql, timeout=timeout)
+            results = self.sessions.execute(
+                session, sql, timeout=timeout,
+                trace_id=trace_id, queue_wait_ms=queue_wait_ms,
+            )
         finally:
             self._statement_finished()
-        return ok_response(
-            {"results": [_encode_result(result) for result in results]}
-        )
+        return ok_response({
+            "results": [_encode_result(result) for result in results],
+            "trace": session.last_trace_id,
+        })
 
     def _stats(self, session: Session) -> dict:
+        kernel = self.db.kernel
         return {
             "session_id": session.session_id,
             "in_transaction": session.in_transaction,
@@ -232,9 +257,19 @@ class MoodServer:
             "metrics": {
                 name: value
                 for name, value in
-                self.db.kernel.storage.metrics.snapshot().items()
+                kernel.storage.metrics.snapshot().items()
                 if name.startswith("server.") or name.startswith("locks.")
             },
+            "histograms": {
+                name: summary
+                for name, summary in
+                kernel.storage.metrics.histograms().items()
+                if name.startswith("server.") or name.startswith("locks.")
+            },
+            "slow_queries": [
+                trace.row()
+                for trace in kernel.slow_log.top(self.config.stats_top_slow)
+            ],
         }
 
 

@@ -49,9 +49,15 @@ from repro.core.errors import (
     TransactionAbortedError,
     TransactionError,
 )
-from repro.core.kernel import StatementResult
+from repro.core.kernel import QueryResult, StatementResult
 from repro.catalog.typeparse import parse_type
 from repro.model.types import referenced_class
+from repro.obs.spans import SpanRecorder
+from repro.obs.trace import (
+    StatementTrace,
+    server_trace_id,
+    truncate_statement,
+)
 from repro.sql.ast import (
     AlterClass,
     AnalyzeStmt,
@@ -83,6 +89,27 @@ _DDL_STATEMENTS = (
     CreateIndex, DropIndex, CreateMethod, DropMethod,
 )
 
+_STATEMENT_KINDS = {
+    "SelectQuery": "SELECT",
+    "ExplainStmt": "EXPLAIN",
+    "NewObject": "NEW",
+    "UpdateStmt": "UPDATE",
+    "DeleteStmt": "DELETE",
+    "AnalyzeStmt": "ANALYZE",
+    "CreateClass": "CREATE CLASS",
+    "DropClass": "DROP CLASS",
+    "AlterClass": "ALTER CLASS",
+    "CreateIndex": "CREATE INDEX",
+    "DropIndex": "DROP INDEX",
+    "CreateMethod": "CREATE METHOD",
+    "DropMethod": "DROP METHOD",
+}
+
+
+def _statement_kind(statement) -> str:
+    name = type(statement).__name__
+    return _STATEMENT_KINDS.get(name, name.upper())
+
 
 class Session:
     """One client's state: an id, an optional open transaction, a flag."""
@@ -96,6 +123,8 @@ class Session:
         #: frames must not interleave its own statements.
         self.mutex = threading.Lock()
         self.statements = 0
+        #: Trace id of the session's most recent statement ("" before any).
+        self.last_trace_id = ""
         #: True while this session holds an admission slot.  A slot is
         #: taken per autocommit statement OR per explicit transaction
         #: (BEGIN..COMMIT) -- never per mid-transaction statement, because
@@ -122,10 +151,13 @@ class SessionManager:
         self,
         db: MoodDatabase,
         statement_timeout: float = DEFAULT_STATEMENT_TIMEOUT,
+        slow_query_ms: float | None = None,
     ):
         self.db = db
         self.kernel = db.kernel
         self.statement_timeout = statement_timeout
+        if slow_query_ms is not None:
+            self.kernel.slow_log.threshold_ms = slow_query_ms
         #: The engine latch (== storage latch == txn-manager latch).
         self.latch = self.kernel.storage.latch
         self._mutex = threading.Lock()
@@ -133,14 +165,39 @@ class SessionManager:
         self._next_id = 1
         self._shutting_down = False
         component = self.kernel.storage.metrics.component("server")
+        self._component = component
         self._m_sessions = component.counter("sessions_opened")
         self._m_statements = component.counter("statements")
+        self._m_statements_failed = component.counter("statements_failed")
         self._m_statement_ms = component.histogram("statement_ms")
         self._m_deadlocks = component.counter("deadlock_aborts")
         self._m_lock_timeouts = component.counter("lock_timeouts")
         self._m_stmt_timeouts = component.counter("statement_timeouts")
         self._m_commits = component.counter("commits")
         self._m_rollbacks = component.counter("rollbacks")
+        self.kernel.system_views.register(
+            "SYS$SESSIONS",
+            [("session_id", "Integer"), ("state", "String"),
+             ("txn_id", "Integer"), ("statements", "Integer"),
+             ("admitted", "Boolean"), ("last_trace_id", "String")],
+            self._session_rows,
+            "every open session: transaction state, statement count, "
+            "admission slot, last trace id",
+        )
+
+    def _session_rows(self) -> list[dict]:
+        rows = []
+        for session in self.sessions():
+            txn = session.txn
+            rows.append({
+                "session_id": session.session_id,
+                "state": "txn" if session.in_transaction else "autocommit",
+                "txn_id": txn.txn_id if txn is not None else -1,
+                "statements": session.statements,
+                "admitted": session.admitted,
+                "last_trace_id": session.last_trace_id,
+            })
+        return sorted(rows, key=lambda r: r["session_id"])
 
     # -- session lifecycle ----------------------------------------------------
 
@@ -237,6 +294,8 @@ class SessionManager:
         session: Session,
         sql: str,
         timeout: float | None = None,
+        trace_id: str | None = None,
+        queue_wait_ms: float = 0.0,
     ) -> list:
         """Run a ';'-separated script; one result per statement.
 
@@ -245,16 +304,28 @@ class SessionManager:
         the script; under an explicit transaction, a failure also rolls the
         whole transaction back (strictness keeps the abort path simple: no
         statement-level undo exists at page-image granularity).
+
+        ``trace_id`` (client-minted, or server-assigned when absent) labels
+        the statement's trace; a multi-statement script derives per-
+        statement ids (``<id>/2``, ``<id>/3`` ...).  ``queue_wait_ms`` is
+        the admission wait the server already paid for this call; it is
+        attributed to the first statement's trace.
         """
         self._check_open(session)
         budget = self.statement_timeout if timeout is None else timeout
         statements = parse_script(sql)
+        if trace_id is None:
+            trace_id = server_trace_id()
         results = []
         with session.mutex:
-            for statement in statements:
-                results.append(
-                    self._execute_one(session, statement, budget)
-                )
+            for index, statement in enumerate(statements):
+                results.append(self._execute_one(
+                    session, statement, budget,
+                    sql_text=sql,
+                    trace_id=trace_id if index == 0
+                    else f"{trace_id}/{index + 1}",
+                    queue_wait_ms=queue_wait_ms if index == 0 else 0.0,
+                ))
         return results
 
     def _check_open(self, session: Session) -> None:
@@ -265,9 +336,56 @@ class SessionManager:
         if self._shutting_down:
             raise ServerShuttingDownError("server is shutting down")
 
-    def _execute_one(self, session: Session, statement, budget: float):
-        deadline = time.monotonic() + budget
+    def _execute_one(
+        self,
+        session: Session,
+        statement,
+        budget: float,
+        sql_text: str,
+        trace_id: str,
+        queue_wait_ms: float,
+    ):
+        trace = StatementTrace(
+            trace_id=trace_id,
+            session_id=session.session_id,
+            statement=truncate_statement(sql_text),
+            kind=_statement_kind(statement),
+            started_at=time.time(),
+            queue_wait_ms=queue_wait_ms,
+        )
+        session.last_trace_id = trace_id
         started = time.monotonic()
+        try:
+            return self._execute_traced(session, statement, budget, trace)
+        except MoodError as exc:
+            # Every failure -- including ones raised before the engine ran
+            # -- lands in the trace, the failure counters, and (via the
+            # finally) the latency histogram.
+            trace.status = getattr(exc, "code", None) or "ERROR"
+            self._m_statements_failed.inc()
+            self._component.counter(f"errors.{trace.status}").inc()
+            raise
+        finally:
+            trace.total_ms = (time.monotonic() - started) * 1e3
+            self._m_statement_ms.observe(trace.total_ms)
+            self.kernel.statement_log.record(trace)
+            if self.kernel.slow_log.consider(trace):
+                self.kernel.storage.events.emit(
+                    "statement.slow",
+                    trace_id=trace.trace_id,
+                    session=trace.session_id,
+                    statement_kind=trace.kind,
+                    total_ms=round(trace.total_ms, 3),
+                )
+
+    def _execute_traced(
+        self,
+        session: Session,
+        statement,
+        budget: float,
+        trace: StatementTrace,
+    ):
+        deadline = time.monotonic() + budget
         autocommit = not session.in_transaction
         if isinstance(statement, _DDL_STATEMENTS) and not autocommit:
             # DDL writes the catalog's system files outside the WAL: it
@@ -277,9 +395,10 @@ class SessionManager:
                 "first"
             )
         txn = self.kernel.storage.begin() if autocommit else session.txn
+        trace.txn_id = txn.txn_id
         try:
-            self._acquire_closure(txn, statement, deadline)
-            result = self._run_latched(txn, statement, deadline)
+            self._acquire_closure(txn, statement, deadline, trace)
+            result = self._run_latched(txn, statement, deadline, trace)
             if autocommit:
                 txn.commit()
             self._m_statements.inc()
@@ -293,10 +412,6 @@ class SessionManager:
         except MoodError:
             self._surrender(session, txn, autocommit)
             raise
-        finally:
-            self._m_statement_ms.observe(
-                (time.monotonic() - started) * 1e3
-            )
 
     def _count_concurrency_error(self, exc: MoodError) -> None:
         if isinstance(exc, DeadlockError):
@@ -323,22 +438,31 @@ class SessionManager:
     # -- phase 1: the lock closure -------------------------------------------
 
     def _acquire_closure(
-        self, txn: Transaction, statement, deadline: float
+        self,
+        txn: Transaction,
+        statement,
+        deadline: float,
+        trace: StatementTrace | None = None,
     ) -> None:
         plan = self._lock_plan(statement)
-        for resource, mode in sorted(plan.items()):
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise StatementTimeoutError(
-                    "statement timed out acquiring its lock closure"
+        lock_started = time.monotonic()
+        try:
+            for resource, mode in sorted(plan.items()):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise StatementTimeoutError(
+                        "statement timed out acquiring its lock closure"
+                    )
+                if txn.state is not TxnState.ACTIVE:
+                    raise TransactionAbortedError(
+                        f"transaction {txn.txn_id} was rolled back"
+                    )
+                self.kernel.storage.locks.acquire(
+                    txn.txn_id, resource, mode, timeout=remaining
                 )
-            if txn.state is not TxnState.ACTIVE:
-                raise TransactionAbortedError(
-                    f"transaction {txn.txn_id} was rolled back"
-                )
-            self.kernel.storage.locks.acquire(
-                txn.txn_id, resource, mode, timeout=remaining
-            )
+        finally:
+            if trace is not None:
+                trace.lock_wait_ms = (time.monotonic() - lock_started) * 1e3
 
     def _lock_plan(self, statement) -> dict[tuple, LockMode]:
         """``resource -> strongest needed mode`` for one statement."""
@@ -441,31 +565,64 @@ class SessionManager:
 
     # -- phase 2: the latched execution --------------------------------------
 
-    def _run_latched(self, txn: Transaction, statement, deadline: float):
+    def _run_latched(
+        self,
+        txn: Transaction,
+        statement,
+        deadline: float,
+        trace: StatementTrace | None = None,
+    ):
         remaining = deadline - time.monotonic()
+        latch_started = time.monotonic()
         if remaining <= 0 or not self.latch.acquire(timeout=max(remaining, 0)):
             raise StatementTimeoutError(
                 "statement timed out waiting for the engine latch"
             )
+        if trace is not None:
+            trace.latch_wait_ms = (time.monotonic() - latch_started) * 1e3
         objects = self.kernel.objects
+        storage = self.kernel.storage
+        # I/O attribution is sound under the latch: execution in there is
+        # single-caller, so the disk-stats delta is this statement's.
+        io_before = storage.io_snapshot() if trace is not None else None
+        exec_started = time.monotonic()
+        spans = None
+        if trace is not None and isinstance(statement, SelectQuery):
+            spans = SpanRecorder(
+                io_probe=storage.io_snapshot, trace_id=trace.trace_id
+            )
         try:
             if txn.state is not TxnState.ACTIVE:
                 raise TransactionAbortedError(
                     f"transaction {txn.txn_id} was rolled back"
                 )
             read_only = isinstance(statement, (SelectQuery, ExplainStmt))
-            if read_only:
+            if read_only and not self.kernel.is_system_select(statement):
                 # Statistics refresh scans extents *outside* the session
                 # transaction: physically safe under the latch, and stats
                 # are advisory so strict isolation buys nothing here.
+                # (SYS$ view selects have no plans, hence no statistics.)
                 self.db._ensure_statistics()
             objects.current_txn = txn
             txn.lock_timeout = 0  # no-wait probes only while latched
-            result = self.kernel.execute_statement(statement)
+            result = self.kernel.execute_statement(statement, spans=spans)
             if not read_only:
                 self.db._schema_version += 1
+            if trace is not None:
+                if isinstance(result, QueryResult):
+                    trace.rows = len(result.rows)
+                elif isinstance(result, StatementResult):
+                    trace.rows = result.count
             return result
         finally:
             objects.current_txn = None
             txn.lock_timeout = None
+            if trace is not None:
+                trace.exec_ms = (time.monotonic() - exec_started) * 1e3
+                if io_before is not None:
+                    io_delta = storage.io_snapshot().since(io_before)
+                    trace.io_pages = io_delta.page_ios
+                    trace.io_ms = io_delta.elapsed_ms
+                if spans is not None:
+                    trace.spans = spans.roots
             self.latch.release()

@@ -174,8 +174,10 @@ def tokenize(text: str) -> list[Token]:
         if ch.isalpha() or ch == "_":
             start = position
             start_column = column()
+            # '$' continues an identifier: the SYS$ monitor views
+            # (SYS$SESSIONS, SYS$LOCKS, ...) are ordinary FROM targets.
             while position < length and (text[position].isalnum()
-                                         or text[position] == "_"):
+                                         or text[position] in "_$"):
                 position += 1
             word = text[start:position]
             if word.upper() in KEYWORDS:

@@ -12,6 +12,7 @@ condition variable, and wait-for-graph cycle detection that raises
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Hashable
@@ -74,15 +75,43 @@ class LockManager:
         # parked thread consumes (and clears) its own flag on wake-up.
         self._cancelled: set[Any] = set()
         self._metrics = None
+        self._wait_ms = None
+        self._events = None
+        self._slow_wait_ms = 50.0
 
     def attach_metrics(self, component) -> None:
-        """Mirror lock activity into registry counters (``locks.*``)."""
+        """Mirror lock activity into registry counters (``locks.*``) plus
+        a ``locks.wait_ms`` histogram of blocking-wait durations."""
         self._metrics = component
+        self._wait_ms = component.histogram("wait_ms")
+
+    def attach_events(self, journal, slow_wait_ms: float = 50.0) -> None:
+        """Journal deadlocks and lock waits longer than ``slow_wait_ms``."""
+        self._events = journal
+        self._slow_wait_ms = slow_wait_ms
 
     def _count(self, name: str) -> None:
         setattr(self.stats, name, getattr(self.stats, name) + 1)
         if self._metrics is not None:
             self._metrics.counter(name).inc()
+
+    def _note_wait_end(
+        self, owner: Any, resource: Hashable, mode: LockMode,
+        started: float, outcome: str,
+    ) -> None:
+        """Account one finished blocking wait: histogram always, journal
+        when it was slow or ended badly."""
+        waited_ms = (time.monotonic() - started) * 1e3
+        if self._wait_ms is not None:
+            self._wait_ms.observe(waited_ms)
+        if self._events is None:
+            return
+        if outcome != "granted" or waited_ms >= self._slow_wait_ms:
+            self._events.emit(
+                "lock.wait",
+                owner=owner, resource=repr(resource), mode=mode.value,
+                waited_ms=round(waited_ms, 3), outcome=outcome,
+            )
 
     # -- acquisition ------------------------------------------------------
 
@@ -117,9 +146,20 @@ class LockManager:
                 )
             entry.waiting.append((owner, mode))
             self._count("waits")
+            wait_started = time.monotonic()
             try:
                 if self._would_deadlock(owner):
                     self._count("deadlocks")
+                    if self._events is not None:
+                        self._events.emit(
+                            "lock.deadlock",
+                            victim=owner, resource=repr(resource),
+                            mode=mode.value,
+                            winners=sorted(
+                                (repr(o) for o in entry.granted
+                                 if o != owner),
+                            ),
+                        )
                     raise DeadlockError(
                         f"lock {mode.value} on {resource!r} by {owner!r} "
                         "would deadlock"
@@ -132,16 +172,22 @@ class LockManager:
                 if owner in self._cancelled:
                     self._cancelled.discard(owner)
                     self._count("cancels")
+                    self._note_wait_end(owner, resource, mode,
+                                        wait_started, "cancelled")
                     raise LockCancelledError(
                         f"wait for {mode.value} on {resource!r} by "
                         f"{owner!r} was cancelled"
                     )
                 if not granted:
                     self._count("timeouts")
+                    self._note_wait_end(owner, resource, mode,
+                                        wait_started, "timeout")
                     raise LockTimeoutError(
                         f"timed out waiting for {mode.value} on {resource!r}"
                     )
                 self._count("acquisitions")
+                self._note_wait_end(owner, resource, mode,
+                                    wait_started, "granted")
             finally:
                 if (owner, mode) in entry.waiting:
                     entry.waiting.remove((owner, mode))
@@ -311,3 +357,29 @@ class LockManager:
         """Number of queued waits across all resources (introspection)."""
         with self._lock:
             return sum(len(entry.waiting) for entry in self._table.values())
+
+    def dump(self) -> list[dict]:
+        """The live lock table as flat rows (the SYS$LOCKS view): every
+        grant (``granted=True, queue_position=-1``) and every queued wait
+        in FIFO order."""
+        with self._lock:
+            rows: list[dict] = []
+            for resource in sorted(self._table, key=repr):
+                entry = self._table[resource]
+                for owner in sorted(entry.granted, key=repr):
+                    rows.append({
+                        "resource": repr(resource),
+                        "txn_id": owner if isinstance(owner, int) else -1,
+                        "mode": entry.granted[owner].value,
+                        "granted": True,
+                        "queue_position": -1,
+                    })
+                for position, (owner, mode) in enumerate(entry.waiting):
+                    rows.append({
+                        "resource": repr(resource),
+                        "txn_id": owner if isinstance(owner, int) else -1,
+                        "mode": mode.value,
+                        "granted": False,
+                        "queue_position": position,
+                    })
+            return rows

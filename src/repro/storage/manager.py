@@ -21,6 +21,7 @@ from repro.core.errors import (
     FileNotFoundStorageError,
     StorageError,
 )
+from repro.obs.events import EventJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.storage.btree import BPlusTree
 from repro.storage.buffer import BufferManager
@@ -44,6 +45,10 @@ class StorageManager:
         buffer_capacity: int = 256,
     ):
         self.metrics = MetricsRegistry()
+        #: Server-wide journal of notable operational events (lock waits,
+        #: deadlocks, checkpoints, recovery, cache storms, admission
+        #: rejections); components above the storage layer share it.
+        self.events = EventJournal()
         self.disk = SimulatedDisk(params)
         self.disk.attach_metrics(self.metrics.component("disk"))
         self.volume = self.disk.mount_volume()
@@ -53,6 +58,7 @@ class StorageManager:
         self.wal.attach_metrics(self.metrics.component("wal"))
         self.locks = LockManager()
         self.locks.attach_metrics(self.metrics.component("locks"))
+        self.locks.attach_events(self.events)
         self.txns = TransactionManager(self.wal, self.locks, self._apply_page_image)
         self.txns.on_abort = self._refresh_after_abort
         #: The storage latch (shared with the transaction manager and used
@@ -210,8 +216,9 @@ class StorageManager:
     def checkpoint(self) -> None:
         """Flush all dirty pages and cut a checkpoint in the log."""
         self.buffer.flush_all()
-        self.wal.append(LogKind.CHECKPOINT, 0)
+        lsn = self.wal.append(LogKind.CHECKPOINT, 0)
         self.wal.force()
+        self.events.emit("wal.checkpoint", lsn=lsn, records=len(self.wal))
 
     # -- crash / restart simulation -------------------------------------------
 
@@ -222,7 +229,9 @@ class StorageManager:
         self.txns.active.clear()
         self.locks = LockManager()
         self.locks.attach_metrics(self.metrics.component("locks"))
+        self.locks.attach_events(self.events)
         self.txns.locks = self.locks
+        self.events.emit("storage.crash")
         self._run_reset_hooks()
 
     def restart(self) -> RecoveryReport:
@@ -230,6 +239,11 @@ class StorageManager:
         report = recover(self.wal, self._apply_page_image)
         for storage_file in self._files.values():
             self._recount(storage_file)
+        self.events.emit(
+            "recovery.replay",
+            winners=len(report.winners), losers=len(report.losers),
+            redone=report.redone, undone=report.undone,
+        )
         self._run_reset_hooks()
         return report
 

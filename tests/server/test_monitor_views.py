@@ -1,0 +1,265 @@
+"""The PR 4 observability surface over the wire: trace propagation into
+SYS$STATEMENTS and the span tree, SYS$ views under concurrent sessions,
+failure accounting, and the Prometheus METRICS op."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.database import MoodDatabase
+from repro.obs.promtext import parse_prometheus
+from repro.server import (
+    MoodClient,
+    MoodServer,
+    MoodServerError,
+    ServerConfig,
+)
+
+
+def _database() -> MoodDatabase:
+    db = MoodDatabase(buffer_capacity=128)
+    db.execute("CREATE CLASS Account TUPLE (id Integer, balance Integer)")
+    for i in range(6):
+        db.execute(f"new Account <{i}, 100>")
+    return db
+
+
+@pytest.fixture()
+def served():
+    db = _database()
+    server = MoodServer(db, ServerConfig(port=0))
+    host, port = server.start()
+    yield db, server, host, port
+    server.stop()
+
+
+# --------------------------------------------------------------------------
+# Trace propagation
+# --------------------------------------------------------------------------
+
+def test_client_trace_id_lands_in_sys_statements(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        client.query("SELECT a.id FROM Account a WHERE a.balance > 50")
+        trace_id = client.last_trace_id
+        assert trace_id
+
+        rows = client.query(
+            "SELECT s.trace_id, s.kind, s.status, s.rows, s.total_ms, "
+            "s.lock_wait_ms, s.queue_wait_ms, s.io_pages "
+            f"FROM SYS$STATEMENTS s WHERE s.trace_id = '{trace_id}'"
+        )
+        assert len(rows) == 1
+        (tid, kind, status, nrows, total_ms,
+         lock_wait_ms, queue_wait_ms, io_pages) = rows.rows[0]
+        assert tid == trace_id
+        assert kind == "SELECT"
+        assert status == "OK"
+        assert nrows == 6
+        assert total_ms > 0
+        # The waits decompose the total: each attributed, none negative.
+        assert lock_wait_ms >= 0 and queue_wait_ms >= 0
+        assert io_pages >= 0
+
+
+def test_trace_id_stamped_on_span_tree(served):
+    db, _, host, port = served
+    with MoodClient(host, port) as client:
+        client.query("SELECT a.id FROM Account a WHERE a.id = 3")
+        trace_id = client.last_trace_id
+    trace = db.kernel.statement_log.find(trace_id)
+    assert trace is not None
+    assert trace.spans, "SELECT must record a span tree"
+    spans = [s for root in trace.spans for s in root.walk()]
+    assert all(span.trace_id == trace_id for span in spans)
+    assert trace.io_pages >= 0
+    # The rendered plan appears in SYS$SLOW_QUERIES form too.
+    assert trace.span_report() == "\n".join(r.render() for r in trace.spans)
+
+
+def test_server_assigns_trace_id_when_client_sends_none(served):
+    db, server, host, port = served
+    with MoodClient(host, port) as client:
+        # Bypass MoodClient.execute's minting: raw frame without 'trace'.
+        response = client._call(
+            "EXECUTE", sql="SELECT a.id FROM Account a"
+        )
+        assert response["trace"].startswith("srv-")
+        assert db.kernel.statement_log.find(response["trace"]) is not None
+
+
+def test_multi_statement_script_derives_per_statement_ids(served):
+    db, _, host, port = served
+    with MoodClient(host, port) as client:
+        client.execute(
+            "new Account <90, 500>; SELECT a.id FROM Account a"
+        )
+        base = client.last_trace_id
+    assert db.kernel.statement_log.find(base) is not None
+    assert db.kernel.statement_log.find(f"{base}/2") is not None
+
+
+# --------------------------------------------------------------------------
+# SYS$ views over the wire
+# --------------------------------------------------------------------------
+
+def test_sys_sessions_sees_concurrent_sessions(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as alice, MoodClient(host, port) as bob:
+        alice.begin()
+        alice.execute("new Account <50, 1>")
+        rows = bob.query(
+            "SELECT s.session_id, s.state, s.statements, s.last_trace_id "
+            "FROM SYS$SESSIONS s ORDER BY s.session_id"
+        )
+        assert len(rows) == 2
+        states = [row[1] for row in rows.rows]
+        assert "txn" in states          # alice holds a transaction
+        assert "autocommit" in states   # bob is the observer
+        alice.rollback()
+
+
+def test_sys_views_consistent_under_concurrent_load(served):
+    _, _, host, port = served
+    stop = threading.Event()
+    errors: list = []
+
+    def writer():
+        try:
+            with MoodClient(host, port) as client:
+                i = 100
+                while not stop.is_set():
+                    client.execute(f"new Account <{i}, 7>")
+                    i += 1
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    try:
+        with MoodClient(host, port) as client:
+            for _ in range(10):
+                for view in ("SYS$SESSIONS", "SYS$STATEMENTS", "SYS$LOCKS",
+                             "SYS$COUNTERS", "SYS$EVENTS"):
+                    alias = "v"
+                    client.query(f"SELECT * FROM {view} {alias}")
+    finally:
+        stop.set()
+        thread.join(timeout=30)
+    assert not errors
+
+
+def test_sys_counters_exposes_histograms_with_percentiles(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        client.query("SELECT a.id FROM Account a")
+        rows = client.query(
+            "SELECT c.name, c.kind, c.count, c.p50, c.p99 "
+            "FROM SYS$COUNTERS c WHERE c.name = 'server.statement_ms'"
+        )
+        name, kind, count, p50, p99 = rows.rows[0]
+        assert kind == "histogram"
+        assert count >= 1
+        assert 0 < p50 <= p99
+
+
+def test_sys_events_queryable_and_filtered(served):
+    db, _, host, port = served
+    db.kernel.storage.checkpoint()      # guarantees one journal entry
+    with MoodClient(host, port) as client:
+        rows = client.query(
+            "SELECT e.kind, e.detail FROM SYS$EVENTS e "
+            "WHERE e.kind = 'wal.checkpoint'"
+        )
+        assert len(rows) >= 1
+        assert all(kind == "wal.checkpoint" for kind, _ in rows.rows)
+
+
+def test_explain_over_sys_view_is_refused(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        with pytest.raises(MoodServerError):
+            client.explain("SELECT s.trace_id FROM SYS$STATEMENTS s")
+
+
+def test_sys_view_join_with_stored_class_is_refused(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        with pytest.raises(MoodServerError):
+            client.query(
+                "SELECT a.id FROM Account a, SYS$SESSIONS s"
+            )
+
+
+# --------------------------------------------------------------------------
+# Failure accounting (satellite a)
+# --------------------------------------------------------------------------
+
+def test_failed_statement_observed_in_histogram_and_counters(served):
+    db, _, host, port = served
+    metrics = db.kernel.storage.metrics
+    before_count = metrics.component("server").histogram(
+        "statement_ms"
+    ).count
+    with MoodClient(host, port) as client:
+        with pytest.raises(MoodServerError):
+            client.query("SELECT n.x FROM Nonexistent n")
+        failed_trace = client.last_trace_id
+    histogram = metrics.component("server").histogram("statement_ms")
+    assert histogram.count == before_count + 1
+    assert metrics.value("server.statements_failed") >= 1
+    # Stable per-code counter materialised dynamically.
+    failed = [name for name in metrics.names()
+              if name.startswith("server.errors.")]
+    assert failed
+    trace = db.kernel.statement_log.find(failed_trace)
+    assert trace is not None
+    assert trace.status != "OK"
+    assert trace.total_ms > 0
+
+
+def test_failure_before_execution_is_still_traced(served):
+    db, _, host, port = served
+    with MoodClient(host, port) as client:
+        client.begin()
+        with pytest.raises(MoodServerError):
+            # DDL inside a transaction is refused before locks/latch.
+            client.execute(
+                "CREATE CLASS Wrong TUPLE (x Integer)"
+            )
+        trace = db.kernel.statement_log.recent()[0]
+        assert trace.status == "TRANSACTION"
+        assert trace.kind == "CREATE CLASS"
+
+
+# --------------------------------------------------------------------------
+# METRICS / STATS exports
+# --------------------------------------------------------------------------
+
+def test_metrics_op_returns_valid_prometheus_exposition(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        client.query("SELECT a.id FROM Account a")
+        text = client.metrics()
+    assert "# TYPE mood_server_statement_ms summary" in text
+    samples = parse_prometheus(text)
+    p99 = samples['mood_server_statement_ms{quantile="0.99"}']
+    assert p99 > 0
+    assert samples["mood_server_statement_ms_count"] >= 1
+    assert samples["mood_server_statements"] >= 1
+
+
+def test_stats_reports_histograms_and_slow_queries(served):
+    db, _, host, port = served
+    db.kernel.slow_log.threshold_ms = 0.0   # everything is "slow" now
+    with MoodClient(host, port) as client:
+        client.query("SELECT a.id FROM Account a")
+        stats = client.stats()
+    summary = stats["histograms"]["server.statement_ms"]
+    assert summary["count"] >= 1
+    assert summary["p50"] <= summary["p99"]
+    assert stats["slow_queries"]
+    slowest = stats["slow_queries"][0]
+    assert set(slowest) >= {"trace_id", "total_ms", "kind", "status"}
