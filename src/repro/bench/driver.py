@@ -45,6 +45,10 @@ class WorkloadConfig:
     seed: int = 42
     retries: int = 8
     statement_timeout: float = 30.0
+    #: PREPARE each transaction kind's statements once per client and
+    #: EXECUTE them with bind parameters (the compile-once fast path)
+    #: instead of sending fresh SQL text every time.
+    use_prepared: bool = False
 
 
 @dataclass
@@ -115,13 +119,27 @@ class _ClientWorker(threading.Thread):
             self.errors.append(f"connect: {exc}")
             return
         with client:
+            if config.use_prepared:
+                try:
+                    self._prepare_all(client)
+                except (MoodError, OSError) as exc:
+                    self.errors.append(f"prepare: {exc}")
+                    return
             for _ in range(config.transactions_per_client):
                 kind = self.rng.choices(kinds, weights=weights)[0]
-                statements = self._statements(kind)
+                if config.use_prepared:
+                    calls = self._prepared_calls(kind)
+                    body = lambda c: [
+                        c.execute_prepared(name, params)
+                        for name, params in calls
+                    ]
+                else:
+                    statements = self._statements(kind)
+                    body = lambda c: [c.execute(sql) for sql in statements]
                 started = time.monotonic()
                 try:
                     _, attempts = client.run_transaction(
-                        lambda c: [c.execute(sql) for sql in statements],
+                        body,
                         retries=config.retries,
                         rng=self.rng,
                     )
@@ -161,6 +179,41 @@ class _ClientWorker(threading.Thread):
             f"WHERE v.id = {vehicle_id}",
             "SELECT v.weight FROM Vehicle v "
             f"WHERE v.id = {second}",
+        ]
+
+    #: The same transaction kinds with bind parameters in place of the
+    #: per-transaction constants (names are per-session, so every client
+    #: can use the same ones).
+    _PREPARED = {
+        "read_scan": "SELECT v.id, v.weight FROM Vehicle v "
+                     "WHERE v.weight > ? AND v.id < ?",
+        "path_mfr": "SELECT v.id, v.manufacturer.name FROM Vehicle v "
+                    "WHERE v.id = ?",
+        "path_eng": "SELECT v.drivetrain.engine.cylinders FROM Vehicle v "
+                    "WHERE v.id = ?",
+        "write_bump": "UPDATE Vehicle v SET weight = v.weight + 1 "
+                      "WHERE v.id = ?",
+        "write_check": "SELECT v.weight FROM Vehicle v WHERE v.id = ?",
+    }
+
+    def _prepare_all(self, client: MoodClient) -> None:
+        for name, sql in self._PREPARED.items():
+            client.prepare(name, sql)
+
+    def _prepared_calls(self, kind: str) -> list[tuple[str, list]]:
+        vehicle_id = self.rng.randrange(self.config.scale)
+        if kind == "read":
+            low = self.rng.randrange(500, 2500)
+            return [("read_scan", [low, vehicle_id + 10])]
+        if kind == "path":
+            return [
+                ("path_mfr", [vehicle_id]),
+                ("path_eng", [(vehicle_id + 1) % self.config.scale]),
+            ]
+        second = (vehicle_id + self.config.scale // 2) % self.config.scale
+        return [
+            ("write_bump", [vehicle_id]),
+            ("write_check", [second]),
         ]
 
 

@@ -52,6 +52,11 @@ class Catalog:
 
     def __init__(self, storage: StorageManager):
         self.storage = storage
+        #: Monotonic counter bumped by every schema mutation (class,
+        #: attribute, function, index DDL and catalog reloads).  Compiled
+        #: plans are stamped with it; the plan cache refuses any entry
+        #: whose stamp no longer matches.
+        self.schema_version = 0
         self.registry = TypeRegistry()
         self.hierarchy = ClassHierarchy()
         self._named: dict[str, OID] = {}
@@ -81,6 +86,9 @@ class Catalog:
 
     def _system_file(self, name: str) -> StorageFile:
         return self.storage.file_by_name(name)
+
+    def _schema_changed(self) -> None:
+        self.schema_version += 1
 
     # -- loading -------------------------------------------------------------
 
@@ -147,6 +155,7 @@ class Catalog:
             )
             self._indexes[info.name] = info
             self._index_rows[info.name] = oid
+        self._schema_changed()
 
     def _install(
         self,
@@ -228,6 +237,7 @@ class Catalog:
             ).insert(encode(method.to_record()))
         if is_class:
             self.storage.create_file(self.extent_file_name(name))
+        self._schema_changed()
         return definition
 
     def drop_class(self, name: str) -> None:
@@ -247,6 +257,7 @@ class Catalog:
         for info in list(self._indexes.values()):
             if info.class_name == name:
                 self.drop_index(info.name)
+        self._schema_changed()
 
     # -- schema evolution (MoodView's class designer) ------------------------------
 
@@ -265,6 +276,7 @@ class Catalog:
         self._attr_rows[(class_name, attr_name)] = self._system_file(
             self._ATTRS
         ).insert(encode(attribute.to_record()))
+        self._schema_changed()
 
     def drop_attribute(self, class_name: str, attr_name: str) -> None:
         definition = self.hierarchy.get(class_name)
@@ -277,6 +289,7 @@ class Catalog:
         self._system_file(self._ATTRS).delete(
             self._attr_rows.pop((class_name, attr_name))
         )
+        self._schema_changed()
 
     def rename_attribute(self, class_name: str, old: str, new: str) -> None:
         definition = self.hierarchy.get(class_name)
@@ -289,6 +302,7 @@ class Catalog:
         oid = self._attr_rows.pop((class_name, old))
         self._system_file(self._ATTRS).update(oid, encode(attribute.to_record()))
         self._attr_rows[(class_name, new)] = oid
+        self._schema_changed()
 
     def retype_attribute(self, class_name: str, attr_name: str, type_text: str) -> None:
         definition = self.hierarchy.get(class_name)
@@ -301,6 +315,7 @@ class Catalog:
         attribute.type_name = type_text
         oid = self._attr_rows[(class_name, attr_name)]
         self._system_file(self._ATTRS).update(oid, encode(attribute.to_record()))
+        self._schema_changed()
 
     # -- member functions ---------------------------------------------------
 
@@ -312,6 +327,7 @@ class Catalog:
         self._func_rows[function.signature] = self._system_file(
             self._FUNCS
         ).insert(encode(function.to_record()))
+        self._schema_changed()
 
     def update_function(self, function: MoodsFunction) -> None:
         if function.signature not in self._func_rows:
@@ -324,6 +340,7 @@ class Catalog:
         self._system_file(self._FUNCS).update(
             self._func_rows[function.signature], encode(function.to_record())
         )
+        self._schema_changed()
 
     def drop_function(self, signature: str) -> None:
         if signature not in self._func_rows:
@@ -334,6 +351,7 @@ class Catalog:
             m for m in definition.methods if m.signature != signature
         ]
         self._system_file(self._FUNCS).delete(self._func_rows.pop(signature))
+        self._schema_changed()
 
     def function_by_signature(self, signature: str) -> MoodsFunction:
         """Locate a function row by the signature the interpreter builds
@@ -480,6 +498,7 @@ class Catalog:
                 }
             )
         )
+        self._schema_changed()
         return info
 
     def drop_index(self, name: str) -> None:
@@ -487,6 +506,7 @@ class Catalog:
             raise CatalogError(f"no index {name!r}")
         self._system_file(self._INDEXES).delete(self._index_rows.pop(name))
         del self._indexes[name]
+        self._schema_changed()
 
     def index_info(self, name: str) -> IndexInfo:
         try:

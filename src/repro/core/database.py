@@ -15,7 +15,12 @@ from repro.core.kernel import (
     StatementResult,
 )
 from repro.model.objects import MoodObject
-from repro.sql.ast import ExplainStmt, SelectQuery
+from repro.sql.ast import (
+    DeallocateStmt,
+    ExplainStmt,
+    PrepareStmt,
+    SelectQuery,
+)
 from repro.sql.parser import parse_script
 from repro.storage.disk import DiskParams, IOStats
 from repro.storage.oid import OID
@@ -31,10 +36,12 @@ class MoodDatabase:
         auto_analyze: bool = True,
         cache_enabled: bool = True,
         cache_capacity: int = 4096,
+        plan_cache_capacity: int = 256,
     ):
         self.kernel = MoodKernel(
             disk_params, buffer_capacity,
             cache_enabled=cache_enabled, cache_capacity=cache_capacity,
+            plan_cache_capacity=plan_cache_capacity,
         )
         self.auto_analyze = auto_analyze
         self._schema_version = 0
@@ -52,10 +59,18 @@ class MoodDatabase:
         statements = parse_script(sql)
         results = []
         for statement in statements:
-            read_only = isinstance(statement, (SelectQuery, ExplainStmt))
+            # EXECUTE resolves to its inner statement *before* the
+            # read-only classification: EXECUTE of a SELECT must not bump
+            # the schema version (that would spuriously re-ANALYZE and
+            # cold the plan cache on every warm execution).
+            resolved = self.kernel.resolve_statement(statement)
+            read_only = isinstance(
+                resolved,
+                (SelectQuery, ExplainStmt, PrepareStmt, DeallocateStmt),
+            )
             if read_only:
                 self._ensure_statistics()
-            result = self.kernel.execute_statement(statement)
+            result = self.kernel.execute_statement(resolved)
             if not read_only:
                 self._schema_version += 1
             results.append(result)

@@ -345,6 +345,17 @@ class TransactionAbortedError(ServerError):
     retryable = True
 
 
+class UnknownPreparedStatementError(ServerError):
+    """EXECUTE / DEALLOCATE named a prepared statement the session does
+    not hold (never prepared, deallocated, or lost with a previous
+    session).  Not retryable as-is: the client must re-PREPARE first --
+    :class:`~repro.server.client.MoodClient` does so transparently from
+    its retained statement text."""
+
+    code = "UNKNOWN_PREPARED"
+    errno = 2007
+
+
 # --------------------------------------------------------------------------
 # The code registry
 # --------------------------------------------------------------------------

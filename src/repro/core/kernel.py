@@ -14,12 +14,18 @@ last statement is kept on :attr:`MoodKernel.trace`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.cppfront import generate_header
 from repro.catalog.entities import MoodsFunction
 from repro.core.errors import ExecutionError, MoodSqlError
+from repro.core.prepare import (
+    PlanCache,
+    PreparedRegistry,
+    render_statement,
+)
 from repro.cost.params import DatabaseStats
 from repro.cost.statistics import collect_statistics
 from repro.engine.cursor import ObjectCursor
@@ -44,18 +50,22 @@ from repro.sql.ast import (
     CreateClass,
     CreateIndex,
     CreateMethod,
+    DeallocateStmt,
     DeleteStmt,
     DropClass,
     DropIndex,
     DropMethod,
+    ExecuteStmt,
     ExplainStmt,
+    Literal,
     NewObject,
+    PrepareStmt,
     SelectQuery,
     Statement,
     UpdateStmt,
 )
 from repro.sql.parser import parse as parse_sql
-from repro.sql.rewrite import describe_rewrite
+from repro.sql.rewrite import describe_rewrite, simplify
 from repro.storage.disk import DiskParams
 from repro.storage.manager import StorageManager
 from repro.storage.oid import NULL_OID
@@ -123,6 +133,7 @@ class MoodKernel:
         buffer_capacity: int = 512,
         cache_enabled: bool = True,
         cache_capacity: int = 4096,
+        plan_cache_capacity: int = 256,
     ):
         self.storage = StorageManager(disk_params, buffer_capacity)
         self.catalog = Catalog(self.storage)
@@ -136,6 +147,44 @@ class MoodKernel:
         self.stats = DatabaseStats()
         self.trace: list[TraceEvent] = []
         self.last_plan: QueryPlan | None = None
+        #: Compiled-plan reuse.  ``cache_enabled=False`` is the
+        #: paper-faithful mode: every statement recompiles from scratch.
+        self.plan_cache = PlanCache(
+            capacity=plan_cache_capacity,
+            metrics=self.storage.metrics.component("plancache"),
+            events=self.storage.events,
+            enabled=cache_enabled,
+        )
+        #: Kernel-level PREPARE registry (sessions hold their own).
+        self.prepared = PreparedRegistry()
+        #: Trace id of the statement currently executing, so events raised
+        #: from inside planning (implicit ANALYZE) attribute correctly.
+        self.active_trace_id = ""
+        self._compile_ms = self.storage.metrics.component(
+            "plancache").histogram("compile_ms")
+        self._implicit_analyze_count = self.storage.metrics.component(
+            "kernel").counter("implicit_analyze")
+        #: Statement dispatch: type -> (handler, plan-cache invalidation
+        #: reason).  DDL handlers declare their invalidation effect here,
+        #: in one place, instead of scattering cache resets around.
+        self._handlers = {
+            SelectQuery: (self._handle_select, None),
+            ExplainStmt: (self._handle_explain, None),
+            CreateClass: (self._handle_create_class, "CREATE CLASS"),
+            DropClass: (self._handle_drop_class, "DROP CLASS"),
+            AlterClass: (self._handle_alter, "ALTER CLASS"),
+            CreateIndex: (self._handle_create_index, "CREATE INDEX"),
+            DropIndex: (self._handle_drop_index, "DROP INDEX"),
+            CreateMethod: (self._handle_create_method, "CREATE METHOD"),
+            DropMethod: (self._handle_drop_method, "DROP METHOD"),
+            NewObject: (self._handle_new, None),
+            DeleteStmt: (self._handle_delete, None),
+            UpdateStmt: (self._handle_update, None),
+            AnalyzeStmt: (self._handle_analyze, "ANALYZE"),
+            PrepareStmt: (self._handle_prepare, None),
+            ExecuteStmt: (self._handle_execute_prepared, None),
+            DeallocateStmt: (self._handle_deallocate, None),
+        }
         #: Telemetry rings the sessions feed and the SYS$ views read.
         self.statement_log = StatementLog()
         self.slow_log = SlowQueryLog()
@@ -160,7 +209,7 @@ class MoodKernel:
 
     def planner(self) -> Planner:
         if not self.has_statistics():
-            self.analyze()
+            self._implicit_analyze()
         return Planner(
             self.catalog,
             self.stats,
@@ -169,6 +218,29 @@ class MoodKernel:
             join_indexes=self.indexes.join_index_params(),
             path_indexes=self.indexes.path_index_params(),
         )
+
+    def _implicit_analyze(self) -> None:
+        """ANALYZE triggered from inside planning (no statistics yet).
+
+        This used to be invisible: the statement that happened to arrive
+        first silently paid a full database scan with no trace, counter,
+        or journal entry.  Now the I/O is measured and the event carries
+        the trace id of the statement that footed the bill.
+        """
+        before = self.storage.io_snapshot()
+        started = time.perf_counter()
+        self.analyze()
+        delta = self.storage.io_snapshot().since(before)
+        self._implicit_analyze_count.inc()
+        self.storage.events.emit(
+            "implicit_analyze",
+            trace_id=self.active_trace_id,
+            classes=len(self.stats.classes),
+            io_pages=delta.page_ios,
+            ms=round((time.perf_counter() - started) * 1e3, 3),
+        )
+        self.trace.append(TraceEvent("IMPLICIT_ANALYZE"))
+        self.plan_cache.invalidate_all("implicit ANALYZE")
 
     # -- the entry point ----------------------------------------------------------
 
@@ -188,59 +260,156 @@ class MoodKernel:
         self, statement: Statement, spans: SpanRecorder | None = None
     ) -> QueryResult | StatementResult:
         self.trace = [TraceEvent("PARSE")]
-        if isinstance(statement, SelectQuery):
-            if any(self.system_views.has(r.class_name)
-                   for r in statement.ranges):
-                return self._execute_system_select(statement, spans=spans)
-            return self._execute_select(statement, spans=spans)
-        if isinstance(statement, ExplainStmt):
-            return self._execute_explain(statement)
-        if isinstance(statement, CreateClass):
-            return self._execute_create_class(statement)
-        if isinstance(statement, DropClass):
-            self.catalog.drop_class(statement.name)
-            self.objects.rebuild_page_map()
-            return StatementResult("DROP CLASS", statement.name)
-        if isinstance(statement, AlterClass):
-            return self._execute_alter(statement)
-        if isinstance(statement, CreateIndex):
-            self.indexes.create_index(
-                statement.name, statement.class_name, statement.attribute,
-                statement.kind, statement.unique,
-            )
-            return StatementResult("CREATE INDEX", statement.name)
-        if isinstance(statement, DropIndex):
-            self.indexes.drop_index(statement.name)
-            return StatementResult("DROP INDEX", statement.name)
-        if isinstance(statement, CreateMethod):
-            return self._execute_create_method(statement)
-        if isinstance(statement, DropMethod):
-            types = ",".join(statement.parameter_types)
-            signature = f"{statement.class_name}::{statement.name}({types})"
-            self.functions.delete_function(signature)
-            return StatementResult("DROP METHOD", signature)
-        if isinstance(statement, NewObject):
-            return self._execute_new(statement)
-        if isinstance(statement, DeleteStmt):
-            return self._execute_delete(statement)
-        if isinstance(statement, UpdateStmt):
-            return self._execute_update(statement)
-        if isinstance(statement, AnalyzeStmt):
-            self.analyze()
-            return StatementResult(
-                "ANALYZE", f"{len(self.stats.classes)} classes"
-            )
-        raise MoodSqlError(f"unsupported statement {type(statement).__name__}")
+        return self.dispatch_statement(statement, spans)
+
+    def dispatch_statement(
+        self, statement: Statement, spans: SpanRecorder | None = None
+    ) -> QueryResult | StatementResult:
+        """Route one parsed statement through the handler table.
+
+        Does not reset the trace: EXECUTE recurses here for its bound
+        inner statement, keeping the PARSE event of the outer one.
+        Handlers whose table entry declares an invalidation reason drop
+        every cached plan after they succeed (the version stamps on the
+        cache entries are the backstop for paths that bypass this).
+        """
+        try:
+            handler, invalidates = self._handlers[type(statement)]
+        except KeyError:
+            raise MoodSqlError(
+                f"unsupported statement {type(statement).__name__}"
+            ) from None
+        result = handler(statement, spans)
+        if invalidates is not None:
+            self.plan_cache.invalidate_all(invalidates)
+        return result
+
+    # -- statement handlers (dispatch table targets) -------------------------
+
+    def _handle_select(self, statement: SelectQuery, spans):
+        if any(self.system_views.has(r.class_name)
+               for r in statement.ranges):
+            return self._execute_system_select(statement, spans=spans)
+        return self._execute_select(statement, spans=spans)
+
+    def _handle_explain(self, statement: ExplainStmt, spans):
+        return self._execute_explain(statement)
+
+    def _handle_create_class(self, statement: CreateClass, spans):
+        return self._execute_create_class(statement)
+
+    def _handle_drop_class(self, statement: DropClass, spans):
+        self.catalog.drop_class(statement.name)
+        self.objects.rebuild_page_map()
+        return StatementResult("DROP CLASS", statement.name)
+
+    def _handle_alter(self, statement: AlterClass, spans):
+        return self._execute_alter(statement)
+
+    def _handle_create_index(self, statement: CreateIndex, spans):
+        self.indexes.create_index(
+            statement.name, statement.class_name, statement.attribute,
+            statement.kind, statement.unique,
+        )
+        return StatementResult("CREATE INDEX", statement.name)
+
+    def _handle_drop_index(self, statement: DropIndex, spans):
+        self.indexes.drop_index(statement.name)
+        return StatementResult("DROP INDEX", statement.name)
+
+    def _handle_create_method(self, statement: CreateMethod, spans):
+        return self._execute_create_method(statement)
+
+    def _handle_drop_method(self, statement: DropMethod, spans):
+        types = ",".join(statement.parameter_types)
+        signature = f"{statement.class_name}::{statement.name}({types})"
+        self.functions.delete_function(signature)
+        return StatementResult("DROP METHOD", signature)
+
+    def _handle_new(self, statement: NewObject, spans):
+        return self._execute_new(statement)
+
+    def _handle_delete(self, statement: DeleteStmt, spans):
+        return self._execute_delete(statement)
+
+    def _handle_update(self, statement: UpdateStmt, spans):
+        return self._execute_update(statement)
+
+    def _handle_analyze(self, statement: AnalyzeStmt, spans):
+        self.analyze()
+        return StatementResult(
+            "ANALYZE", f"{len(self.stats.classes)} classes"
+        )
+
+    # -- PREPARE / EXECUTE / DEALLOCATE --------------------------------------
+
+    def _handle_prepare(self, statement: PrepareStmt, spans):
+        prepared = self.prepared.prepare(statement.name, statement.statement)
+        return StatementResult(
+            "PREPARE",
+            f"{prepared.name} ({len(prepared.params)} parameters)",
+        )
+
+    def _handle_execute_prepared(self, statement: ExecuteStmt, spans):
+        return self.dispatch_statement(self.resolve_statement(statement), spans)
+
+    def _handle_deallocate(self, statement: DeallocateStmt, spans):
+        self.prepared.deallocate(statement.name)
+        return StatementResult("DEALLOCATE", statement.name)
+
+    def resolve_statement(
+        self, statement: Statement, registry: PreparedRegistry | None = None
+    ) -> Statement:
+        """Map EXECUTE onto the bound statement it names (looked up in
+        *registry*, defaulting to the kernel's own); anything else passes
+        through unchanged.  Sessions call this *before* taking locks so
+        the lock closure covers the inner statement."""
+        if not isinstance(statement, ExecuteStmt):
+            return statement
+        registry = registry if registry is not None else self.prepared
+        prepared = registry.get(statement.name)
+        return prepared.bind(
+            [self._argument_value(arg) for arg in statement.args]
+        )
+
+    def _argument_value(self, expr):
+        """EXECUTE arguments must fold to constants without touching the
+        engine (binding happens before planning, locks, or I/O)."""
+        folded = simplify(expr)
+        if isinstance(folded, Literal):
+            return folded.value
+        raise ExecutionError(
+            f"EXECUTE arguments must be constant expressions, got {expr}"
+        )
+
+    def prepare(
+        self, sql: str, name: str | None = None
+    ):
+        """Embedded-API PREPARE: compile *sql* once, returning the
+        immutable :class:`~repro.core.prepare.PreparedStatement`."""
+        statement = parse_sql(sql)
+        if isinstance(statement, PrepareStmt):
+            return self.prepared.prepare(statement.name, statement.statement)
+        if name is None:
+            name = f"stmt{len(self.prepared) + 1}"
+        return self.prepared.prepare(name, statement)
+
+    def execute_prepared(
+        self, name: str, values=()
+    ) -> QueryResult | StatementResult:
+        """Embedded-API EXECUTE: bind *values* into the named prepared
+        statement and run it, skipping parse entirely (and, on a plan
+        cache hit, rewrite/optimize too)."""
+        self.trace = [TraceEvent("BIND")]
+        bound = self.prepared.get(name).bind(values)
+        return self.dispatch_statement(bound)
 
     # -- SELECT -----------------------------------------------------------------
 
     def _execute_select(
         self, query: SelectQuery, spans: SpanRecorder | None = None
     ) -> QueryResult:
-        self.trace.append(TraceEvent("SIMPLIFY"))
-        self.trace.append(TraceEvent("DNF"))
-        self.trace.append(TraceEvent("OPTIMIZE"))
-        plan = self.planner().plan_query(query)
+        plan = self._plan_select(query)
         self.last_plan = plan
         executor = Executor(
             objects=self.objects,
@@ -262,6 +431,36 @@ class MoodKernel:
             plan=plan,
             trace=list(self.trace),
         )
+
+    def _plan_select(self, query: SelectQuery) -> QueryPlan:
+        """Optimize a bound SELECT, memoised through the plan cache.
+
+        A hit skips the whole compile back half (simplify, DNF,
+        optimize); a miss pays it once and stores the plan under the
+        catalog/statistics stamps it was costed with.  The stamps are
+        read *after* planning because the planner itself may run the
+        implicit first ANALYZE, which moves the statistics version.
+        """
+        key = None
+        if self.plan_cache.enabled:
+            key = render_statement(query)
+            entry = self.plan_cache.lookup(
+                key, self.catalog.schema_version, self.stats.version
+            )
+            if entry is not None:
+                self.trace.append(TraceEvent("PLAN_CACHE", "hit"))
+                return entry.plan
+        self.trace.append(TraceEvent("SIMPLIFY"))
+        self.trace.append(TraceEvent("DNF"))
+        self.trace.append(TraceEvent("OPTIMIZE"))
+        started = time.perf_counter()
+        plan = self.planner().plan_query(query)
+        self._compile_ms.observe((time.perf_counter() - started) * 1e3)
+        if key is not None:
+            self.plan_cache.store(
+                key, plan, self.catalog.schema_version, self.stats.version
+            )
+        return plan
 
     # -- SYS$ monitor views --------------------------------------------------
 

@@ -56,6 +56,10 @@ class DatabaseStats:
     classes: dict[str, ClassCard] = field(default_factory=dict)
     attributes: dict[tuple[str, str], AttrStats] = field(default_factory=dict)
     references: dict[tuple[str, str], RefStats] = field(default_factory=dict)
+    #: Statistics-version stamp: every ANALYZE (or hand-built stats set)
+    #: gets a fresh monotonic version, and compiled plans carry the stamp
+    #: they were costed under so the plan cache can refuse stale entries.
+    version: int = 0
 
     # -- setters ----------------------------------------------------------
 

@@ -29,8 +29,13 @@ def collect_statistics(
 
     ``objects_of(class_name)`` returns the class's own (shallow) extent;
     ``nbpages_of(class_name)`` its page count.
+
+    Every collection gets a fresh :attr:`DatabaseStats.version` stamp, so
+    plans costed under older statistics are recognisably stale.
     """
-    stats = DatabaseStats()
+    from repro.core.prepare import next_stats_version
+
+    stats = DatabaseStats(version=next_stats_version())
     for class_name in catalog.class_names():
         definition = catalog.class_def(class_name)
         if not definition.is_class:

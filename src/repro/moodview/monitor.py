@@ -49,6 +49,19 @@ class MonitorPanel:
     def events_report(self, limit: int = 20) -> str:
         return self.view_report("SYS$EVENTS", limit=limit)
 
+    def plans_report(self, limit: int = 20) -> str:
+        """The plan cache: SYS$PLANS rows under a hit-rate headline."""
+        stats = self.kernel.plan_cache.stats()
+        headline = (
+            f"enabled={'yes' if stats['enabled'] else 'no'} "
+            f"size={stats['size']}/{stats['capacity']} "
+            f"hit_rate={stats['hit_rate']:.2%} "
+            f"(hits={stats['hits']:.0f} misses={stats['misses']:.0f} "
+            f"invalidations={stats['invalidations']:.0f} "
+            f"evictions={stats['evictions']:.0f})"
+        )
+        return f"{headline}\n{self.view_report('SYS$PLANS', limit=limit)}"
+
     def slow_query_report(self, limit: int = 10) -> str:
         traces = self.kernel.slow_log.top(limit)
         if not traces:
@@ -73,6 +86,7 @@ class MonitorPanel:
             ("STATEMENTS", self.statements_report()),
             ("LOCKS", self.locks_report()),
             ("EVENTS", self.events_report()),
+            ("PLANS", self.plans_report()),
             ("SLOW QUERIES", self.slow_query_report()),
             ("COUNTERS", self.counters_report()),
         ]

@@ -159,6 +159,22 @@ def register_kernel_views(kernel) -> None:
         "recorded span trees",
     )
 
+    def plan_rows() -> list[dict]:
+        return kernel.plan_cache.rows(
+            kernel.catalog.schema_version, kernel.stats.version
+        )
+
+    views.register(
+        "SYS$PLANS",
+        [("statement", "String"), ("hits", "Integer"),
+         ("schema_version", "Integer"), ("stats_version", "Integer"),
+         ("valid", "Boolean"), ("created_at", "Float"),
+         ("last_used_at", "Float")],
+        plan_rows,
+        "the plan cache, most recently used first, each entry's version "
+        "stamps checked against the live catalog and statistics",
+    )
+
 
 #: Shared schema of SYS$STATEMENTS / SYS$SLOW_QUERIES rows
 #: (:meth:`repro.obs.trace.StatementTrace.row`).

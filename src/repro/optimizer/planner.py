@@ -55,9 +55,28 @@ from repro.optimizer.plan import (
     SortNode,
     UnionNode,
 )
-from repro.sql.ast import Expr, Literal, SelectQuery
+from repro.sql.ast import Expr, Literal, Param, SelectQuery
 from repro.sql.rewrite import referenced_variables, simplify, to_dnf
 from repro.storage.disk import DiskParams
+
+
+def _first_param(node) -> Param | None:
+    """The first unbound bind parameter anywhere in an AST, or None."""
+    import dataclasses
+
+    if isinstance(node, Param):
+        return node
+    if isinstance(node, tuple):
+        for item in node:
+            found = _first_param(item)
+            if found is not None:
+                return found
+    elif dataclasses.is_dataclass(node) and not isinstance(node, type):
+        for field_info in dataclasses.fields(node):
+            found = _first_param(getattr(node, field_info.name))
+            if found is not None:
+                return found
+    return None
 
 
 @dataclass
@@ -120,6 +139,14 @@ class Planner:
     # -- public API ------------------------------------------------------
 
     def plan_query(self, query: SelectQuery) -> QueryPlan:
+        # Selectivity estimation reads predicate constants; parameters
+        # must have been replaced with bind-time Literals by now.
+        param = _first_param(query)
+        if param is not None:
+            raise OptimizerError(
+                f"unbound parameter {param} reached the optimizer; "
+                "bind values via EXECUTE or PreparedStatement.bind first"
+            )
         self._temp_counter = 0
         var_classes: dict[str, str] = {}
         var_includes: dict[str, tuple[str, ...]] = {}

@@ -86,6 +86,12 @@ class MoodClient:
         )
         self._sock.settimeout(io_timeout)
         self._closed = False
+        #: SQL text of every statement this client PREPAREd, by name.  If
+        #: the server loses the handle (UNKNOWN_PREPARED -- e.g. after a
+        #: reconnect or a server-side deallocate), ``execute_prepared``
+        #: re-PREPAREs from this text and retries, so a retry never runs
+        #: against a stale handle.
+        self._prepared: dict[str, str] = {}
         #: Trace id the client attached to its most recent statement; join
         #: it against SYS$STATEMENTS.trace_id to find that statement's
         #: server-side trace.
@@ -186,6 +192,52 @@ class MoodClient:
         self.last_trace_id = trace_id
         response = self._call("EXPLAIN", sql=sql, trace=trace_id)
         return response["results"][-1]["report"]
+
+    # -- prepared statements -------------------------------------------------
+
+    def prepare(self, name: str, sql: str) -> StatementOutcome:
+        """PREPARE ``sql`` under ``name`` in this session (compile once);
+        the text is retained client-side for transparent re-PREPARE."""
+        response = self._call("PREPARE", name=name, sql=sql)
+        self._prepared[name] = sql
+        return _decode_result(response["results"][0])
+
+    def execute_prepared(
+        self,
+        name: str,
+        params=None,
+        timeout: float | None = None,
+        trace_id: str | None = None,
+    ):
+        """EXECUTE the prepared statement with ``params`` (list for ``?``,
+        dict for ``:name``); decodes like :meth:`execute` for one result.
+
+        If the server no longer knows the handle, re-PREPAREs from the
+        retained SQL and retries exactly once.
+        """
+        if trace_id is None:
+            trace_id = new_trace_id()
+        self.last_trace_id = trace_id
+        fields = {"name": name, "params": params if params is not None else []}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        try:
+            response = self._call(
+                "EXECUTE_PREPARED", trace=trace_id, **fields
+            )
+        except MoodServerError as exc:
+            if exc.code != "UNKNOWN_PREPARED" or name not in self._prepared:
+                raise
+            self._call("PREPARE", name=name, sql=self._prepared[name])
+            response = self._call(
+                "EXECUTE_PREPARED", trace=trace_id, **fields
+            )
+        return _decode_result(response["results"][0])
+
+    def deallocate(self, name: str) -> StatementOutcome:
+        response = self._call("DEALLOCATE", name=name)
+        self._prepared.pop(name, None)
+        return _decode_result(response["results"][0])
 
     def begin(self) -> None:
         self._call("BEGIN")

@@ -39,6 +39,7 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 #: Operations a server understands; anything else is a PROTOCOL error.
 REQUEST_OPS = frozenset({
     "EXECUTE", "QUERY", "EXPLAIN", "BEGIN", "COMMIT", "ROLLBACK",
+    "PREPARE", "EXECUTE_PREPARED", "DEALLOCATE",
     "PING", "STATS", "METRICS", "CLOSE",
 })
 

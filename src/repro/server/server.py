@@ -222,6 +222,42 @@ class MoodServer:
             return _statement_payload(self.sessions.commit(session))
         if op == "ROLLBACK":
             return _statement_payload(self.sessions.rollback(session))
+        if op == "PREPARE":
+            name = _require_name(op, request)
+            sql = request.get("sql")
+            if not isinstance(sql, str):
+                raise ProtocolError("PREPARE needs a string 'sql' field")
+            return _statement_payload(
+                self.sessions.prepare(session, name, sql)
+            )
+        if op == "DEALLOCATE":
+            return _statement_payload(
+                self.sessions.deallocate(session, _require_name(op, request))
+            )
+        if op == "EXECUTE_PREPARED":
+            name = _require_name(op, request)
+            params = request.get("params", [])
+            if not isinstance(params, (list, dict)):
+                raise ProtocolError(
+                    "EXECUTE_PREPARED 'params' must be a list or an object"
+                )
+            trace_id = request.get("trace")
+            if trace_id is not None and not isinstance(trace_id, str):
+                raise ProtocolError(f"{op} 'trace' field must be a string")
+            queue_wait_ms = self._ensure_ticket(session)
+            self._statement_started()
+            try:
+                result = self.sessions.execute_prepared(
+                    session, name, params,
+                    timeout=request.get("timeout"),
+                    trace_id=trace_id, queue_wait_ms=queue_wait_ms,
+                )
+            finally:
+                self._statement_finished()
+            return ok_response({
+                "results": [_encode_result(result)],
+                "trace": session.last_trace_id,
+            })
         # EXECUTE / QUERY / EXPLAIN enter the kernel: gate them.
         sql = request.get("sql")
         if not isinstance(sql, str):
@@ -254,17 +290,18 @@ class MoodServer:
             "sessions": len(self.sessions.sessions()),
             "admission_active": self.admission.active(),
             "admission_queued": self.admission.queue_depth(),
+            "plancache": kernel.plan_cache.stats(),
             "metrics": {
                 name: value
                 for name, value in
                 kernel.storage.metrics.snapshot().items()
-                if name.startswith("server.") or name.startswith("locks.")
+                if name.startswith(("server.", "locks.", "plancache."))
             },
             "histograms": {
                 name: summary
                 for name, summary in
                 kernel.storage.metrics.histograms().items()
-                if name.startswith("server.") or name.startswith("locks.")
+                if name.startswith(("server.", "locks.", "plancache."))
             },
             "slow_queries": [
                 trace.row()
@@ -309,6 +346,13 @@ def _encode_result(result) -> dict:
 
 def _statement_payload(result) -> dict:
     return ok_response({"results": [_encode_result(result)]})
+
+
+def _require_name(op: str, request: dict) -> str:
+    name = request.get("name")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError(f"{op} needs a non-empty string 'name' field")
+    return name
 
 
 # --------------------------------------------------------------------------

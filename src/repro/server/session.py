@@ -43,6 +43,7 @@ from repro.core.errors import (
     LockCancelledError,
     LockTimeoutError,
     MoodError,
+    MoodSqlError,
     ServerShuttingDownError,
     SessionClosedError,
     StatementTimeoutError,
@@ -50,6 +51,7 @@ from repro.core.errors import (
     TransactionError,
 )
 from repro.core.kernel import QueryResult, StatementResult
+from repro.core.prepare import PreparedRegistry
 from repro.catalog.typeparse import parse_type
 from repro.model.types import referenced_class
 from repro.obs.spans import SpanRecorder
@@ -64,12 +66,15 @@ from repro.sql.ast import (
     CreateClass,
     CreateIndex,
     CreateMethod,
+    DeallocateStmt,
     DeleteStmt,
     DropClass,
     DropIndex,
     DropMethod,
+    ExecuteStmt,
     ExplainStmt,
     NewObject,
+    PrepareStmt,
     SelectQuery,
     UpdateStmt,
 )
@@ -103,6 +108,9 @@ _STATEMENT_KINDS = {
     "DropIndex": "DROP INDEX",
     "CreateMethod": "CREATE METHOD",
     "DropMethod": "DROP METHOD",
+    "PrepareStmt": "PREPARE",
+    "ExecuteStmt": "EXECUTE",
+    "DeallocateStmt": "DEALLOCATE",
 }
 
 
@@ -123,6 +131,9 @@ class Session:
         #: frames must not interleave its own statements.
         self.mutex = threading.Lock()
         self.statements = 0
+        #: This session's PREPARE namespace (the wire protocol's handles
+        #: are per-connection, like every real server's).
+        self.prepared = PreparedRegistry()
         #: Trace id of the session's most recent statement ("" before any).
         self.last_trace_id = ""
         #: True while this session holds an admission slot.  A slot is
@@ -336,6 +347,63 @@ class SessionManager:
         if self._shutting_down:
             raise ServerShuttingDownError("server is shutting down")
 
+    # -- prepared-statement verbs (the wire protocol's direct ops) -----------
+
+    def prepare(self, session: Session, name: str, sql: str) -> StatementResult:
+        """Compile ``sql`` once under ``name`` in the session's registry."""
+        self._check_open(session)
+        statements = parse_script(sql)
+        if len(statements) != 1:
+            raise MoodSqlError("PREPARE takes exactly one statement")
+        statement = statements[0]
+        if isinstance(statement, (PrepareStmt, ExecuteStmt, DeallocateStmt)):
+            raise MoodSqlError(
+                "PREPARE/EXECUTE/DEALLOCATE cannot themselves be prepared"
+            )
+        with session.mutex:
+            prepared = session.prepared.prepare(name, statement)
+            self._m_statements.inc()
+            session.statements += 1
+        return StatementResult(
+            "PREPARE",
+            f"{prepared.name} ({len(prepared.params)} parameters)",
+        )
+
+    def deallocate(self, session: Session, name: str) -> StatementResult:
+        self._check_open(session)
+        with session.mutex:
+            session.prepared.deallocate(name)
+            self._m_statements.inc()
+            session.statements += 1
+        return StatementResult("DEALLOCATE", name)
+
+    def execute_prepared(
+        self,
+        session: Session,
+        name: str,
+        values=(),
+        timeout: float | None = None,
+        trace_id: str | None = None,
+        queue_wait_ms: float = 0.0,
+    ):
+        """Bind ``values`` into the session's prepared statement ``name``
+        and run it -- the compile-once/execute-many fast path: no parse,
+        no rewrite, and (on a plan cache hit) no optimize either."""
+        self._check_open(session)
+        budget = self.statement_timeout if timeout is None else timeout
+        if trace_id is None:
+            trace_id = server_trace_id()
+        prepared = session.prepared.get(name)   # UNKNOWN_PREPARED on miss
+        bound = prepared.bind(values)
+        with session.mutex:
+            return self._execute_one(
+                session, bound, budget,
+                sql_text=f"EXECUTE {name}",
+                trace_id=trace_id,
+                queue_wait_ms=queue_wait_ms,
+                kind="EXECUTE",
+            )
+
     def _execute_one(
         self,
         session: Session,
@@ -344,12 +412,13 @@ class SessionManager:
         sql_text: str,
         trace_id: str,
         queue_wait_ms: float,
+        kind: str | None = None,
     ):
         trace = StatementTrace(
             trace_id=trace_id,
             session_id=session.session_id,
             statement=truncate_statement(sql_text),
-            kind=_statement_kind(statement),
+            kind=kind or _statement_kind(statement),
             started_at=time.time(),
             queue_wait_ms=queue_wait_ms,
         )
@@ -386,6 +455,27 @@ class SessionManager:
         trace: StatementTrace,
     ):
         deadline = time.monotonic() + budget
+        # PREPARE / DEALLOCATE touch only the session's own registry:
+        # compile-time work, no data, no locks, no transaction.
+        if isinstance(statement, PrepareStmt):
+            prepared = session.prepared.prepare(
+                statement.name, statement.statement
+            )
+            self._m_statements.inc()
+            session.statements += 1
+            return StatementResult(
+                "PREPARE",
+                f"{prepared.name} ({len(prepared.params)} parameters)",
+            )
+        if isinstance(statement, DeallocateStmt):
+            session.prepared.deallocate(statement.name)
+            self._m_statements.inc()
+            session.statements += 1
+            return StatementResult("DEALLOCATE", statement.name)
+        # EXECUTE resolves to its bound inner statement *before* locking,
+        # so the lock closure, the DDL-autocommit rule, and the read-only
+        # classification all see what will actually run.
+        statement = self.kernel.resolve_statement(statement, session.prepared)
         autocommit = not session.in_transaction
         if isinstance(statement, _DDL_STATEMENTS) and not autocommit:
             # DDL writes the catalog's system files outside the WAL: it
@@ -605,6 +695,10 @@ class SessionManager:
                 self.db._ensure_statistics()
             objects.current_txn = txn
             txn.lock_timeout = 0  # no-wait probes only while latched
+            if trace is not None:
+                # Events raised from inside planning (implicit ANALYZE)
+                # attribute to this statement's trace.
+                self.kernel.active_trace_id = trace.trace_id
             result = self.kernel.execute_statement(statement, spans=spans)
             if not read_only:
                 self.db._schema_version += 1
@@ -617,6 +711,7 @@ class SessionManager:
         finally:
             objects.current_txn = None
             txn.lock_timeout = None
+            self.kernel.active_trace_id = ""
             if trace is not None:
                 trace.exec_ms = (time.monotonic() - exec_started) * 1e3
                 if io_before is not None:

@@ -31,6 +31,24 @@ class Literal:
 
 
 @dataclass(frozen=True)
+class Param:
+    """A bind-parameter placeholder: positional ``?`` or named ``:name``.
+
+    ``index`` is the 0-based order of first appearance within the
+    statement; a repeated ``:name`` reuses the first occurrence's index.
+    Parameters are opaque to the rewriter and are replaced by
+    :class:`Literal` values at bind time, so the optimizer always sees
+    concrete constants.
+    """
+
+    index: int
+    name: str | None = None
+
+    def __str__(self) -> str:
+        return f":{self.name}" if self.name else f"?{self.index + 1}"
+
+
+@dataclass(frozen=True)
 class Path:
     """A (possibly trivial) path expression: ``var.a1.a2...an``."""
 
@@ -116,8 +134,8 @@ class InList:
         return f"({self.expr} IN ({', '.join(str(i) for i in self.items)}))"
 
 
-Expr = Union[Literal, Path, MethodCall, BinOp, UnaryMinus, Not, BoolOp,
-             Between, InList]
+Expr = Union[Literal, Param, Path, MethodCall, BinOp, UnaryMinus, Not,
+             BoolOp, Between, InList]
 
 COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
 ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
@@ -267,8 +285,35 @@ class ExplainStmt:
     analyze: bool = False
 
 
+@dataclass(frozen=True)
+class PrepareStmt:
+    """``PREPARE name AS statement``: compile once, keep under ``name``."""
+
+    name: str
+    statement: "Statement"
+
+
+@dataclass(frozen=True)
+class ExecuteStmt:
+    """``EXECUTE name [(arg, ...)]``: bind and run a prepared statement.
+
+    Arguments are constant expressions, bound positionally to the
+    prepared statement's parameters (order of first appearance).
+    """
+
+    name: str
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class DeallocateStmt:
+    """``DEALLOCATE name``: drop a prepared statement."""
+
+    name: str
+
+
 Statement = Union[
     SelectQuery, CreateClass, DropClass, AlterClass, CreateIndex, DropIndex,
     CreateMethod, DropMethod, NewObject, DeleteStmt, UpdateStmt, AnalyzeStmt,
-    ExplainStmt,
+    ExplainStmt, PrepareStmt, ExecuteStmt, DeallocateStmt,
 ]

@@ -22,7 +22,7 @@ KEYWORDS = {
     "TYPE", "TUPLE", "METHODS", "METHOD", "INHERITS", "INDEX", "ON", "USING",
     "UNIQUE", "DROP", "DELETE", "UPDATE", "SET", "NEW", "AS", "TRUE",
     "FALSE", "NULL", "ANALYZE", "DISTINCT", "ATTRIBUTE", "RENAME", "TO",
-    "ALTER", "ADD", "EXPLAIN",
+    "ALTER", "ADD", "EXPLAIN", "PREPARE", "EXECUTE", "DEALLOCATE",
 }
 
 
@@ -53,7 +53,10 @@ class Token:
 
 
 _OPERATORS = ("<=", ">=", "<>", "::", "=", "<", ">", "+", "-", "*", "/", "%")
-_PUNCT = "(),.;:"
+# '?' is the positional bind-parameter marker; ':' doubles as the METHODS:
+# separator and (followed by an identifier, in expression position) the
+# named bind-parameter marker -- the parser disambiguates by context.
+_PUNCT = "(),.;:?"
 
 
 def tokenize(text: str) -> list[Token]:

@@ -28,10 +28,12 @@ from repro.sql.ast import (
     CreateClass,
     CreateIndex,
     CreateMethod,
+    DeallocateStmt,
     DeleteStmt,
     DropClass,
     DropIndex,
     DropMethod,
+    ExecuteStmt,
     ExplainStmt,
     Expr,
     InList,
@@ -41,7 +43,9 @@ from repro.sql.ast import (
     NewObject,
     Not,
     OrderItem,
+    Param,
     Path,
+    PrepareStmt,
     RangeVar,
     SelectQuery,
     Statement,
@@ -55,6 +59,10 @@ class Parser:
     def __init__(self, text: str):
         self.tokens = tokenize(text)
         self.position = 0
+        #: Bind parameters in order of first appearance; a repeated
+        #: ``:name`` reuses its first occurrence's node.
+        self.params: list[Param] = []
+        self._named_params: dict[str, Param] = {}
 
     # -- token plumbing ------------------------------------------------------
 
@@ -139,7 +147,18 @@ class Parser:
     # -- statements ----------------------------------------------------------------
 
     def _statement(self) -> Statement:
+        # Each statement numbers its bind parameters independently (the
+        # PREPARE production reads them off after parsing its body).
+        self.params = []
+        self._named_params = {}
         token = self.peek()
+        if token.is_keyword("PREPARE"):
+            return self._prepare()
+        if token.is_keyword("EXECUTE"):
+            return self._execute_prepared()
+        if token.is_keyword("DEALLOCATE"):
+            self.advance()
+            return DeallocateStmt(self.expect_ident("statement name"))
         if token.is_keyword("SELECT"):
             return self._select()
         if token.is_keyword("CREATE"):
@@ -160,6 +179,30 @@ class Parser:
         if token.is_keyword("EXPLAIN"):
             return self._explain()
         raise self.error("expected a statement")
+
+    def _prepare(self) -> PrepareStmt:
+        self.expect_keyword("PREPARE")
+        name = self.expect_ident("statement name")
+        self.expect_keyword("AS")
+        statement = self._statement()
+        if isinstance(statement,
+                      (PrepareStmt, ExecuteStmt, DeallocateStmt)):
+            raise self.error(
+                "PREPARE/EXECUTE/DEALLOCATE cannot themselves be prepared"
+            )
+        return PrepareStmt(name=name, statement=statement)
+
+    def _execute_prepared(self) -> ExecuteStmt:
+        self.expect_keyword("EXECUTE")
+        name = self.expect_ident("statement name")
+        args: list[Expr] = []
+        if self.accept_punct("("):
+            if not self.accept_punct(")"):
+                args.append(self._expr())
+                while self.accept_punct(","):
+                    args.append(self._expr())
+                self.expect_punct(")")
+        return ExecuteStmt(name=name, args=tuple(args))
 
     def _explain(self) -> ExplainStmt:
         self.expect_keyword("EXPLAIN")
@@ -593,6 +636,15 @@ class Parser:
         if token.is_keyword("NULL"):
             self.advance()
             return Literal(None)
+        if token.type is TokenType.PUNCT and token.value == "?":
+            self.advance()
+            return self._new_param(None)
+        if (token.type is TokenType.PUNCT and token.value == ":"
+                and self.peek(1).type is TokenType.IDENT):
+            # ':' only denotes a parameter in expression position; the
+            # METHODS: clause consumes its ':' in statement context.
+            self.advance()
+            return self._new_param(self.expect_ident("parameter name"))
         if token.type is TokenType.PUNCT and token.value == "(":
             self.advance()
             inner = self._expr()
@@ -620,6 +672,15 @@ class Parser:
                 )
             return Path(segments[0], tuple(segments[1:]))
         raise self.error("expected an expression")
+
+    def _new_param(self, name: str | None) -> Param:
+        if name is not None and name in self._named_params:
+            return self._named_params[name]
+        param = Param(index=len(self.params), name=name)
+        self.params.append(param)
+        if name is not None:
+            self._named_params[name] = param
+        return param
 
 
 def parse(text: str) -> Statement:

@@ -1,0 +1,192 @@
+"""PREPARE / EXECUTE / DEALLOCATE over the wire, and the plan cache
+under concurrent EXECUTE racing DDL + ANALYZE churn."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.database import MoodDatabase
+from repro.server import (
+    MoodClient,
+    MoodServer,
+    MoodServerError,
+    QueryRows,
+    ServerConfig,
+    StatementOutcome,
+)
+
+ROWS = 12
+
+
+def _database() -> MoodDatabase:
+    db = MoodDatabase(buffer_capacity=128)
+    db.execute("CREATE CLASS S TUPLE (id Integer, val Integer)")
+    for i in range(ROWS):
+        db.execute(f"NEW S <{i}, {i * 10}>")
+    return db
+
+
+@pytest.fixture()
+def served():
+    db = _database()
+    server = MoodServer(db, ServerConfig(port=0, max_workers=8))
+    host, port = server.start()
+    yield db, server, host, port
+    server.stop()
+
+
+def test_prepare_execute_deallocate_round_trip(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        outcome = client.prepare(
+            "pick", "SELECT s.val FROM S s WHERE s.id = ?"
+        )
+        assert isinstance(outcome, StatementOutcome)
+        assert outcome.kind == "PREPARE"
+
+        rows = client.execute_prepared("pick", [3])
+        assert isinstance(rows, QueryRows)
+        assert rows.rows == [(30,)]
+        assert client.execute_prepared("pick", [7]).rows == [(70,)]
+
+        done = client.deallocate("pick")
+        assert done.kind == "DEALLOCATE"
+
+
+def test_named_params_bind_as_a_dict(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        client.prepare(
+            "band",
+            "SELECT s.id FROM S s WHERE s.val > :lo AND s.val < :hi",
+        )
+        rows = client.execute_prepared("band", {"lo": 20, "hi": 60})
+        assert sorted(rows.scalars()) == [3, 4, 5]
+        with pytest.raises(MoodServerError):
+            client.execute_prepared("band", {"lo": 20})       # :hi missing
+        with pytest.raises(MoodServerError):
+            client.execute_prepared("band", {"lo": 1, "hi": 2, "x": 3})
+
+
+def test_prepared_dml_executes_with_bind_values(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        client.prepare(
+            "bump", "UPDATE S s SET val = ? WHERE s.id = ?"
+        )
+        outcome = client.execute_prepared("bump", [999, 0])
+        assert outcome.kind == "UPDATE"
+        assert client.query(
+            "SELECT s.val FROM S s WHERE s.id = 0"
+        ).scalars() == [999]
+
+
+def test_unknown_handle_has_a_stable_error_code(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        with pytest.raises(MoodServerError) as err:
+            client.execute_prepared("ghost", [1])
+        assert err.value.code == "UNKNOWN_PREPARED"
+
+
+def test_prepared_namespaces_are_per_session(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as alice, MoodClient(host, port) as bob:
+        alice.prepare("mine", "SELECT s.id FROM S s WHERE s.id = ?")
+        with pytest.raises(MoodServerError) as err:
+            bob.execute_prepared("mine", [1])
+        assert err.value.code == "UNKNOWN_PREPARED"
+
+
+def test_client_reprepares_transparently(served):
+    """A dropped server-side handle (DEALLOCATE issued as SQL, bypassing
+    the client's bookkeeping) is re-PREPAREd from the retained text — a
+    retry never executes a stale or missing handle."""
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        client.prepare("pick", "SELECT s.val FROM S s WHERE s.id = ?")
+        assert client.execute_prepared("pick", [2]).rows == [(20,)]
+        client.execute("DEALLOCATE pick")          # behind the client's back
+        assert client.execute_prepared("pick", [2]).rows == [(20,)]
+
+
+def test_prepare_rejects_scripts_and_nested_prepare(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        with pytest.raises(MoodServerError):
+            client.prepare(
+                "two", "SELECT s.id FROM S s; SELECT s.val FROM S s"
+            )
+        with pytest.raises(MoodServerError):
+            client.prepare("nest", "EXECUTE other")
+
+
+def test_stats_expose_the_plan_cache(served):
+    _, _, host, port = served
+    with MoodClient(host, port) as client:
+        client.prepare("pick", "SELECT s.val FROM S s WHERE s.id = ?")
+        client.execute_prepared("pick", [1])
+        client.execute_prepared("pick", [1])       # same vector: a hit
+        cache = client.stats()["plancache"]
+        assert cache["enabled"]
+        assert cache["hits"] >= 1
+        assert cache["stores"] >= 1
+        assert 0.0 < cache["hit_rate"] <= 1.0
+
+
+def test_concurrent_execute_racing_ddl_and_analyze(served):
+    """Reader sessions EXECUTE a prepared point query in a tight loop
+    while another session churns CREATE INDEX / DROP INDEX / ANALYZE.
+    Every read must return exactly the right rows (stale plans are
+    impossible, not merely unlikely), and the cache must have recorded
+    both hits and invalidations."""
+    db, _, host, port = served
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def reader(key: int) -> None:
+        try:
+            with MoodClient(host, port) as client:
+                client.prepare(
+                    f"r{key}", "SELECT s.val FROM S s WHERE s.id = ?"
+                )
+                while not stop.is_set():
+                    rows = client.execute_prepared(f"r{key}", [key])
+                    if rows.rows != [(key * 10,)]:
+                        failures.append(f"reader {key} saw {rows.rows}")
+                        return
+        except Exception as exc:                  # noqa: BLE001
+            failures.append(f"reader {key}: {exc!r}")
+
+    def churn() -> None:
+        try:
+            with MoodClient(host, port) as client:
+                for _ in range(6):
+                    client.execute(
+                        "CREATE INDEX sid ON S (id) USING btree"
+                    )
+                    client.execute("ANALYZE")
+                    client.execute("DROP INDEX sid")
+        except Exception as exc:                  # noqa: BLE001
+            failures.append(f"churn: {exc!r}")
+
+    readers = [
+        threading.Thread(target=reader, args=(key,), daemon=True)
+        for key in (1, 4, 7)
+    ]
+    churner = threading.Thread(target=churn, daemon=True)
+    for thread in readers:
+        thread.start()
+    churner.start()
+    churner.join(timeout=30)
+    stop.set()
+    for thread in readers:
+        thread.join(timeout=10)
+
+    assert not churner.is_alive(), "DDL churn wedged"
+    assert not failures, failures
+    stats = db.kernel.plan_cache.stats()
+    assert stats["hits"] > 0
+    assert stats["invalidations"] > 0

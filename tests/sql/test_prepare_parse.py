@@ -1,0 +1,114 @@
+"""Parsing of bind placeholders and PREPARE / EXECUTE / DEALLOCATE."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.sql.ast import (
+    BinOp,
+    CreateClass,
+    DeallocateStmt,
+    ExecuteStmt,
+    Literal,
+    Param,
+    PrepareStmt,
+    SelectQuery,
+    UpdateStmt,
+)
+from repro.sql.parser import parse, parse_script
+
+
+def test_positional_placeholders_number_in_order():
+    statement = parse(
+        "SELECT v.id FROM Vehicle v WHERE v.weight > ? AND v.id < ?"
+    )
+    assert isinstance(statement, SelectQuery)
+    left, right = statement.where.items
+    assert left.right == Param(index=0)
+    assert right.right == Param(index=1)
+    assert str(Param(index=0)) == "?1"
+
+
+def test_named_placeholder_repeats_share_an_index():
+    statement = parse(
+        "SELECT v.id FROM Vehicle v "
+        "WHERE v.weight > :w AND v.id < :cap AND v.speed > :w"
+    )
+    a, b, c = statement.where.items
+    assert a.right == Param(index=0, name="w")
+    assert b.right == Param(index=1, name="cap")
+    assert c.right is a.right          # the same node, not a new index
+    assert str(a.right) == ":w"
+
+
+def test_prepare_wraps_the_inner_statement():
+    statement = parse(
+        "PREPARE heavy AS SELECT v.id FROM Vehicle v WHERE v.weight > ?"
+    )
+    assert isinstance(statement, PrepareStmt)
+    assert statement.name == "heavy"
+    assert isinstance(statement.statement, SelectQuery)
+
+
+def test_prepare_accepts_dml():
+    statement = parse(
+        "PREPARE bump AS UPDATE Vehicle v SET weight = ? WHERE v.id = ?"
+    )
+    assert isinstance(statement.statement, UpdateStmt)
+
+
+def test_execute_with_and_without_arguments():
+    statement = parse("EXECUTE heavy (1000, 50)")
+    assert statement == ExecuteStmt(
+        name="heavy", args=(Literal(1000), Literal(50))
+    )
+    assert parse("EXECUTE heavy") == ExecuteStmt(name="heavy")
+    assert parse("EXECUTE heavy ()") == ExecuteStmt(name="heavy")
+
+
+def test_execute_arguments_may_be_expressions():
+    statement = parse("EXECUTE heavy (2 + 3)")
+    assert isinstance(statement.args[0], BinOp)
+
+
+def test_deallocate():
+    assert parse("DEALLOCATE heavy") == DeallocateStmt(name="heavy")
+
+
+def test_prepare_of_prepare_is_rejected():
+    with pytest.raises(ParseError):
+        parse("PREPARE a AS PREPARE b AS SELECT v.id FROM Vehicle v")
+    with pytest.raises(ParseError):
+        parse("PREPARE a AS EXECUTE b")
+
+
+def test_param_numbering_resets_per_statement():
+    script = parse_script(
+        "SELECT v.id FROM Vehicle v WHERE v.weight > ?;"
+        "SELECT c.name FROM Company c WHERE c.share > ?"
+    )
+    first, second = script
+    assert first.where.right == Param(index=0)
+    assert second.where.right == Param(index=0)
+
+
+def test_methods_colon_form_still_parses():
+    # The ':' after METHODS is statement context, not a named parameter.
+    statement = parse(
+        "CREATE CLASS Vehicle TUPLE (weight Integer) METHODS: "
+        "price() RETURNS Float"
+    )
+    assert isinstance(statement, CreateClass)
+    assert statement.methods[0].name == "price"
+
+
+def test_double_colon_method_reference_is_unaffected():
+    statement = parse("DROP METHOD Vehicle::price()")
+    assert statement.class_name == "Vehicle"
+    assert statement.name == "price"
+
+
+def test_bare_colon_without_identifier_is_an_error():
+    with pytest.raises(ParseError):
+        parse("SELECT v.id FROM Vehicle v WHERE v.weight > :")
