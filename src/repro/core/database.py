@@ -37,11 +37,13 @@ class MoodDatabase:
         cache_enabled: bool = True,
         cache_capacity: int = 4096,
         plan_cache_capacity: int = 256,
+        batch_enabled: bool = True,
     ):
         self.kernel = MoodKernel(
             disk_params, buffer_capacity,
             cache_enabled=cache_enabled, cache_capacity=cache_capacity,
             plan_cache_capacity=plan_cache_capacity,
+            batch_enabled=batch_enabled,
         )
         self.auto_analyze = auto_analyze
         self._schema_version = 0
@@ -143,6 +145,15 @@ class MoodDatabase:
     def set_cache_enabled(self, enabled: bool) -> None:
         """Toggle the deref fast path (off = paper-faithful I/O charging)."""
         self.kernel.objects.set_cache_enabled(enabled)
+
+    @property
+    def batch_enabled(self) -> bool:
+        return self.kernel.objects.batch_enabled
+
+    def set_batch_enabled(self, enabled: bool) -> None:
+        """Toggle set-oriented execution (off = the paper's row-at-a-time
+        operators, and no join fusion)."""
+        self.kernel.set_batch_enabled(enabled)
 
     @property
     def io_stats(self) -> IOStats:

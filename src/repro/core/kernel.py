@@ -43,6 +43,7 @@ from repro.obs.explain import (
 from repro.obs.spans import Span, SpanRecorder
 from repro.obs.trace import SlowQueryLog, StatementLog
 from repro.obs.views import SystemViewRegistry, register_kernel_views
+from repro.optimizer.fuse import fuse_query_plan
 from repro.optimizer.planner import Planner, QueryPlan
 from repro.sql.ast import (
     AlterClass,
@@ -134,6 +135,7 @@ class MoodKernel:
         cache_enabled: bool = True,
         cache_capacity: int = 4096,
         plan_cache_capacity: int = 256,
+        batch_enabled: bool = True,
     ):
         self.storage = StorageManager(disk_params, buffer_capacity)
         self.catalog = Catalog(self.storage)
@@ -141,6 +143,7 @@ class MoodKernel:
         self.objects = ObjectManager(
             self.storage, self.catalog,
             cache_enabled=cache_enabled, cache_capacity=cache_capacity,
+            batch_enabled=batch_enabled,
         )
         self.indexes = IndexManager(self.storage, self.catalog, self.objects)
         self.evaluator = ExpressionEvaluator(self.objects, self.functions)
@@ -218,6 +221,15 @@ class MoodKernel:
             join_indexes=self.indexes.join_index_params(),
             path_indexes=self.indexes.path_index_params(),
         )
+
+    def set_batch_enabled(self, enabled: bool) -> None:
+        """Flip set-oriented execution.  Cached plans were fused (or not)
+        under the previous setting, so the plan cache is dropped -- the
+        schema/stats stamps alone would not catch this."""
+        if enabled == self.objects.batch_enabled:
+            return
+        self.objects.set_batch_enabled(enabled)
+        self.plan_cache.invalidate_all("SET BATCH")
 
     def _implicit_analyze(self) -> None:
         """ANALYZE triggered from inside planning (no statistics yet).
@@ -455,12 +467,28 @@ class MoodKernel:
         self.trace.append(TraceEvent("OPTIMIZE"))
         started = time.perf_counter()
         plan = self.planner().plan_query(query)
+        self._fuse_plan(plan)
         self._compile_ms.observe((time.perf_counter() - started) * 1e3)
         if key is not None:
+            # Fusion runs before the store, so fused plans are cached and
+            # invalidated under the same schema/stats stamps as any plan.
             self.plan_cache.store(
                 key, plan, self.catalog.schema_version, self.stats.version
             )
         return plan
+
+    def _fuse_plan(self, plan: QueryPlan) -> None:
+        """Apply the join-fusion rewrite when set-oriented execution is
+        on (the physical rewrite is pointless -- and EXPLAIN-visible --
+        without batching, so the switch keeps plan shapes paper-faithful
+        in one-at-a-time mode)."""
+        if not self.objects.batch_enabled:
+            return
+        fused = fuse_query_plan(plan)
+        if fused:
+            self.trace.append(
+                TraceEvent("FUSE", f"{fused} traversal chain(s)")
+            )
 
     # -- SYS$ monitor views --------------------------------------------------
 
@@ -541,6 +569,7 @@ class MoodKernel:
             self.trace.append(TraceEvent("DNF"))
             self.trace.append(TraceEvent("OPTIMIZE"))
             plan = self.planner().plan_query(statement.query)
+            self._fuse_plan(plan)
             self.last_plan = plan
             report = explain_query_plan(plan, pipeline)
             return ExplainResult(report=report, plan=plan, spans=[])

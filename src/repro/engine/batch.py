@@ -1,0 +1,130 @@
+"""Set-oriented execution: the :class:`RowBatch` unit and the batch gate.
+
+The paper's executor -- and our reproduction up to PR 5 -- is row-at-a-
+time: every Volcano operator processes one binding per step, so a
+traversal join pays one dispatch, one cache probe, and (uncached) one
+random read *per object*.  PR 2 batched the deref I/O inside individual
+join kernels; this module batches the *operators*: a :class:`RowBatch`
+is the unit of exchange between plan nodes, and each operator consumes
+and produces whole batches, giving the join kernels and the expression
+evaluator a full frontier of rows to dereference through one
+page-clustered :meth:`~repro.engine.objects.ObjectManager.deref_many`
+call per step.
+
+Two independent switches govern the physical behaviour:
+
+* ``objects.cache_enabled`` -- the PR 2 deref fast path (the LRU object
+  cache and ``deref_many``);
+* ``objects.batch_enabled`` -- set-oriented operator execution: frontier
+  OID collection, fused traversals, and batch predicate prefetch.
+
+:func:`batch_deref_enabled` is the single gate the executor, the join
+kernels and the evaluator consult: batched dereferencing requires *both*
+switches, so disabling either one restores the paper-faithful
+one-chase-one-read charging that the Table 16/17 cost validation
+replays (those runs disable the cache, which alone is sufficient).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.evaluator import Row
+
+
+def batch_deref_enabled(objects) -> bool:
+    """True when set-oriented dereferencing may be used: the store has the
+    page-clustered ``deref_many`` fast path, the object cache backing it
+    is on, *and* batched execution has not been switched off."""
+    return (
+        getattr(objects, "cache_enabled", False)
+        and getattr(objects, "batch_enabled", True)
+        and hasattr(objects, "deref_many")
+    )
+
+
+class RowBatch:
+    """An ordered batch of binding rows flowing between plan operators.
+
+    Semantically a ``list[Row]`` (same rows, same order, duplicates
+    preserved); operationally the set-at-a-time unit: operators receive
+    the whole batch and may dereference, filter, project, or deduplicate
+    it collectively instead of row by row.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: list["Row"] | None = None):
+        self.rows: list["Row"] = rows if rows is not None else []
+
+    # -- list protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator["Row"]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def append(self, row: "Row") -> None:
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable["Row"]) -> None:
+        self.rows.extend(rows)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def of(cls, rows: Iterable["Row"]) -> "RowBatch":
+        """A batch over ``rows`` (materialising iterables)."""
+        return cls(rows if isinstance(rows, list) else list(rows))
+
+    @classmethod
+    def concat(cls, batches: Iterable["RowBatch"]) -> "RowBatch":
+        merged: list["Row"] = []
+        for batch in batches:
+            merged.extend(batch.rows)
+        return cls(merged)
+
+    # -- set-level operators ----------------------------------------------
+
+    def project(self, keep: set[str]) -> "RowBatch":
+        """Restrict every row to the variables in ``keep`` (the batch
+        form of PROJECT; multiplicity is preserved, this is not DISTINCT)."""
+        return RowBatch([
+            {var: obj for var, obj in row.items() if var in keep}
+            for row in self.rows
+        ])
+
+    def dedup(self, key_vars: tuple[str, ...] | None = None) -> "RowBatch":
+        """First-occurrence duplicate elimination keyed on the OIDs of
+        ``key_vars`` (all bound variables when ``None``)."""
+        seen: set = set()
+        result: list["Row"] = []
+        for row in self.rows:
+            members = (
+                ((var, row[var].oid) for var in key_vars if var in row)
+                if key_vars is not None
+                else ((var, obj.oid) for var, obj in row.items())
+            )
+            key = tuple(sorted(members))
+            if key not in seen:
+                seen.add(key)
+                result.append(row)
+        return RowBatch(result)
+
+    def reference_oids(self, var: str, attr: str) -> list[tuple["Row", list]]:
+        """Per-row reference OIDs of ``var.attr``: the frontier a
+        traversal hop dereferences, in row order."""
+        from repro.algebra.collection_ops import _reference_oids
+
+        return [
+            (row, _reference_oids(row[var].state.get(attr)))
+            for row in self.rows
+        ]

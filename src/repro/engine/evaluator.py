@@ -13,9 +13,11 @@ comparisons against NULL are false.
 
 from __future__ import annotations
 
-from typing import Any
+import dataclasses
+from typing import Any, Iterable, Sequence
 
 from repro.core.errors import ExecutionError, TypeMismatchError
+from repro.engine.batch import batch_deref_enabled
 from repro.engine.objects import ObjectManager
 from repro.functions.manager import FunctionManager
 from repro.model.objects import MoodObject
@@ -69,6 +71,78 @@ class ExpressionEvaluator:
         except TypeMismatchError as exc:
             raise ExecutionError(f"ill-typed predicate {expr}: {exc}") from exc
         return any(value is True for value in result) if result else False
+
+    # -- batch API ----------------------------------------------------------
+
+    def filter_batch(
+        self, predicates: Iterable[Expr], rows: Sequence[Row],
+    ) -> list[Row]:
+        """Rows satisfying every predicate -- the batch form of SELECT.
+
+        With the batch gate on, the paths the predicates chase are
+        prefetched across the whole batch first (one page-clustered
+        ``deref_many`` per path step); evaluation itself stays per-row,
+        so results are bit-identical to the one-at-a-time path.
+        """
+        predicates = tuple(predicates)
+        if not predicates:
+            return list(rows)
+        self.prefetch(predicates, rows)
+        return [
+            row for row in rows
+            if all(self.predicate(p, row) for p in predicates)
+        ]
+
+    def values_batch(self, expr: Expr, rows: Sequence[Row]) -> list[Any]:
+        """Per-row :meth:`value` over a whole batch (sort/partition keys),
+        prefetching the expression's paths batch-at-a-time first."""
+        self.prefetch((expr,), rows)
+        return [self.value(expr, row) for row in rows]
+
+    def prefetch(
+        self, exprs: Iterable[Expr], rows: Sequence[Row],
+    ) -> None:
+        """Warm the object cache for every path step of ``exprs`` across
+        ``rows``: each step's reference OIDs are collected over the whole
+        batch and dereferenced with one page-clustered ``deref_many``
+        call, so subsequent per-row evaluation never issues a random
+        chase.  A no-op (and charge-free) when the batch gate is off.
+
+        Deliberately conservative: unbound variables, null references and
+        non-object values are skipped here -- per-row evaluation is the
+        single place errors and NULL semantics are decided.
+        """
+        if len(rows) < 2 or not batch_deref_enabled(self.objects):
+            return
+        paths: list[Path] = []
+        for expr in exprs:
+            _collect_paths(expr, paths)
+        for path in paths:
+            frontier: list[Any] = [
+                row[path.var] for row in rows if path.var in row
+            ]
+            for attribute in path.attrs:
+                oids = [
+                    v for v in frontier
+                    if isinstance(v, OID) and not v.is_null
+                ]
+                fetched = self.objects.deref_many(oids) if oids else {}
+                next_frontier: list[Any] = []
+                for value in frontier:
+                    if isinstance(value, MoodObject):
+                        obj = value
+                    elif isinstance(value, OID) and value in fetched:
+                        obj = fetched[value]
+                    else:
+                        continue
+                    attr_value = obj.state.get(attribute)
+                    if isinstance(attr_value, (set, frozenset, list)):
+                        next_frontier.extend(attr_value)
+                    else:
+                        next_frontier.append(attr_value)
+                frontier = next_frontier
+                if not frontier:
+                    break
 
     # -- dispatch ------------------------------------------------------------
 
@@ -144,7 +218,7 @@ class ExpressionEvaluator:
         """Batch-dereference one path step's OIDs (page-clustered) when the
         object manager's deref fast path is on; ``None`` means chase one at
         a time, each a separately charged random read."""
-        if not getattr(self.objects, "cache_enabled", False):
+        if not batch_deref_enabled(self.objects):
             return None
         oids = [v for v in values if isinstance(v, OID) and not v.is_null]
         if len(oids) < 2:
@@ -239,3 +313,18 @@ class ExpressionEvaluator:
                 )
                 results.append(operand.value)
         return results
+
+
+def _collect_paths(node: Any, out: list[Path]) -> None:
+    """Every :class:`Path` reachable in an expression tree (including
+    method-call receivers and arguments), for batch prefetching."""
+    if isinstance(node, Path):
+        out.append(node)
+        return
+    if isinstance(node, (tuple, list)):
+        for item in node:
+            _collect_paths(item, out)
+        return
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        for field in dataclasses.fields(node):
+            _collect_paths(getattr(node, field.name), out)

@@ -19,18 +19,21 @@ from typing import Any
 
 from repro.catalog.catalog import Catalog
 from repro.core.errors import ExecutionError
+from repro.engine.batch import RowBatch, batch_deref_enabled
 from repro.engine.evaluator import ExpressionEvaluator, Row
 from repro.engine.indexes import IndexManager
 from repro.engine.joins import (
     PipelinedLeaf,
     backward_traversal,
     forward_traversal,
+    fused_traversal,
     hash_partition_join,
     nested_loop_join,
 )
 from repro.optimizer.plan import (
     BindNode,
     DupElimNode,
+    FusedTraversalNode,
     IndSelNode,
     JoinNode,
     NamedRef,
@@ -43,6 +46,7 @@ from repro.optimizer.plan import (
 )
 from repro.optimizer.planner import QueryPlan
 from repro.sql.ast import Between, BinOp, Expr, Literal
+from repro.sql.rewrite import referenced_variables
 
 
 @dataclass
@@ -57,7 +61,15 @@ class TraceEvent:
 
 @dataclass
 class Executor:
-    """Interprets access plans into rows of variable bindings."""
+    """Interprets access plans into rows of variable bindings.
+
+    Operators exchange :class:`RowBatch`es: each plan node consumes and
+    produces a whole batch, so predicates prefetch their paths across
+    the batch and traversals dereference per-hop frontiers through one
+    page-clustered ``deref_many`` call (when ``objects.batch_enabled``
+    and the deref cache allow; otherwise execution degrades to the
+    paper's one-chase-one-read behaviour row by row).
+    """
 
     objects: Any
     evaluator: ExpressionEvaluator
@@ -65,11 +77,13 @@ class Executor:
     index_manager: IndexManager | None = None
     trace: list[TraceEvent] = field(default_factory=list)
     spans: Any = None    # optional repro.obs.spans.SpanRecorder
-    _temp_cache: dict[str, list[Row]] = field(default_factory=dict)
+    _temp_cache: dict[str, RowBatch] = field(default_factory=dict)
+    _output_vars: frozenset[str] = frozenset()
 
     def execute_plan(self, plan: QueryPlan) -> list[Row]:
         self._temp_cache = {}
-        return self._exec(plan.root)
+        self._output_vars = frozenset(plan.output_vars)
+        return self._exec(plan.root).rows
 
     def _emit(self, operator: str, detail: str = "") -> None:
         event = TraceEvent(operator, detail)
@@ -79,7 +93,7 @@ class Executor:
 
     # -- dispatch ------------------------------------------------------------
 
-    def _exec(self, node: PlanNode) -> list[Row]:
+    def _exec(self, node: PlanNode) -> RowBatch:
         if self.spans is None:
             return self._dispatch(node)
         from repro.obs.spans import describe_node
@@ -90,7 +104,7 @@ class Executor:
             span.rows_out = len(rows)
             return rows
 
-    def _dispatch(self, node: PlanNode) -> list[Row]:
+    def _dispatch(self, node: PlanNode) -> RowBatch:
         if isinstance(node, BindNode):
             return self._exec_bind(node)
         if isinstance(node, IndSelNode):
@@ -99,13 +113,12 @@ class Executor:
             return self._exec_select(node)
         if isinstance(node, NamedRef):
             return self._exec_named(node)
+        if isinstance(node, FusedTraversalNode):
+            return self._exec_fused(node)
         if isinstance(node, JoinNode):
             return self._exec_join(node)
         if isinstance(node, ProjectNode):
-            rows = self._exec(node.input)
-            self._emit("PROJECT", ", ".join(str(p) for p in node.projections)
-                       or "*")
-            return rows
+            return self._exec_project(node)
         if isinstance(node, UnionNode):
             return self._exec_union(node)
         if isinstance(node, PartitionNode):
@@ -113,23 +126,23 @@ class Executor:
         if isinstance(node, DupElimNode):
             rows = self._exec(node.input)
             self._emit("DUPELIM")
-            return _dedup(rows)
+            return rows.dedup()
         if isinstance(node, SortNode):
             return self._exec_sort(node)
         raise ExecutionError(f"cannot execute plan node {type(node).__name__}")
 
     # -- leaves ---------------------------------------------------------------
 
-    def _exec_bind(self, node: BindNode) -> list[Row]:
+    def _exec_bind(self, node: BindNode) -> RowBatch:
         self._emit("BIND", f"{node.class_name}, {node.var}")
         include = node.include_classes or None
-        return [
+        return RowBatch([
             {node.var: obj}
             for obj in self.objects.iter_extent(node.class_name,
                                                 include=include)
-        ]
+        ])
 
-    def _exec_indsel(self, node: IndSelNode) -> list[Row]:
+    def _exec_indsel(self, node: IndSelNode) -> RowBatch:
         if self.index_manager is None:
             raise ExecutionError("INDSEL requires an index manager")
         self._emit("INDSEL", f"{node.class_name}, {node.var}")
@@ -145,21 +158,20 @@ class Executor:
             if self.index_manager.needs_verification(probe.index_name)
         ]
         hits = sorted(oids)
-        if getattr(self.objects, "cache_enabled", False):
+        if batch_deref_enabled(self.objects):
             fetched = self.objects.deref_many(hits)
             probes = [fetched[oid] for oid in hits]
         else:
             probes = [self.objects.deref(oid) for oid in hits]
-        rows = []
-        for obj in probes:
-            if node.include_classes and \
-                    obj.class_name not in node.include_classes:
-                continue
-            row = {node.var: obj}
-            if all(self.evaluator.predicate(p.predicate, row)
-                   for p in verify):
-                rows.append(row)
-        return rows
+        candidates = [
+            {node.var: obj}
+            for obj in probes
+            if not node.include_classes
+            or obj.class_name in node.include_classes
+        ]
+        return RowBatch(self.evaluator.filter_batch(
+            tuple(p.predicate for p in verify), candidates
+        ))
 
     def _probe_index(self, index, predicate: Expr) -> set:
         if isinstance(predicate, Between):
@@ -189,32 +201,81 @@ class Executor:
             return {o for _, o in index.range_scan(None, key)}
         raise ExecutionError(f"cannot probe an index with operator {op!r}")
 
-    def _exec_select(self, node: SelectNode) -> list[Row]:
+    def _exec_select(self, node: SelectNode) -> RowBatch:
         rows = self._exec(node.input)
         self._emit("SELECT", " AND ".join(str(p) for p in node.predicates))
-        return [
-            row for row in rows
-            if all(self.evaluator.predicate(p, row) for p in node.predicates)
-        ]
+        return RowBatch(
+            self.evaluator.filter_batch(node.predicates, rows.rows)
+        )
 
-    def _exec_named(self, node: NamedRef) -> list[Row]:
+    def _exec_named(self, node: NamedRef) -> RowBatch:
         if node.name in self._temp_cache:
-            return list(self._temp_cache[node.name])
+            return RowBatch(list(self._temp_cache[node.name].rows))
         if node.plan is None:
             raise ExecutionError(f"temporary {node.name} has no plan")
         rows = self._exec(node.plan)
         self._temp_cache[node.name] = rows
-        return list(rows)
+        return RowBatch(list(rows.rows))
+
+    def _exec_project(self, node: ProjectNode) -> RowBatch:
+        rows = self._exec(node.input)
+        self._emit("PROJECT", ", ".join(str(p) for p in node.projections)
+                   or "*")
+        # PROJECT's physical effect is binding pruning: the projection
+        # *values* are computed once at result-building time (the kernel
+        # evaluates the expressions over these binding rows), so the
+        # operator keeps every variable those expressions still need --
+        # the query's declared range variables plus any referenced by a
+        # projection -- and drops the planner's synthetic chain variables
+        # (d, e, ...).  Multiplicity is untouched; DUPELIM/UNION decide
+        # duplicates.  Empty projections mean SELECT * (keep everything);
+        # hand-built plans without declared output vars are left alone.
+        if not node.projections or not self._output_vars:
+            return rows
+        keep = set(self._output_vars)
+        for expr in node.projections:
+            keep |= referenced_variables(expr)
+        return rows.project(keep)
 
     # -- joins --------------------------------------------------------------
 
-    def _exec_join(self, node: JoinNode) -> list[Row]:
+    def _exec_fused(self, node: FusedTraversalNode) -> RowBatch:
+        left = self._exec(node.input)
+        # Figure 7.2 discipline: each hop's residual predicates are
+        # conceptually a SELECT below the join, traced before it; the
+        # fused chain itself is one JOIN event so flat traces keep the
+        # SELECT - JOIN - PROJECT order the F72 benchmark prints.
+        for hop in node.hops:
+            if hop.predicates:
+                self._emit("SELECT",
+                           " AND ".join(str(p) for p in hop.predicates))
+        self._emit("JOIN", "FUSED_TRAVERSAL, " + "; ".join(
+            f"{hop.left_var}.{hop.attr} = {hop.right_var}.self"
+            for hop in node.hops
+        ))
+
+        def on_hop(hop, rows_in, frontier, rows_out):
+            if self.spans is not None:
+                self.spans.event(
+                    f"HOP({hop.left_var}.{hop.attr} -> {hop.right_var}: "
+                    f"rows_in={rows_in}, batch={frontier}, "
+                    f"rows_out={rows_out})"
+                )
+
+        return RowBatch(fused_traversal(
+            left.rows, node.hops, self.objects, self.evaluator,
+            on_hop=on_hop,
+        ))
+
+    def _exec_join(self, node: JoinNode) -> RowBatch:
         if node.method == "NESTED_LOOP":
             left_rows = self._exec(node.left)
             right_rows = self._exec(node.right)
             self._emit("JOIN", f"{node.method}, {node.predicate_text}")
-            return nested_loop_join(left_rows, right_rows,
-                                    node.predicate_expr, self.evaluator)
+            return RowBatch(nested_loop_join(
+                left_rows.rows, right_rows.rows,
+                node.predicate_expr, self.evaluator,
+            ))
         if node.left_var is None or node.attr is None \
                 or node.right_var is None:
             raise ExecutionError(
@@ -224,36 +285,42 @@ class Executor:
             left_rows = self._exec(node.left)
             right = self._right_side(node)
             self._emit("JOIN", f"{node.method}, {node.predicate_text}")
-            return forward_traversal(
-                left_rows, node.left_var, node.attr, right,
+            return RowBatch(forward_traversal(
+                left_rows.rows, node.left_var, node.attr,
+                self._join_side(right),
                 node.right_var, self.objects, self.evaluator,
-            )
+            ))
         if node.method == "BACKWARD_TRAVERSAL":
             left = self._pipelineable(node.left)
             if left is not None and left.predicates:
                 self._emit("SELECT",
                            " AND ".join(str(p) for p in left.predicates))
             if left is None:
-                left = self._exec(node.left)
+                left = self._exec(node.left).rows
             right_rows = self._exec(node.right)
             self._emit("JOIN", f"{node.method}, {node.predicate_text}")
-            return backward_traversal(
-                left, node.left_var, node.attr, right_rows, node.right_var,
-                self.objects, self.evaluator,
-            )
+            return RowBatch(backward_traversal(
+                left, node.left_var, node.attr, right_rows.rows,
+                node.right_var, self.objects, self.evaluator,
+            ))
         if node.method == "HASH_PARTITION":
             left_rows = self._exec(node.left)
             right = self._right_side(node)
             self._emit("JOIN", f"{node.method}, {node.predicate_text}")
-            return hash_partition_join(
-                left_rows, node.left_var, node.attr, right,
+            return RowBatch(hash_partition_join(
+                left_rows.rows, node.left_var, node.attr,
+                self._join_side(right),
                 node.right_var, self.objects, self.evaluator,
-            )
+            ))
         if node.method == "BINARY_JOIN_INDEX":
             return self._exec_indexed_join(node)
         raise ExecutionError(f"unknown join method {node.method!r}")
 
-    def _right_side(self, node: JoinNode) -> PipelinedLeaf | list[Row]:
+    @staticmethod
+    def _join_side(side: PipelinedLeaf | RowBatch) -> PipelinedLeaf | list[Row]:
+        return side if isinstance(side, PipelinedLeaf) else side.rows
+
+    def _right_side(self, node: JoinNode) -> PipelinedLeaf | RowBatch:
         """Prefer a pipelined right leaf; its residual predicates run first
         (conceptually: SELECT below JOIN, Figure 7.2)."""
         leaf = self._pipelineable(node.right)
@@ -264,11 +331,11 @@ class Executor:
             return leaf
         return self._exec(node.right)
 
-    def _exec_indexed_join(self, node: JoinNode) -> list[Row]:
+    def _exec_indexed_join(self, node: JoinNode) -> RowBatch:
         from repro.engine.joins import indexed_join
 
         left_rows = self._exec(node.left)
-        right = self._right_side(node)
+        right = self._join_side(self._right_side(node))
         self._emit("JOIN", f"{node.method}, {node.predicate_text}")
         join_index = None
         if self.index_manager is not None:
@@ -287,14 +354,14 @@ class Executor:
         if join_index is None:
             # Degrade gracefully: the pairs are still reachable by forward
             # traversal.
-            return forward_traversal(
-                left_rows, node.left_var, node.attr, right,
+            return RowBatch(forward_traversal(
+                left_rows.rows, node.left_var, node.attr, right,
                 node.right_var, self.objects, self.evaluator,
-            )
-        return indexed_join(
-            left_rows, node.left_var, join_index, right,
+            ))
+        return RowBatch(indexed_join(
+            left_rows.rows, node.left_var, join_index, right,
             node.right_var, self.objects, self.evaluator,
-        )
+        ))
 
     def _pipelineable(self, node: PlanNode) -> PipelinedLeaf | None:
         """Recognise leaves the join methods can evaluate per object."""
@@ -310,16 +377,16 @@ class Executor:
 
     # -- set-level operators ------------------------------------------------------
 
-    def _exec_union(self, node: UnionNode) -> list[Row]:
-        rows: list[Row] = []
-        for child in node.inputs:
-            rows.extend(self._exec(child))
+    def _exec_union(self, node: UnionNode) -> RowBatch:
+        merged = RowBatch.concat(self._exec(child) for child in node.inputs)
         self._emit("UNION", f"{len(node.inputs)} AND-terms")
-        return _dedup(rows, node.key_vars or None)
+        return merged.dedup(node.key_vars or None)
 
-    def _exec_partition(self, node: PartitionNode) -> list[Row]:
+    def _exec_partition(self, node: PartitionNode) -> RowBatch:
         rows = self._exec(node.input)
         self._emit("PARTITION", ", ".join(str(k) for k in node.keys))
+        # Group keys chase their paths over the whole batch first.
+        self.evaluator.prefetch(node.keys, rows.rows)
         groups: dict[tuple, list[Row]] = {}
         order: list[tuple] = []
         for row in rows:
@@ -330,7 +397,7 @@ class Executor:
                 groups[key] = []
                 order.append(key)
             groups[key].append(row)
-        representatives = []
+        representatives = RowBatch()
         for key in order:
             group = groups[key]
             representative = dict(group[0])
@@ -341,10 +408,15 @@ class Executor:
             self._emit("HAVING", str(node.having))
         return representatives
 
-    def _exec_sort(self, node: SortNode) -> list[Row]:
+    def _exec_sort(self, node: SortNode) -> RowBatch:
         rows = self._exec(node.input)
         self._emit("SORT", ", ".join(str(k.expr) for k in node.keys))
         from repro.algebra.collection_ops import _NullsFirst
+
+        # Sort keys may traverse references; warm them batch-at-a-time.
+        self.evaluator.prefetch(
+            tuple(item.expr for item in node.keys), rows.rows
+        )
 
         def sort_key(row: Row):
             parts = []
@@ -354,7 +426,7 @@ class Executor:
                 parts.append(_Reversible(wrapped, item.ascending))
             return parts
 
-        return sorted(rows, key=sort_key)
+        return RowBatch(sorted(rows.rows, key=sort_key))
 
 
 class _Reversible:

@@ -13,12 +13,14 @@ which the simulated disk accounts:
   3(b+b') hybrid-hash structure), then chases pointers partition by
   partition.
 
-When the object manager's deref cache is enabled, forward traversal and
-the indexed join collect their probe OIDs first and fetch them through
-:meth:`~repro.engine.objects.ObjectManager.deref_many` -- one page-
-clustered batch instead of one random chase per reference.  With the
-cache disabled every chase is charged individually, exactly as the
-paper's cost formulas price it.
+When set-oriented execution is on (``objects.batch_enabled``, requiring
+the deref cache), the kernels collect their probe OIDs first and fetch
+them through :meth:`~repro.engine.objects.ObjectManager.deref_many` --
+one page-clustered batch per join level instead of one random chase per
+reference -- and :func:`fused_traversal` runs a whole *chain* of forward
+traversals as one set operation, dereferencing each hop's deduplicated
+frontier with a single batched call.  With either switch off every chase
+is charged individually, exactly as the paper's cost formulas price it.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.algebra.collection_ops import _reference_oids
 from repro.core.errors import ExecutionError
+from repro.engine.batch import batch_deref_enabled
 from repro.engine.evaluator import ExpressionEvaluator, Row
 from repro.engine.indexes import BinaryJoinIndex
 from repro.engine.objects import ObjectManager
@@ -45,11 +48,8 @@ class PipelinedLeaf:
     predicates: tuple[Expr, ...]
 
 
-def _batchable(objects) -> bool:
-    """Does the store support the cached, page-clustered deref fast path?
-    (Disabled caches fall back to per-chase charging, the paper's model.)"""
-    return getattr(objects, "cache_enabled", False) \
-        and hasattr(objects, "deref_many")
+#: Single gate for the set-oriented deref fast path (see engine.batch).
+_batchable = batch_deref_enabled
 
 
 def _chase(
@@ -110,6 +110,73 @@ def forward_traversal(
     return result
 
 
+@dataclass(frozen=True)
+class TraversalHop:
+    """One fused forward-traversal step: chase ``left_var.attr`` into
+    ``right_var``, keeping objects of the ``include`` closure that pass
+    the hop's residual ``predicates`` (the pipelined leaf's SELECT)."""
+
+    left_var: str
+    attr: str
+    right_var: str
+    class_name: str
+    include: tuple[str, ...]
+    predicates: tuple[Expr, ...]
+
+
+def fused_traversal(
+    left_rows: list[Row],
+    hops: tuple[TraversalHop, ...],
+    objects: ObjectManager,
+    evaluator: ExpressionEvaluator,
+    on_hop=None,
+) -> list[Row]:
+    """Run a chain of forward traversals as one set operation.
+
+    Per hop the frontier -- every reference OID reachable from the
+    surviving rows -- is collected first and dereferenced with a single
+    page-clustered :meth:`deref_many` call (deduplicated, so an object
+    shared by many rows is fetched once); include-filter and residual
+    predicates are then applied row by row against the warm cache.  When
+    the batch gate is off each chase is a separately charged read in row
+    order, matching the unfused forward traversal exactly.
+
+    ``on_hop(hop, rows_in, frontier_size, rows_out)`` is invoked after
+    each hop for span accounting (batch sizes in EXPLAIN ANALYZE) and is
+    the seam the invalidation tests use to interleave DDL/abort/crash
+    between hops.
+    """
+    rows = list(left_rows)
+    for hop in hops:
+        per_row = [
+            (row, _reference_oids(row[hop.left_var].state.get(hop.attr)))
+            for row in rows
+        ]
+        if _batchable(objects):
+            frontier = list(dict.fromkeys(
+                oid for _, oids in per_row for oid in oids
+            ))
+            fetched = objects.deref_many(frontier)
+            resolve = fetched.__getitem__
+        else:
+            frontier = [oid for _, oids in per_row for oid in oids]
+            resolve = objects.deref
+        next_rows: list[Row] = []
+        for row, oids in per_row:
+            for oid in oids:
+                obj = resolve(oid)
+                if hop.include and obj.class_name not in hop.include:
+                    continue
+                probe = {**row, hop.right_var: obj}
+                if all(evaluator.predicate(p, probe)
+                       for p in hop.predicates):
+                    next_rows.append(probe)
+        if on_hop is not None:
+            on_hop(hop, len(rows), len(frontier), len(next_rows))
+        rows = next_rows
+    return rows
+
+
 def backward_traversal(
     left: PipelinedLeaf | list[Row],
     left_var: str,
@@ -124,12 +191,16 @@ def backward_traversal(
         by_oid.setdefault(row[right_var].oid, []).append(row)
     result: list[Row] = []
     if isinstance(left, PipelinedLeaf):
-        # The defining property: a sequential scan over C's extent.
-        for obj in objects.iter_extent(left.class_name,
-                                       include=left.include or None):
-            row = {left.var: obj}
-            if not all(evaluator.predicate(p, row) for p in left.predicates):
-                continue
+        # The defining property: a sequential scan over C's extent.  The
+        # scan is materialised as one batch so the residual predicates
+        # can prefetch any paths they chase across the whole extent.
+        scanned = [
+            {left.var: obj}
+            for obj in objects.iter_extent(left.class_name,
+                                           include=left.include or None)
+        ]
+        for row in evaluator.filter_batch(left.predicates, scanned):
+            obj = row[left.var]
             for oid in _reference_oids(obj.state.get(attr)):
                 for right_row in by_oid.get(oid, ()):
                     result.append({**row, **right_row})
@@ -200,9 +271,17 @@ def hash_partition_join(
     result: list[Row] = []
     if isinstance(right, PipelinedLeaf):
         for bucket in sorted(partitions):
-            for oid, row in sorted(partitions[bucket],
-                                   key=lambda pair: pair[0]):
-                obj = objects.deref(oid)
+            pairs = sorted(partitions[bucket], key=lambda pair: pair[0])
+            # Each partition's chases are already clustered by the
+            # pointer sort; the batch gate collapses them further into
+            # one deref_many per partition.
+            fetched = (
+                objects.deref_many(oid for oid, _ in pairs)
+                if _batchable(objects) else None
+            )
+            for oid, row in pairs:
+                obj = fetched[oid] if fetched is not None \
+                    else objects.deref(oid)
                 if right.include and obj.class_name not in right.include:
                     continue
                 probe = {**row, right_var: obj}
@@ -237,7 +316,7 @@ def nested_loop_join(
     predicate: Expr | None,
     evaluator: ExpressionEvaluator,
 ) -> list[Row]:
-    result: list[Row] = []
+    candidates: list[Row] = []
     for left_row in left_rows:
         for right_row in right_rows:
             overlap = set(left_row) & set(right_row)
@@ -245,7 +324,7 @@ def nested_loop_join(
                 raise ExecutionError(
                     f"join sides share variables {sorted(overlap)}"
                 )
-            merged = {**left_row, **right_row}
-            if predicate is None or evaluator.predicate(predicate, merged):
-                result.append(merged)
-    return result
+            candidates.append({**left_row, **right_row})
+    if predicate is None:
+        return candidates
+    return evaluator.filter_batch((predicate,), candidates)

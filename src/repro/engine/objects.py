@@ -63,9 +63,15 @@ class ObjectManager(ObjectStore):
         catalog: Catalog,
         cache_enabled: bool = True,
         cache_capacity: int = DEFAULT_CAPACITY,
+        batch_enabled: bool = True,
     ):
         self.storage = storage
         self.catalog = catalog
+        #: Set-oriented execution switch (mirrors ``cache_enabled``): when
+        #: off, the executor, join kernels and evaluator chase references
+        #: one object at a time even if the object cache is on, restoring
+        #: the paper's row-at-a-time operator behaviour.
+        self.batch_enabled = batch_enabled
         # page number -> class name, for OID -> extent resolution.
         self._page_class: dict[int, str] = {}
         #: observers notified as (event, obj, old_state) for index upkeep
@@ -106,6 +112,13 @@ class ObjectManager(ObjectStore):
             self.cache = self._build_cache()
         elif not enabled:
             self.cache = None
+
+    def set_batch_enabled(self, enabled: bool) -> None:
+        """Flip set-oriented execution at runtime.
+
+        Disabling keeps the object cache (if on) but makes every operator
+        process one binding per step -- the paper's execution model."""
+        self.batch_enabled = enabled
 
     def invalidate_cache(self, oid: OID | None = None) -> None:
         """Evict one OID (or everything) after an out-of-band write --

@@ -20,6 +20,7 @@ from typing import Any, Callable
 from repro.optimizer.plan import (
     BindNode,
     DupElimNode,
+    FusedTraversalNode,
     IndSelNode,
     JoinNode,
     NamedRef,
@@ -45,6 +46,8 @@ def describe_node(node: PlanNode) -> tuple[str, str]:
         return "TEMP", node.name
     if isinstance(node, JoinNode):
         return "JOIN", f"{node.method}, {node.predicate_text}"
+    if isinstance(node, FusedTraversalNode):
+        return "FUSED_TRAVERSAL", "; ".join(node.hop_texts())
     if isinstance(node, ProjectNode):
         return "PROJECT", ", ".join(str(p) for p in node.projections) or "*"
     if isinstance(node, UnionNode):

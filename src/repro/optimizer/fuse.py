@@ -1,0 +1,189 @@
+"""Join fusion: collapse forward-traversal chains into one set operation.
+
+A path query like Example 8.2's ``v.drivetrain.engine.cylinders = 2``
+plans as a chain of FORWARD_TRAVERSAL joins over pipelined leaves (a
+BIND, optionally under a residual SELECT).  Algorithm 8.2's greedy
+ordering produces either shape:
+
+* **left-deep** (the paper's Example 8.1 print): each join's right side
+  is the next leaf -- ``JOIN(JOIN(v, d), leaf(e))``;
+* **right-deep**: the most selective tail join runs first and the head
+  join matches into its materialised rows --
+  ``JOIN(v, JOIN(d, leaf(e)))`` with ``v.drivetrain = d.self``.
+
+Run node by node, each join level batches its own derefs but still pays
+per-operator dispatch and materialises an intermediate row set per hop
+(the right-deep shape even scans whole extents to build rows the head
+join then discards).  Following the collection-join fusion of Odra
+(PAPERS.md), this pass rewrites both shapes into a single
+:class:`FusedTraversalNode`: the executor collects the frontier OID set
+per hop and dereferences it with one page-clustered ``deref_many``
+call, applying each hop's include filter and residual predicates in the
+same pass.
+
+The rewrite preserves hop order, predicates and join semantics, and is
+applied by the kernel only when set-oriented execution is on
+(``batch_enabled``), *after* cost-based planning and *before* the
+plan-cache store, so fused plans are cached and invalidated by the same
+schema/stats stamps as any other plan.  The fused node's estimated cost
+aggregates the fused joins (and their absorbed subtrees), keeping
+EXPLAIN cost totals stable under fusion.
+"""
+
+from __future__ import annotations
+
+from repro.engine.joins import TraversalHop
+from repro.optimizer.plan import (
+    BindNode,
+    DupElimNode,
+    FusedTraversalNode,
+    JoinNode,
+    NamedRef,
+    PartitionNode,
+    PlanNode,
+    ProjectNode,
+    SelectNode,
+    SortNode,
+    UnionNode,
+)
+from repro.optimizer.planner import QueryPlan
+
+#: Chains contributing fewer hops than this stay ordinary JoinNodes: a
+#: single forward traversal already batches its derefs (PR 2's
+#: ``_chase``), so fusing it would change plan shapes without changing
+#: the I/O.
+MIN_HOPS = 2
+
+
+def fuse_query_plan(plan: QueryPlan, min_hops: int = MIN_HOPS) -> int:
+    """Fuse forward-traversal chains in ``plan`` (in place, including
+    temporaries); returns the number of FUSED_TRAVERSAL nodes created."""
+    state = _FuseState(min_hops)
+    rewritten: list[tuple[str, PlanNode]] = []
+    for name, temp in plan.temporaries:
+        new_temp = state.rewrite(temp)
+        if new_temp is not temp:
+            state.replaced[id(temp)] = new_temp
+        rewritten.append((name, new_temp))
+    plan.temporaries = rewritten
+    plan.root = state.rewrite(plan.root)
+    return state.fused
+
+
+def _pipelined_leaf(node: PlanNode):
+    """(bind, predicates) when the node is a leaf the traversal kernels
+    pipeline: a BIND, or a SELECT directly over one."""
+    if isinstance(node, BindNode):
+        return node, ()
+    if isinstance(node, SelectNode) and isinstance(node.input, BindNode):
+        return node.input, node.predicates
+    return None
+
+
+def _structured(node: PlanNode) -> bool:
+    return (
+        isinstance(node, JoinNode)
+        and node.method == "FORWARD_TRAVERSAL"
+        and node.left_var is not None
+        and node.attr is not None
+        and node.right_var is not None
+    )
+
+
+def join_hops(node: PlanNode) -> list[TraversalHop] | None:
+    """The hops one JoinNode's *right side* contributes when fusible.
+
+    A pipelined leaf binding the join's right variable yields one hop.
+    A right side that is itself a pure forward-traversal chain whose
+    head leaf binds the right variable (the right-deep shape) yields
+    that whole chain as hops -- chasing into the head leaf first, then
+    replaying the chain's own hops in execution order.  ``None`` means
+    the join is not fusible.
+    """
+    if not _structured(node):
+        return None
+    leaf = _pipelined_leaf(node.right)
+    if leaf is not None:
+        bind, predicates = leaf
+        if bind.var != node.right_var:
+            return None
+        return [TraversalHop(node.left_var, node.attr, node.right_var,
+                             bind.class_name, bind.include_classes,
+                             predicates)]
+    # Right-deep: walk the right side's left spine down to its head.
+    spine: list[JoinNode] = []
+    cursor = node.right
+    while isinstance(cursor, JoinNode):
+        if not _structured(cursor):
+            return None
+        cursor_leaf = _pipelined_leaf(cursor.right)
+        if cursor_leaf is None or cursor_leaf[0].var != cursor.right_var:
+            return None
+        spine.append(cursor)
+        cursor = cursor.left
+    head = _pipelined_leaf(cursor)
+    if head is None or head[0].var != node.right_var:
+        return None
+    head_bind, head_predicates = head
+    hops = [TraversalHop(node.left_var, node.attr, node.right_var,
+                         head_bind.class_name, head_bind.include_classes,
+                         head_predicates)]
+    for join in reversed(spine):
+        bind, predicates = _pipelined_leaf(join.right)
+        hops.append(TraversalHop(join.left_var, join.attr, join.right_var,
+                                 bind.class_name, bind.include_classes,
+                                 predicates))
+    return hops
+
+
+class _FuseState:
+    def __init__(self, min_hops: int):
+        self.min_hops = min_hops
+        self.fused = 0
+        #: id(old temporary plan) -> its fused replacement, so NamedRef
+        #: nodes keep pointing at the plan that is actually in the list.
+        self.replaced: dict[int, PlanNode] = {}
+
+    def rewrite(self, node: PlanNode) -> PlanNode:
+        if isinstance(node, JoinNode) and join_hops(node) is not None:
+            # Walk down the left spine gathering the whole chain.
+            chain = [node]
+            cursor = node.left
+            while isinstance(cursor, JoinNode) \
+                    and join_hops(cursor) is not None:
+                chain.append(cursor)
+                cursor = cursor.left
+            hops = [
+                hop
+                for join in reversed(chain)
+                for hop in join_hops(join)
+            ]
+            if len(hops) >= self.min_hops:
+                base = self.rewrite(cursor)
+                fused = FusedTraversalNode(base, tuple(hops))
+                # The absorbed right subtrees no longer appear as
+                # children; fold their costs in to keep totals unchanged.
+                fused.estimated_cost = sum(
+                    join.estimated_cost + join.right.total_estimated_cost()
+                    for join in chain
+                )
+                fused.estimated_cardinality = node.estimated_cardinality
+                self.fused += 1
+                return fused
+            # Chain too short: fall through and rewrite the children.
+        if isinstance(node, NamedRef):
+            if node.plan is not None and id(node.plan) in self.replaced:
+                node.plan = self.replaced[id(node.plan)]
+            return node
+        if isinstance(node, JoinNode):
+            node.left = self.rewrite(node.left)
+            node.right = self.rewrite(node.right)
+        elif isinstance(node, (SelectNode, ProjectNode, SortNode,
+                               PartitionNode, DupElimNode,
+                               FusedTraversalNode)):
+            node.input = self.rewrite(node.input)
+        elif isinstance(node, UnionNode):
+            node.inputs = tuple(
+                self.rewrite(child) for child in node.inputs
+            )
+        return node

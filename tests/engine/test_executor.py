@@ -268,3 +268,61 @@ def test_cursor_protocol(db):
     if cursor.has_next():
         second = cursor.next()
         assert cursor.prev().oid == first.oid
+
+
+# --------------------------------------------------------------------------
+# PROJECT's physical effect: binding pruning
+# --------------------------------------------------------------------------
+
+def test_project_prunes_synthetic_chain_variables(db):
+    """A path query introduces synthetic range variables for each chased
+    class; PROJECT drops them from the binding rows, keeping only the
+    declared variables plus those the projections reference."""
+    result = db.query(
+        "SELECT v.id FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
+    )
+    assert result.binding_rows
+    for row in result.binding_rows:
+        assert set(row) == {"v"}
+    assert "PROJECT" in [event.operator for event in result.trace]
+
+
+def test_project_preserves_multiplicity(db):
+    """Pruning restricts columns, never rows: PROJECT leaves duplicate
+    handling to DUPELIM/UNION, so a non-distinct projection keeps one
+    output row per binding row."""
+    result = db.query("SELECT e.cylinders FROM VehicleEngine e")
+    assert len(result.rows) == len(result.binding_rows) \
+        == len(db.extent("VehicleEngine"))
+    # cylinder counts repeat across engines; only DISTINCT shrinks them.
+    distinct = db.query("SELECT DISTINCT e.cylinders FROM VehicleEngine e")
+    assert len(distinct.rows) == len(set(result.scalars()))
+    assert len(distinct.rows) < len(result.rows)
+
+
+def test_select_star_rows_keep_all_declared_variables(db):
+    """With no projection list there is nothing to prune against: the
+    binding rows keep every declared range variable."""
+    result = db.query(
+        "SELECT * FROM Vehicle v, VehicleDriveTrain d "
+        "WHERE v.drivetrain = d"
+    )
+    assert result.binding_rows
+    for row in result.binding_rows:
+        assert {"v", "d"} <= set(row)
+
+
+def test_hand_built_plan_without_output_vars_is_unpruned(db):
+    """`analyze_plan` runs arbitrary plans whose QueryPlan may carry no
+    output variables; PROJECT must then pass bindings through untouched
+    (the executor cannot know what the caller still needs)."""
+    from repro.sql.parser import parse
+
+    plan = db.kernel.planner().plan_query(parse(
+        "SELECT v.id FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
+    ))
+    plan.output_vars = ()
+    result = db.kernel.analyze_plan(plan)
+    assert result.result.binding_rows
+    for row in result.result.binding_rows:
+        assert {"v", "d0", "d1"} <= set(row) or len(row) >= 2

@@ -14,6 +14,7 @@ import pytest
 from repro.bench.paperdb import build_paper_database
 from repro.core.database import MoodDatabase
 from repro.core.errors import MoodError
+from repro.engine.joins import TraversalHop, fused_traversal
 from repro.engine.objcache import ObjectCache
 
 
@@ -358,6 +359,123 @@ def test_property_cached_equals_uncached_on_random_path_queries():
                 _forced_forward_rows(uncached, sql), sql
 
     assert cached.object_cache.stats.hits > 0
+
+
+# --------------------------------------------------------------------------
+# Mid-batch invalidation: fused traversals must never serve stale hops
+# --------------------------------------------------------------------------
+
+_CHAIN_HOPS = (
+    TraversalHop("v", "drivetrain", "d", "VehicleDriveTrain", (), ()),
+    TraversalHop("d", "engine", "e", "VehicleEngine", (), ()),
+)
+
+
+def _run_fused_chain(db, mutate):
+    """Run the Example 8.2 chain as one fused traversal, invoking
+    ``mutate(db)`` *between* the two hops -- after the drivetrain batch
+    materialized, before the engine frontier is dereferenced.  The engine
+    extent is pre-warmed into the cache first, so any invalidation the
+    mutation misses would be served stale from the warm entries."""
+    if db.object_cache is not None:
+        db.kernel.objects.deref_many(
+            [obj.oid for obj in db.extent("VehicleEngine")]
+        )
+    fired = []
+
+    def on_hop(hop, rows_in, batch, rows_out):
+        if hop.right_var == "d" and not fired:
+            fired.append(hop)
+            mutate(db)
+
+    rows = fused_traversal(
+        [{"v": obj} for obj in db.extent("Vehicle")],
+        _CHAIN_HOPS, db.kernel.objects, db.kernel.evaluator, on_hop=on_hop,
+    )
+    assert fired, "the mutation hook must fire between the hops"
+    return rows
+
+
+def test_fused_hop_sees_committed_update_mid_batch(small_db):
+    engine = small_db.extent("VehicleEngine")[0]
+
+    def mutate(db):
+        engine.state["cylinders"] = 999
+        db.save(engine)
+
+    rows = _run_fused_chain(small_db, mutate)
+    hits = [row for row in rows if row["e"].oid == engine.oid]
+    assert hits, "every engine is reachable through some drivetrain"
+    assert all(row["e"].state["cylinders"] == 999 for row in hits)
+
+
+def test_fused_hop_ignores_aborted_txn_mid_batch(small_db):
+    engine = small_db.extent("VehicleEngine")[0]
+    original = engine.state["cylinders"]
+
+    def mutate(db):
+        txn = db.kernel.storage.txns.begin()
+        changed = db.get(engine.oid)
+        changed.state["cylinders"] = original + 1000
+        db.kernel.objects.update_object(changed, txn)
+        txn.abort()
+
+    rows = _run_fused_chain(small_db, mutate)
+    hits = [row for row in rows if row["e"].oid == engine.oid]
+    assert hits
+    # The before-image was restored underneath; a cache entry surviving
+    # the abort would answer with the aborted cylinder count here.
+    assert all(row["e"].state["cylinders"] == original for row in hits)
+
+
+def test_fused_hop_survives_crash_restart_mid_batch(small_db):
+    small_db.kernel.storage.checkpoint()
+    baseline_db = MoodDatabase(buffer_capacity=64, cache_enabled=False)
+    build_paper_database(baseline_db, scale=40, seed=11)
+    baseline = sorted(
+        (row["v"].oid, row["e"].oid, row["e"].state["cylinders"])
+        for row in _run_fused_chain(baseline_db, lambda db: None)
+    )
+
+    def mutate(db):
+        db.kernel.storage.crash()
+        db.kernel.storage.restart()
+        assert len(db.object_cache) == 0
+
+    rows = _run_fused_chain(small_db, mutate)
+    assert sorted(
+        (row["v"].oid, row["e"].oid, row["e"].state["cylinders"])
+        for row in rows
+    ) == baseline
+
+
+def test_fused_hop_sees_alter_rename_mid_batch(small_db):
+    def mutate(db):
+        db.execute(
+            "ALTER CLASS VehicleEngine RENAME ATTRIBUTE size TO displacement"
+        )
+
+    rows = _run_fused_chain(small_db, mutate)
+    assert rows
+    for row in rows:
+        state = row["e"].state
+        assert "displacement" in state and "size" not in state
+
+
+def test_fused_hop_update_equivalent_when_batching_disabled(small_db):
+    """The same mid-traversal write with batching off (per-OID chasing)
+    yields the same rows -- the invalidation story is gate-independent."""
+    engine = small_db.extent("VehicleEngine")[0]
+
+    def mutate(db):
+        engine.state["cylinders"] = 777
+        db.save(engine)
+
+    small_db.set_batch_enabled(False)
+    rows = _run_fused_chain(small_db, mutate)
+    hits = [row for row in rows if row["e"].oid == engine.oid]
+    assert hits
+    assert all(row["e"].state["cylinders"] == 777 for row in hits)
 
 
 # --------------------------------------------------------------------------

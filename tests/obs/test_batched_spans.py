@@ -1,0 +1,150 @@
+"""Observability of set-oriented execution: FUSED_TRAVERSAL spans carry
+per-hop batch sizes and true actuals in EXPLAIN ANALYZE, and the
+statement-level surfaces (SYS$STATEMENTS, span reports) stay consistent
+when the executor runs batched."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.bench.paperdb import build_paper_database
+from repro.core.database import MoodDatabase
+from repro.obs.trace import StatementTrace, new_trace_id
+from repro.optimizer.fuse import fuse_query_plan
+from repro.optimizer.plan import JoinNode
+from repro.sql.parser import parse
+
+SQL = "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
+
+_HOP = re.compile(
+    r"HOP\((?P<hop>[^:]+): rows_in=(?P<rows_in>\d+), "
+    r"batch=(?P<batch>\d+), rows_out=(?P<rows_out>\d+)\)"
+)
+
+
+@pytest.fixture
+def db():
+    database = MoodDatabase(buffer_capacity=32)
+    build_paper_database(database, scale=60, seed=7)
+    database.analyze()
+    return database
+
+
+def _fused_plan(db):
+    plan = db.kernel.planner().plan_query(parse(SQL))
+
+    def force(node):
+        if isinstance(node, JoinNode):
+            node.method = "FORWARD_TRAVERSAL"
+        for child in node.children():
+            force(child)
+
+    force(plan.root)
+    assert fuse_query_plan(plan) == 1
+    return plan
+
+
+def _cold(db):
+    db.kernel.objects.invalidate_cache()
+    db.kernel.storage.buffer.flush_all()
+    db.kernel.storage.buffer.drop_all()
+
+
+def test_fused_span_reports_hop_batches_and_actuals(db):
+    _cold(db)
+    result = db.kernel.analyze_plan(_fused_plan(db))
+    fused = next(
+        (
+            span
+            for root in result.spans
+            for span in root.walk()
+            if span.operator == "FUSED_TRAVERSAL"
+        ),
+        None,
+    )
+    assert fused is not None
+    assert "v.drivetrain -> d" in fused.detail
+    assert "d.engine -> e" in fused.detail
+
+    # The span's actuals are the real execution figures: the fused rows_out
+    # equals the query's answer, and the cold chase charged page I/O.
+    assert fused.rows_out == len(result.result.binding_rows) > 0
+    assert fused.io is not None and fused.io.page_ios > 0
+
+    # Every hop reported its frontier batch, chained rows_in -> rows_out.
+    hops = [_HOP.match(e).groupdict() for e in fused.events
+            if e.startswith("HOP(")]
+    assert len(hops) == 2
+    assert [h["hop"] for h in hops] == \
+        ["v.drivetrain -> d", "d.engine -> e"]
+    assert all(int(h["batch"]) > 0 for h in hops)
+    assert int(hops[0]["rows_out"]) == int(hops[1]["rows_in"])
+    assert int(hops[1]["rows_out"]) == fused.rows_out
+
+    # The ANALYZE report renders the fused operator with its actuals.
+    text = result.report.render()
+    assert "FUSED_TRAVERSAL" in text
+    assert f" {fused.rows_out} " in text or f" {fused.rows_out}\n" in text
+
+
+def test_fused_span_actuals_match_unfused_answer(db):
+    """The fused node's rows_out is the same answer the paper-faithful
+    unbatched execution produces -- actuals are never shape-dependent."""
+    _cold(db)
+    fused_result = db.kernel.analyze_plan(_fused_plan(db))
+
+    db.set_batch_enabled(False)
+    plan = db.kernel.planner().plan_query(parse(SQL))
+
+    def force(node):
+        if isinstance(node, JoinNode):
+            node.method = "FORWARD_TRAVERSAL"
+        for child in node.children():
+            force(child)
+
+    force(plan.root)
+    _cold(db)
+    unbatched = db.kernel.analyze_plan(plan)
+
+    fused_ids = sorted(
+        row["v"].state["id"] for row in fused_result.result.binding_rows
+    )
+    unbatched_ids = sorted(
+        row["v"].state["id"] for row in unbatched.result.binding_rows
+    )
+    assert fused_ids == unbatched_ids and fused_ids
+
+
+def test_sys_statements_row_consistent_with_fused_spans(db):
+    """A statement trace recorded from a fused execution surfaces through
+    SYS$STATEMENTS with rows/io_pages equal to its span-tree actuals, and
+    its span report renders the FUSED_TRAVERSAL operator."""
+    _cold(db)
+    result = db.kernel.analyze_plan(_fused_plan(db))
+    root = result.spans[0]
+    assert root.io is not None
+    trace_id = new_trace_id()
+    db.kernel.statement_log.record(StatementTrace(
+        trace_id=trace_id,
+        session_id=1,
+        statement=SQL,
+        kind="SELECT",
+        rows=len(result.result.binding_rows),
+        io_pages=root.io.page_ios,
+        spans=result.spans,
+    ))
+
+    view = db.kernel.execute(
+        "SELECT s.rows, s.io_pages FROM SYS$STATEMENTS s "
+        f"WHERE s.trace_id = '{trace_id}'"
+    )
+    assert len(view.rows) == 1
+    rows, io_pages = view.rows[0]
+    assert rows == root.rows_out == len(result.result.binding_rows)
+    assert io_pages == root.io.page_ios > 0
+
+    report = db.kernel.statement_log.find(trace_id).span_report()
+    assert "FUSED_TRAVERSAL" in report
+    assert f"rows={rows}" in report

@@ -1,0 +1,164 @@
+"""The join-fusion rewrite: which shapes fuse, what stays untouched, and
+how fusion composes with the kernel's batch switch and plan cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.paperdb import build_paper_database
+from repro.core.database import MoodDatabase
+from repro.optimizer.fuse import MIN_HOPS, fuse_query_plan
+from repro.optimizer.plan import (
+    BindNode,
+    FusedTraversalNode,
+    JoinNode,
+    SelectNode,
+)
+from repro.optimizer.planner import QueryPlan
+from repro.sql.parser import parse
+
+PATH_SQL = "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2"
+
+
+@pytest.fixture
+def db():
+    database = MoodDatabase(buffer_capacity=64)
+    build_paper_database(database, scale=60, seed=7)
+    database.analyze()
+    return database
+
+
+def _forced_forward(db, sql):
+    plan = db.kernel.planner().plan_query(parse(sql))
+
+    def force(node):
+        if isinstance(node, JoinNode):
+            node.method = "FORWARD_TRAVERSAL"
+        for child in node.children():
+            force(child)
+
+    force(plan.root)
+    return plan
+
+
+def _find(root, node_type):
+    found = []
+
+    def walk(node):
+        if isinstance(node, node_type):
+            found.append(node)
+        for child in node.children():
+            walk(child)
+
+    walk(root)
+    return found
+
+
+def _ft_join(left, right, left_var, attr, right_var, cost=0.0):
+    join = JoinNode(
+        left, right, "FORWARD_TRAVERSAL",
+        f"{left_var}.{attr} = {right_var}.self",
+        left_var=left_var, attr=attr, right_var=right_var,
+    )
+    join.estimated_cost = cost
+    return join
+
+
+def test_planner_chain_fuses_and_answers_unchanged(db):
+    """The planner's own (right-deep) Example 8.2 chain fuses into one
+    node whose execution matches the unfused plan row for row."""
+    unfused = _forced_forward(db, PATH_SQL)
+    baseline = sorted(
+        row["v"].state["id"]
+        for row in db.kernel.analyze_plan(unfused).result.binding_rows
+    )
+
+    plan = _forced_forward(db, PATH_SQL)
+    assert fuse_query_plan(plan) == 1
+    fused_nodes = _find(plan.root, FusedTraversalNode)
+    assert len(fused_nodes) == 1
+    hops = fused_nodes[0].hops
+    assert [(h.left_var, h.attr, h.right_var) for h in hops] == [
+        ("v", "drivetrain", hops[0].right_var),
+        (hops[0].right_var, "engine", hops[1].right_var),
+    ]
+    assert "FUSED_TRAVERSAL" in plan.render()
+    assert not _find(plan.root, JoinNode)  # the whole chain was absorbed
+
+    fused_ids = sorted(
+        row["v"].state["id"]
+        for row in db.kernel.analyze_plan(plan).result.binding_rows
+    )
+    assert fused_ids == baseline and fused_ids
+
+
+def test_left_deep_chain_fuses():
+    """The paper's Example 8.1 print shape: each join's right side is the
+    next pipelined leaf."""
+    v = BindNode("Vehicle", "v", ("Vehicle",))
+    d = BindNode("VehicleDriveTrain", "d", ("VehicleDriveTrain",))
+    e = SelectNode(BindNode("VehicleEngine", "e", ("VehicleEngine",)), ())
+    inner = _ft_join(v, d, "v", "drivetrain", "d", cost=10.0)
+    outer = _ft_join(inner, e, "d", "engine", "e", cost=20.0)
+    plan = QueryPlan(root=outer, output_vars=("v",))
+    before = outer.total_estimated_cost()
+
+    assert fuse_query_plan(plan) == 1
+    fused = plan.root
+    assert isinstance(fused, FusedTraversalNode)
+    assert isinstance(fused.input, BindNode) and fused.input.var == "v"
+    assert [(h.left_var, h.attr, h.right_var) for h in fused.hops] == [
+        ("v", "drivetrain", "d"), ("d", "engine", "e"),
+    ]
+    # Absorbed joins' costs fold into the fused node: totals unchanged.
+    assert fused.total_estimated_cost() == pytest.approx(before)
+
+
+def test_single_hop_stays_unfused(db):
+    """MIN_HOPS: one forward traversal already batches its derefs, so a
+    singleton chain keeps its JoinNode shape."""
+    assert MIN_HOPS == 2
+    plan = _forced_forward(
+        db, "SELECT v FROM Vehicle v WHERE v.manufacturer.location = 'Munich'"
+    )
+    assert fuse_query_plan(plan) == 0
+    assert not _find(plan.root, FusedTraversalNode)
+    assert _find(plan.root, JoinNode)
+
+
+def test_non_traversal_joins_stay_unfused():
+    """A NESTED_LOOP join (no structured triple) never fuses, even inside
+    a chain of the right length."""
+    v = BindNode("Vehicle", "v", ())
+    d = BindNode("VehicleDriveTrain", "d", ())
+    e = BindNode("VehicleEngine", "e", ())
+    inner = JoinNode(v, d, "NESTED_LOOP", "(v.drivetrain = d.self)")
+    outer = _ft_join(inner, e, "d", "engine", "e")
+    plan = QueryPlan(root=outer)
+    assert fuse_query_plan(plan) == 0
+    assert not _find(plan.root, FusedTraversalNode)
+
+
+def test_kernel_gates_fusion_on_batch_switch(db):
+    plan = _forced_forward(db, PATH_SQL)
+    db.set_batch_enabled(False)
+    db.kernel._fuse_plan(plan)
+    assert not _find(plan.root, FusedTraversalNode)
+
+    db.set_batch_enabled(True)
+    db.kernel._fuse_plan(plan)
+    assert len(_find(plan.root, FusedTraversalNode)) == 1
+
+
+def test_batch_toggle_invalidates_plan_cache(db):
+    """Cached plans were fused (or not) under the previous setting; the
+    toggle must drop them all -- the version stamps alone would not."""
+    db.query(PATH_SQL)
+    db.query(PATH_SQL)
+    cache = db.kernel.plan_cache
+    assert len(cache) >= 1 and cache.stats()["hits"] >= 1
+
+    db.set_batch_enabled(False)
+    assert len(cache) == 0
+    db.set_batch_enabled(False)  # no-op: same setting, nothing recompiled
+    assert db.query(PATH_SQL).rows  # still answers, replanned unbatched
