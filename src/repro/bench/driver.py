@@ -49,6 +49,18 @@ class WorkloadConfig:
     #: EXECUTE them with bind parameters (the compile-once fast path)
     #: instead of sending fresh SQL text every time.
     use_prepared: bool = False
+    #: Against a sharded router: how many shards the object base is
+    #: partitioned over (``id % shard_count``).  When > 0 every statement
+    #: carries its vehicle id as ``shard_key`` and all ids within one
+    #: transaction are chosen congruent modulo the shard count, so the
+    #: transaction stays on one shard and rides the router's fast path.
+    #: ``scale`` should be a multiple of ``shard_count``.  0 = plain
+    #: server, no routing hints.
+    shard_count: int = 0
+    #: Relative weight of a cross-shard transfer (two updates on
+    #: different shards, committing through two-phase commit).  Only
+    #: distinct from ``write`` when ``shard_count > 1``.
+    cross_shard_weight: float = 0.0
 
 
 @dataclass
@@ -113,6 +125,9 @@ class _ClientWorker(threading.Thread):
         weights = [
             config.read_weight, config.path_weight, config.write_weight,
         ]
+        if config.cross_shard_weight > 0:
+            kinds.append("xfer")
+            weights.append(config.cross_shard_weight)
         try:
             client = MoodClient(self.host, self.port)
         except OSError as exc:
@@ -130,12 +145,15 @@ class _ClientWorker(threading.Thread):
                 if config.use_prepared:
                     calls = self._prepared_calls(kind)
                     body = lambda c: [
-                        c.execute_prepared(name, params)
-                        for name, params in calls
+                        c.execute_prepared(name, params, shard_key=key)
+                        for name, params, key in calls
                     ]
                 else:
                     statements = self._statements(kind)
-                    body = lambda c: [c.execute(sql) for sql in statements]
+                    body = lambda c: [
+                        c.execute(sql, shard_key=key)
+                        for sql, key in statements
+                    ]
                 started = time.monotonic()
                 try:
                     _, attempts = client.run_transaction(
@@ -158,27 +176,52 @@ class _ClientWorker(threading.Thread):
                     self.errors.append(f"{kind}: connection: {exc}")
                     return
 
-    def _statements(self, kind: str) -> list[str]:
+    def _key(self, vehicle_id: int):
+        """The routing hint for a statement touching ``vehicle_id``
+        (None against a plain server)."""
+        return vehicle_id if self.config.shard_count > 0 else None
+
+    def _peer(self, vehicle_id: int, stride: int) -> int:
+        """Another vehicle id roughly ``stride`` slots away but on the
+        *same* shard: steps are multiples of the shard count, so the
+        transaction never crosses a shard boundary by accident."""
+        n = max(self.config.shard_count, 1)
+        step = (stride // n) * n or n
+        return (vehicle_id + step) % self.config.scale
+
+    def _statements(self, kind: str) -> list[tuple]:
         vehicle_id = self.rng.randrange(self.config.scale)
         if kind == "read":
             low = self.rng.randrange(500, 2500)
-            return [
+            return [(
                 "SELECT v.id, v.weight FROM Vehicle v "
-                f"WHERE v.weight > {low} AND v.id < {vehicle_id + 10}"
-            ]
+                f"WHERE v.weight > {low} AND v.id < {vehicle_id + 10}",
+                self._key(vehicle_id),
+            )]
         if kind == "path":
+            second = self._peer(vehicle_id, 1)
             return [
-                "SELECT v.id, v.manufacturer.name FROM Vehicle v "
-                f"WHERE v.id = {vehicle_id}",
-                "SELECT v.drivetrain.engine.cylinders FROM Vehicle v "
-                f"WHERE v.id = {(vehicle_id + 1) % self.config.scale}",
+                ("SELECT v.id, v.manufacturer.name FROM Vehicle v "
+                 f"WHERE v.id = {vehicle_id}", self._key(vehicle_id)),
+                ("SELECT v.drivetrain.engine.cylinders FROM Vehicle v "
+                 f"WHERE v.id = {second}", self._key(second)),
             ]
-        second = (vehicle_id + self.config.scale // 2) % self.config.scale
+        if kind == "xfer":
+            # Deliberately crosses shards (ids differ by 1): the commit
+            # goes through the router's two-phase protocol.
+            peer = (vehicle_id + 1) % self.config.scale
+            return [
+                ("UPDATE Vehicle v SET weight = v.weight + 1 "
+                 f"WHERE v.id = {vehicle_id}", self._key(vehicle_id)),
+                ("UPDATE Vehicle v SET weight = v.weight - 1 "
+                 f"WHERE v.id = {peer}", self._key(peer)),
+            ]
+        second = self._peer(vehicle_id, self.config.scale // 2)
         return [
-            "UPDATE Vehicle v SET weight = v.weight + 1 "
-            f"WHERE v.id = {vehicle_id}",
-            "SELECT v.weight FROM Vehicle v "
-            f"WHERE v.id = {second}",
+            ("UPDATE Vehicle v SET weight = v.weight + 1 "
+             f"WHERE v.id = {vehicle_id}", self._key(vehicle_id)),
+            ("SELECT v.weight FROM Vehicle v "
+             f"WHERE v.id = {second}", self._key(second)),
         ]
 
     #: The same transaction kinds with bind parameters in place of the
@@ -200,20 +243,28 @@ class _ClientWorker(threading.Thread):
         for name, sql in self._PREPARED.items():
             client.prepare(name, sql)
 
-    def _prepared_calls(self, kind: str) -> list[tuple[str, list]]:
+    def _prepared_calls(self, kind: str) -> list[tuple[str, list, object]]:
         vehicle_id = self.rng.randrange(self.config.scale)
         if kind == "read":
             low = self.rng.randrange(500, 2500)
-            return [("read_scan", [low, vehicle_id + 10])]
+            return [("read_scan", [low, vehicle_id + 10],
+                     self._key(vehicle_id))]
         if kind == "path":
+            second = self._peer(vehicle_id, 1)
             return [
-                ("path_mfr", [vehicle_id]),
-                ("path_eng", [(vehicle_id + 1) % self.config.scale]),
+                ("path_mfr", [vehicle_id], self._key(vehicle_id)),
+                ("path_eng", [second], self._key(second)),
             ]
-        second = (vehicle_id + self.config.scale // 2) % self.config.scale
+        if kind == "xfer":
+            peer = (vehicle_id + 1) % self.config.scale
+            return [
+                ("write_bump", [vehicle_id], self._key(vehicle_id)),
+                ("write_bump", [peer], self._key(peer)),
+            ]
+        second = self._peer(vehicle_id, self.config.scale // 2)
         return [
-            ("write_bump", [vehicle_id]),
-            ("write_check", [second]),
+            ("write_bump", [vehicle_id], self._key(vehicle_id)),
+            ("write_check", [second], self._key(second)),
         ]
 
 

@@ -175,3 +175,88 @@ def build_paper_database(db, scale: int = 100, seed: int = 42) -> dict:
         "VehicleDriveTrain": drivetrains,
         "Vehicle": vehicles,
     }
+
+
+def build_paper_shard(
+    db, shard_index: int, shard_count: int, scale: int = 100, seed: int = 42
+) -> dict:
+    """Populate one shard's slice of the paper database.
+
+    The schema is identical on every shard (DDL broadcasts); the data is
+    partitioned by vehicle id: shard ``i`` owns the vehicles whose
+    ``id % shard_count == i`` together with shard-local drivetrains,
+    engines, companies and employees in the Table 13 proportions, so no
+    reference ever crosses a shard boundary.  ``scale`` is the *global*
+    vehicle count, matching :func:`build_paper_database` at the same
+    scale when ``shard_count == 1``.
+    """
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(f"shard {shard_index} outside 0..{shard_count - 1}")
+    rng = random.Random(seed + shard_index)
+    for ddl in PAPER_SCHEMA_DDL:
+        db.execute(ddl)
+
+    local_ids = [i for i in range(scale) if i % shard_count == shard_index]
+    local_scale = max(1, len(local_ids))
+    num_drivetrains = max(1, local_scale // 2)
+    num_engines = max(1, local_scale // 2)
+    num_companies = max(1, local_scale * 10)
+    num_employees = max(1, local_scale // 4)
+
+    employees = [
+        db.new_object("Employee", {
+            "ssno": 1000 + shard_index * scale + i,
+            "name": f"Employee-{shard_index}-{i}",
+            "age": 25 + (i % 40),
+        })
+        for i in range(num_employees)
+    ]
+    companies = []
+    for i in range(num_companies):
+        stem = COMPANY_STEMS[i % len(COMPANY_STEMS)]
+        name = stem if i < len(COMPANY_STEMS) else f"{stem}-{shard_index}-{i}"
+        companies.append(
+            db.new_object("Company", {
+                "name": name,
+                "location": LOCATIONS[i % len(LOCATIONS)],
+                "president": rng.choice(employees),
+            })
+        )
+    engines = [
+        db.new_object("VehicleEngine", {
+            "size": 1000 + 250 * (i % 13),
+            "cylinders": 2 * (1 + i % 16),
+        })
+        for i in range(num_engines)
+    ]
+    drivetrains = [
+        db.new_object("VehicleDriveTrain", {
+            "engine": engines[i % num_engines],
+            "transmission": TRANSMISSIONS[i % len(TRANSMISSIONS)],
+        })
+        for i in range(num_drivetrains)
+    ]
+    vehicles = []
+    for rank, vehicle_id in enumerate(local_ids):
+        class_name = ("JapaneseAuto" if vehicle_id % 5 == 0
+                      else "Automobile" if vehicle_id % 2 == 0 else "Vehicle")
+        company = (
+            companies[rng.randrange(num_companies)]
+            if class_name != "JapaneseAuto"
+            else companies[1 + (vehicle_id % 3)]
+        )
+        vehicles.append(
+            db.new_object(class_name, {
+                "id": vehicle_id,
+                "weight": 800 + (vehicle_id * 37) % 1400,
+                "drivetrain": drivetrains[rank % num_drivetrains],
+                "manufacturer": company,
+            })
+        )
+    return {
+        "Employee": employees,
+        "Company": companies,
+        "VehicleEngine": engines,
+        "VehicleDriveTrain": drivetrains,
+        "Vehicle": vehicles,
+    }

@@ -38,12 +38,14 @@ class MoodDatabase:
         cache_capacity: int = 4096,
         plan_cache_capacity: int = 256,
         batch_enabled: bool = True,
+        page_base: int = 0,
     ):
         self.kernel = MoodKernel(
             disk_params, buffer_capacity,
             cache_enabled=cache_enabled, cache_capacity=cache_capacity,
             plan_cache_capacity=plan_cache_capacity,
             batch_enabled=batch_enabled,
+            page_base=page_base,
         )
         self.auto_analyze = auto_analyze
         self._schema_version = 0

@@ -356,6 +356,28 @@ class UnknownPreparedStatementError(ServerError):
     errno = 2007
 
 
+class ShardUnavailableError(ServerError):
+    """A shard worker could not be reached (starting up, crashed, or
+    restarting).  Presumed abort guarantees any transaction this statement
+    belonged to rolls back, so the client may retry the whole transaction
+    once the shard is back."""
+
+    code = "SHARD_UNAVAILABLE"
+    errno = 2008
+    retryable = True
+
+
+class TransactionInDoubtError(ServerError):
+    """A cross-shard commit could not reach its decision point (a
+    participant vanished mid-prepare).  No commit decision was logged, so
+    presumed abort resolves every prepared branch to rollback; the client
+    may retry the transaction."""
+
+    code = "TXN_IN_DOUBT"
+    errno = 2009
+    retryable = True
+
+
 # --------------------------------------------------------------------------
 # The code registry
 # --------------------------------------------------------------------------

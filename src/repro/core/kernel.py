@@ -136,8 +136,10 @@ class MoodKernel:
         cache_capacity: int = 4096,
         plan_cache_capacity: int = 256,
         batch_enabled: bool = True,
+        page_base: int = 0,
     ):
-        self.storage = StorageManager(disk_params, buffer_capacity)
+        self.storage = StorageManager(disk_params, buffer_capacity,
+                                      page_base=page_base)
         self.catalog = Catalog(self.storage)
         self.functions = FunctionManager(self.catalog)
         self.objects = ObjectManager(

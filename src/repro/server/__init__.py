@@ -10,10 +10,14 @@ reproduces that process boundary:
 * :mod:`~repro.server.admission` -- bounded statement gate (load shedding);
 * :mod:`~repro.server.server` -- the TCP server and graceful shutdown;
 * :mod:`~repro.server.client` -- ``MoodClient`` with retryable-error
-  backoff.
+  backoff;
+* :mod:`~repro.server.worker` / :mod:`~repro.server.router` /
+  :mod:`~repro.server.txlog` -- shard-per-core scale-out: engine workers
+  over disjoint OID ranges behind a routing front end with
+  presumed-abort two-phase commit.
 
-Run one with ``python -m repro.server`` and talk to it with
-:class:`MoodClient`.
+Run one with ``python -m repro.server`` (``--shards N`` for a sharded
+deployment) and talk to it with :class:`MoodClient`.
 """
 
 from repro.server.client import (
@@ -22,16 +26,25 @@ from repro.server.client import (
     QueryRows,
     StatementOutcome,
 )
+from repro.server.router import RouterConfig, ShardedServer, shard_of_key
 from repro.server.server import MoodServer, ServerConfig
 from repro.server.session import Session, SessionManager
+from repro.server.txlog import CoordinatorLog
+from repro.server.worker import LocalShard, ProcessShard
 
 __all__ = [
+    "CoordinatorLog",
+    "LocalShard",
     "MoodClient",
     "MoodServer",
     "MoodServerError",
+    "ProcessShard",
     "QueryRows",
+    "RouterConfig",
     "ServerConfig",
     "Session",
     "SessionManager",
+    "ShardedServer",
     "StatementOutcome",
+    "shard_of_key",
 ]

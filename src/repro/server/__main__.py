@@ -39,7 +39,16 @@ def main(argv=None) -> int:
     parser.add_argument("--demo", action="store_true",
                         help="preload the paper's vehicle/company data")
     parser.add_argument("--demo-scale", type=int, default=100)
+    parser.add_argument("--shards", type=int, default=0,
+                        help="serve a sharded deployment: N worker "
+                             "processes behind a routing front end")
+    parser.add_argument("--txlog", default=None,
+                        help="path for the router's 2PC decision log "
+                             "(sharded mode only)")
     args = parser.parse_args(argv)
+
+    if args.shards > 0:
+        return _main_sharded(args)
 
     db = MoodDatabase()
     if args.demo:
@@ -65,6 +74,37 @@ def main(argv=None) -> int:
     done.wait()
     print("shutting down...")
     server.stop(graceful=True)
+    return 0
+
+
+def _main_sharded(args) -> int:
+    from repro.server.router import RouterConfig, ShardedServer
+
+    options = {
+        "max_workers": args.workers,
+        "max_queue": args.queue,
+        "statement_timeout": args.statement_timeout,
+    }
+    if args.demo:
+        options["build_paper"] = True
+        options["scale"] = args.demo_scale
+    router = ShardedServer(RouterConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        worker_options=options,
+        txlog_path=args.txlog,
+    ))
+    host, port = router.start()
+    print(f"MOOD router listening on {host}:{port} "
+          f"({args.shards} shard workers)")
+
+    done = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: done.set())
+    signal.signal(signal.SIGTERM, lambda *_: done.set())
+    done.wait()
+    print("shutting down...")
+    router.stop()
     return 0
 
 

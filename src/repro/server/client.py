@@ -156,6 +156,8 @@ class MoodClient:
         sql: str,
         timeout: float | None = None,
         trace_id: str | None = None,
+        shard: int | None = None,
+        shard_key=None,
     ) -> list:
         """Run a script; returns one decoded result per statement.
 
@@ -163,6 +165,10 @@ class MoodClient:
         the server threads through the statement's whole execution; it is
         kept on :attr:`last_trace_id` for joining against the server's
         ``SYS$STATEMENTS`` view.
+
+        Against a sharded router, ``shard`` pins the script to a shard
+        index and ``shard_key`` hashes an application key to one;
+        a plain server ignores both.
         """
         if trace_id is None:
             trace_id = new_trace_id()
@@ -170,6 +176,10 @@ class MoodClient:
         fields = {"sql": sql, "trace": trace_id}
         if timeout is not None:
             fields["timeout"] = timeout
+        if shard is not None:
+            fields["shard"] = shard
+        if shard_key is not None:
+            fields["shard_key"] = shard_key
         response = self._call("EXECUTE", **fields)
         return [_decode_result(item) for item in response["results"]]
 
@@ -178,9 +188,12 @@ class MoodClient:
         sql: str,
         timeout: float | None = None,
         trace_id: str | None = None,
+        shard: int | None = None,
+        shard_key=None,
     ) -> QueryRows:
         """Run one SELECT; returns its rows."""
-        results = self.execute(sql, timeout=timeout, trace_id=trace_id)
+        results = self.execute(sql, timeout=timeout, trace_id=trace_id,
+                               shard=shard, shard_key=shard_key)
         for result in reversed(results):
             if isinstance(result, QueryRows):
                 return result
@@ -208,6 +221,8 @@ class MoodClient:
         params=None,
         timeout: float | None = None,
         trace_id: str | None = None,
+        shard: int | None = None,
+        shard_key=None,
     ):
         """EXECUTE the prepared statement with ``params`` (list for ``?``,
         dict for ``:name``); decodes like :meth:`execute` for one result.
@@ -221,6 +236,10 @@ class MoodClient:
         fields = {"name": name, "params": params if params is not None else []}
         if timeout is not None:
             fields["timeout"] = timeout
+        if shard is not None:
+            fields["shard"] = shard
+        if shard_key is not None:
+            fields["shard_key"] = shard_key
         try:
             response = self._call(
                 "EXECUTE_PREPARED", trace=trace_id, **fields
@@ -259,7 +278,9 @@ class MoodClient:
     ):
         """Run ``body(client)`` inside BEGIN/COMMIT, retrying on retryable
         errors (deadlock victimisation, lock/statement timeouts, admission
-        rejection) with exponential backoff plus jitter.
+        rejection, and -- against a sharded router -- SHARD_UNAVAILABLE /
+        TXN_IN_DOUBT, both safe to retry under presumed abort) with
+        exponential backoff plus jitter.
 
         Returns ``(result, attempts)``; raises the last error once the
         retry budget is spent or on any non-retryable failure.

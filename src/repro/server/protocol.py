@@ -41,6 +41,10 @@ REQUEST_OPS = frozenset({
     "EXECUTE", "QUERY", "EXPLAIN", "BEGIN", "COMMIT", "ROLLBACK",
     "PREPARE", "EXECUTE_PREPARED", "DEALLOCATE",
     "PING", "STATS", "METRICS", "CLOSE",
+    # Two-phase commit (router -> shard worker only): phase-1 vote and the
+    # idempotent phase-2 decisions, plus the in-doubt report used by the
+    # coordinator's presumed-abort recovery sweep.
+    "PREPARE_TXN", "COMMIT_PREPARED", "ROLLBACK_PREPARED", "IN_DOUBT",
 })
 
 
@@ -60,6 +64,16 @@ def send_frame(sock: socket.socket, message: dict) -> None:
 
 def recv_frame(sock: socket.socket) -> dict | None:
     """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    payload = recv_frame_bytes(sock)
+    if payload is None:
+        return None
+    return decode_frame(payload)
+
+
+def recv_frame_bytes(sock: socket.socket) -> bytes | None:
+    """One frame's undecoded payload; ``None`` on a clean EOF.  The
+    router's relay path reads frames this way so it can forward them
+    byte-identical without a decode/re-encode round trip."""
     header = _recv_exact(sock, _LENGTH.size)
     if header is None:
         return None
@@ -69,6 +83,19 @@ def recv_frame(sock: socket.socket) -> dict | None:
     payload = _recv_exact(sock, length)
     if payload is None:
         raise ProtocolError("connection closed mid-frame")
+    return payload
+
+
+def send_frame_bytes(sock: socket.socket, payload: bytes) -> None:
+    """Send an already-encoded frame payload (the relay's other half)."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def decode_frame(payload: bytes) -> dict:
     try:
         message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -18,6 +18,7 @@ then cold-restartable: recovery finds only committed work.
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
 import time
@@ -90,6 +91,11 @@ class MoodServer:
         self._inflight_mutex = threading.Lock()
         self._drained = threading.Condition(self._inflight_mutex)
         self._stopped = False
+        self._crashed = False
+        # Established connection sockets, so a simulated crash can sever
+        # them the way a process kill would.
+        self._conn_socks: set = set()
+        self._conn_mutex = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -144,6 +150,33 @@ class MoodServer:
         #    exit as their clients hang up or their next statement is
         #    refused with SHUTTING_DOWN.
         self._tcp.server_close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def simulate_crash(self) -> None:
+        """Die without grace: sever every connection and the listener,
+        skipping the drain / rollback / checkpoint tail of :meth:`stop`.
+        Sessions' open transactions are simply abandoned, exactly as a
+        process kill would leave them; pair with ``storage.crash()`` +
+        ``restart()`` to exercise crash recovery (including in-doubt
+        resurrection)."""
+        if self._tcp is None or self._stopped:
+            return
+        self._stopped = True
+        self._crashed = True  # handlers must not run their graceful tail
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        with self._conn_mutex:
+            socks = list(self._conn_socks)
+        for sock in socks:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
 
@@ -222,6 +255,20 @@ class MoodServer:
             return _statement_payload(self.sessions.commit(session))
         if op == "ROLLBACK":
             return _statement_payload(self.sessions.rollback(session))
+        if op == "PREPARE_TXN":
+            return _statement_payload(
+                self.sessions.prepare_transaction(session, _require_gid(request))
+            )
+        if op == "COMMIT_PREPARED":
+            return _statement_payload(
+                self.sessions.commit_prepared(_require_gid(request))
+            )
+        if op == "ROLLBACK_PREPARED":
+            return _statement_payload(
+                self.sessions.rollback_prepared(_require_gid(request))
+            )
+        if op == "IN_DOUBT":
+            return ok_response({"gids": self.sessions.in_doubt_gids()})
         if op == "PREPARE":
             name = _require_name(op, request)
             sql = request.get("sql")
@@ -355,6 +402,15 @@ def _require_name(op: str, request: dict) -> str:
     return name
 
 
+def _require_gid(request: dict) -> str:
+    gid = request.get("gid")
+    if not isinstance(gid, str) or not gid:
+        raise ProtocolError(
+            f"{request.get('op')} needs a non-empty string 'gid' field"
+        )
+    return gid
+
+
 # --------------------------------------------------------------------------
 # socketserver plumbing
 # --------------------------------------------------------------------------
@@ -374,6 +430,8 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         server: MoodServer = self.server.mood_server
         server._m_connections.inc()
+        with server._conn_mutex:
+            server._conn_socks.add(self.request)
         try:
             session = server.sessions.open_session()
         except MoodError as exc:
@@ -398,6 +456,9 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         except (ConnectionError, BrokenPipeError, OSError):
             pass  # client vanished; the finally still rolls its txn back
         finally:
-            server.sessions.close_session(session)
-            # A connection that died mid-transaction still holds a slot.
-            server._reconcile_ticket(session)
+            with server._conn_mutex:
+                server._conn_socks.discard(self.request)
+            if not server._crashed:
+                server.sessions.close_session(session)
+                # A connection that died mid-transaction still holds a slot.
+                server._reconcile_ticket(session)

@@ -186,6 +186,7 @@ class SessionManager:
         self._m_stmt_timeouts = component.counter("statement_timeouts")
         self._m_commits = component.counter("commits")
         self._m_rollbacks = component.counter("rollbacks")
+        self._m_prepares = component.counter("txn_prepares")
         self.kernel.system_views.register(
             "SYS$SESSIONS",
             [("session_id", "Integer"), ("state", "String"),
@@ -297,6 +298,54 @@ class SessionManager:
             return StatementResult(
                 kind="ROLLBACK", detail=f"transaction {txn_id}"
             )
+
+    # -- two-phase commit (participant verbs, driven by the router) -----------
+
+    def prepare_transaction(self, session: Session, gid: str) -> StatementResult:
+        """Phase-1 vote for the session's open transaction.  On success the
+        transaction detaches from the session (its fate now belongs to the
+        coordinator) with all its locks still held."""
+        self._check_open(session)
+        with session.mutex:
+            txn = session.txn
+            if txn is None:
+                raise TransactionError("no open transaction to prepare")
+            if txn.state is not TxnState.ACTIVE:
+                session.txn = None
+                raise TransactionAbortedError(
+                    f"transaction {txn.txn_id} was already rolled back"
+                )
+            self.kernel.storage.txns.prepare(txn, gid)
+            session.txn = None
+            self._m_prepares.inc()
+            return StatementResult(
+                kind="PREPARE_TXN", detail=f"transaction {txn.txn_id} gid {gid}"
+            )
+
+    def commit_prepared(self, gid: str) -> StatementResult:
+        """Idempotent phase-2 commit for a prepared transaction."""
+        applied = self.kernel.storage.txns.commit_prepared(gid)
+        if applied:
+            self._m_commits.inc()
+        return StatementResult(
+            kind="COMMIT_PREPARED",
+            detail=f"gid {gid} {'committed' if applied else 'already resolved'}",
+        )
+
+    def rollback_prepared(self, gid: str) -> StatementResult:
+        """Idempotent phase-2 abort (or presumed abort) for a prepared
+        transaction."""
+        applied = self.kernel.storage.txns.rollback_prepared(gid)
+        if applied:
+            self._m_rollbacks.inc()
+        return StatementResult(
+            kind="ROLLBACK_PREPARED",
+            detail=f"gid {gid} {'rolled back' if applied else 'already resolved'}",
+        )
+
+    def in_doubt_gids(self) -> list[str]:
+        """Global transaction ids prepared here and awaiting a decision."""
+        return sorted(self.kernel.storage.txns.in_doubt)
 
     # -- statement execution --------------------------------------------------
 

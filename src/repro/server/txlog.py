@@ -1,0 +1,94 @@
+"""The router's two-phase-commit decision log (presumed abort).
+
+A cross-shard transaction commits in two phases: every participant votes
+by forcing a ``PREPARE`` record into its own WAL, then the coordinator
+*decides*.  The decision is the commit point, so it must be durable
+before any participant learns it -- this log is that stable storage.
+
+Presumed abort keeps the log small: only COMMIT decisions strictly need
+logging (a recovering participant that finds no decision for its gid may
+presume abort), but we log ABORT decisions too so recovery can actively
+drain them instead of waiting for participants to ask.  A ``DONE``
+record retires a decision once every participant acknowledged phase 2;
+recovery re-drives decisions that have no DONE.
+
+The log is a JSON-lines file when given a path (one fsync per decision,
+mirroring a log on a separate stable device) and an in-memory list
+otherwise -- the in-memory form survives a *simulated* router crash
+because tests hand the same object to the restarted router, exactly as
+the simulated disk's platters survive ``crash()``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One logged commit/abort decision and its participant set."""
+
+    gid: str
+    verdict: str               # "COMMIT" or "ABORT"
+    shards: tuple[int, ...]    # participants awaiting the decision
+
+
+class CoordinatorLog:
+    """Append-only decision log with presumed-abort recovery scanning."""
+
+    def __init__(self, path: str | None = None):
+        self._mutex = threading.Lock()
+        self._records: list[dict] = []
+        self._path = path
+        if path is not None and os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        self._records.append(json.loads(line))
+
+    def _append(self, record: dict) -> None:
+        with self._mutex:
+            self._records.append(record)
+            if self._path is not None:
+                with open(self._path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(record) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+
+    def log_decision(self, gid: str, verdict: str, shards) -> None:
+        """Force the commit point: after this returns, the outcome of
+        ``gid`` is ``verdict`` no matter who crashes."""
+        if verdict not in ("COMMIT", "ABORT"):
+            raise ValueError(f"bad verdict {verdict!r}")
+        self._append({
+            "kind": "DECISION", "gid": gid, "verdict": verdict,
+            "shards": sorted(int(s) for s in shards),
+        })
+
+    def log_done(self, gid: str) -> None:
+        """Every participant has acknowledged phase 2; forget ``gid``."""
+        self._append({"kind": "DONE", "gid": gid})
+
+    def pending(self) -> list[Decision]:
+        """Decisions with no DONE record, in log order -- the in-doubt
+        drain list for coordinator restart recovery."""
+        with self._mutex:
+            records = list(self._records)
+        decisions: dict[str, Decision] = {}
+        for record in records:
+            if record["kind"] == "DECISION":
+                decisions[record["gid"]] = Decision(
+                    record["gid"], record["verdict"],
+                    tuple(record["shards"]),
+                )
+            elif record["kind"] == "DONE":
+                decisions.pop(record["gid"], None)
+        return list(decisions.values())
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._records)

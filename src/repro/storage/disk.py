@@ -166,12 +166,19 @@ class IOStats:
 
 @dataclass
 class _Volume:
-    """One mounted volume: an append-only array of fixed-size pages."""
+    """One mounted volume: an append-only array of fixed-size pages.
+
+    ``page_base`` offsets the volume's page numbering: page ``page_base``
+    is stored at index 0.  A sharded deployment gives each shard its own
+    disjoint page range, so the page number inside every OID identifies
+    its shard (the OID-space partition function).
+    """
 
     volume_id: int
     pages: list[bytearray] = field(default_factory=list)
     free_pages: list[int] = field(default_factory=list)
     last_accessed: int = -2  # sentinel: nothing is 'sequential after' it
+    page_base: int = 0
 
 
 class SimulatedDisk:
@@ -185,11 +192,16 @@ class SimulatedDisk:
     for discarding any volatile state layered above.
     """
 
-    def __init__(self, params: DiskParams | None = None):
+    def __init__(
+        self, params: DiskParams | None = None, page_base: int = 0
+    ):
         self.params = params or DiskParams()
         self.stats = IOStats()
         self._volumes: dict[int, _Volume] = {}
         self._next_volume_id = 1
+        #: First page number volumes allocate from (shard-disjoint ranges
+        #: make the page number in an OID identify its shard).
+        self.page_base = page_base
 
     # -- volume management -------------------------------------------------
 
@@ -197,7 +209,7 @@ class SimulatedDisk:
         """Create and mount a fresh volume; return its id."""
         volume_id = self._next_volume_id
         self._next_volume_id += 1
-        self._volumes[volume_id] = _Volume(volume_id)
+        self._volumes[volume_id] = _Volume(volume_id, page_base=self.page_base)
         return volume_id
 
     def volume_ids(self) -> list[int]:
@@ -216,9 +228,11 @@ class SimulatedDisk:
         volume = self._volume(volume_id)
         if volume.free_pages:
             page_no = volume.free_pages.pop()
-            volume.pages[page_no] = bytearray(self.params.block_size)
+            volume.pages[page_no - volume.page_base] = bytearray(
+                self.params.block_size
+            )
         else:
-            page_no = len(volume.pages)
+            page_no = volume.page_base + len(volume.pages)
             volume.pages.append(bytearray(self.params.block_size))
         return page_no
 
@@ -234,7 +248,9 @@ class SimulatedDisk:
 
     @staticmethod
     def _check_page(volume: _Volume, page_no: int) -> None:
-        if not 0 <= page_no < len(volume.pages):
+        if not volume.page_base <= page_no < volume.page_base + len(
+            volume.pages
+        ):
             raise StorageError(
                 f"page {page_no} out of range on volume {volume.volume_id}"
             )
@@ -245,7 +261,7 @@ class SimulatedDisk:
         volume = self._volume(volume_id)
         self._check_page(volume, page_no)
         self._charge(volume, page_no, write=False)
-        return bytes(volume.pages[page_no])
+        return bytes(volume.pages[page_no - volume.page_base])
 
     def write_page(self, volume_id: int, page_no: int, data: bytes) -> None:
         volume = self._volume(volume_id)
@@ -256,7 +272,7 @@ class SimulatedDisk:
                 f"{self.params.block_size}"
             )
         self._charge(volume, page_no, write=True)
-        volume.pages[page_no] = bytearray(data)
+        volume.pages[page_no - volume.page_base] = bytearray(data)
 
     def _charge(self, volume: _Volume, page_no: int, write: bool) -> None:
         sequential = page_no == volume.last_accessed + 1
@@ -307,7 +323,7 @@ class SimulatedDisk:
         """Read a page without I/O accounting (infrastructure use only)."""
         volume = self._volume(volume_id)
         self._check_page(volume, page_no)
-        return bytes(volume.pages[page_no])
+        return bytes(volume.pages[page_no - volume.page_base])
 
     def poke_page(self, volume_id: int, page_no: int, data: bytes) -> None:
         """Write a page without I/O accounting (recovery infrastructure)."""
@@ -315,7 +331,7 @@ class SimulatedDisk:
         self._check_page(volume, page_no)
         if len(data) != self.params.block_size:
             raise StorageError("poke of wrong-sized page image")
-        volume.pages[page_no] = bytearray(data)
+        volume.pages[page_no - volume.page_base] = bytearray(data)
 
     # -- failure simulation -------------------------------------------------
 

@@ -43,13 +43,14 @@ class StorageManager:
         self,
         params: DiskParams | None = None,
         buffer_capacity: int = 256,
+        page_base: int = 0,
     ):
         self.metrics = MetricsRegistry()
         #: Server-wide journal of notable operational events (lock waits,
         #: deadlocks, checkpoints, recovery, cache storms, admission
         #: rejections); components above the storage layer share it.
         self.events = EventJournal()
-        self.disk = SimulatedDisk(params)
+        self.disk = SimulatedDisk(params, page_base=page_base)
         self.disk.attach_metrics(self.metrics.component("disk"))
         self.volume = self.disk.mount_volume()
         self.buffer = BufferManager(self.disk, buffer_capacity)
@@ -227,6 +228,7 @@ class StorageManager:
         self.buffer.drop_all()
         self.disk.crash()
         self.txns.active.clear()
+        self.txns.in_doubt.clear()   # resurrected from the log on restart
         self.locks = LockManager()
         self.locks.attach_metrics(self.metrics.component("locks"))
         self.locks.attach_events(self.events)
@@ -235,14 +237,27 @@ class StorageManager:
         self._run_reset_hooks()
 
     def restart(self) -> RecoveryReport:
-        """Run restart recovery and refresh per-file record counts."""
+        """Run restart recovery and refresh per-file record counts.
+
+        In-doubt (2PC-prepared) transactions found on the log are
+        resurrected with their lock sets re-held: their pages stay redone
+        (not undone), and only their coordinator's decision -- delivered
+        via ``txns.commit_prepared`` / ``txns.rollback_prepared`` --
+        releases them.
+        """
         report = recover(self.wal, self._apply_page_image)
+        for entry in report.in_doubt:
+            if entry.gid not in self.txns.in_doubt:
+                self.txns.resurrect_in_doubt(
+                    entry.gid, entry.txn_id, entry.update_lsns, entry.locks
+                )
         for storage_file in self._files.values():
             self._recount(storage_file)
         self.events.emit(
             "recovery.replay",
             winners=len(report.winners), losers=len(report.losers),
             redone=report.redone, undone=report.undone,
+            in_doubt=len(report.in_doubt),
         )
         self._run_reset_hooks()
         return report

@@ -43,3 +43,29 @@ class OID:
 
 #: The null reference: no MOOD object ever receives this identifier.
 NULL_OID = OID(0, 0, 0)
+
+
+#: Width of each shard's page range in a sharded deployment.  Shard ``i``
+#: allocates pages from ``i * SHARD_PAGE_SPAN``, so the page number inside
+#: any OID identifies the shard that owns the object -- the OID-space
+#: partition function needs no directory lookups.
+SHARD_PAGE_SPAN = 1 << 20
+
+
+def shard_page_base(shard_index: int) -> int:
+    """First page number of ``shard_index``'s disjoint page range."""
+    if shard_index < 0:
+        raise StorageError(f"negative shard index {shard_index}")
+    return shard_index * SHARD_PAGE_SPAN
+
+
+def shard_of_oid(oid: OID | str, shard_count: int) -> int:
+    """Which shard owns ``oid`` (range partition on the page number)."""
+    if isinstance(oid, str):
+        oid = OID.parse(oid)
+    shard = oid.page // SHARD_PAGE_SPAN
+    if not 0 <= shard < shard_count:
+        raise StorageError(
+            f"OID {oid} maps to shard {shard}, outside 0..{shard_count - 1}"
+        )
+    return shard

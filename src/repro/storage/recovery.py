@@ -7,17 +7,33 @@ recovery algorithm applies:
 1. **Analysis** -- read the log to learn each transaction's fate.  Losers
    are the transactions that neither committed nor aborted: a run-time abort
    logged compensation updates for its undo, so redo-all already replays it.
+   Transactions whose last control record is a 2PC ``PREPARE`` are *in
+   doubt*: they voted yes and their outcome belongs to their coordinator,
+   so they are redone but **not** undone.
 2. **Redo** -- reapply the after-image of every update since the last
    checkpoint, in LSN order (includes compensation updates).
 3. **Undo** -- apply the before-image of every loser update, in reverse LSN
-   order, then log an ABORT for each loser.
+   order, then log an ABORT for each loser.  In-doubt transactions are
+   reported (gid, update LSNs, locks from the PREPARE record) so the
+   storage manager can resurrect them with their locks re-held; presumed
+   abort means the coordinator resolves them later.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.storage.wal import LogKind, WriteAheadLog
+
+
+@dataclass(frozen=True)
+class InDoubtTransaction:
+    """An in-doubt (prepared) transaction found on the log at restart."""
+
+    gid: str
+    txn_id: int
+    update_lsns: tuple[int, ...]
+    locks: tuple
 
 
 @dataclass
@@ -26,6 +42,7 @@ class RecoveryReport:
     losers: list[int]
     redone: int
     undone: int
+    in_doubt: list[InDoubtTransaction] = field(default_factory=list)
 
 
 def recover(wal: WriteAheadLog, apply_page_image) -> RecoveryReport:
@@ -36,6 +53,9 @@ def recover(wal: WriteAheadLog, apply_page_image) -> RecoveryReport:
     fates = wal.transactions_on_log()
     winners = sorted(t for t, fate in fates.items() if fate is LogKind.COMMIT)
     losers = sorted(t for t, fate in fates.items() if fate is LogKind.BEGIN)
+    doubted = sorted(
+        t for t, fate in fates.items() if fate is LogKind.PREPARE
+    )
 
     checkpoint_lsn = wal.last_checkpoint_lsn()
     redone = 0
@@ -58,4 +78,19 @@ def recover(wal: WriteAheadLog, apply_page_image) -> RecoveryReport:
     for txn_id in losers:
         wal.append(LogKind.ABORT, txn_id)
     wal.force()
-    return RecoveryReport(winners, losers, redone, undone)
+
+    prepares = wal.prepare_records()
+    update_lsns: dict[int, list[int]] = {t: [] for t in doubted}
+    for record in wal.records():
+        if record.kind is LogKind.UPDATE and record.txn_id in update_lsns:
+            update_lsns[record.txn_id].append(record.lsn)
+    in_doubt = [
+        InDoubtTransaction(
+            gid=prepares[txn_id].gid,
+            txn_id=txn_id,
+            update_lsns=tuple(update_lsns[txn_id]),
+            locks=tuple(prepares[txn_id].locks),
+        )
+        for txn_id in doubted
+    ]
+    return RecoveryReport(winners, losers, redone, undone, in_doubt)

@@ -19,6 +19,9 @@ from repro.storage.wal import LogKind, WriteAheadLog
 
 class TxnState(Enum):
     ACTIVE = "active"
+    #: Voted yes in a two-phase commit: updates logged and forced, locks
+    #: held, outcome owned by the coordinator (in doubt).
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -31,6 +34,8 @@ class Transaction:
         self.state = TxnState.ACTIVE
         self._manager = manager
         self.update_lsns: list[int] = []
+        #: Global transaction id once prepared under 2PC ("" otherwise).
+        self.gid: str = ""
         #: Per-transaction lock-wait budget in seconds. ``None`` uses the
         #: lock manager's default; ``0`` turns waits into no-wait probes
         #: (the server sets this while holding its engine latch).
@@ -87,6 +92,11 @@ class TransactionManager:
         #: engine latch must not self-deadlock.
         self.latch = threading.RLock()
         self.active: dict[int, Transaction] = {}
+        #: Prepared (in-doubt) transactions by global transaction id: they
+        #: voted yes in a 2PC and hold their locks until the coordinator
+        #: decides.  Excluded from :meth:`abort_all_active` -- a shutdown
+        #: or crash must not presume their outcome.
+        self.in_doubt: dict[str, Transaction] = {}
         #: Optional hook called after an abort's undo, before lock release
         #: (the storage manager uses it to refresh derived per-file state).
         self.on_abort = None
@@ -146,6 +156,9 @@ class TransactionManager:
         # retract its waits so it wakes -- and so its queued entries stop
         # contributing phantom wait-for edges.
         self.locks.cancel_waits(txn.txn_id)
+        self._undo_and_finish(txn)
+
+    def _undo_and_finish(self, txn: Transaction) -> None:
         # Undo this transaction's page updates in reverse order, logging a
         # compensation update for each so that restart redo-all replays the
         # undo as well (the classic CLR idea, at page-image granularity).
@@ -187,3 +200,69 @@ class TransactionManager:
     def abort_all_active(self) -> None:
         for txn in list(self.active.values()):
             self.abort(txn)
+
+    # -- two-phase commit (the participant side) ------------------------------
+
+    def prepare(self, txn: Transaction, gid: str) -> None:
+        """Phase-1 vote: force a PREPARE record (with the held lock set,
+        for restart resurrection) and park the transaction in the in-doubt
+        table.  Its locks stay held; only :meth:`commit_prepared` or
+        :meth:`rollback_prepared` may finish it."""
+        if not gid:
+            raise TransactionError("prepare needs a non-empty gid")
+        with self._id_mutex:
+            if gid in self.in_doubt:
+                raise TransactionError(f"gid {gid!r} is already prepared")
+        with txn._state_mutex:
+            txn._require_active()
+            if txn._completing:
+                raise TransactionError(
+                    f"transaction {txn.txn_id} is already completing"
+                )
+            held = tuple(sorted(self.locks.held_by(txn.txn_id)))
+            self.wal.append(
+                LogKind.PREPARE, txn.txn_id, gid=gid, locks=held
+            )
+            self.wal.force()  # the yes-vote must survive a crash
+            txn.state = TxnState.PREPARED
+            txn.gid = gid
+        self.in_doubt[gid] = txn
+        self.active.pop(txn.txn_id, None)
+
+    def commit_prepared(self, gid: str) -> bool:
+        """Phase-2 commit decision; idempotent (unknown gid -> False: the
+        decision was already applied, or never prepared here)."""
+        txn = self.in_doubt.pop(gid, None)
+        if txn is None:
+            return False
+        self.wal.append(LogKind.COMMIT, txn.txn_id)
+        self.wal.force()
+        txn.state = TxnState.COMMITTED
+        self.locks.release_all(txn.txn_id)
+        return True
+
+    def rollback_prepared(self, gid: str) -> bool:
+        """Phase-2 abort decision (or presumed abort); idempotent."""
+        txn = self.in_doubt.pop(gid, None)
+        if txn is None:
+            return False
+        self._undo_and_finish(txn)
+        return True
+
+    def resurrect_in_doubt(
+        self, gid: str, txn_id: int, update_lsns, locks
+    ) -> Transaction:
+        """Rebuild an in-doubt transaction after restart recovery: a
+        PREPARED handle holding the lock set its PREPARE record captured
+        (re-acquired as X -- conservative, and uncontended at restart)."""
+        txn = Transaction(txn_id, self)
+        txn.state = TxnState.PREPARED
+        txn.gid = gid
+        txn.update_lsns = list(update_lsns)
+        for resource in locks:
+            key = tuple(resource) if isinstance(resource, list) else resource
+            self.locks.acquire(txn_id, key, LockMode.X, timeout=0)
+        self.in_doubt[gid] = txn
+        with self._id_mutex:
+            self._next_txn_id = max(self._next_txn_id, txn_id + 1)
+        return txn

@@ -28,6 +28,11 @@ class LogKind(Enum):
     COMMIT = "COMMIT"
     ABORT = "ABORT"
     CHECKPOINT = "CHECKPOINT"
+    #: Two-phase commit vote: the transaction is *in doubt* -- all its
+    #: updates are on the log, its locks are held, and only its
+    #: coordinator may decide commit or abort (presumed abort: a missing
+    #: decision means abort).
+    PREPARE = "PREPARE"
 
 
 @dataclass(frozen=True)
@@ -39,6 +44,11 @@ class LogRecord:
     page_no: int = 0
     before: bytes | None = None
     after: bytes | None = None
+    #: PREPARE only: the global transaction id the coordinator minted.
+    gid: str = ""
+    #: PREPARE only: the lock resources held at prepare time, so restart
+    #: recovery can re-acquire them for the resurrected in-doubt txn.
+    locks: tuple = ()
 
     def __str__(self) -> str:
         if self.kind is LogKind.UPDATE:
@@ -99,10 +109,13 @@ class WriteAheadLog:
         page_no: int = 0,
         before: bytes | None = None,
         after: bytes | None = None,
+        gid: str = "",
+        locks: tuple = (),
     ) -> int:
         with self._mutex:
             record = LogRecord(
-                self._next_lsn, kind, txn_id, volume, page_no, before, after
+                self._next_lsn, kind, txn_id, volume, page_no, before, after,
+                gid, locks,
             )
             self._records.append(record)
             self._next_lsn += 1
@@ -144,9 +157,19 @@ class WriteAheadLog:
         return 0
 
     def transactions_on_log(self) -> dict[int, LogKind]:
-        """Map txn id to its final fate on the log (last control record)."""
+        """Map txn id to its final fate on the log (last control record).
+        A fate of ``PREPARE`` means the transaction is in doubt."""
         fates: dict[int, LogKind] = {}
         for record in self._records:
-            if record.kind in (LogKind.BEGIN, LogKind.COMMIT, LogKind.ABORT):
+            if record.kind in (LogKind.BEGIN, LogKind.COMMIT, LogKind.ABORT,
+                               LogKind.PREPARE):
                 fates[record.txn_id] = record.kind
         return fates
+
+    def prepare_records(self) -> dict[int, LogRecord]:
+        """The newest PREPARE record per txn id (for in-doubt resurrection)."""
+        prepares: dict[int, LogRecord] = {}
+        for record in self._records:
+            if record.kind is LogKind.PREPARE:
+                prepares[record.txn_id] = record
+        return prepares

@@ -41,6 +41,7 @@ def test_retryable_set_is_exactly_the_transient_failures():
     assert retryable == {
         "DEADLOCK", "LOCK_TIMEOUT", "LOCK_CANCELLED",
         "SERVER_BUSY", "STATEMENT_TIMEOUT", "SHUTTING_DOWN", "TXN_ABORTED",
+        "SHARD_UNAVAILABLE", "TXN_IN_DOUBT",
     }
 
 
