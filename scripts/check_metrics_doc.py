@@ -1,19 +1,23 @@
 #!/usr/bin/env python
-"""Lint: every metric registered in ``src/`` must be documented.
+"""Lint: every metric and SYS$ view registered in ``src/`` must be
+documented.
 
 Scans ``src/**/*.py`` for literal ``.counter("name")`` and
 ``.histogram("name")`` registrations, then checks that each name appears
-in a code span (backticks) inside DESIGN.md's "Metrics" section.  New
-telemetry without documentation fails tier-1
-(``tests/obs/test_metrics_doc.py`` wraps this script), which keeps the
-DESIGN.md metrics table the authoritative inventory.
+in a code span (backticks) inside DESIGN.md's "Metrics" section; scans
+the same tree for literal ``register("SYS$...")`` system-view
+registrations and checks each view has a schema row (a table line
+naming it in backticks) somewhere in DESIGN.md.  New telemetry without
+documentation fails tier-1 (``tests/obs/test_metrics_doc.py`` wraps
+this script), which keeps DESIGN.md the authoritative inventory.
 
 Dynamically-named metrics (f-strings, e.g. the per-error-code
-``server.errors.<CODE>`` counters) are invisible to this scan; document
-those by their pattern.
+``server.errors.<CODE>`` counters) and dynamically-named view
+registrations (the router's federated re-registrations loop over a name
+list) are invisible to this scan; document those by their pattern.
 
 Usage: ``python scripts/check_metrics_doc.py [--repo ROOT]``
-Exit status 0 when every name is documented, 1 otherwise.
+Exit status 0 when everything is documented, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -25,6 +29,8 @@ from pathlib import Path
 
 REGISTRATION = re.compile(r'\.(?:counter|histogram)\(\s*"([^"]+)"\s*\)')
 CODE_SPAN = re.compile(r"`([^`]+)`")
+# register( may break the line before its name argument.
+VIEW_REGISTRATION = re.compile(r'register\(\s*"(SYS\$[A-Z0-9_$]+)"')
 
 
 def registered_metrics(src: Path) -> dict[str, list[str]]:
@@ -64,6 +70,32 @@ def documented_names(section: str) -> set[str]:
     return names
 
 
+def registered_views(src: Path) -> dict[str, list[str]]:
+    """``SYS$NAME -> [file:line, ...]`` of every literal system-view
+    registration (multi-line aware: ``register(`` often breaks the line
+    before the name)."""
+    found: dict[str, list[str]] = {}
+    for path in sorted(src.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in VIEW_REGISTRATION.finditer(text):
+            lineno = text.count("\n", 0, match.start()) + 1
+            where = f"{path.relative_to(src.parent)}:{lineno}"
+            found.setdefault(match.group(1), []).append(where)
+    return found
+
+
+def documented_views(design_text: str) -> set[str]:
+    """Every SYS$ view named in backticks on a markdown table row."""
+    names: set[str] = set()
+    for line in design_text.splitlines():
+        if not line.lstrip().startswith("|"):
+            continue
+        for span in CODE_SPAN.findall(line):
+            for name in re.findall(r"SYS\$[A-Z0-9_$]+", span):
+                names.add(name)
+    return names
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -91,7 +123,21 @@ def main(argv: list[str] | None = None) -> int:
             sites = ", ".join(missing[name][:3])
             print(f"  {name}  ({sites})", file=sys.stderr)
         return 1
-    print(f"check_metrics_doc: {len(registered)} metric names documented")
+    views = registered_views(src)
+    view_docs = documented_views(design.read_text(encoding="utf-8"))
+    undocumented_views = {
+        name: sites for name, sites in views.items()
+        if name not in view_docs
+    }
+    if undocumented_views:
+        print("SYS$ views registered in src/ without a schema row in "
+              "DESIGN.md:", file=sys.stderr)
+        for name in sorted(undocumented_views):
+            sites = ", ".join(undocumented_views[name][:3])
+            print(f"  {name}  ({sites})", file=sys.stderr)
+        return 1
+    print(f"check_metrics_doc: {len(registered)} metric names and "
+          f"{len(views)} SYS$ views documented")
     return 0
 
 

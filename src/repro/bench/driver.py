@@ -208,13 +208,20 @@ class _ClientWorker(threading.Thread):
             ]
         if kind == "xfer":
             # Deliberately crosses shards (ids differ by 1): the commit
-            # goes through the router's two-phase protocol.
+            # goes through the router's two-phase protocol.  Lock shards
+            # in canonical (ascending-shard) order: each shard's
+            # wait-for graph is local, so two transfers acquiring in
+            # opposite orders deadlock invisibly across shards and stall
+            # until the lock timeout expires.
             peer = (vehicle_id + 1) % self.config.scale
+            n = max(self.config.shard_count, 1)
+            debit, credit = sorted((vehicle_id, peer),
+                                   key=lambda vid: vid % n)
             return [
                 ("UPDATE Vehicle v SET weight = v.weight + 1 "
-                 f"WHERE v.id = {vehicle_id}", self._key(vehicle_id)),
+                 f"WHERE v.id = {debit}", self._key(debit)),
                 ("UPDATE Vehicle v SET weight = v.weight - 1 "
-                 f"WHERE v.id = {peer}", self._key(peer)),
+                 f"WHERE v.id = {credit}", self._key(credit)),
             ]
         second = self._peer(vehicle_id, self.config.scale // 2)
         return [
@@ -256,10 +263,15 @@ class _ClientWorker(threading.Thread):
                 ("path_eng", [second], self._key(second)),
             ]
         if kind == "xfer":
+            # Canonical shard order, same as _statements: opposite-order
+            # acquisition deadlocks invisibly across shards.
             peer = (vehicle_id + 1) % self.config.scale
+            n = max(self.config.shard_count, 1)
+            debit, credit = sorted((vehicle_id, peer),
+                                   key=lambda vid: vid % n)
             return [
-                ("write_bump", [vehicle_id], self._key(vehicle_id)),
-                ("write_bump", [peer], self._key(peer)),
+                ("write_bump", [debit], self._key(debit)),
+                ("write_bump", [credit], self._key(credit)),
             ]
         second = self._peer(vehicle_id, self.config.scale // 2)
         return [

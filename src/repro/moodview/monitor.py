@@ -95,6 +95,39 @@ class MonitorPanel:
         )
 
 
+class ClusterMonitorPanel(MonitorPanel):
+    """The monitor panel pointed at a sharded router.
+
+    Bound to the router's view database, every inherited report is
+    automatically *federated* (rows carry a ``shard`` column; -1 is the
+    router itself), and three cluster-only sections appear: the shard
+    topology, distributed-transaction branches, and shard health."""
+
+    def __init__(self, router):
+        super().__init__(router._viewdb.kernel)
+        self.router = router
+
+    def shards_report(self) -> str:
+        return self.view_report("SYS$SHARDS")
+
+    def txns_report(self) -> str:
+        return self.view_report("SYS$TXNS")
+
+    def shard_health_report(self) -> str:
+        return self.view_report("SYS$SHARD_HEALTH")
+
+    def render(self) -> str:
+        cluster = [
+            ("SHARDS", self.shards_report()),
+            ("SHARD HEALTH", self.shard_health_report()),
+            ("TXNS", self.txns_report()),
+        ]
+        head = "\n\n".join(
+            f"== {title} ==\n{body}" for title, body in cluster
+        )
+        return f"{head}\n\n{super().render()}"
+
+
 def _render_cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"

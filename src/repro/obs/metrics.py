@@ -134,6 +134,22 @@ class Histogram:
             "p99": self.percentile(0.99),
         }
 
+    def dump(self) -> dict:
+        """A JSON-safe, *mergeable* form of this histogram: the streaming
+        aggregates plus the raw bucket counts (bounds included so a peer
+        can refuse to merge incompatible layouts).  Routers federate
+        worker histograms by shipping dumps over the wire and summing
+        them with :func:`merge_histogram_dumps`."""
+        with self._mutex:
+            return {
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "bounds": list(self.bounds),
+                "buckets": list(self.bucket_counts),
+            }
+
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ending at +Inf --
         the shape Prometheus histogram exposition wants."""
@@ -159,6 +175,82 @@ class Histogram:
             f"Histogram({self.name}: n={self.count} mean={self.mean:g} "
             f"min={self.min} max={self.max})"
         )
+
+
+def merge_histogram_dumps(dumps: list[dict]) -> dict | None:
+    """Sum a list of :meth:`Histogram.dump` payloads into one.
+
+    Bucketed histograms with identical bounds merge exactly by summing
+    their bucket arrays -- the property the router exploits to compute
+    *cluster-wide* percentiles from per-shard dumps.  A dump whose bounds
+    disagree with the first one's is skipped rather than poisoning the
+    estimate.  Returns ``None`` when nothing merged.
+    """
+    merged: dict | None = None
+    for dump in dumps:
+        if not isinstance(dump, dict) or "buckets" not in dump:
+            continue
+        if merged is None:
+            merged = {
+                "count": 0, "total": 0.0, "min": None, "max": None,
+                "bounds": list(dump.get("bounds", DEFAULT_BUCKETS)),
+                "buckets": [0] * len(dump["buckets"]),
+            }
+        if (list(dump.get("bounds", ())) != merged["bounds"]
+                or len(dump["buckets"]) != len(merged["buckets"])):
+            continue
+        merged["count"] += dump.get("count", 0)
+        merged["total"] += dump.get("total", 0.0)
+        for low_high in ("min", "max"):
+            value = dump.get(low_high)
+            if value is None:
+                continue
+            current = merged[low_high]
+            if current is None:
+                merged[low_high] = value
+            elif low_high == "min":
+                merged[low_high] = min(current, value)
+            else:
+                merged[low_high] = max(current, value)
+        merged["buckets"] = [
+            a + b for a, b in zip(merged["buckets"], dump["buckets"])
+        ]
+    return merged
+
+
+def dump_percentile(dump: dict, fraction: float) -> float:
+    """:meth:`Histogram.percentile` over a dump (same interpolation)."""
+    count = dump.get("count", 0)
+    if not count:
+        return 0.0
+    bounds = dump.get("bounds", DEFAULT_BUCKETS)
+    low = dump.get("min") or 0.0
+    high = dump.get("max") or 0.0
+    target = fraction * count
+    cumulative = 0
+    for index, bucket_count in enumerate(dump["buckets"]):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= target:
+            lower = bounds[index - 1] if index else 0.0
+            upper = bounds[index] if index < len(bounds) else high
+            fill = (target - cumulative) / bucket_count
+            estimate = lower + (upper - lower) * fill
+            return max(low, min(high, estimate))
+        cumulative += bucket_count
+    return high
+
+
+def summarize_dump(dump: dict) -> dict[str, float]:
+    """The :meth:`Histogram.percentiles` reporting set over a dump."""
+    count = dump.get("count", 0)
+    return {
+        "count": count,
+        "mean": (dump.get("total", 0.0) / count) if count else 0.0,
+        "p50": dump_percentile(dump, 0.50),
+        "p95": dump_percentile(dump, 0.95),
+        "p99": dump_percentile(dump, 0.99),
+    }
 
 
 class ComponentMetrics:
@@ -228,6 +320,14 @@ class MetricsRegistry:
         """Percentile summaries of every histogram, sorted by name."""
         return {
             name: histogram.percentiles()
+            for name, histogram in sorted(self._histogram_items())
+        }
+
+    def histogram_dumps(self) -> dict[str, dict]:
+        """Mergeable :meth:`Histogram.dump` payloads of every histogram
+        -- the shape the TELEMETRY wire verb ships to the router."""
+        return {
+            name: histogram.dump()
             for name, histogram in sorted(self._histogram_items())
         }
 

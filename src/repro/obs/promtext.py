@@ -15,7 +15,11 @@ from __future__ import annotations
 
 import re
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    dump_percentile,
+    merge_histogram_dumps,
+)
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -55,6 +59,87 @@ def render_prometheus(registry: MetricsRegistry, prefix: str = "mood") -> str:
         lines.append(f"{name}_sum {_format_value(histogram.total)}")
         lines.append(f"{name}_count {_format_value(histogram.count)}")
     return "\n".join(lines) + "\n"
+
+
+def render_cluster_prometheus(
+    registry: MetricsRegistry,
+    per_shard: dict[int, tuple[dict, dict]],
+    prefix: str = "mood",
+) -> str:
+    """The merged cluster exposition a sharded router's METRICS answers.
+
+    ``registry`` is the router's own registry (its samples carry no
+    ``shard`` label); ``per_shard`` maps a shard index to its
+    ``(counters, histogram_dumps)`` TELEMETRY payload, rendered with
+    ``shard="<i>"`` labels.  Each metric family is declared once, then
+    lists the router sample (if any) followed by one sample per shard --
+    plus a cluster-wide ``quantile`` summary computed by merging the
+    shards' histogram dumps (bucket sums, not averages of percentiles).
+    """
+    counter_families: dict[str, list[tuple[str | None, float]]] = {}
+    for dotted, value in registry.counters().items():
+        counter_families.setdefault(dotted, []).append((None, value))
+    for shard in sorted(per_shard):
+        counters, _ = per_shard[shard]
+        for dotted, value in counters.items():
+            counter_families.setdefault(dotted, []).append((str(shard), value))
+
+    histogram_families: dict[str, list[tuple[str | None, dict]]] = {}
+    for dotted, histogram in registry._histogram_items():
+        histogram_families.setdefault(dotted, []).append(
+            (None, histogram.dump())
+        )
+    for shard in sorted(per_shard):
+        _, dumps = per_shard[shard]
+        for dotted, dump in dumps.items():
+            histogram_families.setdefault(dotted, []).append(
+                (str(shard), dump)
+            )
+
+    lines: list[str] = []
+    for dotted in sorted(counter_families):
+        name = metric_name(dotted, prefix)
+        lines.append(f"# TYPE {name} counter")
+        for shard_label, value in counter_families[dotted]:
+            lines.append(
+                f"{name}{_labels(shard=shard_label)} {_format_value(value)}"
+            )
+    for dotted in sorted(histogram_families):
+        name = metric_name(dotted, prefix)
+        lines.append(f"# TYPE {name} summary")
+        samples = histogram_families[dotted]
+        for shard_label, dump in samples:
+            for fraction, quantile in QUANTILES:
+                lines.append(
+                    f"{name}{_labels(shard=shard_label, quantile=quantile)} "
+                    f"{_format_value(dump_percentile(dump, fraction))}"
+                )
+            lines.append(
+                f"{name}_sum{_labels(shard=shard_label)} "
+                f"{_format_value(dump.get('total', 0.0))}"
+            )
+            lines.append(
+                f"{name}_count{_labels(shard=shard_label)} "
+                f"{_format_value(dump.get('count', 0))}"
+            )
+        if len(samples) > 1:
+            merged = merge_histogram_dumps([dump for _, dump in samples])
+            if merged is not None:
+                for fraction, quantile in QUANTILES:
+                    lines.append(
+                        f'{name}{{shard="cluster",quantile="{quantile}"}} '
+                        f"{_format_value(dump_percentile(merged, fraction))}"
+                    )
+    return "\n".join(lines) + "\n"
+
+
+def _labels(**labels: str | None) -> str:
+    """``{shard="0",quantile="0.5"}`` from the non-None label values."""
+    present = [
+        f'{key}="{value}"'
+        for key, value in labels.items() if value is not None
+    ]
+    return "{" + ",".join(present) + "}" if present else ""
 
 
 def parse_prometheus(text: str) -> dict[str, float]:

@@ -177,7 +177,9 @@ def register_kernel_views(kernel) -> None:
 
 
 #: Shared schema of SYS$STATEMENTS / SYS$SLOW_QUERIES rows
-#: (:meth:`repro.obs.trace.StatementTrace.row`).
+#: (:meth:`repro.obs.trace.StatementTrace.row`).  Public alias
+#: ``TRACE_COLUMNS`` below: the router's federated cluster views prepend
+#: a ``shard`` column to exactly this schema.
 _TRACE_COLUMNS: tuple[tuple[str, str], ...] = (
     ("trace_id", "String"),
     ("session_id", "Integer"),
@@ -195,3 +197,5 @@ _TRACE_COLUMNS: tuple[tuple[str, str], ...] = (
     ("io_ms", "Float"),
     ("rows", "Integer"),
 )
+
+TRACE_COLUMNS = _TRACE_COLUMNS

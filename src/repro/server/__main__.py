@@ -45,6 +45,10 @@ def main(argv=None) -> int:
     parser.add_argument("--txlog", default=None,
                         help="path for the router's 2PC decision log "
                              "(sharded mode only)")
+    parser.add_argument("--no-tracing", action="store_true",
+                        help="disable per-statement tracing (trace rings, "
+                             "slow log, spans, journal events); counters "
+                             "and latency histograms stay on")
     args = parser.parse_args(argv)
 
     if args.shards > 0:
@@ -63,6 +67,7 @@ def main(argv=None) -> int:
         max_workers=args.workers,
         max_queue=args.queue,
         statement_timeout=args.statement_timeout,
+        tracing=not args.no_tracing,
     )
     server = MoodServer(db, config)
     host, port = server.start()
@@ -84,6 +89,7 @@ def _main_sharded(args) -> int:
         "max_workers": args.workers,
         "max_queue": args.queue,
         "statement_timeout": args.statement_timeout,
+        "tracing": not args.no_tracing,
     }
     if args.demo:
         options["build_paper"] = True
@@ -94,6 +100,7 @@ def _main_sharded(args) -> int:
         shards=args.shards,
         worker_options=options,
         txlog_path=args.txlog,
+        tracing=not args.no_tracing,
     ))
     host, port = router.start()
     print(f"MOOD router listening on {host}:{port} "

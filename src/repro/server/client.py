@@ -96,6 +96,16 @@ class MoodClient:
         #: it against SYS$STATEMENTS.trace_id to find that statement's
         #: server-side trace.
         self.last_trace_id: str | None = None
+        #: Trace id of the current explicit transaction (minted by
+        #: :meth:`begin`): statements inside it derive child ids
+        #: ``<txn>.1``, ``<txn>.2`` ... and COMMIT/ROLLBACK carry the
+        #: parent id itself, so a distributed transaction reads as one
+        #: trace across the router and every participant shard.
+        self.txn_trace_id: str | None = None
+        #: The most recently completed transaction's trace id (kept after
+        #: COMMIT/ROLLBACK for joining against SYS$STATEMENTS/SYS$EVENTS).
+        self.last_txn_trace_id: str | None = None
+        self._txn_statement_seq = 0
 
     # -- plumbing ------------------------------------------------------------
 
@@ -148,8 +158,16 @@ class MoodClient:
         return self._call("STATS")["stats"]
 
     def metrics(self) -> str:
-        """The server's metrics in Prometheus text exposition format."""
+        """The server's metrics in Prometheus text exposition format.
+        Against a sharded router this is the *merged* cluster export:
+        per-shard samples carry a ``shard`` label."""
         return self._call("METRICS")["metrics"]
+
+    def telemetry(self, view: str | None = None) -> dict:
+        """Raw observability payload: a SYS$ view's rows (``rows``), or
+        -- with no view -- the counters plus mergeable histogram dumps."""
+        fields = {"view": view} if view is not None else {}
+        return self._call("TELEMETRY", **fields)
 
     def execute(
         self,
@@ -171,7 +189,7 @@ class MoodClient:
         a plain server ignores both.
         """
         if trace_id is None:
-            trace_id = new_trace_id()
+            trace_id = self._mint_trace_id()
         self.last_trace_id = trace_id
         fields = {"sql": sql, "trace": trace_id}
         if timeout is not None:
@@ -201,7 +219,7 @@ class MoodClient:
 
     def explain(self, sql: str, trace_id: str | None = None) -> str:
         if trace_id is None:
-            trace_id = new_trace_id()
+            trace_id = self._mint_trace_id()
         self.last_trace_id = trace_id
         response = self._call("EXPLAIN", sql=sql, trace=trace_id)
         return response["results"][-1]["report"]
@@ -231,7 +249,7 @@ class MoodClient:
         retained SQL and retries exactly once.
         """
         if trace_id is None:
-            trace_id = new_trace_id()
+            trace_id = self._mint_trace_id()
         self.last_trace_id = trace_id
         fields = {"name": name, "params": params if params is not None else []}
         if timeout is not None:
@@ -258,14 +276,35 @@ class MoodClient:
         self._prepared.pop(name, None)
         return _decode_result(response["results"][0])
 
-    def begin(self) -> None:
-        self._call("BEGIN")
+    def begin(self, trace_id: str | None = None) -> None:
+        """Open an explicit transaction under one transaction-level trace
+        id (minted here unless supplied); see :attr:`txn_trace_id`."""
+        if trace_id is None:
+            trace_id = new_trace_id()
+        self._call("BEGIN", trace=trace_id)
+        self.txn_trace_id = trace_id
+        self.last_txn_trace_id = trace_id
+        self.last_trace_id = trace_id
+        self._txn_statement_seq = 0
 
     def commit(self) -> None:
-        self._call("COMMIT")
+        trace_id, self.txn_trace_id = self.txn_trace_id, None
+        fields = {"trace": trace_id} if trace_id is not None else {}
+        self._call("COMMIT", **fields)
 
     def rollback(self) -> None:
-        self._call("ROLLBACK")
+        trace_id, self.txn_trace_id = self.txn_trace_id, None
+        fields = {"trace": trace_id} if trace_id is not None else {}
+        self._call("ROLLBACK", **fields)
+
+    def _mint_trace_id(self) -> str:
+        """A fresh statement trace id: inside an explicit transaction,
+        a child of the transaction trace (``<txn>.N``); otherwise a new
+        root id."""
+        if self.txn_trace_id is not None:
+            self._txn_statement_seq += 1
+            return f"{self.txn_trace_id}.{self._txn_statement_seq}"
+        return new_trace_id()
 
     # -- retry loop ----------------------------------------------------------
 

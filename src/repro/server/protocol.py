@@ -45,6 +45,11 @@ REQUEST_OPS = frozenset({
     # idempotent phase-2 decisions, plus the in-doubt report used by the
     # coordinator's presumed-abort recovery sweep.
     "PREPARE_TXN", "COMMIT_PREPARED", "ROLLBACK_PREPARED", "IN_DOUBT",
+    # Observability scatter-gather: a worker's SYS$ view rows or its raw
+    # metrics registry (counters + mergeable histogram dumps).  The router
+    # federates cluster-wide SYS$ views and the merged Prometheus export
+    # from these answers; read-only, bypasses admission.
+    "TELEMETRY",
 })
 
 

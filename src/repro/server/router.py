@@ -37,6 +37,7 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
 import uuid
 import zlib
 from dataclasses import dataclass, field
@@ -51,15 +52,24 @@ from repro.core.errors import (
     UnknownPreparedStatementError,
     describe_error,
 )
+from repro.obs.metrics import merge_histogram_dumps, summarize_dump
+from repro.obs.spans import Span
+from repro.obs.trace import StatementTrace, server_trace_id, truncate_statement
 from repro.server.protocol import (
     REQUEST_OPS,
     decode_frame,
+    encode_value,
     error_response,
     ok_response,
     recv_frame,
     recv_frame_bytes,
     send_frame,
     send_frame_bytes,
+)
+from repro.server.telemetry import (
+    ROUTER_ONLY_VIEWS,
+    STATS_HISTOGRAMS,
+    ClusterTelemetry,
 )
 from repro.server.server import _encode_result
 from repro.server.txlog import CoordinatorLog
@@ -114,6 +124,16 @@ class RouterConfig:
     worker_options: dict = field(default_factory=dict)
     txlog_path: str | None = None # coordinator decision log (None: in-memory)
     link_timeout: float = DEFAULT_LINK_TIMEOUT
+    #: Router-side tracing (statement ring, slow log, 2PC journal events
+    #: and spans).  Counters and latency histograms stay on regardless --
+    #: only per-request record keeping is toggled, mirroring the workers'
+    #: ``ServerConfig.tracing``.
+    tracing: bool = True
+    #: SYS$SHARD_HEALTH flags a shard hot when its statement rate is at
+    #: least ``hot_shard_skew`` times the cluster mean while running at
+    #: ``hot_shard_min_rate`` statements/second or more.
+    hot_shard_skew: float = 1.5
+    hot_shard_min_rate: float = 0.5
 
 
 class _ShardLink:
@@ -190,6 +210,14 @@ class RouterSession:
         self.prepared_sql: dict[str, str] = {}
         self.prepared_first: dict[str, object] = {}
         self.prepared_on: dict[str, set[int]] = {}
+        #: Router-side per-session telemetry (the SYS$SESSIONS shard=-1
+        #: rows): statements routed, last trace id, the transaction-level
+        #: trace id carried by BEGIN, and spans the current statement's
+        #: dispatch produced (the 2PC phase tree).
+        self.statements = 0
+        self.last_trace_id = ""
+        self.txn_trace: str | None = None
+        self.pending_spans: list = []
 
     def close_links(self) -> None:
         for link in self.links.values():
@@ -242,7 +270,33 @@ class ShardedServer:
         self._m_2pc_in_doubt = component.counter("twopc_in_doubt")
         self._m_2pc_recovered = component.counter("twopc_recovered")
         self._m_unavailable = component.counter("unavailable")
+        self._m_raw_relays = component.counter("raw_relays")
+        # Router-level statement accounting (the satellite fix: failures
+        # the router itself produces -- scatter-gather partial failures,
+        # SHARD_UNAVAILABLE -- were invisible to metrics before).
+        server_component = self.metrics.component("server")
+        self._m_statements = server_component.counter("statements")
+        self._m_statements_failed = server_component.counter(
+            "statements_failed"
+        )
+        self._m_statement_ms = server_component.histogram("statement_ms")
+        # Per-phase 2PC latency distributions (prepare votes, the
+        # decision-log force, phase-2 verbs, whole protocol).
+        twopc = self.metrics.component("twopc")
+        self._m_twopc_ms = {
+            "prepare": twopc.histogram("prepare_ms"),
+            "decision": twopc.histogram("decision_ms"),
+            "phase2": twopc.histogram("phase2_ms"),
+            "total": twopc.histogram("total_ms"),
+        }
+        # The view database's journal and trace rings double as the
+        # router's (its SYS$ views read them as the shard = -1 rows).
+        self.events = self._viewdb.kernel.storage.events
+        self.statement_log = self._viewdb.kernel.statement_log
+        self.slow_log = self._viewdb.kernel.slow_log
         self._per_shard_statements = [0] * self.shard_count
+        #: Live router sessions by id, for SYS$SESSIONS / SYS$TXNS.
+        self._sessions: dict[int, RouterSession] = {}
         self._viewdb.kernel.system_views.register(
             "SYS$SHARDS",
             [("shard", "Integer"), ("host", "String"), ("port", "Integer"),
@@ -254,6 +308,10 @@ class ShardedServer:
         )
         self._mutex = threading.Lock()
         self._admin_links: dict[int, _ShardLink] = {}
+        # One lock per admin link: federated SYS$ queries scatter from
+        # arbitrary client threads, and interleaved frames on a shared
+        # link would desynchronise its stream.
+        self._admin_locks = [threading.Lock() for _ in self.backends]
         self._next_session = 1
         self._round_robin = 0
         self._tcp: _RouterTCPServer | None = None
@@ -265,6 +323,9 @@ class ShardedServer:
         # Established client sockets, severed on a simulated crash.
         self._conn_socks: set = set()
         self._conn_mutex = threading.Lock()
+        # Installed last: re-registers the view database's SYS$ views as
+        # federated cluster views and adds SYS$TXNS / SYS$SHARD_HEALTH.
+        self.telemetry = ClusterTelemetry(self)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -371,6 +432,11 @@ class ShardedServer:
             if all_acked:
                 self.txlog.log_done(decision.gid)
                 self._m_2pc_recovered.inc()
+                self.events.emit(
+                    "twopc.recovered",
+                    gid=decision.gid, verdict=decision.verdict,
+                    shards=len(decision.shards),
+                )
                 redriven += 1
         decided = {d.gid for d in self.txlog.pending()}
         for shard in range(self.shard_count):
@@ -385,6 +451,7 @@ class ShardedServer:
                             shard,
                             {"op": "ROLLBACK_PREPARED", "gid": gid},
                         )
+                        self.events.emit("twopc.swept", gid=gid, shard=shard)
                         swept += 1
                     except ShardUnavailableError:
                         pass
@@ -392,22 +459,25 @@ class ShardedServer:
 
     def _admin_call(self, shard: int, request: dict) -> dict:
         """Router-initiated call outside any client session (recovery,
-        liveness); reconnects once on a stale cached link."""
-        for attempt in (0, 1):
-            link = self._admin_links.get(shard)
-            if link is None:
-                address = self.backends[shard].address
-                if address is None:
-                    raise ShardUnavailableError(f"shard {shard} is down")
-                link = _ShardLink(shard, address, self.config.link_timeout)
-                self._admin_links[shard] = link
-            try:
-                return link.call(request)
-            except ShardUnavailableError:
-                link.close()
-                self._admin_links.pop(shard, None)
-                if attempt == 1:
-                    raise
+        liveness, telemetry scatter); reconnects once on a stale cached
+        link.  Serialised per shard: concurrent federated queries must
+        not interleave frames on the shared admin link."""
+        with self._admin_locks[shard]:
+            for attempt in (0, 1):
+                link = self._admin_links.get(shard)
+                if link is None:
+                    address = self.backends[shard].address
+                    if address is None:
+                        raise ShardUnavailableError(f"shard {shard} is down")
+                    link = _ShardLink(shard, address, self.config.link_timeout)
+                    self._admin_links[shard] = link
+                try:
+                    return link.call(request)
+                except ShardUnavailableError:
+                    link.close()
+                    self._admin_links.pop(shard, None)
+                    if attempt == 1:
+                        raise
         raise AssertionError("unreachable")
 
     # -- session plumbing -----------------------------------------------------
@@ -416,9 +486,33 @@ class ShardedServer:
         with self._mutex:
             session = RouterSession(self._next_session)
             self._next_session += 1
+            self._sessions[session.session_id] = session
             return session
 
+    def sessions(self) -> list[RouterSession]:
+        with self._mutex:
+            return sorted(self._sessions.values(),
+                          key=lambda s: s.session_id)
+
+    def _session_rows(self) -> list[dict]:
+        """The router's own SYS$SESSIONS rows (shard = -1 in the
+        federated view); a router session has no engine transaction of
+        its own and is never queued by admission."""
+        return [
+            {
+                "session_id": session.session_id,
+                "state": "txn" if session.in_txn else "autocommit",
+                "txn_id": -1,
+                "statements": session.statements,
+                "admitted": True,
+                "last_trace_id": session.last_trace_id,
+            }
+            for session in self.sessions()
+        ]
+
     def close_session(self, session: RouterSession) -> None:
+        with self._mutex:
+            self._sessions.pop(session.session_id, None)
         if session.in_txn:
             for shard in list(session.participants):
                 try:
@@ -491,12 +585,63 @@ class ShardedServer:
             return error_response(describe_error(
                 ProtocolError(f"unknown op {op!r}")
             ))
+        if op not in _STATEMENT_OPS:
+            try:
+                return self._dispatch(session, op, request, raw)
+            except _ShardErrorResponse as exc:
+                return exc.response
+            except MoodError as exc:
+                return error_response(describe_error(exc))
+        started = time.monotonic()
+        session.pending_spans = []
         try:
-            return self._dispatch(session, op, request, raw)
+            response = self._dispatch(session, op, request, raw)
         except _ShardErrorResponse as exc:
-            return exc.response
+            response = exc.response
         except MoodError as exc:
-            return error_response(describe_error(exc))
+            response = error_response(describe_error(exc))
+        self._account_statement(session, op, request, response, started)
+        return response
+
+    def _account_statement(self, session: RouterSession, op: str,
+                           request: dict, response, started: float) -> None:
+        """Count and (when tracing) trace one routed statement.
+
+        Every statement-shaped request lands here whatever its outcome,
+        so failures the *router* produces -- a scatter-gather partial
+        failure, SHARD_UNAVAILABLE, a routing rejection -- now count in
+        ``server.statements_failed`` / ``server.errors.<CODE>`` exactly
+        like a worker-side failure (they previously vanished: the router
+        kept no statement counters at all)."""
+        total_ms = (time.monotonic() - started) * 1e3
+        code = _response_error_code(response)
+        self._m_statements.inc()
+        session.statements += 1
+        if code is not None:
+            self._m_statements_failed.inc()
+            self.metrics.counter(f"server.errors.{code}").inc()
+        self._m_statement_ms.observe(total_ms)
+        trace_id = request.get("trace")
+        if not isinstance(trace_id, str) or not trace_id:
+            trace_id = server_trace_id()
+        session.last_trace_id = trace_id
+        if not self.config.tracing:
+            session.pending_spans = []
+            return
+        statement = request.get("sql") or request.get("name") or op
+        trace = StatementTrace(
+            trace_id=trace_id,
+            session_id=session.session_id,
+            statement=truncate_statement(str(statement)),
+            kind=op,
+            status=code if code is not None else "OK",
+            started_at=time.time() - total_ms / 1e3,
+            total_ms=total_ms,
+            spans=list(session.pending_spans),
+        )
+        session.pending_spans = []
+        self.statement_log.record(trace)
+        self.slow_log.consider(trace)
 
     def _dispatch(self, session: RouterSession, op: str, request: dict,
                   raw: bytes | None = None):
@@ -505,9 +650,16 @@ class ShardedServer:
         if op == "STATS":
             return ok_response({"stats": self._stats(session)})
         if op == "METRICS":
-            from repro.obs.promtext import render_prometheus
+            from repro.obs.promtext import render_cluster_prometheus
 
-            return ok_response({"metrics": render_prometheus(self.metrics)})
+            # The merged cluster exposition: router samples unlabelled,
+            # worker samples labelled shard="<i>", histogram families
+            # additionally merged into shard="cluster" quantiles.
+            return ok_response({"metrics": render_cluster_prometheus(
+                self.metrics, self.telemetry.shard_metrics()
+            )})
+        if op == "TELEMETRY":
+            return self._telemetry_op(request)
         if op in ("PREPARE_TXN", "COMMIT_PREPARED", "ROLLBACK_PREPARED",
                   "IN_DOUBT"):
             raise ProtocolError(
@@ -521,11 +673,12 @@ class ShardedServer:
                 )
             session.in_txn = True
             session.participants = set()
+            session.txn_trace = _optional_trace(request)
             return _synth_statement("BEGIN", "distributed transaction")
         if op == "COMMIT":
-            return self._commit(session)
+            return self._commit(session, _optional_trace(request))
         if op == "ROLLBACK":
-            return self._rollback(session)
+            return self._rollback(session, _optional_trace(request))
         if op == "PREPARE":
             name = request.get("name")
             sql = request.get("sql")
@@ -565,6 +718,24 @@ class ShardedServer:
             sql = "EXPLAIN " + sql
         return self._execute_sql(session, op, sql, request, raw)
 
+    def _telemetry_op(self, request: dict) -> dict:
+        """The router's own TELEMETRY surface.  Without a view: its
+        counters plus mergeable histogram dumps (same shape a worker
+        ships).  With one: the *federated* view's rows -- what a scraper
+        gets here is already cluster-wide."""
+        view = request.get("view")
+        if view is None:
+            return ok_response({
+                "counters": self.metrics.counters(),
+                "histograms": self.metrics.histogram_dumps(),
+            })
+        if not isinstance(view, str):
+            raise ProtocolError("TELEMETRY 'view' must be a string")
+        self._refresh_liveness()
+        views = self._viewdb.kernel.system_views
+        rows = views.rows(view) if views.has(view) else []
+        return ok_response({"rows": [encode_value(row) for row in rows]})
+
     # -- statement routing ----------------------------------------------------
 
     def _hint_shard(self, request: dict) -> int | None:
@@ -586,7 +757,16 @@ class ShardedServer:
         if isinstance(statement, _BROADCAST_STATEMENTS):
             return ("broadcast",)
         if isinstance(statement, SelectQuery):
-            if any(r.class_name == "SYS$SHARDS" for r in statement.ranges):
+            sys_views = {r.class_name.upper() for r in statement.ranges
+                         if r.class_name.upper().startswith("SYS$")}
+            if sys_views:
+                # A hinted SYS$ query drills into that one shard's local
+                # view (no shard column); unhinted -- or naming a view
+                # only the router can answer -- it runs against the
+                # router's federated views, whose suppliers scatter the
+                # TELEMETRY verb themselves.
+                if hint is not None and not (sys_views & ROUTER_ONLY_VIEWS):
+                    return ("shard", hint)
                 return ("sys",)
             if hint is not None:
                 return ("shard", hint)
@@ -673,6 +853,7 @@ class ShardedServer:
         self._ensure_participant(session, shard)
         response = self._call_shard_raw(session, shard, payload)
         self._m_forwarded.inc()
+        self._m_raw_relays.inc()
         with self._mutex:
             self._per_shard_statements[shard] += 1
         return response
@@ -775,9 +956,9 @@ class ShardedServer:
         try:
             merged = self._broadcast_write(session, frame)
         except Exception:
-            self._rollback(session)
+            self._rollback(session, frame.get("trace"))
             raise
-        self._commit(session)
+        self._commit(session, frame.get("trace"))
         return merged
 
     def _execute_prepared(self, session: RouterSession, request: dict,
@@ -837,15 +1018,20 @@ class ShardedServer:
 
     # -- distributed commit ---------------------------------------------------
 
-    def _rollback(self, session: RouterSession) -> dict:
+    def _rollback(self, session: RouterSession,
+                  trace: str | None = None) -> dict:
         if not session.in_txn:
             raise TransactionError("no open transaction to roll back")
         session.in_txn = False
+        session.txn_trace = None
         participants, session.participants = session.participants, set()
+        frame = {"op": "ROLLBACK"}
+        if trace is not None:
+            frame["trace"] = trace
         failed = 0
         for shard in sorted(participants):
             try:
-                self._call_shard(session, shard, {"op": "ROLLBACK"})
+                self._call_shard(session, shard, frame)
             except (ShardUnavailableError, _ShardErrorResponse):
                 failed += 1  # its branch dies with its session anyway
         return _synth_statement(
@@ -853,65 +1039,109 @@ class ShardedServer:
             f"distributed rollback across {len(participants)} shard(s)",
         )
 
-    def _commit(self, session: RouterSession) -> dict:
+    def _commit(self, session: RouterSession,
+                trace: str | None = None) -> dict:
         if not session.in_txn:
             raise TransactionError("no open transaction to commit")
         session.in_txn = False
+        if trace is None:
+            trace = session.txn_trace
+        session.txn_trace = None
         participants = sorted(session.participants)
         session.participants = set()
         if not participants:
             return _synth_statement("COMMIT", "empty distributed transaction")
         if len(participants) == 1:
             # Single-shard transaction: an ordinary one-phase commit.
-            return self._call_checked(
-                session, participants[0], {"op": "COMMIT"}
-            )
-        return self._commit_two_phase(session, participants)
+            frame = {"op": "COMMIT"}
+            if trace is not None:
+                frame["trace"] = trace
+            return self._call_checked(session, participants[0], frame)
+        return self._commit_two_phase(session, participants, trace)
 
     def _commit_two_phase(self, session: RouterSession,
-                          participants: list[int]) -> dict:
+                          participants: list[int],
+                          trace: str | None = None) -> dict:
+        """Presumed-abort 2PC, now fully observable: the transaction's
+        trace id rides every PREPARE_TXN / phase-2 frame (each worker
+        records its branch under the same trace), every lifecycle point
+        lands in the ``twopc.*`` journal events and latency histograms,
+        and the whole protocol leaves a span tree on the COMMIT trace."""
         gid = f"rtx-{uuid.uuid4().hex}"
+        commit_started = time.monotonic()
+        spans: list[Span] = []
         prepared: list[int] = []
+        prepare_frame = {"op": "PREPARE_TXN", "gid": gid}
+        if trace is not None:
+            prepare_frame["trace"] = trace
         for shard in participants:
+            vote_started = time.monotonic()
             try:
-                self._call_checked(
-                    session, shard, {"op": "PREPARE_TXN", "gid": gid}
-                )
+                self._call_checked(session, shard, prepare_frame)
             except _ShardErrorResponse as exc:
                 # The shard said no (its branch was victimised, timed
                 # out, ...): abort everywhere, pass its verdict through.
-                self._resolve_abort(session, gid, prepared,
-                                    participants, voted_no=shard)
+                self._twopc_mark("prepare", gid, vote_started, spans, trace,
+                                 shard=shard, vote="no")
+                self._resolve_abort(session, gid, prepared, participants,
+                                    voted_no=shard, trace=trace, spans=spans)
+                self._twopc_finish(session, gid, commit_started, spans,
+                                   trace, verdict="ABORT",
+                                   shards=len(participants))
                 return exc.response
             except ShardUnavailableError:
                 # The shard vanished mid-prepare: we cannot know whether
                 # its vote hit the log, so log an ABORT decision for the
                 # whole gid -- recovery (or the sweep when the shard
                 # returns) resolves its branch by presumed abort.
+                self._twopc_mark("prepare", gid, vote_started, spans, trace,
+                                 shard=shard, vote="unavailable")
                 self._m_2pc_in_doubt.inc()
+                decision_started = time.monotonic()
                 self.txlog.log_decision(gid, "ABORT", participants)
+                self._twopc_mark("decision", gid, decision_started, spans,
+                                 trace, verdict="ABORT")
                 if self._resolve_abort(session, gid, prepared, participants,
-                                       voted_no=None):
+                                       voted_no=None, trace=trace,
+                                       spans=spans):
                     self.txlog.log_done(gid)
+                self._twopc_finish(session, gid, commit_started, spans,
+                                   trace, verdict="ABORT",
+                                   shards=len(participants))
                 raise TransactionInDoubtError(
                     f"shard {shard} vanished during prepare of {gid}; "
                     "presumed abort"
                 ) from None
             prepared.append(shard)
+            self._twopc_mark("prepare", gid, vote_started, spans, trace,
+                             shard=shard, vote="yes")
         self._failpoint("before_decision")
+        decision_started = time.monotonic()
         self.txlog.log_decision(gid, "COMMIT", participants)
+        self._twopc_mark("decision", gid, decision_started, spans, trace,
+                         verdict="COMMIT")
         self._m_2pc_commits.inc()
         self._failpoint("after_decision")
         all_acked = True
+        commit_frame = {"op": "COMMIT_PREPARED", "gid": gid}
+        if trace is not None:
+            commit_frame["trace"] = trace
         for shard in participants:
+            phase2_started = time.monotonic()
             try:
-                self._call_shard(
-                    session, shard, {"op": "COMMIT_PREPARED", "gid": gid}
-                )
+                self._call_shard(session, shard, commit_frame)
+                self._twopc_mark("phase2", gid, phase2_started, spans, trace,
+                                 shard=shard, verb="COMMIT_PREPARED",
+                                 acked=True)
             except ShardUnavailableError:
                 all_acked = False  # recovery re-drives from the txlog
+                self._twopc_mark("phase2", gid, phase2_started, spans, trace,
+                                 shard=shard, verb="COMMIT_PREPARED",
+                                 acked=False)
         if all_acked:
             self.txlog.log_done(gid)
+        self._twopc_finish(session, gid, commit_started, spans, trace,
+                           verdict="COMMIT", shards=len(participants))
         return _synth_statement(
             "COMMIT",
             f"two-phase commit {gid} across {len(participants)} shards",
@@ -919,7 +1149,9 @@ class ShardedServer:
 
     def _resolve_abort(self, session: RouterSession, gid: str,
                        prepared: list[int], participants: list[int],
-                       voted_no: int | None) -> bool:
+                       voted_no: int | None,
+                       trace: str | None = None,
+                       spans: list | None = None) -> bool:
         """Best-effort immediate abort of every branch after a failed
         prepare round; unreachable branches are covered by presumed
         abort.  Returns whether every branch acknowledged."""
@@ -928,17 +1160,57 @@ class ShardedServer:
         for shard in participants:
             if shard == voted_no:
                 continue  # its branch already rolled back with the error
+            if shard in prepared:
+                frame = {"op": "ROLLBACK_PREPARED", "gid": gid}
+            else:
+                frame = {"op": "ROLLBACK"}
+            if trace is not None:
+                frame["trace"] = trace
+            phase2_started = time.monotonic()
             try:
-                if shard in prepared:
-                    self._call_shard(
-                        session, shard,
-                        {"op": "ROLLBACK_PREPARED", "gid": gid},
-                    )
-                else:
-                    self._call_shard(session, shard, {"op": "ROLLBACK"})
+                self._call_shard(session, shard, frame)
+                acked = True
             except (ShardUnavailableError, _ShardErrorResponse):
                 all_acked = False
+                acked = False
+            if spans is not None:
+                self._twopc_mark("phase2", gid, phase2_started, spans,
+                                 trace, shard=shard, verb=frame["op"],
+                                 acked=acked)
         return all_acked
+
+    def _twopc_mark(self, phase: str, gid: str, started: float,
+                    spans: list, trace: str | None, **fields) -> None:
+        """One 2PC lifecycle point: observe its latency histogram and --
+        when tracing -- journal a ``twopc.<phase>`` event and open a span
+        in the commit's span tree."""
+        ms = (time.monotonic() - started) * 1e3
+        self._m_twopc_ms[phase].observe(ms)
+        if not self.config.tracing:
+            return
+        event_fields = dict(fields)
+        if trace is not None:
+            event_fields["trace_id"] = trace
+        self.events.emit(f"twopc.{phase}", gid=gid, ms=round(ms, 3),
+                         **event_fields)
+        detail = " ".join(
+            [gid] + [f"{k}={v}" for k, v in sorted(fields.items())]
+        )
+        spans.append(Span(operator=f"2PC:{phase.upper()}", detail=detail,
+                          wall_ms=ms, trace_id=trace))
+
+    def _twopc_finish(self, session: RouterSession, gid: str,
+                      started: float, spans: list, trace: str | None,
+                      **fields) -> None:
+        """Close the protocol: total latency, terminal event, and the
+        assembled span tree handed to the COMMIT statement's trace."""
+        self._twopc_mark("total", gid, started, spans, trace, **fields)
+        if not self.config.tracing or not spans:
+            return
+        total_ms = (time.monotonic() - started) * 1e3
+        root = Span(operator="2PC", detail=gid, wall_ms=total_ms,
+                    children=list(spans), trace_id=trace)
+        session.pending_spans.append(root)
 
     def _failpoint(self, name: str) -> None:
         hook = self.failpoints.get(name)
@@ -968,6 +1240,21 @@ class ShardedServer:
         return rows
 
     def _stats(self, session: RouterSession) -> dict:
+        """Session + cluster snapshot.  The satellite fix: per-shard
+        latency distributions now federate into this payload -- every
+        histogram family any shard reports, bucket-merged cluster-wide
+        under ``histograms``, plus per-shard summaries of the headline
+        families under ``per_shard``."""
+        per_shard = self.telemetry.shard_metrics()
+        families: dict[str, list[dict]] = {}
+        for _, dumps in per_shard.values():
+            for name, dump in dumps.items():
+                families.setdefault(name, []).append(dump)
+        histograms = {}
+        for name, dumps in sorted(families.items()):
+            combined = merge_histogram_dumps(dumps)
+            if combined is not None:
+                histograms[name] = summarize_dump(combined)
         return {
             "session_id": session.session_id,
             "in_transaction": session.in_txn,
@@ -977,7 +1264,17 @@ class ShardedServer:
             "metrics": {
                 name: value
                 for name, value in self.metrics.snapshot().items()
-                if name.startswith("shard.")
+                if name.startswith(("shard.", "server.", "twopc.",
+                                    "cluster.", "shard_health."))
+            },
+            "histograms": histograms,
+            "per_shard": {
+                str(shard): {
+                    name: summarize_dump(dump)
+                    for name, dump in dumps.items()
+                    if name in STATS_HISTOGRAMS
+                }
+                for shard, (_, dumps) in sorted(per_shard.items())
             },
         }
 
@@ -991,14 +1288,47 @@ class _ShardErrorResponse(Exception):
 
 
 #: Keywords whose presence means a hinted script may still need fan-out
-#: (DDL/ANALYZE broadcast, SYS$SHARDS served locally).  A false positive
-#: (say, the word inside a string literal) only costs the parse.
+#: (DDL/ANALYZE broadcast, SYS$ views served locally or federated).  A
+#: false positive (say, the word inside a string literal) only costs the
+#: parse.
 _FANOUT_WORDS = ("CREATE", "ALTER", "DROP", "ANALYZE", "SYS$")
 
 
 def _may_need_fanout(sql: str) -> bool:
     upper = sql.upper()
     return any(word in upper for word in _FANOUT_WORDS)
+
+
+#: Client ops counted (and traced) as statements by the router;
+#: PING/STATS/METRICS/TELEMETRY are observability plumbing, not load.
+_STATEMENT_OPS = frozenset({
+    "EXECUTE", "QUERY", "EXPLAIN", "EXECUTE_PREPARED",
+    "BEGIN", "COMMIT", "ROLLBACK", "PREPARE", "DEALLOCATE",
+})
+
+
+def _optional_trace(request: dict) -> str | None:
+    trace = request.get("trace")
+    return trace if isinstance(trace, str) and trace else None
+
+
+def _response_error_code(response) -> str | None:
+    """The stable error code of a failed response (None on success).
+
+    Raw relayed bytes are only JSON-decoded when the cheap prefix test
+    says the shard reported a failure: frames serialize with compact
+    separators and ``ok`` first, so every success frame starts
+    ``b'{"ok":true'`` -- the fast path stays a pure byte relay."""
+    if isinstance(response, bytes):
+        if not response.startswith(b'{"ok":false'):
+            return None
+        try:
+            response = decode_frame(response)
+        except ProtocolError:
+            return "PROTOCOL"
+    if response.get("ok", False):
+        return None
+    return (response.get("error") or {}).get("code", "MOOD")
 
 
 def _synth_result(kind: str, detail: str = "", count=None) -> dict:

@@ -61,6 +61,11 @@ class ServerConfig:
     shutdown_drain: float = 10.0      # seconds to wait for in-flight work
     slow_query_ms: float = DEFAULT_SLOW_MS   # slow-query log threshold
     stats_top_slow: int = 5           # slow queries reported by STATS
+    #: Record statement traces, slow-query entries and plan-tree spans.
+    #: Counters and latency histograms stay on either way; turning this
+    #: off removes only the per-statement ring/span bookkeeping (the
+    #: overhead the PR 9 benchmark measures).
+    tracing: bool = True
 
 
 class MoodServer:
@@ -72,6 +77,7 @@ class MoodServer:
         self.sessions = SessionManager(
             db, statement_timeout=self.config.statement_timeout,
             slow_query_ms=self.config.slow_query_ms,
+            tracing=self.config.tracing,
         )
         component = db.kernel.storage.metrics.component("server")
         self.admission = AdmissionController(
@@ -248,6 +254,8 @@ class MoodServer:
             return ok_response({"metrics": render_prometheus(
                 self.db.kernel.storage.metrics
             )})
+        if op == "TELEMETRY":
+            return self._telemetry(request)
         if op == "BEGIN":
             self._ensure_ticket(session)
             return _statement_payload(self.sessions.begin(session))
@@ -257,15 +265,24 @@ class MoodServer:
             return _statement_payload(self.sessions.rollback(session))
         if op == "PREPARE_TXN":
             return _statement_payload(
-                self.sessions.prepare_transaction(session, _require_gid(request))
+                self.sessions.prepare_transaction(
+                    session, _require_gid(request),
+                    trace_id=_optional_trace(op, request),
+                )
             )
         if op == "COMMIT_PREPARED":
             return _statement_payload(
-                self.sessions.commit_prepared(_require_gid(request))
+                self.sessions.commit_prepared(
+                    _require_gid(request),
+                    trace_id=_optional_trace(op, request),
+                )
             )
         if op == "ROLLBACK_PREPARED":
             return _statement_payload(
-                self.sessions.rollback_prepared(_require_gid(request))
+                self.sessions.rollback_prepared(
+                    _require_gid(request),
+                    trace_id=_optional_trace(op, request),
+                )
             )
         if op == "IN_DOUBT":
             return ok_response({"gids": self.sessions.in_doubt_gids()})
@@ -328,6 +345,26 @@ class MoodServer:
             "results": [_encode_result(result) for result in results],
             "trace": session.last_trace_id,
         })
+
+    def _telemetry(self, request: dict) -> dict:
+        """The router's observability scatter verb: one SYS$ view's rows,
+        or the whole metrics registry with *mergeable* histogram dumps.
+        Read-only and admission-free -- a monitoring poll must not queue
+        behind (or shed with) the workload it is observing."""
+        view = request.get("view")
+        metrics = self.db.kernel.storage.metrics
+        if view is None:
+            return ok_response({
+                "counters": metrics.counters(),
+                "histograms": metrics.histogram_dumps(),
+            })
+        if not isinstance(view, str):
+            raise ProtocolError("TELEMETRY 'view' must be a string")
+        views = self.db.kernel.system_views
+        # An unknown view answers empty rather than erroring so a newer
+        # router can scatter to an older worker during a rolling upgrade.
+        rows = views.rows(view) if views.has(view) else []
+        return ok_response({"rows": [encode_value(row) for row in rows]})
 
     def _stats(self, session: Session) -> dict:
         kernel = self.db.kernel
@@ -400,6 +437,13 @@ def _require_name(op: str, request: dict) -> str:
     if not isinstance(name, str) or not name:
         raise ProtocolError(f"{op} needs a non-empty string 'name' field")
     return name
+
+
+def _optional_trace(op: str, request: dict) -> str | None:
+    trace_id = request.get("trace")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ProtocolError(f"{op} 'trace' field must be a string")
+    return trace_id
 
 
 def _require_gid(request: dict) -> str:

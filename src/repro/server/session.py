@@ -163,10 +163,15 @@ class SessionManager:
         db: MoodDatabase,
         statement_timeout: float = DEFAULT_STATEMENT_TIMEOUT,
         slow_query_ms: float | None = None,
+        tracing: bool = True,
     ):
         self.db = db
         self.kernel = db.kernel
         self.statement_timeout = statement_timeout
+        #: When off, skip the per-statement trace ring / slow log / span
+        #: recording (counters and histograms stay on) -- the knob the
+        #: observability-overhead benchmark toggles.
+        self.tracing = tracing
         if slow_query_ms is not None:
             self.kernel.slow_log.threshold_ms = slow_query_ms
         #: The engine latch (== storage latch == txn-manager latch).
@@ -301,11 +306,19 @@ class SessionManager:
 
     # -- two-phase commit (participant verbs, driven by the router) -----------
 
-    def prepare_transaction(self, session: Session, gid: str) -> StatementResult:
+    def prepare_transaction(
+        self, session: Session, gid: str, trace_id: str | None = None,
+    ) -> StatementResult:
         """Phase-1 vote for the session's open transaction.  On success the
         transaction detaches from the session (its fate now belongs to the
-        coordinator) with all its locks still held."""
+        coordinator) with all its locks still held.
+
+        ``trace_id`` is the coordinator's transaction trace: the vote is
+        recorded under it (trace ring + ``twopc.prepare`` journal event),
+        so one cross-shard commit reads as one trace across the cluster.
+        """
         self._check_open(session)
+        started = time.monotonic()
         with session.mutex:
             txn = session.txn
             if txn is None:
@@ -318,30 +331,83 @@ class SessionManager:
             self.kernel.storage.txns.prepare(txn, gid)
             session.txn = None
             self._m_prepares.inc()
+            self._record_twopc(
+                "PREPARE_TXN", gid, trace_id, started,
+                session_id=session.session_id, txn_id=txn.txn_id,
+                event="twopc.prepare", vote="yes",
+            )
             return StatementResult(
                 kind="PREPARE_TXN", detail=f"transaction {txn.txn_id} gid {gid}"
             )
 
-    def commit_prepared(self, gid: str) -> StatementResult:
+    def commit_prepared(
+        self, gid: str, trace_id: str | None = None,
+    ) -> StatementResult:
         """Idempotent phase-2 commit for a prepared transaction."""
+        started = time.monotonic()
         applied = self.kernel.storage.txns.commit_prepared(gid)
         if applied:
             self._m_commits.inc()
+            self._record_twopc(
+                "COMMIT_PREPARED", gid, trace_id, started,
+                event="twopc.commit",
+            )
         return StatementResult(
             kind="COMMIT_PREPARED",
             detail=f"gid {gid} {'committed' if applied else 'already resolved'}",
         )
 
-    def rollback_prepared(self, gid: str) -> StatementResult:
+    def rollback_prepared(
+        self, gid: str, trace_id: str | None = None,
+    ) -> StatementResult:
         """Idempotent phase-2 abort (or presumed abort) for a prepared
         transaction."""
+        started = time.monotonic()
         applied = self.kernel.storage.txns.rollback_prepared(gid)
         if applied:
             self._m_rollbacks.inc()
+            self._record_twopc(
+                "ROLLBACK_PREPARED", gid, trace_id, started,
+                event="twopc.rollback",
+            )
         return StatementResult(
             kind="ROLLBACK_PREPARED",
             detail=f"gid {gid} {'rolled back' if applied else 'already resolved'}",
         )
+
+    def _record_twopc(
+        self,
+        kind: str,
+        gid: str,
+        trace_id: str | None,
+        started: float,
+        session_id: int = -1,
+        txn_id: int = 0,
+        event: str = "",
+        **event_fields,
+    ) -> None:
+        """One applied 2PC lifecycle verb: a statement-ring trace under
+        the coordinator's trace id plus a ``twopc.*`` journal event.
+        ``session_id`` -1 marks coordinator-driven phase-2 verbs, which
+        run outside any client session."""
+        if not self.tracing:
+            return
+        total_ms = (time.monotonic() - started) * 1e3
+        trace = StatementTrace(
+            trace_id=trace_id if trace_id is not None else server_trace_id(),
+            session_id=session_id,
+            statement=truncate_statement(f"{kind} {gid}"),
+            kind=kind,
+            txn_id=txn_id,
+            started_at=time.time() - total_ms / 1e3,
+            total_ms=total_ms,
+        )
+        self.kernel.statement_log.record(trace)
+        if event:
+            self.kernel.storage.events.emit(
+                event, gid=gid, trace_id=trace.trace_id,
+                ms=round(total_ms, 3), **event_fields,
+            )
 
     def in_doubt_gids(self) -> list[str]:
         """Global transaction ids prepared here and awaiting a decision."""
@@ -486,15 +552,16 @@ class SessionManager:
         finally:
             trace.total_ms = (time.monotonic() - started) * 1e3
             self._m_statement_ms.observe(trace.total_ms)
-            self.kernel.statement_log.record(trace)
-            if self.kernel.slow_log.consider(trace):
-                self.kernel.storage.events.emit(
-                    "statement.slow",
-                    trace_id=trace.trace_id,
-                    session=trace.session_id,
-                    statement_kind=trace.kind,
-                    total_ms=round(trace.total_ms, 3),
-                )
+            if self.tracing:
+                self.kernel.statement_log.record(trace)
+                if self.kernel.slow_log.consider(trace):
+                    self.kernel.storage.events.emit(
+                        "statement.slow",
+                        trace_id=trace.trace_id,
+                        session=trace.session_id,
+                        statement_kind=trace.kind,
+                        total_ms=round(trace.total_ms, 3),
+                    )
 
     def _execute_traced(
         self,
@@ -723,10 +790,11 @@ class SessionManager:
         storage = self.kernel.storage
         # I/O attribution is sound under the latch: execution in there is
         # single-caller, so the disk-stats delta is this statement's.
-        io_before = storage.io_snapshot() if trace is not None else None
+        tracing = trace is not None and self.tracing
+        io_before = storage.io_snapshot() if tracing else None
         exec_started = time.monotonic()
         spans = None
-        if trace is not None and isinstance(statement, SelectQuery):
+        if tracing and isinstance(statement, SelectQuery):
             spans = SpanRecorder(
                 io_probe=storage.io_snapshot, trace_id=trace.trace_id
             )

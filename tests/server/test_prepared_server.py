@@ -4,6 +4,7 @@ under concurrent EXECUTE racing DDL + ANALYZE churn."""
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -181,6 +182,13 @@ def test_concurrent_execute_racing_ddl_and_analyze(served):
         thread.start()
     churner.start()
     churner.join(timeout=30)
+    # On a loaded single-core box the scheduler can starve the readers
+    # while the churn runs; give them time to re-execute the now-stable
+    # plan so the cache records a hit before they are stopped.
+    deadline = time.monotonic() + 10
+    while (db.kernel.plan_cache.stats()["hits"] == 0
+           and time.monotonic() < deadline):
+        time.sleep(0.02)
     stop.set()
     for thread in readers:
         thread.join(timeout=10)
