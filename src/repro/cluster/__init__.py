@@ -1,0 +1,30 @@
+"""Dynamic object clustering (ROADMAP item 2).
+
+Deref cost is ultimately page locality: objects created in insertion
+order stay scattered across extent pages forever, and neither the object
+cache nor batched dereferencing helps a cold buffer pool.  This package
+closes the loop the access statistics opened:
+
+* :mod:`repro.cluster.coaccess` -- a bounded, weighted co-access graph
+  fed by the object manager's deref traffic (single chases and
+  ``deref_many`` hop frontiers);
+* :mod:`repro.cluster.policy` -- a greedy DSTC-style placement policy
+  (Darmont: simple statistics-driven dynamic placement beats elaborate
+  static schemes) grouping frequently co-traversed objects onto shared
+  pages;
+* :mod:`repro.cluster.recluster` -- the online reclusterer executing the
+  policy in small WAL'd batches over the storage manager's crash-safe
+  ``relocate`` primitive, under the ordinary conservative-2PL locks.
+"""
+
+from repro.cluster.coaccess import CoAccessGraph
+from repro.cluster.policy import PlacementPlan, plan_placements
+from repro.cluster.recluster import ReclusterDaemon, Reclusterer
+
+__all__ = [
+    "CoAccessGraph",
+    "PlacementPlan",
+    "plan_placements",
+    "ReclusterDaemon",
+    "Reclusterer",
+]

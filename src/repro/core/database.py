@@ -50,6 +50,7 @@ class MoodDatabase:
         self.auto_analyze = auto_analyze
         self._schema_version = 0
         self._analyzed_version = -1
+        self._recluster_daemon = None
 
     # -- statements -------------------------------------------------------------
 
@@ -134,6 +135,40 @@ class MoodDatabase:
         """Invoke a member function with late binding."""
         return self.kernel.functions.invoke(
             obj, method, args or [], resolve=self.kernel.objects.deref
+        )
+
+    # -- dynamic clustering ------------------------------------------------------
+
+    @property
+    def reclusterer(self):
+        """The kernel's online reclusterer (status via ``SYS$CLUSTERING``)."""
+        return self.kernel.reclusterer
+
+    def recluster(self) -> dict:
+        """Run one synchronous reclustering pass; returns its run stats."""
+        return self.kernel.reclusterer.run_once()
+
+    def start_reclusterer(self, interval: float = 30.0) -> None:
+        """Start (or retune) the background reclustering daemon."""
+        if self._recluster_daemon is not None:
+            self._recluster_daemon.stop()
+        from repro.cluster.recluster import ReclusterDaemon
+
+        self._recluster_daemon = ReclusterDaemon(
+            self.kernel.reclusterer, interval=interval
+        )
+        self._recluster_daemon.start()
+
+    def stop_reclusterer(self) -> None:
+        if self._recluster_daemon is not None:
+            self._recluster_daemon.stop()
+            self._recluster_daemon = None
+
+    @property
+    def reclusterer_running(self) -> bool:
+        return (
+            self._recluster_daemon is not None
+            and self._recluster_daemon.running
         )
 
     # -- accounting -------------------------------------------------------------

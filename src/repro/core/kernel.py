@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from repro.catalog.catalog import Catalog
 from repro.catalog.cppfront import generate_header
 from repro.catalog.entities import MoodsFunction
+from repro.cluster.coaccess import CoAccessGraph
+from repro.cluster.recluster import Reclusterer
 from repro.core.errors import ExecutionError, MoodSqlError
 from repro.core.prepare import (
     PlanCache,
@@ -148,6 +150,14 @@ class MoodKernel:
             batch_enabled=batch_enabled,
         )
         self.indexes = IndexManager(self.storage, self.catalog, self.objects)
+        #: Dynamic clustering: deref traffic feeds the co-access graph,
+        #: the reclusterer executes DSTC-style placements online.
+        self.coaccess = CoAccessGraph()
+        self.objects.coaccess = self.coaccess
+        self.reclusterer = Reclusterer(
+            self.storage, self.catalog, self.objects, self.indexes,
+            self.coaccess,
+        )
         self.evaluator = ExpressionEvaluator(self.objects, self.functions)
         self.stats = DatabaseStats()
         self.trace: list[TraceEvent] = []

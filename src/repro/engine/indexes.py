@@ -187,6 +187,33 @@ class IndexManager:
         self._fill_path_index(path_index)
         path_index.stale = False
 
+    def remap_oids(self, mapping: dict[OID, OID]) -> int:
+        """Rewrite every index entry naming a relocated OID.
+
+        Relocation re-identifies objects (old OID -> new OID); secondary
+        indexes hold OIDs as values, join indexes on both sides, path
+        indexes as head values -- and a secondary index over a reference
+        attribute can even hold OIDs as keys.  Returns the number of
+        entries rewritten.
+        """
+        if not mapping:
+            return 0
+        rewritten = 0
+        for info in self.catalog.all_indexes():
+            if info.kind == "join":
+                join_index = self.join_indexes[info.name]
+                rewritten += _remap_entries(join_index.forward, mapping)
+                rewritten += _remap_entries(join_index.backward, mapping)
+            elif info.kind == "path":
+                rewritten += _remap_entries(
+                    self.path_indexes[info.name].tree, mapping
+                )
+            else:
+                rewritten += _remap_entries(
+                    self.physical_index(info.name), mapping
+                )
+        return rewritten
+
     def needs_verification(self, index_name: str) -> bool:
         """Whether an index probe's hits must be re-verified against the
         live data (true for stale path indexes; other kinds verify cheaply
@@ -343,6 +370,23 @@ class IndexManager:
             for value in self._path_values(obj, path_index.path_attrs):
                 if value is not None:
                     path_index.tree.insert(value, obj.oid)
+
+
+def _remap_entries(index, mapping: dict[OID, OID]) -> int:
+    """Delete/re-insert every ``(key, value)`` of ``index`` touched by the
+    OID ``mapping``; works over any index exposing items/delete/insert."""
+    stale = []
+    for key, value in index.items():
+        new_key = mapping.get(key, key) if isinstance(key, OID) else key
+        new_value = (
+            mapping.get(value, value) if isinstance(value, OID) else value
+        )
+        if new_key is not key or new_value is not value:
+            stale.append((key, value, new_key, new_value))
+    for key, value, new_key, new_value in stale:
+        index.delete(key, value)
+        index.insert(new_key, new_value)
+    return len(stale)
 
 
 def _ref_oids(value) -> list[OID]:

@@ -137,6 +137,19 @@ class ObjectCache:
                 if self._metrics is not None:
                     self._metrics.invalidations.inc()
 
+    def rehome(self, old_oid: OID, new_oid: OID, class_name: str) -> None:
+        """Move a cached entry to the record's new identity after a
+        relocation (``StorageFile.relocate``).  The state is unchanged --
+        only the address moved -- so warmth is preserved instead of thrown
+        away.  A resident entry under ``new_oid`` (recycled slot) is
+        replaced."""
+        with self._mutex:
+            entry = self._entries.pop(old_oid, None)
+            if entry is None:
+                return
+            self._entries.pop(new_oid, None)
+            self._entries[new_oid] = (class_name, entry[1])
+
     def clear(self) -> int:
         """Drop everything (transaction abort, crash, restart recovery);
         returns the number of entries dropped so callers can journal

@@ -72,8 +72,18 @@ class ObjectManager(ObjectStore):
         #: one object at a time even if the object cache is on, restoring
         #: the paper's row-at-a-time operator behaviour.
         self.batch_enabled = batch_enabled
-        # page number -> class name, for OID -> extent resolution.
+        # page number -> class name, for OID -> extent resolution.  Kept
+        # incrementally correct: every tracked extent registers its new
+        # pages at allocation time (``StorageFile.on_new_page``), so
+        # ordinary extent growth never falls back to a full rebuild (which
+        # flushes the object cache wholesale).
         self._page_class: dict[int, str] = {}
+        # file_id -> class name of extents whose allocation callback is
+        # wired (file ids are never reused, so entries cannot go stale).
+        self._tracked_extents: dict[int, str] = {}
+        #: Optional co-access graph (``repro.cluster``): the kernel plugs
+        #: one in so deref traffic feeds the reclustering policy.
+        self.coaccess = None
         #: observers notified as (event, obj, old_state) for index upkeep
         self.observers: list = []
         #: The session transaction all CRUD/deref calls implicitly run
@@ -156,6 +166,28 @@ class ObjectManager(ObjectStore):
         extent = self.catalog.extent_file(class_name)
         for page in extent.pages:
             self._page_class[page] = class_name
+        self._wire_extent(class_name, extent)
+
+    def _wire_extent(self, class_name: str, extent) -> None:
+        """Register ``extent``'s page-allocation callback (idempotent), so
+        new pages enter the page map the moment they are allocated."""
+        if self._tracked_extents.get(extent.file_id) == class_name:
+            return
+        self._tracked_extents[extent.file_id] = class_name
+
+        def _register(page_no: int, _cls: str = class_name) -> None:
+            self._page_class[page_no] = _cls
+
+        extent.on_new_page = _register
+
+    def _track_extent(self, class_name: str, extent) -> None:
+        """Cheap per-write upkeep: wire the allocation callback on first
+        contact with an extent; already-tracked extents cost one dict
+        probe instead of the old every-write full page walk."""
+        if self._tracked_extents.get(extent.file_id) != class_name:
+            for page in extent.pages:
+                self._page_class[page] = class_name
+            self._wire_extent(class_name, extent)
 
     def _class_of(self, oid: OID) -> str:
         class_name = self._page_class.get(oid.page)
@@ -194,8 +226,8 @@ class ObjectManager(ObjectStore):
         validator = self.catalog.validator_for(class_name)
         canonical = validator.validate(state) or {}
         extent = self.catalog.extent_file(class_name)
+        self._track_extent(class_name, extent)
         oid = self.storage.insert(extent, encode(canonical), txn)
-        self._remember_pages(class_name)
         if self.cache is not None:
             # Slotted files recycle slots: a delete + insert can hand the
             # same (volume, page, slot) to a new object.
@@ -210,6 +242,7 @@ class ObjectManager(ObjectStore):
         if txn is None and self.cache is not None:
             cached = self.cache.get(oid)
             if cached is not None:
+                self._note_access(oid, cached.class_name)
                 return cached
         class_name = self._class_of(oid)
         extent = self.catalog.extent_file(class_name)
@@ -220,6 +253,7 @@ class ObjectManager(ObjectStore):
             if self.cache is not None:
                 cached = self.cache.get(oid)
                 if cached is not None:
+                    self._note_access(oid, cached.class_name)
                     return cached
         payload = self.storage.read(extent, oid, txn)
         state = decode(payload)
@@ -228,7 +262,12 @@ class ObjectManager(ObjectStore):
             # may serve it uncommitted state -- correct for the writer,
             # poison for the shared cache.
             self.cache.put(oid, class_name, state)
+        self._note_access(oid, class_name)
         return MoodObject(oid, class_name, state)
+
+    def _note_access(self, oid: OID, class_name: str) -> None:
+        if self.coaccess is not None:
+            self.coaccess.note_deref(oid, class_name)
 
     def _writes_extent(self, txn: Transaction | None, extent) -> bool:
         """True when ``txn`` holds the X lock on ``extent``'s file."""
@@ -275,7 +314,23 @@ class ObjectManager(ObjectStore):
                 state = decode(self.storage.read(extent, oid))
                 self.cache.put(oid, class_name, state)
                 result[oid] = MoodObject(oid, class_name, dict(state))
+        if self.coaccess is not None:
+            # The hop frontier in traversal order is exactly the co-access
+            # evidence the clustering policy wants.
+            self.coaccess.note_frontier(
+                [(oid, result[oid].class_name) for oid in distinct]
+            )
         return result
+
+    def note_relocation(self, class_name: str, old_oid: OID,
+                        new_oid: OID) -> None:
+        """Engine-side upkeep for one relocation: re-home the object-cache
+        entry under the record's new identity (the page map learned the
+        target page at allocation time)."""
+        if self.cache is not None:
+            self.cache.rehome(old_oid, new_oid, class_name)
+        if self.coaccess is not None:
+            self.coaccess.rename(old_oid, new_oid)
 
     def update_object(
         self,
@@ -298,8 +353,8 @@ class ObjectManager(ObjectStore):
                 else decode(self.storage.read(extent, obj.oid, txn))
         canonical = validator.validate(obj.state) or {}
         obj.state = canonical
+        self._track_extent(obj.class_name, extent)
         self.storage.update(extent, obj.oid, encode(canonical), txn)
-        self._remember_pages(obj.class_name)
         if self.cache is not None:
             self.cache.invalidate(obj.oid)
         for observer in self.observers:

@@ -164,6 +164,20 @@ def register_kernel_views(kernel) -> None:
             kernel.catalog.schema_version, kernel.stats.version
         )
 
+    def clustering_rows() -> list[dict]:
+        reclusterer = getattr(kernel, "reclusterer", None)
+        if reclusterer is None:
+            return []
+        return [reclusterer.status()]
+
+    views.register(
+        "SYS$CLUSTERING",
+        CLUSTERING_COLUMNS,
+        clustering_rows,
+        "the background reclusterer: moves done, pages compacted, "
+        "estimated cold-traversal locality gain, co-access graph size",
+    )
+
     views.register(
         "SYS$PLANS",
         [("statement", "String"), ("hits", "Integer"),
@@ -199,3 +213,22 @@ _TRACE_COLUMNS: tuple[tuple[str, str], ...] = (
 )
 
 TRACE_COLUMNS = _TRACE_COLUMNS
+
+#: Schema of SYS$CLUSTERING rows (:meth:`repro.cluster.recluster.
+#: Reclusterer.status`); the router's federated view prepends ``shard``.
+CLUSTERING_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("state", "String"),
+    ("runs", "Integer"),
+    ("moves", "Integer"),
+    ("batches", "Integer"),
+    ("pages_allocated", "Integer"),
+    ("pages_compacted", "Integer"),
+    ("ref_rewrites", "Integer"),
+    ("index_rewrites", "Integer"),
+    ("stubs_reclaimed", "Integer"),
+    ("lock_timeouts", "Integer"),
+    ("estimated_gain", "Float"),
+    ("coaccess_edges", "Integer"),
+    ("last_run_at", "Float"),
+    ("last_error", "String"),
+)

@@ -49,6 +49,12 @@ def main(argv=None) -> int:
                         help="disable per-statement tracing (trace rings, "
                              "slow log, spans, journal events); counters "
                              "and latency histograms stay on")
+    parser.add_argument("--recluster", type=float, default=None,
+                        metavar="SECONDS",
+                        help="run the background reclusterer every N "
+                             "seconds (per shard in sharded mode); off by "
+                             "default, controllable at runtime over the "
+                             "RECLUSTER verb either way")
     args = parser.parse_args(argv)
 
     if args.shards > 0:
@@ -68,6 +74,7 @@ def main(argv=None) -> int:
         max_queue=args.queue,
         statement_timeout=args.statement_timeout,
         tracing=not args.no_tracing,
+        recluster_interval=args.recluster,
     )
     server = MoodServer(db, config)
     host, port = server.start()
@@ -91,6 +98,8 @@ def _main_sharded(args) -> int:
         "statement_timeout": args.statement_timeout,
         "tracing": not args.no_tracing,
     }
+    if args.recluster is not None:
+        options["recluster_interval"] = args.recluster
     if args.demo:
         options["build_paper"] = True
         options["scale"] = args.demo_scale

@@ -169,6 +169,23 @@ class MoodClient:
         fields = {"view": view} if view is not None else {}
         return self._call("TELEMETRY", **fields)
 
+    def recluster(
+        self,
+        action: str = "run",
+        interval: float | None = None,
+        shard: int | None = None,
+    ) -> dict:
+        """Dynamic-clustering control: ``run`` one synchronous pass,
+        ``start``/``stop`` the background daemon, or fetch ``status``.
+        Against a sharded router the command broadcasts to every shard
+        (or just ``shard`` when given) and returns per-shard answers."""
+        fields: dict = {"action": action}
+        if interval is not None:
+            fields["interval"] = interval
+        if shard is not None:
+            fields["shard"] = shard
+        return self._call("RECLUSTER", **fields)
+
     def execute(
         self,
         sql: str,

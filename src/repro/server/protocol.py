@@ -50,6 +50,10 @@ REQUEST_OPS = frozenset({
     # federates cluster-wide SYS$ views and the merged Prometheus export
     # from these answers; read-only, bypasses admission.
     "TELEMETRY",
+    # Dynamic clustering control: run a synchronous reclustering pass,
+    # start/stop the background daemon, or fetch SYS$CLUSTERING status.
+    # Admission-free like TELEMETRY; the router broadcasts to every shard.
+    "RECLUSTER",
 })
 
 

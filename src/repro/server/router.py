@@ -660,6 +660,8 @@ class ShardedServer:
             )})
         if op == "TELEMETRY":
             return self._telemetry_op(request)
+        if op == "RECLUSTER":
+            return self._recluster_op(request)
         if op in ("PREPARE_TXN", "COMMIT_PREPARED", "ROLLBACK_PREPARED",
                   "IN_DOUBT"):
             raise ProtocolError(
@@ -735,6 +737,30 @@ class ShardedServer:
         views = self._viewdb.kernel.system_views
         rows = views.rows(view) if views.has(view) else []
         return ok_response({"rows": [encode_value(row) for row in rows]})
+
+    def _recluster_op(self, request: dict) -> dict:
+        """Broadcast a dynamic-clustering command: every shard runs its
+        own reclusterer over its own co-access graph (objects never move
+        *between* shards here -- placement is a per-store concern).  A
+        ``shard`` hint narrows the command to one worker.  Per-shard
+        answers come back keyed by shard; a dead shard reports an
+        ``error`` entry rather than failing the whole command."""
+        hint = self._hint_shard(request)
+        shards = ([hint] if hint is not None
+                  else list(range(self.shard_count)))
+        forward = {"op": "RECLUSTER"}
+        for key in ("action", "interval"):
+            if key in request:
+                forward[key] = request[key]
+        results: dict[str, dict] = {}
+        for shard in shards:
+            try:
+                response = self._admin_call(shard, forward)
+            except ShardUnavailableError as exc:
+                results[str(shard)] = {"ok": False, "error": str(exc)}
+                continue
+            results[str(shard)] = response
+        return ok_response({"shards": results})
 
     # -- statement routing ----------------------------------------------------
 

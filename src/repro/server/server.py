@@ -66,6 +66,9 @@ class ServerConfig:
     #: off removes only the per-statement ring/span bookkeeping (the
     #: overhead the PR 9 benchmark measures).
     tracing: bool = True
+    #: Seconds between background reclustering passes; ``None`` leaves the
+    #: daemon off (it can still be started per-request over RECLUSTER).
+    recluster_interval: float | None = None
 
 
 class MoodServer:
@@ -119,6 +122,8 @@ class MoodServer:
             daemon=True,
         )
         self._accept_thread.start()
+        if self.config.recluster_interval is not None:
+            self.db.start_reclusterer(self.config.recluster_interval)
         return self.address
 
     @property
@@ -133,6 +138,9 @@ class MoodServer:
         if self._tcp is None or self._stopped:
             return
         self._stopped = True
+        # 0. Park the background reclusterer: a half-finished batch would
+        #    roll back anyway, but stopping it first keeps the drain quiet.
+        self.db.stop_reclusterer()
         # 1. No new statements (frames already mid-execution keep going).
         self.sessions.begin_shutdown()
         # 2. No new connections.
@@ -170,6 +178,9 @@ class MoodServer:
             return
         self._stopped = True
         self._crashed = True  # handlers must not run their graceful tail
+        # A process kill takes the reclusterer thread with it; stop it so
+        # it cannot keep mutating the storage the test is about to crash.
+        self.db.stop_reclusterer()
         self._tcp.shutdown()
         self._tcp.server_close()
         with self._conn_mutex:
@@ -256,6 +267,8 @@ class MoodServer:
             )})
         if op == "TELEMETRY":
             return self._telemetry(request)
+        if op == "RECLUSTER":
+            return self._recluster(request)
         if op == "BEGIN":
             self._ensure_ticket(session)
             return _statement_payload(self.sessions.begin(session))
@@ -365,6 +378,33 @@ class MoodServer:
         # router can scatter to an older worker during a rolling upgrade.
         rows = views.rows(view) if views.has(view) else []
         return ok_response({"rows": [encode_value(row) for row in rows]})
+
+    def _recluster(self, request: dict) -> dict:
+        """Dynamic-clustering control: ``run`` a synchronous pass,
+        ``start``/``stop`` the background daemon, or report ``status``.
+        Admission-free like TELEMETRY -- a maintenance pass takes ordinary
+        locks and yields on timeout, so it must not hold an admission slot
+        while it waits behind the very statements it yields to."""
+        action = request.get("action", "status")
+        if action == "run":
+            return ok_response({"recluster": self.db.recluster()})
+        if action == "start":
+            interval = request.get("interval", 30.0)
+            if not isinstance(interval, (int, float)) or interval <= 0:
+                raise ProtocolError(
+                    "RECLUSTER 'interval' must be a positive number"
+                )
+            self.db.start_reclusterer(float(interval))
+            return ok_response({"running": True})
+        if action == "stop":
+            self.db.stop_reclusterer()
+            return ok_response({"running": False})
+        if action == "status":
+            return ok_response({
+                "status": encode_value(self.db.reclusterer.status()),
+                "running": self.db.reclusterer_running,
+            })
+        raise ProtocolError(f"unknown RECLUSTER action {action!r}")
 
     def _stats(self, session: Session) -> dict:
         kernel = self.db.kernel

@@ -35,7 +35,7 @@ ROUTER_SHARD = -1
 #: Worker views the router federates (each gains a ``shard`` column).
 FEDERATED_VIEWS = (
     "SYS$SESSIONS", "SYS$STATEMENTS", "SYS$LOCKS", "SYS$COUNTERS",
-    "SYS$SLOW_QUERIES", "SYS$EVENTS", "SYS$PLANS",
+    "SYS$SLOW_QUERIES", "SYS$EVENTS", "SYS$PLANS", "SYS$CLUSTERING",
 )
 
 #: Views that only the router can answer (topology, coordinator state,
@@ -142,6 +142,9 @@ class ClusterTelemetry:
             "SYS$EVENTS": views.get("SYS$EVENTS").supplier,
             "SYS$LOCKS": None,
             "SYS$PLANS": None,
+            # The router's view database never derefs user objects, so its
+            # own reclusterer has nothing to say; rows come from the shards.
+            "SYS$CLUSTERING": None,
         }
         for name in FEDERATED_VIEWS:
             if name == "SYS$SESSIONS":

@@ -12,9 +12,21 @@ Record wire format: a one-byte tag followed by the payload.
 tag     meaning
 ====== ==========================================================
 DATA    record body lives here, addressed by this slot's OID
-FWD     stub; payload is the OID of the relocated body
+FWD     stub; payload is the OID the record moved to
 MOVED   relocated body; reachable only through its FWD stub
 ====== ==========================================================
+
+Two kinds of stub share the FWD tag, distinguished by what they point at:
+
+* ``FWD -> MOVED`` -- the classic oversized-update stub.  The record's
+  identity stays at the stub's OID; the MOVED body is an unaddressable
+  continuation, and an in-place-again update brings the body home.
+* ``FWD -> DATA`` -- left by :meth:`StorageFile.relocate`.  The record
+  was *re-identified*: the DATA record on the target page is the live
+  object under its own (new) OID, and the stub only keeps the old OID
+  resolvable until every inbound reference is rewritten and the stub
+  slot reclaimed (:meth:`StorageFile.reclaim_stub`).  Reads follow stub
+  chains and snap them down to one hop.
 """
 
 from __future__ import annotations
@@ -37,6 +49,24 @@ _TAG_MOVED = 2
 
 _FWD = struct.Struct("<III")
 
+#: Forwarding chains longer than this are corrupt (a cycle): relocation
+#: only ever appends one hop, and reads snap chains back down to one.
+_MAX_HOPS = 16
+
+
+class StorageCounters:
+    """Pre-resolved ``storage.*`` registry counters, shared by every file
+    of a storage manager (attach via :class:`~repro.storage.manager`)."""
+
+    __slots__ = ("forwards_followed", "forwards_snapped", "relocations",
+                 "stubs_reclaimed")
+
+    def __init__(self, component):
+        self.forwards_followed = component.counter("forwards_followed")
+        self.forwards_snapped = component.counter("forwards_snapped")
+        self.relocations = component.counter("relocations")
+        self.stubs_reclaimed = component.counter("stubs_reclaimed")
+
 
 class StorageFile:
     """A file of records on one volume, managed through the buffer pool."""
@@ -50,6 +80,11 @@ class StorageFile:
         self._record_count = 0
         # Pages believed to have free room, checked again before use.
         self._free_hints: list[int] = []
+        #: Shared ``storage.*`` counters (:class:`StorageCounters`) or None.
+        self.counters: StorageCounters | None = None
+        #: ``on_new_page(page_no)`` fires whenever the file grows; the
+        #: object manager keeps its page->class map current through it.
+        self.on_new_page = None
 
     # -- capacity ------------------------------------------------------------
 
@@ -76,7 +111,18 @@ class StorageFile:
         self.buffer.unpin(self.volume, page_no, dirty=True)
         self.pages.append(page_no)
         self._page_set.add(page_no)
+        if self.on_new_page is not None:
+            self.on_new_page(page_no)
         return page_no
+
+    def allocate_page(self) -> int:
+        """Allocate, format and register a fresh empty page.
+
+        The reclusterer uses this to lay out relocation targets it then
+        fills explicitly via :meth:`relocate`; ordinary inserts keep
+        growing the file through ``_place``.
+        """
+        return self._new_page()
 
     def _page(self, page_no: int) -> SlottedPage:
         return SlottedPage(self.buffer.fetch(self.volume, page_no))
@@ -122,20 +168,65 @@ class StorageFile:
             self.buffer.unpin(self.volume, oid.page, dirty=False)
         return raw
 
-    def read(self, oid: OID) -> bytes:
-        """Read a record payload, following at most one forwarding stub."""
+    @staticmethod
+    def _stub_target(raw: bytes) -> OID:
+        return OID(*_FWD.unpack(raw[1:1 + _FWD.size]))
+
+    @staticmethod
+    def _stub_bytes(target: OID) -> bytes:
+        return bytes([_TAG_FWD]) + _FWD.pack(
+            target.volume, target.page, target.slot
+        )
+
+    def _resolve(self, oid: OID) -> tuple[OID, bytes]:
+        """Follow forwarding stubs from ``oid`` to the record body; return
+        ``(body_oid, raw)``.  Chains of two or more hops are snapped: the
+        entry stub is rewritten to point straight at the body (an
+        idempotent physical optimisation -- losing it in a crash merely
+        restores the longer chain)."""
         raw = self._read_raw(oid)
-        tag = raw[0]
-        if tag == _TAG_FWD:
-            target = OID(*_FWD.unpack(raw[1:1 + _FWD.size]))
-            raw = self._read_raw(target)
-            if raw[0] != _TAG_MOVED:
-                raise StorageError(f"dangling forwarding stub at {oid}")
-        elif tag == _TAG_MOVED:
+        if raw[0] == _TAG_MOVED:
             raise RecordNotFoundError(
                 f"OID {oid} addresses a relocated body, not a record"
             )
+        current = oid
+        hops = 0
+        while raw[0] == _TAG_FWD:
+            if hops >= _MAX_HOPS:
+                raise StorageError(f"forwarding cycle at {oid}")
+            current = self._stub_target(raw)
+            raw = self._read_raw(current)
+            hops += 1
+            if self.counters is not None:
+                self.counters.forwards_followed.inc()
+        if raw[0] not in (_TAG_DATA, _TAG_MOVED):
+            raise StorageError(f"dangling forwarding stub at {oid}")
+        if hops >= 2:
+            self._snap(oid, current)
+        return current, raw
+
+    def _snap(self, oid: OID, body: OID) -> None:
+        """Rewrite the stub at ``oid`` to point directly at ``body``."""
+        page = self._page(oid.page)
+        try:
+            page.update(oid.slot, self._stub_bytes(body))
+        except PageFullError:
+            self.buffer.unpin(self.volume, oid.page, dirty=False)
+            return
+        self.buffer.unpin(self.volume, oid.page, dirty=True)
+        if self.counters is not None:
+            self.counters.forwards_snapped.inc()
+
+    def read(self, oid: OID) -> bytes:
+        """Read a record payload, following forwarding stubs transparently."""
+        _, raw = self._resolve(oid)
         return raw[1:]
+
+    def resolve_oid(self, oid: OID) -> OID:
+        """The OID a record actually lives under: ``oid`` itself for DATA
+        and legacy oversize stubs, the relocated identity for FWD->DATA."""
+        body_oid, raw = self._resolve(oid)
+        return body_oid if raw[0] == _TAG_DATA else oid
 
     def update(self, oid: OID, payload: bytes) -> None:
         """Replace the record at ``oid`` in place, relocating if needed."""
@@ -148,9 +239,16 @@ class StorageFile:
                 f"OID {oid} addresses a relocated body, not a record"
             )
         if tag == _TAG_FWD:
-            # Drop the old body; try to bring the record home first.
-            old_target = OID(*_FWD.unpack(raw[1:1 + _FWD.size]))
-            self._delete_raw(old_target)
+            target = self._stub_target(raw)
+            body = self._read_raw(target)
+            if body[0] != _TAG_MOVED:
+                # Relocated identity: the live record is at ``target``.
+                if self.counters is not None:
+                    self.counters.forwards_followed.inc()
+                self.update(target, payload)
+                return
+            # Oversize stub: drop the old body and bring the record home.
+            self._delete_raw(target)
         page = self._page(oid.page)
         try:
             page.update(oid.slot, bytes([_TAG_DATA]) + payload)
@@ -161,10 +259,9 @@ class StorageFile:
         # Relocate the body and leave a stub.
         slot, page_no = self._place(bytes([_TAG_MOVED]) + payload)
         target = OID(self.volume, page_no, slot)
-        stub = bytes([_TAG_FWD]) + _FWD.pack(target.volume, target.page, target.slot)
         page = self._page(oid.page)
         try:
-            page.update(oid.slot, stub)
+            page.update(oid.slot, self._stub_bytes(target))
         finally:
             self.buffer.unpin(self.volume, oid.page, dirty=True)
 
@@ -185,10 +282,101 @@ class StorageFile:
                 f"OID {oid} addresses a relocated body, not a record"
             )
         if tag == _TAG_FWD:
-            target = OID(*_FWD.unpack(raw[1:1 + _FWD.size]))
+            target = self._stub_target(raw)
+            body = self._read_raw(target)
+            if body[0] != _TAG_MOVED:
+                # Relocated identity: delete the live record, then this
+                # stub (the recursion already adjusted the record count).
+                if self.counters is not None:
+                    self.counters.forwards_followed.inc()
+                self.delete(target)
+                self._delete_raw(oid)
+                return
             self._delete_raw(target)
         self._delete_raw(oid)
         self._record_count -= 1
+
+    # -- relocation ------------------------------------------------------------
+
+    def relocate(self, oid: OID, target_page: int) -> OID:
+        """Move the record at ``oid`` onto ``target_page``; return its new
+        OID.
+
+        The body is written as a DATA record with a *fresh identity* on
+        the target page, and the home slot becomes a forwarding stub so
+        reads through the old OID keep working until inbound references
+        are rewritten and the stub is reclaimed.  A legacy oversize stub
+        is consolidated: its MOVED continuation is folded into the new
+        DATA record and freed.  Raises :class:`PageFullError` (leaving
+        everything in place) when the target page lacks room.
+        """
+        if target_page not in self._page_set:
+            raise StorageError(
+                f"page {target_page} is not in file {self.file_id}"
+            )
+        raw = self._read_raw(oid)
+        tag = raw[0]
+        if tag == _TAG_MOVED:
+            raise RecordNotFoundError(
+                f"OID {oid} addresses a relocated body, not a record"
+            )
+        old_body: OID | None = None
+        if tag == _TAG_FWD:
+            target = self._stub_target(raw)
+            body = self._read_raw(target)
+            if body[0] != _TAG_MOVED:
+                raise StorageError(
+                    f"{oid} forwards to a relocated identity; "
+                    f"relocate {target} instead"
+                )
+            old_body = target
+            raw = body
+        elif oid.page == target_page:
+            return oid  # already where it belongs
+        record = bytes([_TAG_DATA]) + raw[1:]
+        page = self._page(target_page)
+        try:
+            slot = page.insert(record)
+        except PageFullError:
+            self.buffer.unpin(self.volume, target_page, dirty=False)
+            raise
+        self.buffer.unpin(self.volume, target_page, dirty=True)
+        new_oid = OID(self.volume, target_page, slot)
+        stub = self._stub_bytes(new_oid)
+        page = self._page(oid.page)
+        try:
+            page.update(oid.slot, stub)
+        except PageFullError:
+            self.buffer.unpin(self.volume, oid.page, dirty=False)
+            self._delete_raw(new_oid)  # back out: original still in place
+            raise
+        self.buffer.unpin(self.volume, oid.page, dirty=True)
+        if old_body is not None:
+            self._delete_raw(old_body)
+        if self.counters is not None:
+            self.counters.relocations.inc()
+        return new_oid
+
+    def reclaim_stub(self, oid: OID) -> None:
+        """Free the forwarding-stub slot at ``oid`` once nothing resolves
+        records through the old OID any more.  Refuses to reclaim an
+        oversize stub (``FWD -> MOVED``): that stub *is* the record's
+        identity and dropping it would strand the body."""
+        raw = self._read_raw(oid)
+        if raw[0] != _TAG_FWD:
+            raise StorageError(f"{oid} is not a forwarding stub")
+        target = self._stub_target(raw)
+        try:
+            body = self._read_raw(target)
+        except (RecordNotFoundError, StorageError):
+            body = None  # chain already partially reclaimed
+        if body is not None and body[0] == _TAG_MOVED:
+            raise StorageError(
+                f"{oid} still owns its relocated body at {target}"
+            )
+        self._delete_raw(oid)
+        if self.counters is not None:
+            self.counters.stubs_reclaimed.inc()
 
     def exists(self, oid: OID) -> bool:
         try:
@@ -202,8 +390,10 @@ class StorageFile:
     def scan(self) -> Iterator[tuple[OID, bytes]]:
         """Yield every live record as ``(oid, payload)`` in page order.
 
-        Relocated bodies are reported under their home (stub) OID so that a
-        record's identity is stable across relocations.
+        Oversize-update bodies (``FWD -> MOVED``) are reported under their
+        home (stub) OID, where the record's identity lives.  Stubs left by
+        :meth:`relocate` (``FWD -> DATA``) are skipped: the relocated
+        record is a live DATA record yielded under its own (new) OID.
         """
         for page_no in list(self.pages):
             page = self._page(page_no)
@@ -218,7 +408,10 @@ class StorageFile:
                 elif tag == _TAG_FWD:
                     target = OID(*_FWD.unpack(raw[1:1 + _FWD.size]))
                     body = self._read_raw(target)
-                    yield OID(self.volume, page_no, slot), body[1:]
+                    if body[0] == _TAG_MOVED:
+                        yield OID(self.volume, page_no, slot), body[1:]
+                    # FWD -> DATA / FWD -> FWD: the live record appears
+                    # under its own OID elsewhere in the scan.
                 # MOVED bodies are reached through their stubs only.
 
     def oids(self) -> list[OID]:

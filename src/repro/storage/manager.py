@@ -26,7 +26,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.storage.btree import BPlusTree
 from repro.storage.buffer import BufferManager
 from repro.storage.disk import DiskParams, IOStats, SimulatedDisk
-from repro.storage.file import StorageFile
+from repro.storage.file import _FWD, StorageCounters, StorageFile
 from repro.storage.hashindex import ExtendibleHashIndex
 from repro.storage.locks import LockManager
 from repro.storage.oid import OID
@@ -67,9 +67,17 @@ class StorageManager:
         #: pages, the buffer pool, and capture windows.  Reentrant, so
         #: nested storage calls under a session's statement are free.
         self.latch = self.txns.latch
+        #: Forwarding/relocation counters (``storage.*``), shared by every
+        #: file so chain-following and stub work is visible fleet-wide.
+        self.storage_counters = StorageCounters(
+            self.metrics.component("storage")
+        )
         self._files: dict[int, StorageFile] = {}
         self._file_names: dict[str, int] = {}
         self._next_file_id = 1
+        #: Test hook: called between a relocation's MOVE log record and
+        #: its page writes (None in production).
+        self._relocate_failpoint = None
         self._btrees: dict[str, BPlusTree] = {}
         self._hashes: dict[str, ExtendibleHashIndex] = {}
         self._rtrees: dict[str, RTree] = {}
@@ -109,6 +117,7 @@ class StorageManager:
         file_id = self._next_file_id
         self._next_file_id += 1
         storage_file = StorageFile(file_id, self.volume, self.buffer)
+        storage_file.counters = self.storage_counters
         self._files[file_id] = storage_file
         if name is not None:
             if name in self._file_names:
@@ -204,6 +213,60 @@ class StorageManager:
         if txn is not None:
             self.txns.lock_shared(txn, ("file", storage_file.file_id))
         return storage_file.scan()
+
+    def relocate(
+        self,
+        storage_file: StorageFile,
+        oid: OID,
+        target_page: int,
+        txn: Transaction | None = None,
+    ) -> OID:
+        """Crash-safe object relocation: move ``oid``'s record onto
+        ``target_page`` and return its new OID.
+
+        Under a transaction the move is bracketed by a single logical
+        ``MOVE`` log record followed by the physical page images it
+        caused.  A crash after the MOVE record but before the page writes
+        makes the transaction a loser with nothing to undo for the move;
+        a crash after the page writes undoes them from before-images --
+        either way exactly one live copy survives, at exactly one of the
+        two placements.
+        """
+        if txn is None:
+            return storage_file.relocate(oid, target_page)
+        self.txns.lock_exclusive(txn, ("file", storage_file.file_id))
+        with self.latch:
+            self.buffer.start_capture()
+            try:
+                self.wal.append(
+                    LogKind.MOVE, txn.txn_id,
+                    volume=oid.volume, page_no=oid.page,
+                    before=_FWD.pack(oid.volume, oid.page, oid.slot),
+                    after=_FWD.pack(oid.volume, target_page, 0),
+                )
+                if self._relocate_failpoint is not None:
+                    self._relocate_failpoint()
+                new_oid = storage_file.relocate(oid, target_page)
+            finally:
+                changes = self.buffer.end_capture()
+            self._log_changes(txn, changes)
+        return new_oid
+
+    def reclaim_stub(
+        self, storage_file: StorageFile, oid: OID, txn: Transaction | None = None
+    ) -> None:
+        """Free a forwarding-stub slot (see ``StorageFile.reclaim_stub``)."""
+        if txn is None:
+            storage_file.reclaim_stub(oid)
+            return
+        self.txns.lock_exclusive(txn, ("file", storage_file.file_id))
+        with self.latch:
+            self.buffer.start_capture()
+            try:
+                storage_file.reclaim_stub(oid)
+            finally:
+                changes = self.buffer.end_capture()
+            self._log_changes(txn, changes)
 
     def _log_changes(self, txn: Transaction, changes) -> None:
         for (volume, page_no), before, after in changes:

@@ -43,6 +43,14 @@ class RecoveryReport:
     redone: int
     undone: int
     in_doubt: list[InDoubtTransaction] = field(default_factory=list)
+    #: Logical object moves (``LogKind.MOVE``) whose transaction
+    #: committed: their page images were replayed, so the relocation
+    #: survived the crash.
+    moves_redone: int = 0
+    #: Logical moves belonging to losers (or run-time aborts): the
+    #: bracketed page images were undone, so the object sits at exactly
+    #: its original placement -- one live copy either way.
+    moves_undone: int = 0
 
 
 def recover(wal: WriteAheadLog, apply_page_image) -> RecoveryReport:
@@ -93,4 +101,16 @@ def recover(wal: WriteAheadLog, apply_page_image) -> RecoveryReport:
         )
         for txn_id in doubted
     ]
-    return RecoveryReport(winners, losers, redone, undone, in_doubt)
+
+    winner_set = set(winners)
+    undone_fates = {LogKind.BEGIN, LogKind.ABORT}
+    moves_redone = moves_undone = 0
+    for record in wal.records():
+        if record.kind is LogKind.MOVE:
+            if record.txn_id in winner_set:
+                moves_redone += 1
+            elif fates.get(record.txn_id) in undone_fates:
+                moves_undone += 1
+
+    return RecoveryReport(winners, losers, redone, undone, in_doubt,
+                          moves_redone, moves_undone)

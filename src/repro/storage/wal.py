@@ -33,6 +33,14 @@ class LogKind(Enum):
     #: coordinator may decide commit or abort (presumed abort: a missing
     #: decision means abort).
     PREPARE = "PREPARE"
+    #: Logical object-relocation marker: the record at the source OID
+    #: (``before``, packed) is moving to the destination page (``after``,
+    #: packed OID with slot 0 -- the slot is only known once the physical
+    #: page UPDATE records that follow it land).  Carries no page image
+    #: itself: redo/undo of the move is entirely the bracketed UPDATE
+    #: records, so a crash between MOVE and its page writes makes the
+    #: transaction a loser and leaves exactly the original placement.
+    MOVE = "MOVE"
 
 
 @dataclass(frozen=True)

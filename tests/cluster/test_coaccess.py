@@ -1,0 +1,98 @@
+"""The co-access graph: pair recording, bounds, rename and decay."""
+
+from repro.cluster.coaccess import CoAccessGraph
+from repro.storage.oid import OID
+
+
+def _oid(n):
+    return OID(1, n, 0)
+
+
+def test_single_derefs_pair_consecutively_per_class():
+    g = CoAccessGraph()
+    g.note_deref(_oid(1), "A")
+    g.note_deref(_oid(2), "A")
+    g.note_deref(_oid(3), "A")
+    edges = g.edges_for_class("A")
+    assert {(a, b) for a, b, _ in edges} == {
+        (_oid(1), _oid(2)), (_oid(2), _oid(3))
+    }
+
+
+def test_classes_keep_separate_last_registers():
+    g = CoAccessGraph()
+    g.note_deref(_oid(1), "A")
+    g.note_deref(_oid(10), "B")
+    g.note_deref(_oid(2), "A")   # pairs with oid 1, not the B chase
+    assert {(a, b) for a, b, _ in g.edges_for_class("A")} == {
+        (_oid(1), _oid(2))
+    }
+    assert g.edges_for_class("B") == []
+
+
+def test_frontier_pairs_consecutive_same_class_members():
+    g = CoAccessGraph()
+    g.note_frontier([
+        (_oid(1), "A"), (_oid(2), "A"), (_oid(9), "B"), (_oid(3), "A"),
+    ])
+    assert {(a, b) for a, b, _ in g.edges_for_class("A")} == {
+        (_oid(1), _oid(2))
+    }
+
+
+def test_repeat_pairs_accumulate_weight_and_sort_heaviest_first():
+    g = CoAccessGraph()
+    for _ in range(3):
+        g.note_frontier([(_oid(1), "A"), (_oid(2), "A")])
+    g.note_frontier([(_oid(2), "A"), (_oid(3), "A")])
+    edges = g.edges_for_class("A")
+    assert edges[0] == (_oid(1), _oid(2), 3.0)
+    assert edges[1][2] == 1.0
+
+
+def test_overflow_drops_lightest_half():
+    g = CoAccessGraph(max_edges=10)
+    heavy = [(_oid(1), "A"), (_oid(2), "A")]
+    for _ in range(5):
+        g.note_frontier(heavy)
+    for n in range(3, 30, 2):
+        g.note_frontier([(_oid(n), "A"), (_oid(n + 1), "A")])
+    assert len(g) <= 10
+    assert g.edges_dropped > 0
+    # The reinforced edge survived the evictions.
+    assert g.edges_for_class("A")[0][:2] == (_oid(1), _oid(2))
+
+
+def test_rename_carries_weight_to_new_identity():
+    g = CoAccessGraph()
+    for _ in range(2):
+        g.note_frontier([(_oid(1), "A"), (_oid(2), "A")])
+    g.rename(_oid(2), _oid(7))
+    assert g.edges_for_class("A") == [(_oid(1), _oid(7), 2.0)]
+
+
+def test_rename_merges_with_existing_edge():
+    g = CoAccessGraph()
+    g.note_frontier([(_oid(1), "A"), (_oid(2), "A")])
+    g.note_frontier([(_oid(1), "A"), (_oid(3), "A")])
+    g.rename(_oid(3), _oid(2))
+    assert g.edges_for_class("A") == [(_oid(1), _oid(2), 2.0)]
+
+
+def test_forget_removes_every_incident_edge():
+    g = CoAccessGraph()
+    g.note_frontier([(_oid(1), "A"), (_oid(2), "A"), (_oid(3), "A")])
+    g.forget(_oid(2))
+    assert g.edges_for_class("A") == []
+
+
+def test_decay_ages_and_prunes():
+    g = CoAccessGraph()
+    for _ in range(4):
+        g.note_frontier([(_oid(1), "A"), (_oid(2), "A")])
+    g.note_frontier([(_oid(2), "A"), (_oid(3), "A")])
+    g.decay(factor=0.5, floor=0.25)
+    edges = g.edges_for_class("A")
+    assert (_oid(1), _oid(2), 2.0) in edges
+    g.decay(factor=0.1, floor=0.25)  # everything falls below the floor
+    assert g.edges_for_class("A") == []

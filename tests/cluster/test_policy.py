@@ -1,0 +1,90 @@
+"""The greedy DSTC-style placement policy, pure-function level."""
+
+from repro.cluster.policy import plan_placements
+from repro.storage.oid import OID
+
+
+def _oid(n):
+    return OID(1, n // 10, n % 10)
+
+
+def test_heaviest_edges_cluster_first():
+    edges = [
+        (_oid(1), _oid(2), 5.0),
+        (_oid(3), _oid(4), 3.0),
+        (_oid(2), _oid(3), 1.0),
+    ]
+    plan = plan_placements("A", edges, objects_per_page=2)
+    # Capacity 2 forbids merging the two pairs through the light edge.
+    assert plan.groups == [
+        [_oid(1), _oid(2)],
+        [_oid(3), _oid(4)],
+    ]
+    assert plan.pages_after == 2
+
+
+def test_chains_break_at_page_capacity():
+    chain = [(_oid(i), _oid(i + 1), 1.0) for i in range(1, 7)]
+    plan = plan_placements("A", chain, objects_per_page=3)
+    assert sorted(len(g) for g in plan.groups) == [3, 3]
+    members = {oid for group in plan.groups for oid in group}
+    assert members <= {_oid(i) for i in range(1, 8)}
+    assert len(members) == 6
+
+
+def test_min_weight_filters_noise():
+    edges = [(_oid(1), _oid(2), 0.5), (_oid(3), _oid(4), 2.0)]
+    plan = plan_placements("A", edges, objects_per_page=4, min_weight=1.0)
+    assert plan.groups == [[_oid(3), _oid(4)]]
+
+
+def test_already_colocated_groups_are_dropped():
+    page_of = {_oid(1): 7, _oid(2): 7, _oid(3): 1, _oid(4): 2}
+    edges = [(_oid(1), _oid(2), 5.0), (_oid(3), _oid(4), 2.0)]
+    plan = plan_placements(
+        "A", edges, objects_per_page=4,
+        current_page_of=lambda oid: page_of[oid],
+    )
+    assert plan.groups == [[_oid(3), _oid(4)]]
+    assert plan.pages_before == 2
+    assert plan.pages_after == 1
+    assert plan.estimated_gain == 2.0
+
+
+def test_pages_before_sums_per_group():
+    """Groups sharing a source page each pay for it: a cold traversal of
+    either group reads that page separately."""
+    page_of = {_oid(1): 5, _oid(2): 6, _oid(3): 5, _oid(4): 7}
+    edges = [(_oid(1), _oid(2), 5.0), (_oid(3), _oid(4), 4.0)]
+    plan = plan_placements(
+        "A", edges, objects_per_page=2,
+        current_page_of=lambda oid: page_of[oid],
+    )
+    assert plan.pages_before == 4
+    assert plan.pages_after == 2
+
+
+def test_weight_accumulates_across_merges():
+    """Cluster ranking uses total internal weight, surviving root changes
+    as the union-find grows."""
+    edges = [
+        (_oid(1), _oid(2), 2.0),
+        (_oid(2), _oid(3), 2.0),   # merges into the first cluster
+        (_oid(5), _oid(6), 3.0),   # heavier single edge, lighter cluster
+    ]
+    plan = plan_placements("A", edges, objects_per_page=4)
+    assert plan.groups[0] == [_oid(1), _oid(2), _oid(3)]   # weight 4.0
+    assert plan.groups[1] == [_oid(5), _oid(6)]            # weight 3.0
+
+
+def test_tiny_capacity_yields_no_plan():
+    edges = [(_oid(1), _oid(2), 5.0)]
+    assert plan_placements("A", edges, objects_per_page=1).groups == []
+
+
+def test_deleted_members_do_not_crash_page_lookup():
+    edges = [(_oid(1), _oid(2), 5.0)]
+    plan = plan_placements(
+        "A", edges, objects_per_page=4, current_page_of=lambda oid: None
+    )
+    assert plan.groups == []

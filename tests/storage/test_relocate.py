@@ -1,0 +1,250 @@
+"""The crash-safe relocation primitive: stubs, chains, WAL MOVE records.
+
+Relocation re-identifies a record: the body gets a fresh OID on the
+target page and the home slot becomes a ``FWD -> DATA`` stub that keeps
+the old OID resolvable until references are rewritten and the stub is
+reclaimed.  These tests pin down the stub-kind semantics, chain
+snapping, the counters, and -- through the manager's failpoint -- that a
+crash at any point of a move leaves exactly one live copy.
+"""
+
+import pytest
+
+from repro.core.errors import (
+    PageFullError,
+    RecordNotFoundError,
+    StorageError,
+)
+from repro.storage.manager import StorageManager
+from repro.storage.wal import LogKind
+
+
+@pytest.fixture
+def sm():
+    return StorageManager(buffer_capacity=16)
+
+
+def _live_copies(storage_file, payload):
+    return [oid for oid, body in storage_file.scan() if body == payload]
+
+
+def _counter(sm, name):
+    return sm.metrics.counters().get(f"storage.{name}", 0.0)
+
+
+# -- the primitive ----------------------------------------------------------
+
+def test_relocate_moves_record_and_leaves_resolvable_stub(sm):
+    f = sm.create_file("data")
+    oid = f.insert(b"payload")
+    target = f.allocate_page()
+    new_oid = f.relocate(oid, target)
+    assert new_oid != oid
+    assert new_oid.page == target
+    # Both OIDs read the same record; the new OID is the live identity.
+    assert f.read(oid) == b"payload"
+    assert f.read(new_oid) == b"payload"
+    assert f.resolve_oid(oid) == new_oid
+    assert f.record_count() == 1
+    # The scan yields the record once, under its new identity.
+    assert f.oids() == [new_oid]
+    assert _counter(sm, "relocations") == 1
+
+
+def test_relocate_same_page_is_a_noop(sm):
+    f = sm.create_file("data")
+    oid = f.insert(b"stay")
+    assert f.relocate(oid, oid.page) == oid
+    assert f.oids() == [oid]
+
+
+def test_relocate_to_foreign_page_refused(sm):
+    f = sm.create_file("data")
+    other = sm.create_file("other")
+    oid = f.insert(b"x")
+    foreign = other.allocate_page()
+    with pytest.raises(StorageError):
+        f.relocate(oid, foreign)
+
+
+def test_relocate_full_target_raises_and_leaves_record_in_place(sm):
+    f = sm.create_file("data")
+    oid = f.insert(b"v" * 100)
+    target = f.allocate_page()
+    filler = f.max_payload() - 50
+    page = f._page(target)
+    page.insert(bytes([0]) + b"f" * filler)
+    f.buffer.unpin(f.volume, target, dirty=True)
+    with pytest.raises(PageFullError):
+        f.relocate(oid, target)
+    assert f.read(oid) == b"v" * 100
+    assert _live_copies(f, b"v" * 100) == [oid]
+
+
+def test_update_and_delete_follow_relocation_stub(sm):
+    f = sm.create_file("data")
+    oid = f.insert(b"v0")
+    new_oid = f.relocate(oid, f.allocate_page())
+    f.update(oid, b"v1")            # through the old identity
+    assert f.read(new_oid) == b"v1"
+    f.delete(oid)
+    assert not f.exists(oid)
+    assert not f.exists(new_oid)
+    assert f.record_count() == 0
+
+
+def test_relocate_consolidates_oversize_stub(sm):
+    """A FWD -> MOVED record relocates as one DATA record; the MOVED
+    continuation is freed."""
+    f = sm.create_file("data")
+    big = f.max_payload() - 40
+    a = f.insert(b"a" * 100)
+    f.insert(b"b" * (f.max_payload() - 200))   # crowd the page
+    f.update(a, b"A" * big)                    # forces FWD -> MOVED
+    assert f.read(a) == b"A" * big
+    target = f.allocate_page()
+    new_oid = f.relocate(a, target)
+    assert f.read(new_oid) == b"A" * big
+    assert f.read(a) == b"A" * big
+    # Exactly one copy of the body remains.
+    assert _live_copies(f, b"A" * big) == [new_oid]
+
+
+def test_relocating_through_a_relocation_stub_is_refused(sm):
+    """The stub is not the live identity: callers must relocate the
+    record's current OID, or the mapping they maintain would fork."""
+    f = sm.create_file("data")
+    oid = f.insert(b"v")
+    new_oid = f.relocate(oid, f.allocate_page())
+    with pytest.raises(StorageError):
+        f.relocate(oid, f.allocate_page())
+    assert f.resolve_oid(oid) == new_oid
+
+
+def test_chain_snapping_counts_and_shortens(sm):
+    f = sm.create_file("data")
+    oid = f.insert(b"hop")
+    mid = f.relocate(oid, f.allocate_page())
+    end = f.relocate(mid, f.allocate_page())
+    # Reading through the original OID walks two hops, then snaps.
+    assert f.read(oid) == b"hop"
+    assert _counter(sm, "forwards_snapped") == 1
+    followed = _counter(sm, "forwards_followed")
+    assert followed >= 2
+    # The next read goes straight to the body: exactly one more hop.
+    assert f.read(oid) == b"hop"
+    assert _counter(sm, "forwards_followed") == followed + 1
+    assert f.resolve_oid(oid) == end
+
+
+def test_reclaim_stub_frees_slot_and_counts(sm):
+    f = sm.create_file("data")
+    oid = f.insert(b"v")
+    new_oid = f.relocate(oid, f.allocate_page())
+    f.reclaim_stub(oid)
+    assert _counter(sm, "stubs_reclaimed") == 1
+    with pytest.raises((RecordNotFoundError, StorageError)):
+        f.read(oid)
+    assert f.read(new_oid) == b"v"
+    assert f.record_count() == 1
+
+
+def test_reclaim_refuses_data_and_oversize_stubs(sm):
+    f = sm.create_file("data")
+    plain = f.insert(b"plain")
+    with pytest.raises(StorageError):
+        f.reclaim_stub(plain)
+    big = f.max_payload() - 40
+    a = f.insert(b"a" * 100)
+    f.insert(b"b" * (f.max_payload() - 200))
+    f.update(a, b"A" * big)                    # FWD -> MOVED
+    with pytest.raises(StorageError):
+        f.reclaim_stub(a)                      # that stub IS the identity
+    assert f.read(a) == b"A" * big
+
+
+# -- WAL + recovery ---------------------------------------------------------
+
+def test_committed_relocation_survives_crash(sm):
+    f = sm.create_file("data")
+    with sm.begin() as setup:
+        oid = sm.insert(f, b"mover", setup)
+    with sm.begin() as txn:
+        new_oid = sm.relocate(f, oid, f.allocate_page(), txn)
+    sm.crash()
+    report = sm.restart()
+    assert report.moves_redone == 1
+    assert report.moves_undone == 0
+    assert sm.read(f, oid) == b"mover"
+    assert sm.read(f, new_oid) == b"mover"
+    assert _live_copies(f, b"mover") == [new_oid]
+
+
+def test_crash_between_move_record_and_page_writes(sm):
+    """The MOVE record hits the log, the crash lands before any page
+    write: recovery must leave exactly one live copy at the source."""
+    f = sm.create_file("data")
+    with sm.begin() as setup:
+        oid = sm.insert(f, b"solo", setup)
+    sm.checkpoint()
+    txn = sm.begin()
+
+    class Crashed(Exception):
+        pass
+
+    def failpoint():
+        raise Crashed
+
+    sm._relocate_failpoint = failpoint
+    with pytest.raises(Crashed):
+        sm.relocate(f, oid, f.allocate_page(), txn)
+    sm._relocate_failpoint = None
+    sm.crash()                       # txn never commits
+    report = sm.restart()
+    assert txn.txn_id in report.losers
+    assert report.moves_undone == 1
+    assert report.moves_redone == 0
+    assert sm.read(f, oid) == b"solo"
+    assert _live_copies(f, b"solo") == [oid]
+
+
+def test_crash_after_page_writes_before_commit(sm):
+    """Page images made it to the log but the transaction never
+    committed: undo restores the original placement, one live copy."""
+    f = sm.create_file("data")
+    with sm.begin() as setup:
+        oid = sm.insert(f, b"undone", setup)
+    txn = sm.begin()
+    sm.relocate(f, oid, f.allocate_page(), txn)
+    sm.crash()                       # after the move, before commit
+    report = sm.restart()
+    assert txn.txn_id in report.losers
+    assert report.moves_undone == 1
+    assert sm.read(f, oid) == b"undone"
+    assert _live_copies(f, b"undone") == [oid]
+
+
+def test_move_log_record_carries_source_and_target(sm):
+    f = sm.create_file("data")
+    with sm.begin() as setup:
+        oid = sm.insert(f, b"logged", setup)
+    target = f.allocate_page()
+    with sm.begin() as txn:
+        sm.relocate(f, oid, target, txn)
+    moves = [r for r in sm.wal.records() if r.kind is LogKind.MOVE]
+    assert len(moves) == 1
+    from repro.storage.file import _FWD
+    assert _FWD.unpack(moves[0].before) == (oid.volume, oid.page, oid.slot)
+    assert _FWD.unpack(moves[0].after) == (oid.volume, target, 0)
+
+
+def test_abort_rolls_back_relocation(sm):
+    f = sm.create_file("data")
+    with sm.begin() as setup:
+        oid = sm.insert(f, b"keep", setup)
+    txn = sm.begin()
+    new_oid = sm.relocate(f, oid, f.allocate_page(), txn)
+    txn.abort()
+    assert sm.read(f, oid) == b"keep"
+    assert not f.exists(new_oid)
+    assert _live_copies(f, b"keep") == [oid]
